@@ -1,0 +1,88 @@
+"""Ablation (ours) — optimizer quality and cost.
+
+The paper ships three optimizers (brute force, linear regression, random
+forest) and never compares them; we add the related-work-style genetic
+optimizer and compare all four on:
+
+* **pick regret** — how much true GFLOPS/W is lost by deploying each
+  optimizer's chosen configuration instead of the true optimum;
+* **sparse-data regret** — the same when trained on only 1/4 of the sweep
+  (the realistic production case: benchmarks are expensive);
+* **fit time** — measured by pytest-benchmark on the slowest (forest).
+"""
+
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.core.optimizers import (
+    BruteForceOptimizer,
+    GeneticOptimizer,
+    LinearRegressionOptimizer,
+    RandomForestOptimizer,
+)
+
+OPTIMIZERS = [
+    ("brute-force", BruteForceOptimizer),
+    ("linear-regression", LinearRegressionOptimizer),
+    ("random-forest", RandomForestOptimizer),
+    ("genetic", GeneticOptimizer),
+]
+
+
+def evaluate_optimizers(rows):
+    truth = {r.configuration: r.gflops_per_watt for r in rows}
+    best_true = max(truth.values())
+    results = {}
+    for name, cls in OPTIMIZERS:
+        full = cls()
+        full.fit(rows)
+        pick_full = full.best_configuration()
+        sparse = cls()
+        sparse.fit(rows[::4])
+        pick_sparse = sparse.best_configuration()
+        results[name] = {
+            "full_pick": pick_full,
+            "full_regret": 1.0 - truth[pick_full] / best_true,
+            "sparse_pick": pick_sparse,
+            "sparse_regret": 1.0 - truth.get(pick_sparse, 0.0) / best_true,
+        }
+    return results
+
+
+def test_ablation_optimizer_quality(benchmark, sweep_rows):
+    results = benchmark(evaluate_optimizers, sweep_rows)
+
+    table = TextTable(
+        ["Optimizer", "Pick (full sweep)", "Regret", "Pick (1/4 sweep)", "Regret"],
+        title="\nAblation — optimizer pick quality (regret vs true optimum)",
+    )
+    for name, r in results.items():
+        table.add_row(
+            name,
+            r["full_pick"].to_json(),
+            f"{r['full_regret'] * 100:.2f}%",
+            r["sparse_pick"].to_json(),
+            f"{r['sparse_regret'] * 100:.2f}%",
+        )
+    print(table.render())
+
+    # trained on the full sweep, nobody loses more than 2% efficiency
+    for name, r in results.items():
+        assert r["full_regret"] < 0.02, name
+    # brute force is exact by construction on the full sweep
+    assert results["brute-force"]["full_regret"] == pytest.approx(0.0, abs=1e-12)
+    # on sparse data everyone still lands within 6% of the optimum
+    for name, r in results.items():
+        assert r["sparse_regret"] < 0.06, name
+
+
+def test_ablation_forest_fit_time(benchmark, sweep_rows):
+    """Fit cost of the heaviest optimizer (must stay interactive)."""
+
+    def fit_forest():
+        opt = RandomForestOptimizer(n_trees=40)
+        opt.fit(sweep_rows)
+        return opt
+
+    opt = benchmark(fit_forest)
+    assert opt.best_configuration().cores == 32

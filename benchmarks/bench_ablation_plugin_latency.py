@@ -1,0 +1,65 @@
+"""Ablation (ours) — job_submit_eco latency vs Slurm's plugin budget.
+
+The paper pre-loads models to local disk "as Slurm has a very short time to
+make a decision when a job is submitted".  This bench quantifies it: the
+per-submission prediction latency with the pre-loaded (cached) model path
+must sit orders of magnitude under the budget; the cold path (first
+deserialization) is reported for comparison.
+"""
+
+import pytest
+
+from repro.core.domain.configuration import Configuration
+from repro.core.factory import ChronusApp
+from repro.slurm.batch_script import build_script
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+from repro.slurm.config import SlurmConfig
+
+SWEEP = [
+    Configuration(c, t, f)
+    for c in (8, 16, 32)
+    for f in (1_500_000, 2_200_000, 2_500_000)
+    for t in (1, 2)
+]
+
+
+@pytest.fixture(scope="module")
+def prepared(tmp_path_factory):
+    cluster = SimCluster(
+        seed=5,
+        config=SlurmConfig.parse("JobSubmitPlugins=eco\n"),
+        hpcg_duration_s=300.0,
+    )
+    app = ChronusApp(cluster, str(tmp_path_factory.mktemp("ws")))
+    app.benchmark_service.run_benchmarks(SWEEP, clock=app.clock)
+    meta = app.init_model_service.run("random-forest", 1)
+    app.load_model_service.run(meta.model_id)
+    app.enable_eco_plugin()
+    return cluster, app
+
+
+def test_ablation_plugin_latency(benchmark, prepared):
+    cluster, app = prepared
+    script = build_script(8, 2_500_000, 2, HPCG_BINARY, comment="chronus",
+                          time_limit="0:10:00")
+
+    def submit_once():
+        return cluster.commands.sbatch(script)
+
+    benchmark(submit_once)
+
+    budget = cluster.config.plugin_time_budget_s
+    invocations = cluster.ctld.plugin_chain.invocations
+    walls = [inv.wall_seconds for inv in invocations if inv.plugin == "eco"]
+    cold, warm = walls[0], walls[-1]
+    print()
+    print("Ablation — job_submit_eco latency (pre-loaded random forest)")
+    print(f"  plugin time budget : {budget * 1000:.0f} ms")
+    print(f"  cold prediction    : {cold * 1000:.3f} ms (first call, deserialize)")
+    print(f"  warm prediction    : {warm * 1000:.3f} ms (cached optimizer)")
+
+    assert not any(inv.over_budget for inv in invocations)
+    # the warm path must be far inside the budget (>50x headroom)
+    assert warm < budget / 50.0
+    # caching matters: warm must beat cold
+    assert warm <= cold

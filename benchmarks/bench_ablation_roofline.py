@@ -1,0 +1,67 @@
+"""Ablation (ours) — the smooth-min exponent of the roofline blend.
+
+DESIGN.md section 5 calls out ``smoothmin_n`` as a design choice: it
+controls how sharply memory-bandwidth saturation bends the GFLOPS surface.
+The bench sweeps the exponent and reports the Spearman correlation against
+the paper's measured ranking plus whether the headline winner survives —
+showing the shipped (fitted) value sits in the basin that reproduces both.
+"""
+
+import pytest
+
+from repro.analysis.calibration import predicted_efficiency, spearman_rho
+from repro.analysis.tables import TextTable
+from repro.hardware.cpu import AMD_EPYC_7502P
+from repro.hardware.power import PowerModel
+from repro.hpcg import reference
+from repro.hpcg.performance_model import HpcgPerformanceModel, PerformanceParams
+
+EXPONENTS = (0.25, PerformanceParams().smoothmin_n, 0.6, 1.0, 2.0, 4.0)
+
+
+def sweep_exponents():
+    power = PowerModel(AMD_EPYC_7502P)
+    out = []
+    for n in EXPONENTS:
+        perf = HpcgPerformanceModel().with_params(smoothmin_n=n)
+        predicted = predicted_efficiency(perf, power)
+        winner = max(predicted, key=predicted.get)
+        out.append(
+            {
+                "n": n,
+                "rho": spearman_rho(predicted),
+                "winner": winner,
+                "fig1_gflops": perf.gflops(32, 2_500_000, 1),
+            }
+        )
+    return out
+
+
+def test_ablation_roofline_exponent(benchmark):
+    results = benchmark(sweep_exponents)
+
+    fitted_n = PerformanceParams().smoothmin_n
+    table = TextTable(
+        ["smoothmin n", "Spearman rho", "Predicted winner", "GFLOPS @ std"],
+        title="\nAblation — roofline smooth-min exponent",
+    )
+    for r in results:
+        tag = " (shipped)" if r["n"] == fitted_n else ""
+        table.add_row(
+            f"{r['n']:.3f}{tag}", f"{r['rho']:.4f}",
+            str(r["winner"]), f"{r['fig1_gflops']:.3f}",
+        )
+    print(table.render())
+
+    by_n = {r["n"]: r for r in results}
+    shipped = by_n[fitted_n]
+    # the shipped exponent reproduces the winner and the rank order
+    assert shipped["winner"] == reference.BEST_CONFIG
+    assert shipped["rho"] > 0.93
+    # a hard-min-like exponent (n >= 2) distorts the absolute level badly:
+    # the blend collapses onto the (far too high) memory roof
+    assert abs(by_n[4.0]["fig1_gflops"] - reference.FIG1_GFLOPS) > abs(
+        shipped["fig1_gflops"] - reference.FIG1_GFLOPS
+    )
+    # and the shipped value is the best-correlating of the sweep
+    assert shipped["rho"] == pytest.approx(max(r["rho"] for r in results), abs=0.01)

@@ -1,0 +1,47 @@
+"""Equation 1 / Figures 13 & 16 — IPMI vs wattmeter measurement validation.
+
+Paper: PSU 1 = 129.7 W, PSU 2 = 143.7 W (wattmeter total 273.4 W) while the
+IPMI ``Total_Power`` sensor reported 258 W, a 5.96% percentage difference
+normalised by the IPMI reading.
+"""
+
+import pytest
+
+from repro.analysis.metrics import percentage_difference
+from repro.analysis.tables import TextTable
+from repro.hardware.node import ConstantWorkload
+from repro.hpcg import reference
+from repro.slurm.cluster import SimCluster
+
+
+def measure_once(seed: int = 4):
+    cluster = SimCluster(seed=seed)
+    cluster.node.start_workload(
+        ConstantWorkload(cores=32, compute_fraction=0.05, bandwidth_gbs=37.0),
+        freq_min_khz=2_500_000,
+    )
+    cluster.sim.call_at(900.0, lambda: None)
+    cluster.sim.run()
+    ipmi = cluster.ipmi.total_power_watts()
+    psu = cluster.wattmeter.read()
+    return ipmi, psu
+
+
+def test_eq1_power_validation(benchmark):
+    ipmi, psu = benchmark(measure_once)
+    diff = percentage_difference(ipmi, psu.total_w)
+
+    table = TextTable(
+        ["Quantity", "Measured (sim)", "Paper"],
+        title="\nEquation 1 reproduction — IPMI vs wattmeter",
+    )
+    table.add_row("PSU 1 (W)", f"{psu.psu1_w:.1f}", "129.7")
+    table.add_row("PSU 2 (W)", f"{psu.psu2_w:.1f}", "143.7")
+    table.add_row("Wattmeter total (W)", f"{psu.total_w:.1f}", f"{reference.EQ1_WATTMETER_WATTS:.1f}")
+    table.add_row("IPMI Total_Power (W)", f"{ipmi:.0f}", f"{reference.EQ1_IPMI_WATTS:.0f}")
+    table.add_row("Percentage difference", f"{diff:.2f}%", f"{reference.EQ1_PERCENT_DIFFERENCE:.2f}%")
+    print(table.render())
+
+    assert diff == pytest.approx(reference.EQ1_PERCENT_DIFFERENCE, abs=0.8)
+    # the split between PSUs is visibly imbalanced, like the paper's setup
+    assert abs(psu.psu1_w - psu.psu2_w) > 5.0

@@ -1,0 +1,61 @@
+"""Figure 14 (a/b/c) + appendix Figures 17/18 — GFLOPS/W surfaces.
+
+The paper plots GFLOPS per watt against (cores, frequency) with and without
+hyper-threading and observes (1) the 32c/2.2GHz peak, (2) HT hurting at
+saturation, (3) HT helping at low core counts.  The bench regenerates both
+surfaces from the sweep and prints them as grids (the textual equivalent
+of the surface plots), then asserts the three observations.
+"""
+
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.hpcg import reference
+
+
+def build_surfaces(rows):
+    """(ht -> {(cores, ghz) -> efficiency}) from sweep rows."""
+    surfaces = {False: {}, True: {}}
+    for row in rows:
+        cfg = row.configuration
+        surfaces[cfg.hyperthread][(cfg.cores, cfg.frequency_ghz)] = row.gflops_per_watt
+    return surfaces
+
+
+def render_surface(surface, title):
+    cores = sorted({c for c, _ in surface})
+    freqs = sorted({f for _, f in surface})
+    table = TextTable(["cores \\ GHz"] + [f"{f:.1f}" for f in freqs], title=title)
+    for c in cores:
+        table.add_row(c, *[f"{surface[(c, f)]:.5f}" for f in freqs])
+    return table.render()
+
+
+def test_fig14_gflops_per_watt_surfaces(benchmark, sweep_rows):
+    surfaces = benchmark(build_surfaces, sweep_rows)
+
+    print()
+    print(render_surface(surfaces[False], "Figure 14b — GFLOPS/W without hyper-threading"))
+    print()
+    print(render_surface(surfaces[True], "Figure 14a — GFLOPS/W with hyper-threading"))
+
+    no_ht = surfaces[False]
+    ht = surfaces[True]
+
+    # Observation 1: the surface peaks at 32 cores / 2.2 GHz (no-HT plot).
+    peak = max(no_ht, key=no_ht.get)
+    assert peak == (32, 2.2)
+
+    # Observation 2: at full core count HT is never better (within noise).
+    for f in (1.5, 2.2, 2.5):
+        assert ht[(32, f)] < no_ht[(32, f)] * 1.01
+
+    # Observation 3: at low core counts HT helps for the lower frequencies
+    # (the paper calls out 7 cores).
+    assert ht[(7, 2.2)] > no_ht[(7, 2.2)] * 0.995
+    assert ht[(7, 1.5)] > no_ht[(7, 1.5)] * 0.995
+
+    # Monotone rise along the core axis at fixed 2.2 GHz (surface shape).
+    cores = sorted({c for c, _ in no_ht})
+    values = [no_ht[(c, 2.2)] for c in cores]
+    assert all(b > a * 0.98 for a, b in zip(values, values[1:]))

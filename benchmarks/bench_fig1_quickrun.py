@@ -1,0 +1,30 @@
+"""Figure 1 — a single Chronus benchmark run at the standard configuration.
+
+Paper: "GFLOP/s rating found: 9.34829" for the AMD EPYC 7502P at 32 cores /
+2.5 GHz.  The bench regenerates that log line and times one complete
+benchmark execution (submit, 3-second sampling loop, collection) through
+the simulated cluster.
+"""
+
+import pytest
+
+from benchmarks.conftest import STANDARD, make_benchmark_service
+from repro.hpcg import reference
+from repro.slurm.cluster import SimCluster
+
+
+def run_single_benchmark():
+    cluster = SimCluster(seed=1, hpcg_duration_s=1200.0)
+    service = make_benchmark_service(cluster)
+    return service.run_one(STANDARD, clock=lambda: cluster.sim.now)
+
+
+def test_fig1_single_benchmark(benchmark):
+    run = benchmark(run_single_benchmark)
+    print()
+    print("Figure 1 reproduction — Chronus energy benchmark log line")
+    print(f"  GFLOP/s rating found: {run.gflops:.5f}")
+    print(f"  paper reported      : {reference.FIG1_GFLOPS:.5f}")
+    print(f"  samples taken       : {len(run.samples)} (3 s interval)")
+    assert run.gflops == pytest.approx(reference.FIG1_GFLOPS, rel=0.03)
+    assert run.success

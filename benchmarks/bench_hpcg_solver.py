@@ -1,0 +1,79 @@
+"""Mini-HPCG validation — the real numerics under pytest-benchmark.
+
+Unlike every other bench (which drives the simulated cluster), this one
+executes genuine floating-point work: the from-scratch multigrid-
+preconditioned CG at laptop problem sizes, rating it exactly the way HPCG
+does (accounted flops / wall time).  It validates both the solver and the
+flop bookkeeping the simulator's ratings rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.hpcg.benchmark import HpcgBenchmark
+from repro.hpcg.cg import pcg
+from repro.hpcg.problem import generate_problem
+
+
+@pytest.fixture(scope="module")
+def bench24():
+    return HpcgBenchmark(24, levels=3)
+
+
+def test_mini_hpcg_rating(benchmark, bench24):
+    rating = benchmark.pedantic(bench24.run, rounds=3, warmup_rounds=1)
+    table = TextTable(
+        ["Metric", "Value"], title="\nMini-HPCG (24^3, 3-level multigrid PCG)"
+    )
+    table.add_row("GFLOP/s", f"{rating.gflops:.4f}")
+    table.add_row("iterations", rating.iterations)
+    table.add_row("total flops", rating.total_flops)
+    table.add_row("rel. residual", f"{rating.final_relative_residual:.2e}")
+    print(table.render())
+
+    assert rating.converged
+    assert rating.gflops > 0.01
+    assert rating.final_relative_residual < 1e-8
+
+
+def test_mini_hpcg_flop_accounting(benchmark):
+    """The accounted flops must track the analytic per-iteration count."""
+    problem = generate_problem(16)
+
+    def solve():
+        return pcg(problem.matrix, problem.b, tol=1e-8, max_iter=60)
+
+    result = benchmark(solve)
+    assert result.converged
+    nnz = problem.matrix.nnz
+    n = problem.nrows
+    iters = result.iterations
+    # per unpreconditioned iteration: 1 spmv + 2 dots + 3 waxpby (+norm)
+    expected_spmv = 2 * nnz * (iters + 1)  # +1 initial residual
+    assert result.flops.by_kernel["spmv"] == expected_spmv
+    per_iter_vec = 2 * n * (2 + 3 + 1)  # dots + waxpbys + norm
+    assert result.flops.total == pytest.approx(
+        expected_spmv + per_iter_vec * iters, rel=0.1
+    )
+
+
+def test_mini_hpcg_scaling(benchmark):
+    """Rating stays in the same ballpark across problem sizes (throughput
+    is size-independent once caches are exceeded)."""
+
+    def run_sizes():
+        ratings = {}
+        for nx in (12, 16, 24):
+            ratings[nx] = HpcgBenchmark(nx, levels=2).run(max_iter=30)
+        return ratings
+
+    ratings = benchmark.pedantic(run_sizes, rounds=1, warmup_rounds=0)
+    table = TextTable(["nx", "GFLOP/s", "iterations"], title="\nMini-HPCG size scaling")
+    for nx, r in ratings.items():
+        table.add_row(nx, f"{r.gflops:.4f}", r.iterations)
+    print(table.render())
+    values = [r.gflops for r in ratings.values()]
+    assert max(values) < 30 * min(values)  # same order of magnitude
+    for r in ratings.values():
+        assert r.converged

@@ -1,0 +1,67 @@
+"""Table 1 — the best 13 configurations by GFLOPS/W.
+
+Paper columns: cores, GHz, hyper-thread, GFLOPS/W, GFLOPS/W ratio vs the
+standard configuration, performance ratio vs standard.  Headline row:
+32 cores / 2.2 GHz / no-HT at 0.0488 GFLOPS/W — 13% better efficiency at
+2% lower performance than the Slurm default (32 / 2.5 / performance
+governor).
+"""
+
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.hpcg import reference
+
+
+def build_table1(rows):
+    std = next(
+        r for r in rows
+        if r.configuration.cores == 32
+        and r.configuration.frequency == 2_500_000
+        and r.configuration.threads_per_core == 1
+    )
+    ranked = sorted(rows, key=lambda r: -r.gflops_per_watt)[:13]
+    out = []
+    for r in ranked:
+        out.append(
+            (
+                r.configuration.cores,
+                r.configuration.frequency_ghz,
+                r.configuration.hyperthread,
+                r.gflops_per_watt,
+                r.gflops_per_watt / std.gflops_per_watt,
+                r.gflops / std.gflops,
+            )
+        )
+    return out, std
+
+
+def test_table1_top_configurations(benchmark, sweep_rows):
+    (ranked, std) = benchmark(build_table1, sweep_rows)
+
+    table = TextTable(
+        ["Cores", "GHz", "HT", "GFLOPS/W", "GFLOPS/W %", "Performance %"],
+        title="\nTable 1 reproduction — top 13 configurations",
+    )
+    for cores, ghz, ht, e, e_ratio, perf in ranked:
+        table.add_row(cores, f"{ghz:.1f}", ht, f"{e:.4f}", f"{e_ratio:.2f}", f"{perf:.2f}")
+    print(table.render())
+    print("\nPaper top row: 32 / 2.2 / f : 0.0488 GFLOPS/W, 1.13, 0.98")
+
+    best = ranked[0]
+    # winner: 32 cores @ 2.2 GHz (HT flag within noise, see paper's 0.9% gap)
+    assert best[0] == 32 and best[1] == 2.2
+    # efficiency gain roughly the paper's 13%
+    assert 1.08 <= best[4] <= 1.16
+    # performance loss small (paper: 2%)
+    assert 0.95 <= best[5] <= 0.995
+    # absolute level close to the paper's 0.0488
+    assert best[3] == pytest.approx(0.0488, rel=0.05)
+    # the standard configuration sits in the upper-middle of the ranking
+    # (paper: rank 11 of 138; our model places the 25-28-core band slightly
+    # higher, landing the standard config around rank 20)
+    all_ranked = sorted(sweep_rows, key=lambda r: -r.gflops_per_watt)
+    std_rank = next(
+        i for i, r in enumerate(all_ranked, 1) if r.configuration == std.configuration
+    )
+    assert 8 <= std_rank <= 26  # paper: 11

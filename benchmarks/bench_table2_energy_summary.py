@@ -1,0 +1,82 @@
+"""Table 2 — full-run averages: watts, kilojoules, temperature, runtime.
+
+Paper values:
+  Standard: 216.6 W sys / 120.4 W CPU / 240.2 kJ sys / 133.5 kJ CPU /
+            62.8 C / 18:29
+  Best:     190.1 W sys /  97.4 W CPU / 214.4 kJ sys / 109.8 kJ CPU /
+            53.8 C / 18:47
+  => 11% system-energy and 18% CPU-energy reduction.
+"""
+
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.hpcg import reference
+
+
+def summarize(runs):
+    std, best = runs
+
+    def row(run):
+        return {
+            "avg_sys_w": run.average_system_w(),
+            "avg_cpu_w": run.average_cpu_w(),
+            "sys_kj": run.system_energy_j() / 1000.0,
+            "cpu_kj": run.cpu_energy_j() / 1000.0,
+            "temp_c": run.average_cpu_temp_c(),
+            "runtime_s": run.runtime_s,
+        }
+
+    return row(std), row(best)
+
+
+def _fmt_runtime(seconds: float) -> str:
+    m, s = divmod(int(round(seconds)), 60)
+    return f"0:{m:02d}:{s:02d}"
+
+
+def test_table2_energy_summary(benchmark, completion_runs):
+    std, best = benchmark(summarize, completion_runs)
+
+    table = TextTable(
+        ["Name", "Avg Sys (W)", "Avg Cpu (W)", "Sys KJ", "Cpu KJ", "Avg Temp (C)", "Runtime"],
+        title="\nTable 2 reproduction — measured (sim) vs paper",
+    )
+    for name, r, ref in (
+        ("Standard (sim)", std, reference.TABLE2["standard"]),
+        ("Standard (paper)", None, reference.TABLE2["standard"]),
+        ("Best (sim)", best, reference.TABLE2["best"]),
+        ("Best (paper)", None, reference.TABLE2["best"]),
+    ):
+        if r is not None:
+            table.add_row(
+                name, f"{r['avg_sys_w']:.1f}", f"{r['avg_cpu_w']:.1f}",
+                f"{r['sys_kj']:.1f}", f"{r['cpu_kj']:.1f}", f"{r['temp_c']:.1f}",
+                _fmt_runtime(r["runtime_s"]),
+            )
+        else:
+            table.add_row(
+                name, ref.avg_sys_w, ref.avg_cpu_w, ref.sys_kj, ref.cpu_kj,
+                ref.avg_temp_c, _fmt_runtime(ref.runtime_s),
+            )
+    print(table.render())
+
+    sys_reduction = 1.0 - best["sys_kj"] / std["sys_kj"]
+    cpu_reduction = 1.0 - best["cpu_kj"] / std["cpu_kj"]
+    print(f"\nsystem energy reduction: {sys_reduction * 100:.1f}% (paper: 11%)")
+    print(f"cpu    energy reduction: {cpu_reduction * 100:.1f}% (paper: 18%)")
+
+    ref_s = reference.TABLE2["standard"]
+    ref_b = reference.TABLE2["best"]
+    assert std["avg_sys_w"] == pytest.approx(ref_s.avg_sys_w, rel=0.04)
+    assert std["avg_cpu_w"] == pytest.approx(ref_s.avg_cpu_w, rel=0.05)
+    assert best["avg_sys_w"] == pytest.approx(ref_b.avg_sys_w, rel=0.04)
+    assert best["avg_cpu_w"] == pytest.approx(ref_b.avg_cpu_w, rel=0.05)
+    assert std["sys_kj"] == pytest.approx(ref_s.sys_kj, rel=0.06)
+    assert best["sys_kj"] == pytest.approx(ref_b.sys_kj, rel=0.06)
+    assert std["temp_c"] == pytest.approx(ref_s.avg_temp_c, abs=2.0)
+    assert best["temp_c"] == pytest.approx(ref_b.avg_temp_c, abs=2.0)
+    assert std["runtime_s"] == pytest.approx(ref_s.runtime_s, rel=0.03)
+    assert best["runtime_s"] == pytest.approx(ref_b.runtime_s, rel=0.04)
+    assert 0.07 <= sys_reduction <= 0.14   # paper: 0.11
+    assert 0.12 <= cpu_reduction <= 0.22   # paper: 0.18

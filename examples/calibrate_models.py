@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Re-run the model calibration against the paper's published data.
+
+Fits the ~19 free constants of the performance/power/voltage models to
+Tables 1/2/4-6 + Figure 1 (see repro.analysis.calibration) and prints the
+result next to the shipped defaults.  This is the script that produced the
+constants baked into the package; rerunning it documents the pipeline and
+verifies the shipped values still sit at the optimum.
+
+Run:  python examples/calibrate_models.py        (~1 min)
+"""
+
+from repro.analysis.calibration import (
+    fit,
+    predicted_efficiency,
+    spearman_rho,
+    steady_state_point,
+)
+from repro.hardware.cpu import AMD_EPYC_7502P
+from repro.hardware.power import PowerModel
+from repro.hardware.thermal import ThermalParams
+from repro.hpcg import reference
+from repro.hpcg.performance_model import HpcgPerformanceModel
+
+
+def report(tag: str, perf, power, thermal) -> None:
+    predicted = predicted_efficiency(perf, power, thermal)
+    std = steady_state_point(32, 2.5, False, perf, power, thermal)
+    best = steady_state_point(32, 2.2, False, perf, power, thermal)
+    print(f"\n[{tag}]")
+    print(f"  spearman rho            : {spearman_rho(predicted):.4f}")
+    print(f"  predicted winner        : {max(predicted, key=predicted.get)} "
+          f"(paper: {reference.BEST_CONFIG})")
+    print(f"  GFLOPS/W gain best/std  : {best.efficiency / std.efficiency:.3f} (paper: 1.13)")
+    print(f"  std  point              : {std.gflops:.3f} GF, {std.cpu_w:.1f} W cpu, "
+          f"{std.sys_w:.1f} W sys, {std.temp_c:.1f} C")
+    print(f"  best point              : {best.gflops:.3f} GF, {best.cpu_w:.1f} W cpu, "
+          f"{best.sys_w:.1f} W sys, {best.temp_c:.1f} C")
+
+
+def main() -> None:
+    thermal = ThermalParams()
+    print("shipped constants:")
+    report("shipped", HpcgPerformanceModel(), PowerModel(AMD_EPYC_7502P), thermal)
+
+    print("\nrefitting from the shipped constants (should stay put)...")
+    result = fit(max_nfev=600)
+    print(result.summary())
+    report(
+        "refit",
+        HpcgPerformanceModel(result.perf_params),
+        PowerModel(result.cpu_spec, result.power_params),
+        result.thermal_params,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Export the paper's figure data as CSV artifacts.
+
+Runs the section-5 campaigns and writes:
+
+* ``artifacts/fig14_surface.csv``  — GFLOPS/W per configuration (Fig. 14)
+* ``artifacts/fig15_timeseries.csv`` — power/temp samples (Fig. 15)
+* ``artifacts/tables456_ranking.csv`` — the full efficiency ranking
+
+Run:  python examples/export_figures.py [output_dir]
+"""
+
+import sys
+
+from repro.analysis.export import (
+    export_ranking_csv,
+    export_surface_csv,
+    export_timeseries_csv,
+)
+from repro.core.application.benchmark_service import BenchmarkService
+from repro.core.domain.configuration import Configuration
+from repro.core.repositories.memory_repository import MemoryRepository
+from repro.core.runners.hpcg_runner import HpcgRunner
+from repro.core.services.ipmi_service import IpmiSystemService
+from repro.core.services.lscpu_info import LscpuSystemInfo
+from repro.hpcg import reference
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+
+
+def make_service(cluster):
+    return BenchmarkService(
+        MemoryRepository(),
+        HpcgRunner(cluster, HPCG_BINARY),
+        IpmiSystemService(cluster.ipmi, clock=lambda: cluster.sim.now),
+        LscpuSystemInfo(cluster.node),
+    )
+
+
+def main() -> None:
+    out = sys.argv[1] if len(sys.argv) > 1 else "artifacts"
+
+    print("running the 138-configuration sweep...")
+    sweep_cluster = SimCluster(seed=33, hpcg_duration_s=1200.0)
+    sweep = make_service(sweep_cluster).run_benchmarks(
+        [Configuration(p.cores, 2 if p.hyperthread else 1, p.freq_khz)
+         for p in reference.GFLOPS_PER_WATT],
+        clock=lambda: sweep_cluster.sim.now,
+    )
+    print("running the two full runs...")
+    run_cluster = SimCluster(seed=21)
+    service = make_service(run_cluster)
+    std = service.run_one(Configuration(32, 1, 2_500_000),
+                          clock=lambda: run_cluster.sim.now)
+    best = service.run_one(Configuration(32, 1, 2_200_000),
+                           clock=lambda: run_cluster.sim.now)
+
+    paths = [
+        export_surface_csv(sweep, f"{out}/fig14_surface.csv"),
+        export_timeseries_csv({"standard": std, "best": best},
+                              f"{out}/fig15_timeseries.csv"),
+        export_ranking_csv(sweep, f"{out}/tables456_ranking.csv"),
+    ]
+    for path in paths:
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

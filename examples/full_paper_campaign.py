@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""The paper's full section-5 evaluation campaign, regenerated.
+
+Runs the 138-configuration sweep (Tables 4-6 / Figure 14), the two full
+runs behind Figure 15 / Table 2, the Equation-1 measurement validation and
+the Table-3 related-work comparison, printing each artifact next to the
+paper's reported numbers.
+
+Run:  python examples/full_paper_campaign.py          (~30 s)
+"""
+
+import numpy as np
+
+from repro.analysis.comparison import build_table3
+from repro.analysis.metrics import percentage_difference
+from repro.analysis.tables import TextTable
+from repro.core.application.benchmark_service import BenchmarkService
+from repro.core.domain.configuration import Configuration
+from repro.core.repositories.memory_repository import MemoryRepository
+from repro.core.runners.hpcg_runner import HpcgRunner
+from repro.core.services.ipmi_service import IpmiSystemService
+from repro.core.services.lscpu_info import LscpuSystemInfo
+from repro.hardware.node import ConstantWorkload
+from repro.hpcg import reference
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+
+
+def make_service(cluster: SimCluster) -> BenchmarkService:
+    return BenchmarkService(
+        MemoryRepository(),
+        HpcgRunner(cluster, HPCG_BINARY),
+        IpmiSystemService(cluster.ipmi, clock=lambda: cluster.sim.now),
+        LscpuSystemInfo(cluster.node),
+        sample_interval_s=3.0,
+    )
+
+
+def section_52_sweep() -> list:
+    print("== Section 5.2: 138-configuration sweep (20-minute jobs) ==")
+    cluster = SimCluster(seed=33, hpcg_duration_s=1200.0)
+    service = make_service(cluster)
+    configs = [
+        Configuration(p.cores, 2 if p.hyperthread else 1, p.freq_khz)
+        for p in reference.GFLOPS_PER_WATT
+    ]
+    rows = service.run_benchmarks(configs, clock=lambda: cluster.sim.now)
+
+    table = TextTable(
+        ["Cores", "GHz", "HT", "GFLOPS/W (sim)", "GFLOPS/W (paper)"],
+        title="\nTable 1 — top 13 configurations",
+    )
+    for r in sorted(rows, key=lambda r: -r.gflops_per_watt)[:13]:
+        cfg = r.configuration
+        paper = reference.lookup(cfg.cores, cfg.frequency_ghz, cfg.hyperthread)
+        table.add_row(cfg.cores, f"{cfg.frequency_ghz:.1f}", cfg.hyperthread,
+                      f"{r.gflops_per_watt:.4f}", f"{paper.gflops_per_watt:.4f}")
+    print(table.render())
+    return rows
+
+
+def section_522_full_runs() -> None:
+    print("\n== Section 5.2.2: full runs, best vs standard (Table 2) ==")
+    cluster = SimCluster(seed=21)
+    service = make_service(cluster)
+    std = service.run_one(Configuration(32, 1, 2_500_000), clock=lambda: cluster.sim.now)
+    best = service.run_one(Configuration(32, 1, 2_200_000), clock=lambda: cluster.sim.now)
+
+    table = TextTable(
+        ["Name", "Avg Sys W", "Avg Cpu W", "Sys KJ", "Cpu KJ", "Temp C", "Runtime s"],
+        title="\nTable 2 — measured (sim) with paper values in parentheses",
+    )
+    for name, run, ref in (("Standard", std, reference.TABLE2["standard"]),
+                           ("Best", best, reference.TABLE2["best"])):
+        table.add_row(
+            name,
+            f"{run.average_system_w():.1f} ({ref.avg_sys_w})",
+            f"{run.average_cpu_w():.1f} ({ref.avg_cpu_w})",
+            f"{run.system_energy_j() / 1000:.1f} ({ref.sys_kj})",
+            f"{run.cpu_energy_j() / 1000:.1f} ({ref.cpu_kj})",
+            f"{run.average_cpu_temp_c():.1f} ({ref.avg_temp_c})",
+            f"{run.runtime_s:.0f} ({ref.runtime_s})",
+        )
+    print(table.render())
+
+    sys_red = (1 - best.system_energy_j() / std.system_energy_j()) * 100
+    cpu_red = (1 - best.cpu_energy_j() / std.cpu_energy_j()) * 100
+    print(f"\nsystem energy reduction: {sys_red:.1f}% (paper: 11%)")
+    print(f"cpu    energy reduction: {cpu_red:.1f}% (paper: 18%)")
+
+    table3 = TextTable(["Plugin", "CPU Red. (%)", "System Red. (%)"],
+                       title="\nTable 3 — comparison with related work")
+    for row in build_table3(cpu_red, sys_red):
+        table3.add_row(
+            row.plugin,
+            "NaN" if row.cpu_reduction_pct is None else f"{row.cpu_reduction_pct:.1f}",
+            f"{row.system_reduction_pct:.2f}",
+        )
+    print(table3.render())
+
+    # Figure 15 character: variability of the steady window
+    q = lambda run: np.array([s.system_w for s in run.samples])[len(run.samples) // 4:]
+    print(f"\nFigure 15 — steady-window system-power std-dev: "
+          f"standard {q(std).std():.2f} W vs best {q(best).std():.2f} W "
+          f"(the paper's 'more stable' observation)")
+
+
+def section_51_power_validation() -> None:
+    print("\n== Section 5.1: power measurement validation (Equation 1) ==")
+    cluster = SimCluster(seed=4)
+    cluster.node.start_workload(
+        ConstantWorkload(cores=32, compute_fraction=0.05, bandwidth_gbs=37.0),
+        freq_min_khz=2_500_000,
+    )
+    cluster.sim.call_at(900.0, lambda: None)
+    cluster.sim.run()
+    ipmi = cluster.ipmi.total_power_watts()
+    psu = cluster.wattmeter.read()
+    print(f"IPMI Total_Power : {ipmi:.0f} W   (paper: 258 W)")
+    print(f"Wattmeter PSUs   : {psu.psu1_w:.1f} + {psu.psu2_w:.1f} = "
+          f"{psu.total_w:.1f} W (paper: 129.7 + 143.7 = 273.4 W)")
+    print(f"Percentage diff  : {percentage_difference(ipmi, psu.total_w):.2f}% "
+          f"(paper: 5.96%)")
+
+
+def main() -> None:
+    section_51_power_validation()
+    section_52_sweep()
+    section_522_full_runs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""GPU frequency tuning (paper section 6.2.2), working.
+
+Runs the full application-clock sweep on the simulated A100 for kernels
+across the arithmetic-intensity spectrum and shows where the cited
+"28% energy for 1% performance loss" lives: in memory-bound kernels with
+SM-clock headroom.
+
+Run:  python examples/gpu_tuning.py
+"""
+
+from repro.analysis.tables import TextTable
+from repro.gpu import (
+    DcgmTelemetry,
+    GpuFrequencyTuner,
+    GpuKernel,
+    SimulatedGpu,
+)
+from repro.simkernel.random import RandomStreams
+
+KERNELS = [
+    GpuKernel("spmv (strongly memory-bound)", 1.0, 0.45, 1e6, smoothmin_n=16.0),
+    GpuKernel("stencil (memory-bound)", 1.0, 0.60, 1e6, smoothmin_n=16.0),
+    GpuKernel("fft (balanced)", 1.0, 1.00, 1e6, smoothmin_n=16.0),
+    GpuKernel("gemm (compute-bound)", 1.0, 5.00, 1e6, smoothmin_n=16.0),
+]
+
+
+def main() -> None:
+    gpu = SimulatedGpu(streams=RandomStreams(0), noise_sigma=0.0)
+    telemetry = DcgmTelemetry(gpu)
+    print(f"device: {gpu.spec.name}")
+    print(f"supported SM clocks : {gpu.spec.sm_clocks_mhz[0]}-{gpu.spec.sm_clocks_mhz[-1]} MHz")
+    print(f"supported mem clocks: {gpu.spec.mem_clocks_mhz}")
+    print(f"DCGM power (idle)   : {telemetry.field('DCGM_FI_DEV_POWER_USAGE'):.0f} W\n")
+
+    tuner = GpuFrequencyTuner(gpu)
+    table = TextTable(
+        ["Kernel", "Tuned SM/mem (MHz)", "Energy saving", "Perf loss"],
+        title="Application-clock tuning under a 1% performance budget",
+    )
+    for kernel in KERNELS:
+        result = tuner.tune(kernel, max_perf_loss=0.01)
+        table.add_row(
+            kernel.name,
+            f"{result.best.sm_mhz}/{result.best.mem_mhz}",
+            f"{result.energy_saving_fraction * 100:.1f}%",
+            f"{result.perf_loss_fraction * 100:.2f}%",
+        )
+    print(table.render())
+    print("\nPaper 6.2.2 cites 28% energy for 1% loss (Abe et al. 2012) —")
+    print("the memory-bound rows reproduce that; compute-bound kernels have")
+    print("no headroom, exactly why per-application models matter on GPUs too.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Green scheduling: the paper's future work (6.2.1 + 6.2.4), working.
+
+The introduction motivates the eco plugin with Vestas running HPC "only
+... when there is cheap or green energy in the market" and Lancium
+aligning jobs with renewable availability.  This example combines:
+
+* Chronus benchmark data  -> how fast/hungry each configuration is,
+* a deadline              -> which configurations are even admissible,
+* a spot-price trace      -> when to run for money,
+* a carbon trace          -> when to run for CO2,
+
+and prints the resulting schedule decisions.
+
+Run:  python examples/green_scheduling.py
+"""
+
+from repro.analysis.tables import TextTable
+from repro.core.application.benchmark_service import BenchmarkService
+from repro.core.domain.configuration import Configuration
+from repro.core.repositories.memory_repository import MemoryRepository
+from repro.core.runners.hpcg_runner import HpcgRunner
+from repro.core.services.ipmi_service import IpmiSystemService
+from repro.core.services.lscpu_info import LscpuSystemInfo
+from repro.energymarket.scheduling import DeadlineConfigSelector, TimeShiftScheduler
+from repro.energymarket.traces import HOUR, CarbonTrace, PriceTrace
+from repro.hpcg.performance_model import PAPER_TOTAL_FLOPS
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+
+
+def benchmark_configs() -> list:
+    cluster = SimCluster(seed=13, hpcg_duration_s=600.0)
+    service = BenchmarkService(
+        MemoryRepository(),
+        HpcgRunner(cluster, HPCG_BINARY),
+        IpmiSystemService(cluster.ipmi, clock=lambda: cluster.sim.now),
+        LscpuSystemInfo(cluster.node),
+    )
+    sweep = [
+        Configuration(cores, tpc, freq)
+        for cores in (16, 24, 32)
+        for freq in (1_500_000, 2_200_000, 2_500_000)
+        for tpc in (1,)
+    ]
+    return service.run_benchmarks(sweep, clock=lambda: cluster.sim.now)
+
+
+def main() -> None:
+    print("benchmarking 9 configurations...")
+    rows = benchmark_configs()
+    by_cfg = {r.configuration: r for r in rows}
+
+    # -- deadline-aware configuration choice (6.2.1) -------------------------
+    selector = DeadlineConfigSelector(rows, PAPER_TOTAL_FLOPS, safety_margin=0.05)
+    table = TextTable(
+        ["Deadline", "Configuration", "GFLOPS/W", "Runtime (min)"],
+        title='\n"Simulation done by Monday morning" — deadline-aware choice',
+    )
+    for label, deadline_s in (("20 min", 20 * 60), ("30 min", 30 * 60), ("4 h", 4 * 3600)):
+        cfg = selector.select(deadline_s)
+        row = by_cfg[cfg]
+        table.add_row(label, cfg.to_json(), f"{row.gflops_per_watt:.4f}",
+                      f"{selector.predicted_runtime_s(row) / 60:.1f}")
+    print(table.render())
+
+    # -- time shifting on price and carbon (6.2.4) ---------------------------
+    best = max(rows, key=lambda r: r.gflops_per_watt)
+    duration = PAPER_TOTAL_FLOPS / (best.gflops * 1e9)
+    power = best.avg_system_w
+
+    price_trace = PriceTrace.synthetic(days=7, seed=2026)
+    carbon_trace = CarbonTrace.synthetic(days=7, seed=2026)
+
+    table = TextTable(
+        ["Objective", "Start (h)", "Cost", "Run-now cost", "Saving"],
+        title="\nTime-shifted scheduling over a 7-day market window (48 h deadline)",
+    )
+    price = TimeShiftScheduler(price_trace).best_start(
+        duration, power, deadline_s=48 * HOUR
+    )
+    table.add_row("cheapest (EUR)", f"{price.start_s / HOUR:.0f}",
+                  f"{price.cost:.4f}", f"{price.baseline_cost:.4f}",
+                  f"{price.savings_fraction * 100:.1f}%")
+    carbon = TimeShiftScheduler(carbon_trace, unit_energy_wh=1e3).best_start(
+        duration, power, deadline_s=48 * HOUR
+    )
+    table.add_row("greenest (gCO2)", f"{carbon.start_s / HOUR:.0f}",
+                  f"{carbon.cost:.1f}", f"{carbon.baseline_cost:.1f}",
+                  f"{carbon.savings_fraction * 100:.1f}%")
+    print(table.render())
+
+    print("\nCombined: run the efficiency-optimal configuration "
+          f"({best.configuration.to_json()}) at the cheap/green window — "
+          "configuration tuning and market timing stack.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Multi-node clusters (paper section 6.2.3), working.
+
+Builds a 4-node cluster, runs single-node and spanning jobs, shows the
+scheduler spreading and backfilling across nodes, and samples power
+through the cluster-wide power API — the "two different implementations
+for the same integration interface" of the paper's section 3.2.
+
+Run:  python examples/multi_node_cluster.py
+"""
+
+from repro.core.runners.hpcg_runner import parse_hpcg_rating
+from repro.core.services.cluster_power import ClusterPowerService
+from repro.slurm.batch_script import build_script
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+from repro.slurm.commands import parse_sbatch_output
+
+
+def spanning_script(nodes: int, freq: int) -> str:
+    return build_script(
+        32 * nodes, freq, 1, HPCG_BINARY, job_name=f"hpcg-{nodes}n", nodes=nodes
+    )
+
+
+def main() -> None:
+    cluster = SimCluster(seed=8, n_nodes=4)
+    power_api = ClusterPowerService(cluster.ipmis, clock=lambda: cluster.sim.now)
+
+    print("== cluster ==")
+    print(cluster.commands.sinfo())
+
+    # fill two nodes with single-node jobs, then submit a 2-node job
+    j1 = parse_sbatch_output(cluster.commands.sbatch(
+        build_script(32, 2_200_000, 1, HPCG_BINARY, job_name="single-a")))
+    j2 = parse_sbatch_output(cluster.commands.sbatch(
+        build_script(32, 2_200_000, 1, HPCG_BINARY, job_name="single-b")))
+    j3 = parse_sbatch_output(cluster.commands.sbatch(spanning_script(2, 2_200_000)))
+
+    print("== queue with a 2-node job running beside two 1-node jobs ==")
+    print(cluster.commands.squeue())
+
+    sample = power_api.sample()
+    print(f"cluster power API: {sample.system_w:.0f} W total, "
+          f"{sample.cpu_w:.0f} W CPU, hottest package {sample.cpu_temp_c:.1f} C")
+
+    job = cluster.ctld.wait_for_job(j3)
+    print(f"\n2-node job finished: {parse_hpcg_rating(job.stdout):.2f} GFLOP/s "
+          f"across {len(job.node_list)} nodes "
+          f"({job.consumed_energy_j / 1000:.0f} kJ for the whole allocation)")
+    print(cluster.commands.sacct())
+
+
+if __name__ == "__main__":
+    main()

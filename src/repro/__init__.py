@@ -1,0 +1,28 @@
+"""repro — reproduction of "Automatic Energy-Efficient Job Scheduling in
+HPC: A Novel Slurm Plugin Approach" (Springborg, 2023).
+
+The package rebuilds the paper's complete system on a simulated single-node
+HPC cluster:
+
+* :mod:`repro.core` — **Chronus**, the clean-architecture Python service
+  (benchmark / init-model / load-model / slurm-config / set) — the paper's
+  contribution.
+* :mod:`repro.slurm` — a discrete-event Slurm simulator with the
+  ``job_submit_eco`` plugin.
+* :mod:`repro.hardware` — the simulated AMD EPYC 7502P node: DVFS, a
+  calibrated power model, thermal behaviour, BMC/IPMI telemetry and the
+  reference wattmeter.
+* :mod:`repro.hpcg` — a real from-scratch mini-HPCG plus the calibrated
+  roofline performance model for full-scale runs.
+* :mod:`repro.energymarket` — the paper's future-work extensions
+  (deadline- and price/carbon-aware scheduling).
+* :mod:`repro.analysis` — metrics, table rendering, calibration, and the
+  related-work comparison math.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results on every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,36 @@
+"""Analysis utilities: metrics, table rendering, calibration, comparisons.
+
+Everything the benchmark harness needs to turn raw simulation output into
+the paper's tables and figures, plus the model-calibration machinery that
+fitted the shipped hardware/performance constants.
+"""
+
+from repro.analysis.metrics import (
+    energy_joules,
+    gflops_per_watt,
+    percentage_difference,
+    average,
+)
+from repro.analysis.tables import TextTable
+from repro.analysis.comparison import related_work_reduction_pct
+
+__all__ = [
+    "energy_joules",
+    "gflops_per_watt",
+    "percentage_difference",
+    "average",
+    "TextTable",
+    "related_work_reduction_pct",
+    "SavingsReport",
+]
+
+
+def __getattr__(name: str):
+    # SavingsReport is imported lazily: repro.analysis.report depends on
+    # repro.core.domain, which itself uses repro.analysis.metrics — an
+    # eager import here would be circular.
+    if name == "SavingsReport":
+        from repro.analysis.report import SavingsReport
+
+        return SavingsReport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,321 @@
+"""Fit the performance and power model constants to the paper's data.
+
+The simulator's physical models (roofline + CMOS power + first-order
+thermal) have ~15 free constants.  This module fits them, by weighted
+nonlinear least squares, against:
+
+* all 138 GFLOPS/W points of Tables 4-6 (relative error),
+* the absolute GFLOP/s anchor of Figure 1 (9.34829 at 32c/2.5GHz),
+* the six distinct performance ratios of Table 1,
+* the four power operating points of Table 2 (system+CPU watts for the
+  standard and best configurations).
+
+The shipped defaults in :class:`repro.hpcg.performance_model.PerformanceParams`
+and :class:`repro.hardware.power.PowerModelParams` are the output of
+:func:`fit` (run via ``examples/calibrate_models.py``); tests assert the
+fitted surface ranks configurations like the paper does (Spearman rho and
+top-config agreement) rather than matching absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+import scipy.optimize
+
+from repro.hardware.power import PowerModel, PowerModelParams
+from repro.hardware.cpu import AMD_EPYC_7502P, CpuSpec, VoltageCurve, ghz_to_khz
+from repro.hardware.thermal import ThermalParams
+from repro.hpcg import reference
+from repro.hpcg.performance_model import HpcgPerformanceModel, PerformanceParams
+
+__all__ = [
+    "CalibrationResult",
+    "predicted_efficiency",
+    "steady_state_point",
+    "fit",
+    "spearman_rho",
+]
+
+
+@dataclass(frozen=True)
+class SteadyPoint:
+    """Deterministic steady-state prediction for one configuration."""
+
+    gflops: float
+    cpu_w: float
+    sys_w: float
+    temp_c: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.gflops / self.sys_w
+
+
+def steady_state_point(
+    cores: int,
+    freq_ghz: float,
+    hyperthread: bool,
+    perf: HpcgPerformanceModel,
+    power: PowerModel,
+    thermal: ThermalParams,
+) -> SteadyPoint:
+    """Closed-form steady state of a long HPCG run at one configuration.
+
+    Temperature and fan power are mutually dependent only through the fan
+    term (CPU power does not depend on temperature in our model), so the
+    steady state is computed directly: CPU power first, then temperature,
+    then system power.
+    """
+    tpc = 2 if hyperthread else 1
+    freq_khz = ghz_to_khz(freq_ghz)
+    g = perf.gflops(cores, freq_khz, tpc)
+    cf = perf.compute_fraction(cores, freq_khz, tpc)
+    bw = perf.bandwidth_gbs(cores, freq_khz, tpc)
+    bd0 = power.breakdown(
+        cores, tpc, freq_khz, compute_fraction=cf, bandwidth_gbs=bw, cpu_temp_c=45.0
+    )
+    temp = thermal.steady_state_c(bd0.cpu_w)
+    bd = power.breakdown(
+        cores, tpc, freq_khz, compute_fraction=cf, bandwidth_gbs=bw, cpu_temp_c=temp
+    )
+    return SteadyPoint(gflops=g, cpu_w=bd.cpu_w, sys_w=bd.system_w, temp_c=temp)
+
+
+def predicted_efficiency(
+    perf: HpcgPerformanceModel,
+    power: PowerModel,
+    thermal: ThermalParams | None = None,
+) -> dict[tuple[int, float, bool], float]:
+    """GFLOPS/W for every reference configuration under the given models."""
+    thermal = thermal or ThermalParams()
+    out: dict[tuple[int, float, bool], float] = {}
+    for p in reference.GFLOPS_PER_WATT:
+        sp = steady_state_point(p.cores, p.freq_ghz, p.hyperthread, perf, power, thermal)
+        out[(p.cores, p.freq_ghz, p.hyperthread)] = sp.efficiency
+    return out
+
+
+def spearman_rho(
+    predicted: dict[tuple[int, float, bool], float],
+) -> float:
+    """Spearman rank correlation of predicted vs reference GFLOPS/W."""
+    ref_vals = []
+    pred_vals = []
+    for p in reference.GFLOPS_PER_WATT:
+        ref_vals.append(p.gflops_per_watt)
+        pred_vals.append(predicted[(p.cores, p.freq_ghz, p.hyperthread)])
+    ref_rank = np.argsort(np.argsort(ref_vals))
+    pred_rank = np.argsort(np.argsort(pred_vals))
+    n = len(ref_vals)
+    d2 = float(np.sum((ref_rank - pred_rank) ** 2))
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+
+# ----------------------------------------------------------------------
+# fitting
+# ----------------------------------------------------------------------
+
+#: (name, owner, lower, upper) for each fitted parameter.  Owner is "perf",
+#: "power", or "volt" (a point on the CPU voltage curve); names match the
+#: dataclass fields for perf/power.
+FIT_SPEC: tuple[tuple[str, str, float, float], ...] = (
+    ("kappa_flops_per_cycle", "perf", 0.2, 8.0),
+    ("ht_compute_gain", "perf", 0.01, 0.6),
+    ("smoothmin_n", "perf", 0.3, 4.0),
+    ("ht_mem_factor", "perf", 0.9, 1.0),
+    ("mem_peak_bandwidth_gbs", "perf", 30.0, 90.0),
+    ("mem_sat_half_threads", "perf", 0.3, 30.0),
+    ("mem_ht_mlp_efficiency", "perf", 0.10, 1.0),
+    ("platform_base_w", "power", 25.0, 110.0),
+    ("mem_w_per_gbs", "power", 0.0, 1.0),
+    ("fan_w_per_c", "power", 0.0, 2.5),
+    ("uncore_w", "power", 10.0, 90.0),
+    ("idle_core_w", "power", 0.0, 2.5),
+    ("leak_w_per_v", "power", 0.0, 4.0),
+    ("dyn_w_per_v2ghz", "power", 0.2, 3.0),
+    ("ht_core_adder_w", "power", 0.0, 1.0),
+    ("stall_floor", "power", 0.1, 0.95),
+    # The three voltage operating points of the EPYC 7502P's P-states.  The
+    # measured per-core power jump between 2.2 and 2.5 GHz is far larger
+    # than V^2*f with nominal voltages allows, so the top P-state voltage
+    # is left free (server parts do run their top state voltage-rich).
+    ("volt_1500", "volt", 0.70, 1.00),
+    ("volt_2200", "volt", 0.88, 1.20),
+    ("volt_2500", "volt", 1.00, 1.45),
+)
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted models plus goodness-of-fit diagnostics."""
+
+    perf_params: PerformanceParams
+    power_params: PowerModelParams
+    thermal_params: ThermalParams
+    cpu_spec: CpuSpec
+    spearman: float
+    max_rel_err_top13: float
+    cost: float
+
+    def summary(self) -> str:
+        lines = ["Calibration result:"]
+        lines.append(f"  spearman rho (138 pts)   = {self.spearman:.4f}")
+        lines.append(f"  max rel err (top-13 pts) = {self.max_rel_err_top13 * 100:.2f}%")
+        lines.append(f"  least-squares cost       = {self.cost:.4f}")
+        lines.append("  PerformanceParams:")
+        for k, v in vars(self.perf_params).items():
+            lines.append(f"    {k} = {v!r}")
+        lines.append("  PowerModelParams:")
+        for k, v in vars(self.power_params).items():
+            lines.append(f"    {k} = {v!r}")
+        lines.append(
+            "  VoltageCurve: "
+            + ", ".join(
+                f"{f/1e6:.1f}GHz={v:.4f}V"
+                for f, v in zip(
+                    self.cpu_spec.voltage_curve.freqs_khz,
+                    self.cpu_spec.voltage_curve.volts,
+                )
+            )
+        )
+        return "\n".join(lines)
+
+
+def _vector_to_params(
+    x: np.ndarray,
+) -> tuple[PerformanceParams, PowerModelParams, CpuSpec]:
+    perf_over: dict[str, float] = {}
+    power_over: dict[str, float] = {}
+    volts: dict[str, float] = {}
+    for (name, owner, _, _), val in zip(FIT_SPEC, x):
+        if owner == "perf":
+            perf_over[name] = float(val)
+        elif owner == "power":
+            power_over[name] = float(val)
+        else:
+            volts[name] = float(val)
+    spec = AMD_EPYC_7502P
+    if volts:
+        curve = VoltageCurve(
+            freqs_khz=(1_500_000.0, 2_200_000.0, 2_500_000.0),
+            volts=(
+                volts.get("volt_1500", spec.voltage(1_500_000)),
+                volts.get("volt_2200", spec.voltage(2_200_000)),
+                volts.get("volt_2500", spec.voltage(2_500_000)),
+            ),
+        )
+        spec = replace(spec, voltage_curve=curve)
+    return (
+        replace(PerformanceParams(), **perf_over),
+        replace(PowerModelParams(), **power_over),
+        spec,
+    )
+
+
+def _params_to_vector(perf: PerformanceParams, power: PowerModelParams) -> np.ndarray:
+    vals = []
+    for name, owner, _, _ in FIT_SPEC:
+        if owner == "perf":
+            vals.append(getattr(perf, name))
+        elif owner == "power":
+            vals.append(getattr(power, name))
+        else:
+            freq = {"volt_1500": 1_500_000, "volt_2200": 2_200_000, "volt_2500": 2_500_000}[name]
+            vals.append(AMD_EPYC_7502P.voltage(freq))
+    return np.asarray(vals, dtype=float)
+
+
+def _residuals(x: np.ndarray, thermal: ThermalParams) -> np.ndarray:
+    perf_params, power_params, spec = _vector_to_params(x)
+    perf = HpcgPerformanceModel(perf_params)
+    power = PowerModel(spec, power_params)
+
+    res: list[float] = []
+    top13 = set(reference.TABLE1_RELATIVE)
+    eff: dict[tuple[int, float, bool], float] = {}
+    # (a) all efficiency points, relative error; the paper's own headline
+    # configurations get extra weight so the winner comes out right.
+    for p in reference.GFLOPS_PER_WATT:
+        sp = steady_state_point(p.cores, p.freq_ghz, p.hyperthread, perf, power, thermal)
+        eff[(p.cores, p.freq_ghz, p.hyperthread)] = sp.efficiency
+        w = 4.0 if (p.cores, p.freq_ghz, p.hyperthread) in top13 else 1.0
+        res.append(w * (sp.efficiency - p.gflops_per_watt) / p.gflops_per_watt)
+
+    # (b) absolute GFLOP/s anchor (Figure 1, standard config, no-HT row).
+    std = steady_state_point(32, 2.5, False, perf, power, thermal)
+    res.append(25.0 * (std.gflops - reference.FIG1_GFLOPS) / reference.FIG1_GFLOPS)
+
+    # (c) Table 1 performance ratios AND efficiency ratios — these encode
+    # the paper's headline claims (+13% GFLOPS/W at -2% performance), so
+    # they get the strongest weight in the fit.
+    for (c, f, ht), (eff_ratio, perf_ratio) in reference.TABLE1_RELATIVE.items():
+        sp = steady_state_point(c, f, ht, perf, power, thermal)
+        res.append(15.0 * (sp.gflops / std.gflops - perf_ratio))
+        w = 40.0 if c == 32 else 20.0
+        res.append(w * (sp.efficiency / std.efficiency - eff_ratio))
+
+    # (d) Table 2 power operating points (standard + best, no-HT rows).
+    t2s = reference.TABLE2["standard"]
+    t2b = reference.TABLE2["best"]
+    best = steady_state_point(32, 2.2, False, perf, power, thermal)
+    res.append(25.0 * (std.sys_w - t2s.avg_sys_w) / t2s.avg_sys_w)
+    res.append(25.0 * (std.cpu_w - t2s.avg_cpu_w) / t2s.avg_cpu_w)
+    res.append(25.0 * (best.sys_w - t2b.avg_sys_w) / t2b.avg_sys_w)
+    res.append(25.0 * (best.cpu_w - t2b.avg_cpu_w) / t2b.avg_cpu_w)
+
+    # (e) ordering hinges for the paper's qualitative observations 2 and 3:
+    # no-HT wins at 32 cores; HT wins at 7 cores for the lower frequencies.
+    margin = 0.004
+
+    def hinge(weight: float, a: tuple, b: tuple) -> float:
+        gap = (eff[a] - eff[b]) / eff[b]
+        return weight * max(0.0, margin - gap)
+
+    res.append(hinge(150.0, (32, 2.2, False), (32, 2.2, True)))
+    res.append(hinge(150.0, (32, 2.5, False), (32, 2.5, True)))
+    res.append(hinge(150.0, (7, 2.2, True), (7, 2.2, False)))
+    res.append(hinge(150.0, (7, 1.5, True), (7, 1.5, False)))
+    return np.asarray(res)
+
+
+def fit(
+    *,
+    thermal: ThermalParams | None = None,
+    max_nfev: int = 400,
+    x0: np.ndarray | None = None,
+) -> CalibrationResult:
+    """Run the least-squares calibration; see module docstring."""
+    thermal = thermal or ThermalParams()
+    if x0 is None:
+        x0 = _params_to_vector(PerformanceParams(), PowerModelParams())
+    lower = np.asarray([lo for _, _, lo, _ in FIT_SPEC])
+    upper = np.asarray([hi for _, _, _, hi in FIT_SPEC])
+    x0 = np.clip(x0, lower, upper)
+    sol = scipy.optimize.least_squares(
+        _residuals,
+        x0,
+        bounds=(lower, upper),
+        args=(thermal,),
+        max_nfev=max_nfev,
+    )
+    perf_params, power_params, spec = _vector_to_params(sol.x)
+    perf = HpcgPerformanceModel(perf_params)
+    power = PowerModel(spec, power_params)
+    predicted = predicted_efficiency(perf, power, thermal)
+    rho = spearman_rho(predicted)
+    max_rel = 0.0
+    for key in reference.TABLE1_RELATIVE:
+        c, f, ht = key
+        ref_e = reference.lookup(c, f, ht).gflops_per_watt
+        max_rel = max(max_rel, abs(predicted[key] - ref_e) / ref_e)
+    return CalibrationResult(
+        perf_params=perf_params,
+        power_params=power_params,
+        thermal_params=thermal,
+        cpu_spec=spec,
+        spearman=rho,
+        max_rel_err_top13=max_rel,
+        cost=float(sol.cost),
+    )

@@ -1,0 +1,54 @@
+"""Related-work comparison arithmetic (the paper's Equation 2 / Table 3).
+
+The related work [21] reports a "106% improvement in system power
+efficiency"; the paper converts that multiplicative efficiency into a
+fraction-of-original-consumption reduction so the two results are
+commensurable.  This module implements that conversion and the Table 3
+assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["related_work_reduction_pct", "Table3Row", "build_table3"]
+
+
+def related_work_reduction_pct(improvement_pct: float) -> float:
+    """Equation (2): efficiency improvement (%) -> power reduction (%).
+
+    ``standard = new * (improvement/100)`` so
+    ``new/standard = 100/improvement`` and the reduction is
+    ``100% - 100/improvement*100``.  106% improvement -> 5.66% reduction.
+    """
+    if improvement_pct <= 0:
+        raise ValueError(f"improvement must be positive, got {improvement_pct}")
+    new_over_standard = 100.0 / improvement_pct
+    return 100.0 - new_over_standard * 100.0
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One plugin's reductions (Table 3)."""
+
+    plugin: str
+    cpu_reduction_pct: float | None
+    system_reduction_pct: float
+    note: str = ""
+
+
+def build_table3(
+    eco_cpu_reduction_pct: float,
+    eco_system_reduction_pct: float,
+    related_improvement_pct: float = 106.0,
+) -> list[Table3Row]:
+    """Assemble Table 3 from our measured reductions plus Equation 2."""
+    return [
+        Table3Row("Eco", eco_cpu_reduction_pct, eco_system_reduction_pct),
+        Table3Row(
+            "Related work [21]",
+            None,
+            related_work_reduction_pct(related_improvement_pct),
+            note="DVFS set to On Demand",
+        ),
+    ]

@@ -1,0 +1,81 @@
+"""CSV exporters for the paper's figures.
+
+The benchmark harness prints the tables; these exporters write the figure
+*data* (the GFLOPS/W surfaces of Figure 14 and the time series of
+Figure 15) as plain CSV so any plotting tool can regenerate the actual
+plots.  Used by ``examples/export_figures.py``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.run import Run
+
+__all__ = ["export_surface_csv", "export_timeseries_csv", "export_ranking_csv"]
+
+
+def export_surface_csv(rows: Sequence[BenchmarkResult], path: str) -> str:
+    """Figure 14 data: one row per configuration with its efficiency."""
+    if not rows:
+        raise ValueError("no benchmark rows to export")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["cores", "frequency_ghz", "hyperthread", "gflops", "avg_system_w",
+             "gflops_per_watt"]
+        )
+        for row in sorted(rows, key=lambda r: (
+            r.configuration.hyperthread, r.configuration.cores,
+            r.configuration.frequency,
+        )):
+            cfg = row.configuration
+            writer.writerow([
+                cfg.cores, f"{cfg.frequency_ghz:.1f}",
+                "t" if cfg.hyperthread else "f",
+                f"{row.gflops:.6f}", f"{row.avg_system_w:.3f}",
+                f"{row.gflops_per_watt:.6f}",
+            ])
+    return path
+
+
+def export_timeseries_csv(runs: dict[str, Run], path: str) -> str:
+    """Figure 15 data: per-sample power/temperature for labelled runs."""
+    if not runs:
+        raise ValueError("no runs to export")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["run", "elapsed_s", "system_w", "cpu_w", "cpu_temp_c"])
+        for label, run in runs.items():
+            for sample in run.samples:
+                writer.writerow([
+                    label, f"{sample.time - run.start_time:.1f}",
+                    f"{sample.system_w:.2f}", f"{sample.cpu_w:.2f}",
+                    f"{sample.cpu_temp_c:.2f}",
+                ])
+    return path
+
+
+def export_ranking_csv(rows: Sequence[BenchmarkResult], path: str) -> str:
+    """Tables 4-6 data: the full ranking, best first."""
+    if not rows:
+        raise ValueError("no benchmark rows to export")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["rank", "cores", "frequency_ghz", "hyperthread",
+                         "gflops_per_watt"])
+        ranked = sorted(rows, key=lambda r: -r.gflops_per_watt)
+        for rank, row in enumerate(ranked, 1):
+            cfg = row.configuration
+            writer.writerow([
+                rank, cfg.cores, f"{cfg.frequency_ghz:.1f}",
+                "t" if cfg.hyperthread else "f",
+                f"{row.gflops_per_watt:.6f}",
+            ])
+    return path

@@ -1,0 +1,71 @@
+"""Energy and efficiency metrics used throughout the evaluation.
+
+These implement the paper's arithmetic exactly:
+
+* GFLOPS/W — the headline metric of Tables 1/4-6.
+* Trapezoidal energy integration of sampled power — how Chronus turns its
+  2-3 s IPMI samples into the KJ columns of Table 2.
+* Equation (1)'s percentage difference, with the paper's convention of
+  dividing by the *IPMI* reading.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "gflops_per_watt",
+    "energy_joules",
+    "average",
+    "percentage_difference",
+]
+
+
+def gflops_per_watt(gflops: float, watts: float) -> float:
+    """Energy efficiency in GFLOPS per watt."""
+    if watts <= 0:
+        raise ValueError(f"watts must be positive, got {watts}")
+    if gflops < 0:
+        raise ValueError(f"gflops must be non-negative, got {gflops}")
+    return gflops / watts
+
+
+def energy_joules(times_s: Sequence[float], watts: Sequence[float]) -> float:
+    """Trapezoidal integral of a sampled power trace -> joules.
+
+    Args:
+        times_s: sample timestamps (strictly increasing).
+        watts: power samples aligned with ``times_s``.
+    """
+    t = np.asarray(times_s, dtype=np.float64)
+    w = np.asarray(watts, dtype=np.float64)
+    if t.shape != w.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {w.shape}")
+    if t.size == 0:
+        return 0.0
+    if t.size == 1:
+        return 0.0
+    if np.any(np.diff(t) <= 0):
+        raise ValueError("timestamps must be strictly increasing")
+    return float(np.trapezoid(w, t))
+
+
+def average(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input instead of returning NaN."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot average an empty sequence")
+    return float(arr.mean())
+
+
+def percentage_difference(ipmi_watts: float, wattmeter_watts: float) -> float:
+    """Equation (1): |IPMI - wattmeter| / IPMI * 100.
+
+    The paper normalises by the IPMI reading (258 W), giving 5.96% for
+    |258 - 273.4| / 258.
+    """
+    if ipmi_watts <= 0:
+        raise ValueError(f"ipmi_watts must be positive, got {ipmi_watts}")
+    return abs(ipmi_watts - wattmeter_watts) / ipmi_watts * 100.0

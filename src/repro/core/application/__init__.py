@@ -1,0 +1,33 @@
+"""Chronus application layer: use cases over integration interfaces."""
+
+from repro.core.application.interfaces import (
+    ApplicationRunnerInterface,
+    FileRepositoryInterface,
+    LocalStorageInterface,
+    OptimizerInterface,
+    RepositoryInterface,
+    RunnerResult,
+    SystemInfoInterface,
+    SystemServiceInterface,
+)
+from repro.core.application.benchmark_service import BenchmarkService
+from repro.core.application.init_model_service import InitModelService
+from repro.core.application.load_model_service import LoadModelService
+from repro.core.application.slurm_config_service import SlurmConfigService
+from repro.core.application.settings_service import SettingsService
+
+__all__ = [
+    "ApplicationRunnerInterface",
+    "FileRepositoryInterface",
+    "LocalStorageInterface",
+    "OptimizerInterface",
+    "RepositoryInterface",
+    "RunnerResult",
+    "SystemInfoInterface",
+    "SystemServiceInterface",
+    "BenchmarkService",
+    "InitModelService",
+    "LoadModelService",
+    "SlurmConfigService",
+    "SettingsService",
+]

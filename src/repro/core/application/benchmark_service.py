@@ -1,0 +1,131 @@
+"""The benchmark use case (paper section 3.1.2, "Benchmarking").
+
+Per configuration: submit the application through the runner, sample the
+system service on a fixed cadence while the job runs (the paper samples
+every 2-3 seconds), then persist the aggregated
+:class:`~repro.core.domain.benchmark.BenchmarkResult` through the
+repository.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core.application.interfaces import (
+    ApplicationRunnerInterface,
+    RepositoryInterface,
+    SystemInfoInterface,
+    SystemServiceInterface,
+)
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import ChronusError
+from repro.core.domain.run import Run
+
+__all__ = ["BenchmarkService"]
+
+#: hard ceiling on samples per run so a wedged job cannot fill memory
+MAX_SAMPLES_PER_RUN = 200_000
+
+
+class BenchmarkService:
+    """Benchmarks an application across configurations."""
+
+    def __init__(
+        self,
+        repository: RepositoryInterface,
+        runner: ApplicationRunnerInterface,
+        system_service: SystemServiceInterface,
+        system_info: SystemInfoInterface,
+        *,
+        sample_interval_s: float = 3.0,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        self.repository = repository
+        self.runner = runner
+        self.system_service = system_service
+        self.system_info = system_info
+        self.sample_interval_s = sample_interval_s
+        self._log = log or (lambda msg: None)
+
+    # ------------------------------------------------------------------
+    def default_configurations(self) -> list[Configuration]:
+        """The full sweep derived from the system's CPU (paper default)."""
+        info = self.system_info.fetch()
+        return Configuration.sweep(
+            core_counts=range(1, info.cores + 1),
+            frequencies=[int(f) for f in info.frequencies],
+            threads_per_core=range(1, info.threads_per_core + 1),
+        )
+
+    def run_one(self, configuration: Configuration, *, clock: Callable[[], float]) -> Run:
+        """Execute one configuration and return the sampled Run."""
+        handle = self.runner.submit(configuration)
+        start = clock()
+        samples = []
+        while not self.runner.is_done(handle):
+            self.runner.advance(self.sample_interval_s)
+            samples.append(self.system_service.sample())
+            if len(samples) > MAX_SAMPLES_PER_RUN:
+                raise ChronusError(
+                    f"run at {configuration} exceeded {MAX_SAMPLES_PER_RUN} samples; "
+                    "is the job wedged?"
+                )
+        result = self.runner.result(handle)
+        end = clock()
+        if not samples:
+            # ultra-short run: take one sample post-hoc so aggregates exist
+            samples.append(self.system_service.sample())
+        return Run(
+            configuration=configuration,
+            start_time=start,
+            end_time=end,
+            gflops=result.gflops,
+            samples=samples,
+            success=result.success,
+        )
+
+    def run_benchmarks(
+        self,
+        configurations: Optional[Sequence[Configuration]] = None,
+        *,
+        clock: Callable[[], float],
+    ) -> list[BenchmarkResult]:
+        """Benchmark every configuration and persist the results.
+
+        Args:
+            configurations: explicit list (the ``--configurations`` flag);
+                defaults to the full sweep for this system.
+            clock: time source (the simulation clock in this reproduction).
+
+        Returns:
+            The persisted benchmark rows, in execution order.
+        """
+        info = self.system_info.fetch()
+        system_id = self.repository.save_system(info)
+        configs = list(configurations) if configurations is not None else self.default_configurations()
+        if not configs:
+            raise ChronusError("no configurations to benchmark")
+        self._log(f"Benchmark for {info} starting: {len(configs)} configurations")
+        results: list[BenchmarkResult] = []
+        for i, config in enumerate(configs, 1):
+            run = self.run_one(config, clock=clock)
+            if not run.success:
+                self._log(
+                    f"[{i}/{len(configs)}] {config.to_json()} FAILED; skipping"
+                )
+                continue
+            row = BenchmarkResult.from_run(system_id, self.runner.application, run)
+            self.repository.save_benchmark(row)
+            results.append(row)
+            self._log(
+                f"[{i}/{len(configs)}] GFLOP/s rating found: {run.gflops:.5f} "
+                f"({row.gflops_per_watt:.5f} GFLOPS/W at {config.to_json()})"
+            )
+        self._log(
+            f"Benchmark for {info} with {info.cores} cores complete; "
+            f"{len(results)} results saved"
+        )
+        return results

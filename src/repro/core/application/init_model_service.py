@@ -1,0 +1,80 @@
+"""The init-model use case (paper section 3.1.2, "Model building").
+
+Loads all benchmarks for one (system, application), fits the requested
+optimizer, uploads the artifact to blob storage and records metadata in
+the repository.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.application.interfaces import (
+    FileRepositoryInterface,
+    OptimizerInterface,
+    RepositoryInterface,
+)
+from repro.core.domain.errors import NoBenchmarksError
+from repro.core.domain.model import ModelMetadata
+
+__all__ = ["InitModelService"]
+
+
+class InitModelService:
+    """Builds and stores a prediction model."""
+
+    def __init__(
+        self,
+        repository: RepositoryInterface,
+        file_repository: FileRepositoryInterface,
+        optimizer_factory: Callable[[str], OptimizerInterface],
+        *,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.repository = repository
+        self.file_repository = file_repository
+        self.optimizer_factory = optimizer_factory
+        self._log = log or (lambda msg: None)
+
+    def run(
+        self,
+        model_type: str,
+        system_id: int,
+        *,
+        application: str = "hpcg",
+        created_at: float = 0.0,
+    ) -> ModelMetadata:
+        """Fit ``model_type`` on the system's benchmarks; returns metadata.
+
+        Raises:
+            NoBenchmarksError: the system has no benchmark rows yet.
+            SystemNotFoundError: unknown system id.
+        """
+        self.repository.get_system(system_id)  # raises if unknown
+        benchmarks = self.repository.benchmarks_for_system(system_id, application)
+        if not benchmarks:
+            raise NoBenchmarksError(
+                f"system {system_id} has no {application!r} benchmarks; "
+                "run `chronus benchmark` first"
+            )
+        self._log(f"initializing model of type {model_type!r}")
+        self._log(f"getting benchmarks for system {system_id} ({len(benchmarks)} rows)")
+        optimizer = self.optimizer_factory(model_type)
+        self._log("training model")
+        optimizer.fit(benchmarks)
+        artifact = optimizer.serialize()
+        model_id = self.repository.next_model_id()
+        blob_name = f"model-{model_id}-{optimizer.name()}-sys{system_id}.json"
+        blob_path = self.file_repository.save(blob_name, artifact)
+        metadata = ModelMetadata(
+            model_id=model_id,
+            model_type=optimizer.name(),
+            system_id=system_id,
+            application=application,
+            blob_path=blob_path,
+            created_at=created_at,
+            training_points=len(benchmarks),
+        )
+        self.repository.save_model_metadata(metadata)
+        self._log(f"model {model_id} saved to {blob_path}")
+        return metadata

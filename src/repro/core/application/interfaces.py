@@ -1,0 +1,208 @@
+"""Integration interfaces (the paper's Figure 5 boundary).
+
+The application layer depends only on these abstractions; concrete
+implementations live in the outer System Integrations ring
+(:mod:`repro.core.repositories`, :mod:`repro.core.optimizers`,
+:mod:`repro.core.storage`, :mod:`repro.core.runners`,
+:mod:`repro.core.services`) and are injected at the composition root —
+the Dependency Inversion structure of the paper's Listing 1.
+
+Python has no interfaces, so — as the paper notes — these are abstract
+base classes whose methods raise ``NotImplementedError``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.model import ModelMetadata
+from repro.core.domain.run import EnergySample
+from repro.core.domain.settings import ChronusSettings
+from repro.core.domain.system_info import SystemInfo
+
+__all__ = [
+    "RepositoryInterface",
+    "OptimizerInterface",
+    "ApplicationRunnerInterface",
+    "RunnerResult",
+    "SystemServiceInterface",
+    "SystemInfoInterface",
+    "LocalStorageInterface",
+    "FileRepositoryInterface",
+]
+
+
+class RepositoryInterface(abc.ABC):
+    """Remote metadata storage: systems, benchmarks, model metadata."""
+
+    # --- systems -------------------------------------------------------
+    @abc.abstractmethod
+    def save_system(self, info: SystemInfo) -> int:
+        """Insert (or find) a system; returns its repository id."""
+
+    @abc.abstractmethod
+    def get_system(self, system_id: int) -> SystemInfo:
+        """Fetch a system by id; raises SystemNotFoundError."""
+
+    @abc.abstractmethod
+    def list_systems(self) -> list[tuple[int, SystemInfo]]:
+        """All systems as (id, info) pairs."""
+
+    # --- benchmarks ----------------------------------------------------
+    @abc.abstractmethod
+    def save_benchmark(self, result: BenchmarkResult) -> int:
+        """Persist one benchmark row; returns its id."""
+
+    @abc.abstractmethod
+    def benchmarks_for_system(
+        self, system_id: int, application: Optional[str] = None
+    ) -> list[BenchmarkResult]:
+        """All benchmark rows for a system (optionally one application)."""
+
+    # --- models --------------------------------------------------------
+    @abc.abstractmethod
+    def save_model_metadata(self, metadata: ModelMetadata) -> int:
+        """Persist model metadata; returns the model id."""
+
+    @abc.abstractmethod
+    def get_model_metadata(self, model_id: int) -> ModelMetadata:
+        """Fetch model metadata; raises ModelNotFoundError."""
+
+    @abc.abstractmethod
+    def list_models(self) -> list[ModelMetadata]:
+        """All model metadata rows."""
+
+    @abc.abstractmethod
+    def next_model_id(self) -> int:
+        """The id the next save_model_metadata call will receive."""
+
+
+class OptimizerInterface(abc.ABC):
+    """An energy-efficiency model (the paper's Optimizer integration)."""
+
+    @classmethod
+    @abc.abstractmethod
+    def name(cls) -> str:
+        """The ``type`` string the ModelFactory dispatches on."""
+
+    @abc.abstractmethod
+    def fit(self, benchmarks: Sequence[BenchmarkResult]) -> None:
+        """Train on benchmark rows; raises OptimizerError when unusable."""
+
+    @abc.abstractmethod
+    def predict_efficiency(self, configuration: Configuration) -> float:
+        """Predicted GFLOPS/W for one configuration."""
+
+    @abc.abstractmethod
+    def best_configuration(
+        self, candidates: Optional[Sequence[Configuration]] = None
+    ) -> Configuration:
+        """The most energy-efficient candidate under this model.
+
+        ``candidates`` defaults to the configurations seen at fit time,
+        which is what ``slurm-config`` uses (no repository access inside
+        Slurm's plugin time budget).
+        """
+
+    @abc.abstractmethod
+    def training_configurations(self) -> list[Configuration]:
+        """The configurations this optimizer was fitted on."""
+
+    @abc.abstractmethod
+    def serialize(self) -> bytes:
+        """Model artifact for blob storage."""
+
+    @classmethod
+    @abc.abstractmethod
+    def deserialize(cls, data: bytes) -> "OptimizerInterface":
+        """Rebuild a fitted optimizer from a blob-storage artifact."""
+
+
+@dataclass(frozen=True)
+class RunnerResult:
+    """Outcome of one application run under the Application Runner."""
+
+    gflops: float
+    runtime_s: float
+    success: bool
+    raw_output: str = ""
+
+
+class ApplicationRunnerInterface(abc.ABC):
+    """Runs the benchmarked application on the cluster (e.g. HPCG).
+
+    The split into submit / wait / result mirrors how the real runner works
+    against Slurm: ``sbatch`` returns immediately, the benchmark service
+    samples power while the job runs, then collects the result.
+    """
+
+    #: name stored in benchmark rows (e.g. "hpcg")
+    application: str = "app"
+
+    @abc.abstractmethod
+    def submit(self, configuration: Configuration) -> int:
+        """Submit a run at this configuration; returns a job handle."""
+
+    @abc.abstractmethod
+    def is_done(self, handle: int) -> bool:
+        """True once the run reached a terminal state."""
+
+    @abc.abstractmethod
+    def advance(self, seconds: float) -> None:
+        """Let the cluster make ``seconds`` of progress (sampling cadence)."""
+
+    @abc.abstractmethod
+    def result(self, handle: int) -> RunnerResult:
+        """Collect the result of a finished run."""
+
+
+class SystemServiceInterface(abc.ABC):
+    """Telemetry sampling (the paper's IPMI System Service)."""
+
+    @abc.abstractmethod
+    def sample(self) -> EnergySample:
+        """One instantaneous telemetry sample."""
+
+
+class SystemInfoInterface(abc.ABC):
+    """System discovery (the paper's lscpu System Info integration)."""
+
+    @abc.abstractmethod
+    def fetch(self) -> SystemInfo:
+        """Discover the system Chronus is running on."""
+
+
+class LocalStorageInterface(abc.ABC):
+    """Local settings storage (the paper's ETC Storage integration)."""
+
+    @abc.abstractmethod
+    def load(self) -> ChronusSettings:
+        """Read settings (defaults when the file does not exist yet)."""
+
+    @abc.abstractmethod
+    def save(self, settings: ChronusSettings) -> None:
+        """Persist settings."""
+
+    @abc.abstractmethod
+    def resolve_path(self, relative: str) -> str:
+        """Convert a settings-relative path into a full path."""
+
+
+class FileRepositoryInterface(abc.ABC):
+    """Blob storage for model artifacts (the paper's File Repository)."""
+
+    @abc.abstractmethod
+    def save(self, name: str, data: bytes) -> str:
+        """Store a blob; returns its storage path."""
+
+    @abc.abstractmethod
+    def load(self, path: str) -> bytes:
+        """Fetch a blob by storage path; raises ModelNotFoundError."""
+
+    @abc.abstractmethod
+    def exists(self, path: str) -> bool:
+        """Whether a blob exists."""

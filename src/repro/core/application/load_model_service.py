@@ -1,0 +1,66 @@
+"""The load-model use case (paper section 3.1.2, "Pre-load model").
+
+Downloads a model artifact from blob storage to local disk on the head
+node and records it in the local settings, "to speed up the prediction
+process, as Slurm has a very short time to make a decision when a job is
+submitted" (the plugin time-budget constraint).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.application.interfaces import (
+    FileRepositoryInterface,
+    LocalStorageInterface,
+    RepositoryInterface,
+)
+from repro.core.domain.model import ModelMetadata
+
+__all__ = ["LoadModelService"]
+
+#: directory (relative to the settings root) holding pre-loaded optimizers,
+#: the paper's /opt/chronus/optimizer
+LOCAL_OPTIMIZER_DIR = "optimizer"
+
+
+class LoadModelService:
+    """Pre-loads a model to the head node's local disk."""
+
+    def __init__(
+        self,
+        repository: RepositoryInterface,
+        file_repository: FileRepositoryInterface,
+        local_storage: LocalStorageInterface,
+        *,
+        write_local: Callable[[str, bytes], None],
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.repository = repository
+        self.file_repository = file_repository
+        self.local_storage = local_storage
+        self._write_local = write_local
+        self._log = log or (lambda msg: None)
+
+    def run(self, model_id: int) -> tuple[ModelMetadata, str]:
+        """Load model ``model_id``; returns (metadata, local path).
+
+        Steps match the paper's red arrows: (1) metadata from the database,
+        (2) artifact from blob storage, (3) write to local disk + record in
+        settings so ``slurm-config`` finds it without remote access.
+        """
+        metadata = self.repository.get_model_metadata(model_id)
+        artifact = self.file_repository.load(metadata.blob_path)
+        local_rel = f"{LOCAL_OPTIMIZER_DIR}/model-{metadata.model_id}.json"
+        local_path = self.local_storage.resolve_path(local_rel)
+        self._write_local(local_path, artifact)
+        settings = self.local_storage.load()
+        settings = settings.with_loaded_model(
+            metadata.system_id, local_path, metadata.model_type,
+            application=metadata.application,
+        )
+        self.local_storage.save(settings)
+        self._log(
+            f"model {model_id} ({metadata.model_type}) loaded to {local_path}"
+        )
+        return metadata, local_path

@@ -1,0 +1,142 @@
+"""The slurm-config use case (paper section 3.1.2, "Predict").
+
+Called by ``job_submit_eco`` — never interactively — with the system
+identifier and the binary hash.  The fast path is mandatory: the model is
+read from the head node's *local* disk (pre-loaded by ``load-model``) and
+evaluated immediately, because slurmctld is blocked while this runs.
+
+System-id resolution: the C plugin identifies the system by hashing
+``/proc/cpuinfo`` + ``/proc/meminfo``, while the repository uses small
+integer ids.  The settings file maps whatever id ``load-model`` recorded;
+when the incoming identifier is unknown but exactly one model is loaded,
+that model is used — the paper targets single-node clusters (section 6.1.1)
+and its own plugin hard-codes parts of this mapping (limitation 6.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.application.interfaces import LocalStorageInterface, OptimizerInterface
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import ModelNotFoundError
+
+__all__ = ["SlurmConfigService"]
+
+
+class SlurmConfigService:
+    """Predicts the energy-efficient configuration for a submission."""
+
+    def __init__(
+        self,
+        local_storage: LocalStorageInterface,
+        optimizer_loader: Callable[[str, bytes], OptimizerInterface],
+        *,
+        read_local: Callable[[str], bytes],
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.local_storage = local_storage
+        self.optimizer_loader = optimizer_loader
+        self._read_local = read_local
+        self._log = log or (lambda msg: None)
+        #: in-process cache: local path -> fitted optimizer (the plugin may
+        #: fire for every submission; deserializing each time wastes budget)
+        self._cache: dict[str, OptimizerInterface] = {}
+
+    # ------------------------------------------------------------------
+    def _resolve_model(
+        self, system_id: int | str, binary_hash: int | str = ""
+    ) -> tuple[str, str]:
+        settings = self.local_storage.load()
+        application = (
+            settings.application_for_binary(binary_hash) if binary_hash != "" else None
+        )
+        entry = None
+        # per-application dispatch (fixes paper limitation 6.1.2/6.1.3):
+        # the binary hash names the application, which selects the model
+        if application is not None:
+            entry = settings.loaded_models.get(f"{system_id}:{application}")
+            if entry is None:
+                # unknown plugin-side system hash: match by application only
+                matches = [
+                    v for k, v in settings.loaded_models.items()
+                    if k.endswith(f":{application}")
+                ]
+                if len(matches) == 1:
+                    entry = matches[0]
+        if entry is None and str(system_id).isdigit():
+            entry = settings.loaded_model_for(int(system_id))
+        if entry is None:
+            entry = settings.loaded_models.get(str(system_id))
+        if entry is None and settings.loaded_models:
+            # single-model deployment: the legacy and per-application keys
+            # may both point at it — fall back when only one distinct
+            # artifact is loaded (paper's single-node pragmatism)
+            distinct = {v["path"]: v for v in settings.loaded_models.values()}
+            if len(distinct) == 1:
+                entry = next(iter(distinct.values()))
+        if entry is None:
+            raise ModelNotFoundError(
+                f"no pre-loaded model for system {system_id!r}; "
+                "run `chronus load-model` first"
+            )
+        return entry["path"], entry["type"]
+
+    def _load_optimizer(self, path: str, model_type: str) -> OptimizerInterface:
+        cached = self._cache.get(path)
+        if cached is not None:
+            return cached
+        data = self._read_local(path)
+        optimizer = self.optimizer_loader(model_type, data)
+        self._cache[path] = optimizer
+        return optimizer
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        system_id: int | str,
+        binary_hash: int | str = "",
+        *,
+        min_perf: Optional[float] = None,
+    ) -> Configuration:
+        """Predict the best configuration for (system, binary).
+
+        Args:
+            min_perf: optional performance floor in (0, 1] — only candidate
+                configurations whose measured GFLOP/s is at least this
+                fraction of the fastest candidate are considered (the
+                user's ``--comment "chronus perf=0.95"``).  Candidates
+                without a stored rating are excluded when a floor is set.
+        """
+        path, model_type = self._resolve_model(system_id, binary_hash)
+        optimizer = self._load_optimizer(path, model_type)
+        candidates = None
+        if min_perf is not None:
+            if not 0.0 < min_perf <= 1.0:
+                raise ValueError(f"min_perf must be in (0, 1], got {min_perf}")
+            rated = [
+                (cfg, optimizer.candidate_gflops(cfg))
+                for cfg in optimizer.training_configurations()
+            ]
+            rated = [(cfg, g) for cfg, g in rated if g is not None]
+            if rated:
+                fastest = max(g for _, g in rated)
+                candidates = [
+                    cfg for cfg, g in rated if g >= min_perf * fastest
+                ] or None
+        best = optimizer.best_configuration(candidates)
+        self._log(
+            f"slurm-config: system={system_id} binary={binary_hash} "
+            f"min_perf={min_perf} -> {best.to_json()}"
+        )
+        return best
+
+    def run_json(
+        self,
+        system_id: int | str,
+        binary_hash: int | str = "",
+        *,
+        min_perf: Optional[float] = None,
+    ) -> str:
+        """The plugin-facing entry point: JSON text out."""
+        return self.run(system_id, binary_hash, min_perf=min_perf).to_json()

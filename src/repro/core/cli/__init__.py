@@ -1,0 +1,5 @@
+"""Chronus CLI (the outermost ring)."""
+
+from repro.core.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,236 @@
+"""The ``chronus`` command-line interface.
+
+The paper's section 3.3 surface plus one reporting addition::
+
+    chronus benchmark [HPCG_PATH] --configurations [CONFIG_FILE]
+    chronus init-model --model [MODEL_TYPE] --system [SYSTEM_ID]
+    chronus load-model --model [MODEL_ID]
+    chronus slurm-config [SYSTEM_IDENTIFIER] [BINARY_HASH]
+    chronus set {database,blob-storage,state} VALUE
+    chronus report --system [SYSTEM_ID]      (ours: projected savings)
+
+Each invocation builds a fresh simulated cluster (each real invocation is
+a fresh process on the head node); everything durable lives in the
+workspace directory — the database, blob storage and
+``etc/chronus/settings.json`` — so the commands compose across
+invocations the way the paper's workflow does.  Logs go to stdout and to
+``<workspace>/chronus.log`` (the paper's ``/var/log/chronus.log``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import ChronusError
+from repro.core.factory import ChronusApp, ModelFactory
+from repro.core.presenter.views import (
+    render_benchmark_row,
+    render_models_table,
+    render_systems_table,
+)
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chronus",
+        description="Energy-efficient configuration service for Slurm (eco plugin)",
+    )
+    parser.add_argument(
+        "--workspace",
+        default="./chronus-workspace",
+        help="directory holding the database, blob storage and settings "
+        "(stands in for the head node's /etc/chronus + /var/lib paths)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bench = sub.add_parser("benchmark", help="run benchmarks on different configurations")
+    p_bench.add_argument("hpcg_path", nargs="?", default=HPCG_BINARY)
+    p_bench.add_argument(
+        "--configurations",
+        help="JSON file with an array of configurations to benchmark "
+        "(default: every configuration of the system CPU)",
+    )
+    p_bench.add_argument(
+        "--duration",
+        type=float,
+        default=1200.0,
+        help="per-configuration run duration in (simulated) seconds, "
+        "the paper's 20-minute jobs",
+    )
+    p_bench.add_argument(
+        "--sample-interval", type=float, default=3.0, help="IPMI sampling cadence"
+    )
+
+    p_init = sub.add_parser("init-model", help="initialize the prediction model")
+    p_init.add_argument(
+        "--model",
+        default="linear-regression",
+        choices=ModelFactory.available_types(),
+        help="model type [default: linear-regression]",
+    )
+    p_init.add_argument(
+        "--system", type=int, default=-1, help="the id of the system to use [default: -1]"
+    )
+
+    p_load = sub.add_parser("load-model", help="load a pre-trained model")
+    p_load.add_argument("--model", type=int, default=-1, help="the id of the model to load")
+
+    p_cfg = sub.add_parser("slurm-config", help="predict the energy-efficient configuration")
+    p_cfg.add_argument("system_identifier")
+    p_cfg.add_argument("binary_hash", nargs="?", default="")
+
+    p_report = sub.add_parser(
+        "report", help="projected annual savings from the benchmark data"
+    )
+    p_report.add_argument("--system", type=int, default=-1)
+    p_report.add_argument("--application", default="hpcg")
+    p_report.add_argument("--duty-cycle", type=float, default=0.7,
+                          help="fraction of the year the node runs this workload")
+    p_report.add_argument("--price", type=float, default=90.0, help="EUR per MWh")
+    p_report.add_argument("--carbon", type=float, default=300.0, help="gCO2 per kWh")
+
+    p_set = sub.add_parser("set", help="change the configuration of the plugin")
+    set_sub = p_set.add_subparsers(dest="setting", required=True)
+    s_db = set_sub.add_parser("database", help="the path to the database")
+    s_db.add_argument("value")
+    s_blob = set_sub.add_parser("blob-storage", help="the path to the blob storage")
+    s_blob.add_argument("value")
+    s_state = set_sub.add_parser(
+        "state", help="activates, sets it to user or deactivates the plugin"
+    )
+    s_state.add_argument("value", choices=["activated", "user", "deactivated"])
+    return parser
+
+
+class _Tee:
+    """Log sink writing to stdout and the workspace log file."""
+
+    def __init__(self, path: str, quiet: bool = False) -> None:
+        self.path = path
+        self.quiet = quiet
+
+    def __call__(self, msg: str) -> None:
+        if not self.quiet:
+            print(msg)
+        try:
+            with open(self.path, "a") as fh:
+                fh.write(msg + "\n")
+        except OSError:
+            pass  # logging must never break the command
+
+
+def _make_app(args: argparse.Namespace, *, duration: Optional[float] = None,
+              sample_interval: float = 3.0) -> ChronusApp:
+    import os
+
+    cluster = SimCluster(seed=args.seed, hpcg_duration_s=duration)
+    log = _Tee(os.path.join(args.workspace, "chronus.log"))
+    os.makedirs(args.workspace, exist_ok=True)
+    return ChronusApp(
+        cluster, args.workspace, sample_interval_s=sample_interval, log=log
+    )
+
+
+def _cmd_benchmark(args: argparse.Namespace) -> int:
+    app = _make_app(args, duration=args.duration, sample_interval=args.sample_interval)
+    app.runner.hpcg_path = args.hpcg_path
+    configs = None
+    if args.configurations:
+        with open(args.configurations) as fh:
+            configs = Configuration.list_from_json(fh.read())
+    results = app.benchmark_service.run_benchmarks(configs, clock=app.clock)
+    for row in results:
+        print(render_benchmark_row(row))
+    print(f"Run data has been saved to the repository ({len(results)} rows).")
+    return 0
+
+
+def _cmd_init_model(args: argparse.Namespace) -> int:
+    app = _make_app(args)
+    if args.system == -1:
+        print(render_systems_table(app.repository.list_systems()))
+        return 0
+    metadata = app.init_model_service.run(
+        args.model, args.system, created_at=app.clock()
+    )
+    print(
+        f"Model {metadata.model_id} ({metadata.model_type}) trained on "
+        f"{metadata.training_points} benchmarks; saved to {metadata.blob_path}"
+    )
+    return 0
+
+
+def _cmd_load_model(args: argparse.Namespace) -> int:
+    app = _make_app(args)
+    if args.model == -1:
+        print(render_models_table(app.repository.list_models()))
+        return 0
+    metadata, local_path = app.load_model_service.run(args.model)
+    print(f"Model {metadata.model_id} ({metadata.model_type}) loaded to {local_path}")
+    return 0
+
+
+def _cmd_slurm_config(args: argparse.Namespace) -> int:
+    app = _make_app(args)
+    print(app.slurm_config_service.run_json(args.system_identifier, args.binary_hash))
+    return 0
+
+
+def _cmd_set(args: argparse.Namespace) -> int:
+    app = _make_app(args)
+    if args.setting == "database":
+        app.settings_service.set_database(args.value)
+    elif args.setting == "blob-storage":
+        app.settings_service.set_blob_storage(args.value)
+    elif args.setting == "state":
+        app.settings_service.set_state(args.value)
+    print(f"{args.setting} = {args.value}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import SavingsReport
+
+    app = _make_app(args)
+    if args.system == -1:
+        print(render_systems_table(app.repository.list_systems()))
+        return 0
+    rows = app.repository.benchmarks_for_system(args.system, args.application)
+    report = SavingsReport.from_benchmarks(
+        rows,
+        duty_cycle=args.duty_cycle,
+        price_eur_per_mwh=args.price,
+        carbon_g_per_kwh=args.carbon,
+    )
+    print(report.render())
+    return 0
+
+
+_COMMANDS = {
+    "benchmark": _cmd_benchmark,
+    "report": _cmd_report,
+    "init-model": _cmd_init_model,
+    "load-model": _cmd_load_model,
+    "slurm-config": _cmd_slurm_config,
+    "set": _cmd_set,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ChronusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Chronus domain entities (innermost Clean Architecture ring)."""
+
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.system_info import SystemInfo
+from repro.core.domain.run import EnergySample, Run
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.model import ModelMetadata
+from repro.core.domain.settings import ChronusSettings
+from repro.core.domain.errors import (
+    ChronusError,
+    ModelNotFoundError,
+    NoBenchmarksError,
+    SystemNotFoundError,
+)
+
+__all__ = [
+    "Configuration",
+    "SystemInfo",
+    "EnergySample",
+    "Run",
+    "BenchmarkResult",
+    "ModelMetadata",
+    "ChronusSettings",
+    "ChronusError",
+    "ModelNotFoundError",
+    "NoBenchmarksError",
+    "SystemNotFoundError",
+]

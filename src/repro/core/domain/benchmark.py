@@ -1,0 +1,93 @@
+"""The benchmark record persisted by the Repository integrations.
+
+A :class:`BenchmarkResult` is the flattened, storage-friendly form of a
+:class:`~repro.core.domain.run.Run`: one row per (system, application,
+configuration) with the aggregates model building needs.  Raw samples stay
+with the Run; repositories persist the aggregates (what the paper's
+``data.db`` holds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.run import Run
+
+__all__ = ["BenchmarkResult"]
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One persisted benchmark data point."""
+
+    system_id: int
+    application: str
+    configuration: Configuration
+    gflops: float
+    avg_system_w: float
+    avg_cpu_w: float
+    avg_cpu_temp_c: float
+    system_energy_j: float
+    cpu_energy_j: float
+    runtime_s: float
+
+    def __post_init__(self) -> None:
+        if self.gflops < 0:
+            raise ValueError("gflops cannot be negative")
+        if self.avg_system_w <= 0:
+            raise ValueError("avg_system_w must be positive")
+        if self.runtime_s <= 0:
+            raise ValueError("runtime_s must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.gflops / self.avg_system_w
+
+    @classmethod
+    def from_run(cls, system_id: int, application: str, run: Run) -> "BenchmarkResult":
+        return cls(
+            system_id=system_id,
+            application=application,
+            configuration=run.configuration,
+            gflops=run.gflops,
+            avg_system_w=run.average_system_w(),
+            avg_cpu_w=run.average_cpu_w(),
+            avg_cpu_temp_c=run.average_cpu_temp_c(),
+            system_energy_j=run.system_energy_j(),
+            cpu_energy_j=run.cpu_energy_j(),
+            runtime_s=run.runtime_s,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "system_id": self.system_id,
+            "application": self.application,
+            "gflops": self.gflops,
+            "avg_system_w": self.avg_system_w,
+            "avg_cpu_w": self.avg_cpu_w,
+            "avg_cpu_temp_c": self.avg_cpu_temp_c,
+            "system_energy_j": self.system_energy_j,
+            "cpu_energy_j": self.cpu_energy_j,
+            "runtime_s": self.runtime_s,
+        }
+        d.update(self.configuration.to_dict())
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchmarkResult":
+        return cls(
+            system_id=int(data["system_id"]),
+            application=str(data["application"]),
+            configuration=Configuration.from_dict(data),
+            gflops=float(data["gflops"]),
+            avg_system_w=float(data["avg_system_w"]),
+            avg_cpu_w=float(data["avg_cpu_w"]),
+            avg_cpu_temp_c=float(data["avg_cpu_temp_c"]),
+            system_energy_j=float(data["system_energy_j"]),
+            cpu_energy_j=float(data["cpu_energy_j"]),
+            runtime_s=float(data["runtime_s"]),
+        )

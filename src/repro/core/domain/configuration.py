@@ -1,0 +1,94 @@
+"""The configuration entity: what Chronus tunes and the plugin applies.
+
+A configuration is exactly the paper's JSON object::
+
+    {"cores": 32, "threads_per_core": 2, "frequency": 2200000}
+
+with ``frequency`` in cpufreq kHz.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["Configuration"]
+
+
+@dataclass(frozen=True, order=True)
+class Configuration:
+    """An execution configuration (cores, threads per core, frequency)."""
+
+    cores: int
+    threads_per_core: int
+    frequency: int
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.threads_per_core not in (1, 2):
+            raise ValueError(
+                f"threads_per_core must be 1 or 2, got {self.threads_per_core}"
+            )
+        if self.frequency <= 0:
+            raise ValueError(f"frequency must be positive kHz, got {self.frequency}")
+
+    # ------------------------------------------------------------------
+    @property
+    def frequency_ghz(self) -> float:
+        return self.frequency / 1e6
+
+    @property
+    def hyperthread(self) -> bool:
+        return self.threads_per_core == 2
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "cores": self.cores,
+            "threads_per_core": self.threads_per_core,
+            "frequency": self.frequency,
+        }
+
+    def to_json(self) -> str:
+        """The JSON shape ``chronus slurm-config`` returns to the plugin."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Configuration":
+        missing = {"cores", "threads_per_core", "frequency"} - set(data)
+        if missing:
+            raise ValueError(f"configuration missing keys: {sorted(missing)}")
+        return cls(
+            cores=int(data["cores"]),
+            threads_per_core=int(data["threads_per_core"]),
+            frequency=int(data["frequency"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Configuration":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def list_from_json(cls, text: str) -> list["Configuration"]:
+        """Parse a ``--configurations`` JSON file (an array of objects)."""
+        raw = json.loads(text)
+        if not isinstance(raw, list):
+            raise ValueError("configurations file must contain a JSON array")
+        return [cls.from_dict(item) for item in raw]
+
+    @classmethod
+    def sweep(
+        cls,
+        core_counts: Sequence[int],
+        frequencies: Sequence[int],
+        threads_per_core: Iterable[int] = (1, 2),
+    ) -> list["Configuration"]:
+        """The full cross-product sweep ("all configurations" default)."""
+        return [
+            cls(cores=c, threads_per_core=t, frequency=f)
+            for c in core_counts
+            for f in frequencies
+            for t in threads_per_core
+        ]

@@ -1,0 +1,36 @@
+"""Chronus error hierarchy."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChronusError",
+    "SystemNotFoundError",
+    "ModelNotFoundError",
+    "NoBenchmarksError",
+    "OptimizerError",
+    "SettingsError",
+]
+
+
+class ChronusError(Exception):
+    """Base class for all Chronus-level failures."""
+
+
+class SystemNotFoundError(ChronusError):
+    """The requested system id is not in the repository."""
+
+
+class ModelNotFoundError(ChronusError):
+    """The requested model id/path is not available."""
+
+
+class NoBenchmarksError(ChronusError):
+    """Model building requested but no benchmarks exist for the system."""
+
+
+class OptimizerError(ChronusError):
+    """Optimizer fitting/prediction failure."""
+
+
+class SettingsError(ChronusError):
+    """Settings file missing, malformed, or write-protected."""

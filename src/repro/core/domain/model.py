@@ -1,0 +1,59 @@
+"""Model metadata: what the Repository stores about a built optimizer.
+
+Matches the paper's model-building step 3: "Saves metadata for the model to
+the database. Metadata is path in blob storage, time on creation, etc."
+The model *artifact* lives in blob storage; the metadata row carries the
+pointer plus the ``type`` string the ModelFactory dispatches on
+(Listing 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["ModelMetadata"]
+
+
+@dataclass(frozen=True)
+class ModelMetadata:
+    """One built model's repository row."""
+
+    model_id: int
+    model_type: str
+    system_id: int
+    application: str
+    blob_path: str
+    created_at: float
+    training_points: int
+
+    def __post_init__(self) -> None:
+        if not self.model_type:
+            raise ValueError("model_type cannot be empty")
+        if not self.blob_path:
+            raise ValueError("blob_path cannot be empty")
+        if self.training_points < 0:
+            raise ValueError("training_points cannot be negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "model_id": self.model_id,
+            "model_type": self.model_type,
+            "system_id": self.system_id,
+            "application": self.application,
+            "blob_path": self.blob_path,
+            "created_at": self.created_at,
+            "training_points": self.training_points,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModelMetadata":
+        return cls(
+            model_id=int(data["model_id"]),
+            model_type=str(data["model_type"]),
+            system_id=int(data["system_id"]),
+            application=str(data["application"]),
+            blob_path=str(data["blob_path"]),
+            created_at=float(data["created_at"]),
+            training_points=int(data["training_points"]),
+        )

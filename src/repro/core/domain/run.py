@@ -1,0 +1,79 @@
+"""A benchmark run: one application execution with sampled telemetry.
+
+The benchmark flow of the paper's section 3.1.2 produces, per
+configuration, the energy usage over time (IPMI samples on a fixed
+interval) and the application's performance result.  :class:`Run` is that
+record; its derived quantities (average watts, integrated joules,
+GFLOPS/W) are the inputs to model building.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.metrics import average, energy_joules, gflops_per_watt
+from repro.core.domain.configuration import Configuration
+
+__all__ = ["EnergySample", "Run"]
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One telemetry sample (system watts, CPU watts, CPU temperature)."""
+
+    time: float
+    system_w: float
+    cpu_w: float
+    cpu_temp_c: float
+
+    def __post_init__(self) -> None:
+        if self.system_w < 0 or self.cpu_w < 0:
+            raise ValueError("power samples cannot be negative")
+
+
+@dataclass
+class Run:
+    """One application execution at one configuration."""
+
+    configuration: Configuration
+    start_time: float
+    end_time: float
+    gflops: float
+    samples: list[EnergySample] = field(default_factory=list)
+    success: bool = True
+
+    def __post_init__(self) -> None:
+        if self.end_time < self.start_time:
+            raise ValueError("end_time before start_time")
+        if self.gflops < 0:
+            raise ValueError("gflops cannot be negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def runtime_s(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def sample_times(self) -> list[float]:
+        return [s.time for s in self.samples]
+
+    def average_system_w(self) -> float:
+        return average([s.system_w for s in self.samples])
+
+    def average_cpu_w(self) -> float:
+        return average([s.cpu_w for s in self.samples])
+
+    def average_cpu_temp_c(self) -> float:
+        return average([s.cpu_temp_c for s in self.samples])
+
+    def system_energy_j(self) -> float:
+        """Trapezoid-integrated system energy over the sampled window."""
+        return energy_joules(self.sample_times, [s.system_w for s in self.samples])
+
+    def cpu_energy_j(self) -> float:
+        return energy_joules(self.sample_times, [s.cpu_w for s in self.samples])
+
+    def gflops_per_watt(self) -> float:
+        """The paper's headline metric, from average system power."""
+        return gflops_per_watt(self.gflops, self.average_system_w())

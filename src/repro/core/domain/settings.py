@@ -1,0 +1,111 @@
+"""Chronus settings: the ``/etc/chronus/settings.json`` contents.
+
+The ``chronus set`` command (paper Figure 10) manages three things: the
+database path, the blob-storage path, and the plugin state
+(activated / user / deactivated).  ``load-model`` additionally records the
+pre-loaded model's local path + type so ``slurm-config`` can answer inside
+Slurm's plugin time budget without touching the database.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = ["ChronusSettings", "VALID_PLUGIN_STATES"]
+
+VALID_PLUGIN_STATES = ("activated", "user", "deactivated")
+
+
+@dataclass(frozen=True)
+class ChronusSettings:
+    """Immutable settings snapshot; updates go through ``with_*`` copies."""
+
+    database_path: str = "chronus.db"
+    blob_storage_path: str = "./optimizers"
+    plugin_state: str = "user"
+    #: local pre-loaded models: keyed "system_id" (legacy, last loaded) and
+    #: "system_id:application" (per-application dispatch);
+    #: values {"path": .., "type": ..}
+    loaded_models: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: binary-hash (decimal string) -> application name, the mapping that
+    #: fixes the paper's hard-coded-binary limitation (6.1.2)
+    binary_aliases: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.plugin_state not in VALID_PLUGIN_STATES:
+            raise ValueError(
+                f"plugin_state must be one of {VALID_PLUGIN_STATES}, "
+                f"got {self.plugin_state!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def with_database(self, path: str) -> "ChronusSettings":
+        return replace(self, database_path=path)
+
+    def with_blob_storage(self, path: str) -> "ChronusSettings":
+        return replace(self, blob_storage_path=path)
+
+    def with_state(self, state: str) -> "ChronusSettings":
+        return replace(self, plugin_state=state)
+
+    def with_loaded_model(
+        self, system_id: int, local_path: str, model_type: str,
+        application: str = "",
+    ) -> "ChronusSettings":
+        models = dict(self.loaded_models)
+        entry = {"path": local_path, "type": model_type}
+        models[str(system_id)] = entry
+        if application:
+            models[f"{system_id}:{application}"] = entry
+        return replace(self, loaded_models=models)
+
+    def loaded_model_for(
+        self, system_id: int, application: str = ""
+    ) -> dict[str, str] | None:
+        if application:
+            entry = self.loaded_models.get(f"{system_id}:{application}")
+            if entry is not None:
+                return entry
+        return self.loaded_models.get(str(system_id))
+
+    def with_binary_alias(self, binary_hash: int | str, application: str) -> "ChronusSettings":
+        if not application:
+            raise ValueError("application cannot be empty")
+        aliases = dict(self.binary_aliases)
+        aliases[str(binary_hash)] = application
+        return replace(self, binary_aliases=aliases)
+
+    def application_for_binary(self, binary_hash: int | str) -> str | None:
+        return self.binary_aliases.get(str(binary_hash))
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "database_path": self.database_path,
+                "blob_storage_path": self.blob_storage_path,
+                "plugin_state": self.plugin_state,
+                "loaded_models": self.loaded_models,
+                "binary_aliases": self.binary_aliases,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChronusSettings":
+        data: Mapping[str, Any] = json.loads(text)
+        return cls(
+            database_path=str(data.get("database_path", "chronus.db")),
+            blob_storage_path=str(data.get("blob_storage_path", "./optimizers")),
+            plugin_state=str(data.get("plugin_state", "user")),
+            loaded_models={
+                str(k): {"path": str(v["path"]), "type": str(v["type"])}
+                for k, v in dict(data.get("loaded_models", {})).items()
+            },
+            binary_aliases={
+                str(k): str(v)
+                for k, v in dict(data.get("binary_aliases", {})).items()
+            },
+        )

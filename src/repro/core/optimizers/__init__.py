@@ -1,0 +1,23 @@
+"""Optimizer integrations: the paper's three models plus the GA extension."""
+
+from repro.core.optimizers.base import (
+    BaseOptimizer,
+    OPTIMIZER_TYPES,
+    deserialize_optimizer,
+    optimizer_from_name,
+)
+from repro.core.optimizers.brute_force import BruteForceOptimizer
+from repro.core.optimizers.linear_regression import LinearRegressionOptimizer
+from repro.core.optimizers.random_forest import RandomForestOptimizer
+from repro.core.optimizers.genetic import GeneticOptimizer
+
+__all__ = [
+    "BaseOptimizer",
+    "OPTIMIZER_TYPES",
+    "deserialize_optimizer",
+    "optimizer_from_name",
+    "BruteForceOptimizer",
+    "LinearRegressionOptimizer",
+    "RandomForestOptimizer",
+    "GeneticOptimizer",
+]

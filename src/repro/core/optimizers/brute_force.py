@@ -1,0 +1,63 @@
+"""Brute force: remember every measured point, answer by lookup.
+
+With a complete benchmark sweep this is exact — it *is* the paper's
+Table 1 argmax.  Its weakness (quantified in the optimizer ablation bench)
+is that it cannot say anything about configurations it never measured.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import OptimizerError
+from repro.core.optimizers.base import BaseOptimizer, register_optimizer
+
+__all__ = ["BruteForceOptimizer"]
+
+
+@register_optimizer
+class BruteForceOptimizer(BaseOptimizer):
+    """Exact lookup table of measured GFLOPS/W."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._table: dict[Configuration, float] = {}
+
+    @classmethod
+    def name(cls) -> str:
+        return "brute-force"
+
+    # ------------------------------------------------------------------
+    def _fit(self, benchmarks: Sequence[BenchmarkResult]) -> None:
+        table: dict[Configuration, list[float]] = {}
+        for row in benchmarks:
+            table.setdefault(row.configuration, []).append(row.gflops_per_watt)
+        # repeated measurements of a configuration average out
+        self._table = {cfg: sum(v) / len(v) for cfg, v in table.items()}
+
+    def _predict(self, configuration: Configuration) -> float:
+        if configuration not in self._table:
+            raise OptimizerError(
+                f"brute-force has no measurement for {configuration.to_json()}; "
+                "it cannot extrapolate"
+            )
+        return self._table[configuration]
+
+    # ------------------------------------------------------------------
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "table": [
+                {**cfg.to_dict(), "gflops_per_watt": value}
+                for cfg, value in sorted(self._table.items())
+            ]
+        }
+
+    def _restore(self, payload: dict[str, Any]) -> None:
+        self._table = {
+            Configuration.from_dict(entry): float(entry["gflops_per_watt"])
+            for entry in payload.get("table", [])
+        }
+        if not self._table:
+            raise OptimizerError("brute-force artifact has an empty table")

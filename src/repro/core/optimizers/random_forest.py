@@ -1,0 +1,223 @@
+"""Random-forest regressor, implemented from scratch.
+
+CART regression trees (variance-reduction splits over the three features
+cores / GHz / hyper-threading) with bootstrap bagging and per-split feature
+subsampling.  Deterministic given the seed; artifacts serialize the full
+tree structure to JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import OptimizerError
+from repro.core.optimizers.base import BaseOptimizer, register_optimizer
+
+__all__ = ["RandomForestOptimizer", "DecisionTree"]
+
+
+def _config_vector(cfg: Configuration) -> np.ndarray:
+    return np.array([float(cfg.cores), cfg.frequency_ghz, float(cfg.hyperthread)])
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry ``value``, internal nodes a split."""
+
+    value: Optional[float] = None
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.is_leaf:
+            return {"value": self.value}
+        assert self.left is not None and self.right is not None
+        return {
+            "feature": self.feature,
+            "threshold": self.threshold,
+            "left": self.left.to_dict(),
+            "right": self.right.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "_Node":
+        if "value" in data:
+            return cls(value=float(data["value"]))
+        return cls(
+            feature=int(data["feature"]),
+            threshold=float(data["threshold"]),
+            left=cls.from_dict(data["left"]),
+            right=cls.from_dict(data["right"]),
+        )
+
+
+class DecisionTree:
+    """CART regression tree (variance reduction criterion)."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> None:
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad training shapes: X{X.shape}, y{y.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self.root = self._build(X, y, depth=0, rng=rng)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator) -> _Node:
+        if (
+            depth >= self.max_depth
+            or y.size < 2 * self.min_samples_leaf
+            or float(np.var(y)) == 0.0
+        ):
+            return _Node(value=float(y.mean()))
+        split = self._best_split(X, y, rng)
+        if split is None:
+            return _Node(value=float(y.mean()))
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(X[mask], y[mask], depth + 1, rng),
+            right=self._build(X[~mask], y[~mask], depth + 1, rng),
+        )
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> Optional[tuple[int, float]]:
+        n_features = X.shape[1]
+        k = self.max_features or n_features
+        features = rng.permutation(n_features)[: max(1, min(k, n_features))]
+        best: Optional[tuple[int, float]] = None
+        best_score = float(np.var(y)) * y.size  # parent SSE
+        parent_sse = best_score
+        for feature in features:
+            values = np.unique(X[:, feature])
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for t in thresholds:
+                mask = X[:, feature] <= t
+                n_left = int(mask.sum())
+                n_right = y.size - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                sse = float(np.var(y[mask])) * n_left + float(np.var(y[~mask])) * n_right
+                if sse < best_score - 1e-15:
+                    best_score = sse
+                    best = (int(feature), float(t))
+        if best is None or best_score >= parent_sse:
+            return None
+        return best
+
+    def predict_one(self, x: np.ndarray) -> float:
+        if self.root is None:
+            raise OptimizerError("decision tree not fitted")
+        node = self.root
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        assert node.value is not None
+        return node.value
+
+    def depth(self) -> int:
+        def d(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+        return d(self.root)
+
+
+@register_optimizer
+class RandomForestOptimizer(BaseOptimizer):
+    """Bagged CART trees over (cores, GHz, HT) -> GFLOPS/W."""
+
+    def __init__(
+        self,
+        n_trees: int = 40,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        seed: int = 1234,
+    ) -> None:
+        super().__init__()
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self._trees: list[DecisionTree] = []
+
+    @classmethod
+    def name(cls) -> str:
+        return "random-forest"
+
+    # ------------------------------------------------------------------
+    def _fit(self, benchmarks: Sequence[BenchmarkResult]) -> None:
+        X = np.stack([_config_vector(b.configuration) for b in benchmarks])
+        y = np.array([b.gflops_per_watt for b in benchmarks])
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        n = X.shape[0]
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=2,
+            )
+            tree.fit(X[idx], y[idx], rng)
+            self._trees.append(tree)
+
+    def _predict(self, configuration: Configuration) -> float:
+        x = _config_vector(configuration)
+        return float(np.mean([t.predict_one(x) for t in self._trees]))
+
+    # ------------------------------------------------------------------
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "n_trees": self.n_trees,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "seed": self.seed,
+            "trees": [t.root.to_dict() for t in self._trees if t.root is not None],
+        }
+
+    def _restore(self, payload: dict[str, Any]) -> None:
+        trees_data = payload.get("trees", [])
+        if not trees_data:
+            raise OptimizerError("random-forest artifact has no trees")
+        self.n_trees = int(payload.get("n_trees", len(trees_data)))
+        self.max_depth = int(payload.get("max_depth", 8))
+        self.min_samples_leaf = int(payload.get("min_samples_leaf", 1))
+        self.seed = int(payload.get("seed", 1234))
+        self._trees = []
+        for data in trees_data:
+            tree = DecisionTree(self.max_depth, self.min_samples_leaf)
+            tree.root = _Node.from_dict(data)
+            self._trees.append(tree)

@@ -1,0 +1,9 @@
+"""Presenter ring: maps application data to CLI-friendly shapes."""
+
+from repro.core.presenter.views import (
+    render_benchmark_row,
+    render_models_table,
+    render_systems_table,
+)
+
+__all__ = ["render_systems_table", "render_models_table", "render_benchmark_row"]

@@ -1,0 +1,62 @@
+"""CLI presentation helpers.
+
+The paper's Figures 8/9 show the CLI listing available systems and models
+when the user omits ``--system``/``--model``; these renderers produce
+those listings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.tables import TextTable
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.model import ModelMetadata
+from repro.core.domain.system_info import SystemInfo
+
+__all__ = ["render_systems_table", "render_models_table", "render_benchmark_row"]
+
+
+def render_systems_table(systems: Sequence[tuple[int, SystemInfo]]) -> str:
+    """The "Available Systems" listing (paper Figure 8)."""
+    table = TextTable(
+        ["Id", "CPU", "Cores", "Threads/core", "Frequencies (kHz)"],
+        title="Available Systems",
+    )
+    for sid, info in systems:
+        table.add_row(
+            sid,
+            info.cpu_name,
+            info.cores,
+            info.threads_per_core,
+            " ".join(str(int(f)) for f in info.frequencies),
+        )
+    if not systems:
+        return "Available Systems\n(none — run `chronus benchmark` first)"
+    return table.render() + "\n\nSpecify the system id with --system <id>"
+
+
+def render_models_table(models: Sequence[ModelMetadata]) -> str:
+    """The "Available Models" listing (paper Figure 9)."""
+    table = TextTable(
+        ["Id", "Type", "System", "Application", "Points", "Blob path"],
+        title="Available Models",
+    )
+    for m in models:
+        table.add_row(
+            m.model_id, m.model_type, m.system_id, m.application,
+            m.training_points, m.blob_path,
+        )
+    if not models:
+        return "Available Models\n(none — run `chronus init-model` first)"
+    return table.render() + "\n\nSpecify the model id with --model <id>"
+
+
+def render_benchmark_row(result: BenchmarkResult) -> str:
+    """One-line progress report per finished configuration."""
+    cfg = result.configuration
+    return (
+        f"cores={cfg.cores:>2} tpc={cfg.threads_per_core} "
+        f"freq={cfg.frequency:>7} kHz | {result.gflops:7.4f} GFLOP/s | "
+        f"{result.avg_system_w:6.1f} W | {result.gflops_per_watt:.5f} GFLOPS/W"
+    )

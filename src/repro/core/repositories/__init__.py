@@ -1,0 +1,7 @@
+"""Repository integrations: CSV file, SQLite database, in-memory."""
+
+from repro.core.repositories.memory_repository import MemoryRepository
+from repro.core.repositories.sqlite_repository import SqliteRepository
+from repro.core.repositories.csv_repository import CsvRepository
+
+__all__ = ["MemoryRepository", "SqliteRepository", "CsvRepository"]

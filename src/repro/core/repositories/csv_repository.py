@@ -1,0 +1,137 @@
+"""CSV repository — the paper's flat-file Repository implementation.
+
+Three CSV files in a directory (``systems.csv``, ``benchmarks.csv``,
+``models.csv``).  Writes are append-or-rewrite whole-file: simple, durable
+enough for a single-admin tool, and trivially inspectable — exactly why
+the paper ships a CSV backend next to SQLite.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Optional
+
+from repro.core.application.interfaces import RepositoryInterface
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.errors import ModelNotFoundError, SystemNotFoundError
+from repro.core.domain.model import ModelMetadata
+from repro.core.domain.system_info import SystemInfo
+
+__all__ = ["CsvRepository"]
+
+_BENCH_FIELDS = [
+    "system_id", "application", "cores", "threads_per_core", "frequency",
+    "gflops", "avg_system_w", "avg_cpu_w", "avg_cpu_temp_c",
+    "system_energy_j", "cpu_energy_j", "runtime_s",
+]
+_MODEL_FIELDS = [
+    "model_id", "model_type", "system_id", "application", "blob_path",
+    "created_at", "training_points",
+]
+
+
+class CsvRepository(RepositoryInterface):
+    """Repository over a directory of CSV files."""
+
+    def __init__(self, directory: str) -> None:
+        if not directory:
+            raise ValueError("directory cannot be empty")
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, name)
+
+    def _read_rows(self, name: str) -> list[dict[str, str]]:
+        path = self._path(name)
+        if not os.path.exists(path):
+            return []
+        with open(path, newline="") as fh:
+            return list(csv.DictReader(fh))
+
+    def _append_row(self, name: str, fields: list[str], row: dict) -> None:
+        path = self._path(name)
+        new_file = not os.path.exists(path)
+        with open(path, "a", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fields)
+            if new_file:
+                writer.writeheader()
+            writer.writerow(row)
+
+    # --- systems -------------------------------------------------------
+    def save_system(self, info: SystemInfo) -> int:
+        fp = str(info.fingerprint())
+        rows = self._read_rows("systems.csv")
+        for row in rows:
+            if row["fingerprint"] == fp:
+                return int(row["id"])
+        sid = max((int(r["id"]) for r in rows), default=0) + 1
+        self._append_row(
+            "systems.csv",
+            ["id", "fingerprint", "info_json"],
+            {"id": sid, "fingerprint": fp, "info_json": json.dumps(info.to_dict())},
+        )
+        return sid
+
+    def get_system(self, system_id: int) -> SystemInfo:
+        for row in self._read_rows("systems.csv"):
+            if int(row["id"]) == system_id:
+                return SystemInfo.from_dict(json.loads(row["info_json"]))
+        raise SystemNotFoundError(f"no system with id {system_id}")
+
+    def list_systems(self) -> list[tuple[int, SystemInfo]]:
+        out = [
+            (int(row["id"]), SystemInfo.from_dict(json.loads(row["info_json"])))
+            for row in self._read_rows("systems.csv")
+        ]
+        return sorted(out)
+
+    # --- benchmarks ----------------------------------------------------
+    def save_benchmark(self, result: BenchmarkResult) -> int:
+        self.get_system(result.system_id)  # raises if unknown
+        rows = self._read_rows("benchmarks.csv")
+        self._append_row("benchmarks.csv", _BENCH_FIELDS, result.to_dict())
+        return len(rows) + 1
+
+    def benchmarks_for_system(
+        self, system_id: int, application: Optional[str] = None
+    ) -> list[BenchmarkResult]:
+        out = []
+        for row in self._read_rows("benchmarks.csv"):
+            if int(row["system_id"]) != system_id:
+                continue
+            if application is not None and row["application"] != application:
+                continue
+            out.append(BenchmarkResult.from_dict(row))
+        return out
+
+    # --- models --------------------------------------------------------
+    def save_model_metadata(self, metadata: ModelMetadata) -> int:
+        rows = [r for r in self._read_rows("models.csv")
+                if int(r["model_id"]) != metadata.model_id]
+        rows.append({k: str(v) for k, v in metadata.to_dict().items()})
+        with open(self._path("models.csv"), "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=_MODEL_FIELDS)
+            writer.writeheader()
+            for row in sorted(rows, key=lambda r: int(r["model_id"])):
+                writer.writerow(row)
+        return metadata.model_id
+
+    def get_model_metadata(self, model_id: int) -> ModelMetadata:
+        for row in self._read_rows("models.csv"):
+            if int(row["model_id"]) == model_id:
+                return ModelMetadata.from_dict(row)
+        raise ModelNotFoundError(f"no model with id {model_id}")
+
+    def list_models(self) -> list[ModelMetadata]:
+        rows = self._read_rows("models.csv")
+        return sorted(
+            (ModelMetadata.from_dict(r) for r in rows), key=lambda m: m.model_id
+        )
+
+    def next_model_id(self) -> int:
+        rows = self._read_rows("models.csv")
+        return max((int(r["model_id"]) for r in rows), default=0) + 1

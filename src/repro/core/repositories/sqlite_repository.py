@@ -1,0 +1,208 @@
+"""SQLite repository — the paper's ``database/data.db`` integration.
+
+Three tables (systems, benchmarks, models) with JSON columns for nested
+structures.  Connections are short-lived per operation so concurrent CLI
+invocations (benchmark in tmux + slurm-config from the plugin) do not hold
+locks, mirroring how the original uses SQLite.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.core.application.interfaces import RepositoryInterface
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.errors import ModelNotFoundError, SystemNotFoundError
+from repro.core.domain.model import ModelMetadata
+from repro.core.domain.system_info import SystemInfo
+
+__all__ = ["SqliteRepository"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS systems (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    fingerprint TEXT NOT NULL UNIQUE,
+    info_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS benchmarks (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    system_id INTEGER NOT NULL REFERENCES systems(id),
+    application TEXT NOT NULL,
+    cores INTEGER NOT NULL,
+    threads_per_core INTEGER NOT NULL,
+    frequency INTEGER NOT NULL,
+    gflops REAL NOT NULL,
+    avg_system_w REAL NOT NULL,
+    avg_cpu_w REAL NOT NULL,
+    avg_cpu_temp_c REAL NOT NULL,
+    system_energy_j REAL NOT NULL,
+    cpu_energy_j REAL NOT NULL,
+    runtime_s REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS models (
+    id INTEGER PRIMARY KEY,
+    model_type TEXT NOT NULL,
+    system_id INTEGER NOT NULL REFERENCES systems(id),
+    application TEXT NOT NULL,
+    blob_path TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    training_points INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_benchmarks_system
+    ON benchmarks(system_id, application);
+"""
+
+
+class SqliteRepository(RepositoryInterface):
+    """Repository over one SQLite database file."""
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise ValueError("database path cannot be empty")
+        self.path = path
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        conn = sqlite3.connect(self.path)
+        conn.row_factory = sqlite3.Row
+        try:
+            yield conn
+            conn.commit()
+        finally:
+            conn.close()
+
+    # --- systems -------------------------------------------------------
+    def save_system(self, info: SystemInfo) -> int:
+        fp = str(info.fingerprint())
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT id FROM systems WHERE fingerprint = ?", (fp,)
+            ).fetchone()
+            if row is not None:
+                return int(row["id"])
+            cur = conn.execute(
+                "INSERT INTO systems (fingerprint, info_json) VALUES (?, ?)",
+                (fp, json.dumps(info.to_dict())),
+            )
+            return int(cur.lastrowid)
+
+    def get_system(self, system_id: int) -> SystemInfo:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT info_json FROM systems WHERE id = ?", (system_id,)
+            ).fetchone()
+        if row is None:
+            raise SystemNotFoundError(f"no system with id {system_id}")
+        return SystemInfo.from_dict(json.loads(row["info_json"]))
+
+    def list_systems(self) -> list[tuple[int, SystemInfo]]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT id, info_json FROM systems ORDER BY id"
+            ).fetchall()
+        return [
+            (int(r["id"]), SystemInfo.from_dict(json.loads(r["info_json"])))
+            for r in rows
+        ]
+
+    # --- benchmarks ----------------------------------------------------
+    def save_benchmark(self, result: BenchmarkResult) -> int:
+        with self._connect() as conn:
+            exists = conn.execute(
+                "SELECT 1 FROM systems WHERE id = ?", (result.system_id,)
+            ).fetchone()
+            if exists is None:
+                raise SystemNotFoundError(
+                    f"benchmark references unknown system {result.system_id}"
+                )
+            cur = conn.execute(
+                """
+                INSERT INTO benchmarks (
+                    system_id, application, cores, threads_per_core, frequency,
+                    gflops, avg_system_w, avg_cpu_w, avg_cpu_temp_c,
+                    system_energy_j, cpu_energy_j, runtime_s
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    result.system_id,
+                    result.application,
+                    result.configuration.cores,
+                    result.configuration.threads_per_core,
+                    result.configuration.frequency,
+                    result.gflops,
+                    result.avg_system_w,
+                    result.avg_cpu_w,
+                    result.avg_cpu_temp_c,
+                    result.system_energy_j,
+                    result.cpu_energy_j,
+                    result.runtime_s,
+                ),
+            )
+            return int(cur.lastrowid)
+
+    def benchmarks_for_system(
+        self, system_id: int, application: Optional[str] = None
+    ) -> list[BenchmarkResult]:
+        query = "SELECT * FROM benchmarks WHERE system_id = ?"
+        params: list = [system_id]
+        if application is not None:
+            query += " AND application = ?"
+            params.append(application)
+        query += " ORDER BY id"
+        with self._connect() as conn:
+            rows = conn.execute(query, params).fetchall()
+        return [BenchmarkResult.from_dict(dict(r)) for r in rows]
+
+    # --- models --------------------------------------------------------
+    def save_model_metadata(self, metadata: ModelMetadata) -> int:
+        with self._connect() as conn:
+            conn.execute(
+                """
+                INSERT OR REPLACE INTO models (
+                    id, model_type, system_id, application, blob_path,
+                    created_at, training_points
+                ) VALUES (?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    metadata.model_id,
+                    metadata.model_type,
+                    metadata.system_id,
+                    metadata.application,
+                    metadata.blob_path,
+                    metadata.created_at,
+                    metadata.training_points,
+                ),
+            )
+        return metadata.model_id
+
+    def get_model_metadata(self, model_id: int) -> ModelMetadata:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM models WHERE id = ?", (model_id,)
+            ).fetchone()
+        if row is None:
+            raise ModelNotFoundError(f"no model with id {model_id}")
+        return ModelMetadata(
+            model_id=int(row["id"]),
+            model_type=row["model_type"],
+            system_id=int(row["system_id"]),
+            application=row["application"],
+            blob_path=row["blob_path"],
+            created_at=float(row["created_at"]),
+            training_points=int(row["training_points"]),
+        )
+
+    def list_models(self) -> list[ModelMetadata]:
+        with self._connect() as conn:
+            rows = conn.execute("SELECT id FROM models ORDER BY id").fetchall()
+        return [self.get_model_metadata(int(r["id"])) for r in rows]
+
+    def next_model_id(self) -> int:
+        with self._connect() as conn:
+            row = conn.execute("SELECT MAX(id) AS m FROM models").fetchone()
+        return int(row["m"] or 0) + 1

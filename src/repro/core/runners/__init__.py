@@ -1,0 +1,6 @@
+"""Application Runner integrations: HPCG (the paper's) and HPL (ours)."""
+
+from repro.core.runners.hpcg_runner import HpcgRunner, parse_hpcg_rating
+from repro.core.runners.hpl_runner import HplRunner
+
+__all__ = ["HpcgRunner", "HplRunner", "parse_hpcg_rating"]

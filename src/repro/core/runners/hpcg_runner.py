@@ -1,0 +1,101 @@
+"""HPCG Application Runner: benchmark HPCG through Slurm.
+
+Faithful to the paper's Listings 5/6: generate a batch script that sets
+``--ntasks``, ``--cpu-freq`` and ``srun --ntasks-per-core``, submit it with
+``sbatch``, and parse the job's HPCG output for the GFLOP/s rating.  The
+runner talks to the simulated cluster through the same textual command
+surface the original uses via ``subprocess``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional
+
+from repro.core.application.interfaces import ApplicationRunnerInterface, RunnerResult
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import ChronusError
+from repro.slurm.batch_script import build_script
+from repro.slurm.cluster import SimCluster
+from repro.slurm.commands import parse_sbatch_output
+from repro.slurm.job import JobState
+
+__all__ = ["parse_hpcg_rating", "HpcgRunner"]
+
+_RATING_RE = re.compile(r"GFLOP/s rating\s+of=([0-9.eE+-]+)")
+
+
+def parse_hpcg_rating(output: str) -> float:
+    """Extract the GFLOP/s rating from HPCG's final summary output."""
+    m = _RATING_RE.search(output)
+    if not m:
+        raise ChronusError("HPCG output contains no GFLOP/s rating")
+    try:
+        return float(m.group(1))
+    except ValueError:
+        raise ChronusError(f"unparsable GFLOP/s rating: {m.group(1)!r}") from None
+
+
+class HpcgRunner(ApplicationRunnerInterface):
+    """Runs HPCG jobs on a simulated cluster."""
+
+    application = "hpcg"
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        hpcg_path: str,
+        *,
+        time_limit: str = "0:45:00",
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.hpcg_path = hpcg_path
+        self.time_limit = time_limit
+        self._log = log or (lambda msg: None)
+
+    # ------------------------------------------------------------------
+    def generate_slurm_file_content(self, config: Configuration) -> str:
+        """The paper's ``_generate_slurm_file_content`` (Listing 6)."""
+        return build_script(
+            cores=config.cores,
+            frequency_khz=config.frequency,
+            threads_per_core=config.threads_per_core,
+            binary=self.hpcg_path,
+            time_limit=self.time_limit,
+            job_name="HPCG_BENCHMARK",
+        )
+
+    def submit(self, configuration: Configuration) -> int:
+        script = self.generate_slurm_file_content(configuration)
+        out = self.cluster.commands.sbatch(script)
+        job_id = parse_sbatch_output(out)
+        self._log(f"Job started with id: {job_id}")
+        return job_id
+
+    def is_done(self, handle: int) -> bool:
+        return self.cluster.ctld.get_job(handle).state.is_terminal
+
+    def advance(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError("advance expects a positive duration")
+        self.cluster.sim.run(until=self.cluster.sim.now + seconds)
+
+    def result(self, handle: int) -> RunnerResult:
+        job = self.cluster.ctld.get_job(handle)
+        if not job.state.is_terminal:
+            raise ChronusError(f"job {handle} is still {job.state.value}")
+        if job.state is not JobState.COMPLETED:
+            return RunnerResult(
+                gflops=0.0,
+                runtime_s=job.elapsed_s or 0.0,
+                success=False,
+                raw_output=job.stdout,
+            )
+        rating = parse_hpcg_rating(job.stdout)
+        return RunnerResult(
+            gflops=rating,
+            runtime_s=job.elapsed_s or 0.0,
+            success=True,
+            raw_output=job.stdout,
+        )

@@ -1,0 +1,34 @@
+"""HPL Application Runner.
+
+A second implementation of the Application Runner integration interface
+(the paper ships only HPCG, section 3.2).  The submission mechanics are
+identical — generate a Listing-6 batch script, ``sbatch``, parse the
+rating line — so this subclasses the HPCG runner and changes only the
+application identity and default binary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.runners.hpcg_runner import HpcgRunner
+from repro.hpl import HPL_BINARY
+from repro.slurm.cluster import SimCluster
+
+__all__ = ["HplRunner"]
+
+
+class HplRunner(HpcgRunner):
+    """Runs HPL jobs on a simulated cluster."""
+
+    application = "hpl"
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        hpl_path: str = HPL_BINARY,
+        *,
+        time_limit: str = "2:00:00",
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        super().__init__(cluster, hpl_path, time_limit=time_limit, log=log)

@@ -1,0 +1,6 @@
+"""System Service / System Info integrations: IPMI sampling and lscpu."""
+
+from repro.core.services.ipmi_service import IpmiSystemService
+from repro.core.services.lscpu_info import LscpuSystemInfo, parse_lscpu
+
+__all__ = ["IpmiSystemService", "LscpuSystemInfo", "parse_lscpu"]

@@ -1,0 +1,59 @@
+"""Cluster-wide power API — the multi-node System Service integration.
+
+Paper section 3.2: "in a multi-node setup, you need power from multiple
+nodes where you have an API that measures power draw.  Then there is a
+need for an integration in Chronus that can read the power draw from that
+API.  That is two different implementations for the same integration
+interface."
+
+This is that second implementation: it aggregates every node's IPMI
+sensors behind the same :class:`SystemServiceInterface` the single-node
+IPMI integration implements — total and CPU power are summed across the
+allocation, temperature reports the hottest package (the quantity a
+cooling budget cares about).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.application.interfaces import SystemServiceInterface
+from repro.core.domain.errors import ChronusError
+from repro.core.domain.run import EnergySample
+from repro.hardware.ipmi import IpmiPermissionError, IpmiTool
+
+__all__ = ["ClusterPowerService"]
+
+
+class ClusterPowerService(SystemServiceInterface):
+    """Sums IPMI telemetry across all nodes of a cluster."""
+
+    def __init__(self, ipmis: Sequence[IpmiTool], clock: Callable[[], float]) -> None:
+        if not ipmis:
+            raise ValueError("a cluster power service needs at least one node")
+        self.ipmis = list(ipmis)
+        self._clock = clock
+
+    @property
+    def node_count(self) -> int:
+        return len(self.ipmis)
+
+    def sample(self) -> EnergySample:
+        total_w = 0.0
+        cpu_w = 0.0
+        max_temp = 0.0
+        for ipmi in self.ipmis:
+            try:
+                total_w += ipmi.read_sensor("Total_Power").value
+                cpu_w += ipmi.read_sensor("CPU_Power").value
+                max_temp = max(max_temp, ipmi.read_sensor("CPU_Temp").value)
+            except IpmiPermissionError as exc:
+                raise ChronusError(
+                    f"IPMI access denied on {ipmi.bmc.node.hostname}: {exc}"
+                ) from exc
+        return EnergySample(
+            time=self._clock(),
+            system_w=total_w,
+            cpu_w=cpu_w,
+            cpu_temp_c=max_temp,
+        )

@@ -1,0 +1,44 @@
+"""IPMI System Service: the telemetry sampler behind benchmarking.
+
+Wraps the ``ipmitool`` facade: one :meth:`sample` reads ``Total_Power``,
+``CPU_Power`` and ``CPU_Temp`` at the current instant, producing the
+:class:`~repro.core.domain.run.EnergySample` rows that benchmark runs
+accumulate.  Access control mirrors the paper's section 3.4.2 (readable
+``/dev/ipmi0`` or BMC credentials).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.application.interfaces import SystemServiceInterface
+from repro.core.domain.errors import ChronusError
+from repro.core.domain.run import EnergySample
+from repro.hardware.ipmi import IpmiPermissionError, IpmiTool
+
+__all__ = ["IpmiSystemService"]
+
+
+class IpmiSystemService(SystemServiceInterface):
+    """Samples the BMC through IPMI."""
+
+    def __init__(self, ipmi: IpmiTool, clock: Callable[[], float]) -> None:
+        self.ipmi = ipmi
+        self._clock = clock
+
+    def sample(self) -> EnergySample:
+        try:
+            total = self.ipmi.read_sensor("Total_Power").value
+            cpu = self.ipmi.read_sensor("CPU_Power").value
+            temp = self.ipmi.read_sensor("CPU_Temp").value
+        except IpmiPermissionError as exc:
+            raise ChronusError(
+                f"IPMI access denied: {exc}. See installation notes "
+                "(chmod o+r /dev/ipmi0 or configure BMC credentials)."
+            ) from exc
+        return EnergySample(
+            time=self._clock(),
+            system_w=float(total),
+            cpu_w=float(cpu),
+            cpu_temp_c=float(temp),
+        )

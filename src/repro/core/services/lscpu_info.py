@@ -1,0 +1,66 @@
+"""lscpu System Info: discover the node by parsing ``lscpu`` text.
+
+Chronus genuinely parses the command's text output (the real integration
+shells out to ``lscpu``); the available scaling frequencies come from
+``scaling_available_frequencies`` and RAM from ``/proc/meminfo``, the same
+sources the paper lists in section 3.4.2.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.core.application.interfaces import SystemInfoInterface
+from repro.core.domain.errors import ChronusError
+from repro.core.domain.system_info import SystemInfo
+from repro.hardware.lscpu import render_lscpu
+from repro.hardware.node import SimulatedNode
+
+__all__ = ["parse_lscpu", "LscpuSystemInfo"]
+
+
+def parse_lscpu(text: str) -> dict[str, str]:
+    """``lscpu`` text -> field mapping (keys as printed, values stripped)."""
+    out: dict[str, str] = {}
+    for line in text.splitlines():
+        if ":" not in line:
+            continue
+        key, value = line.split(":", 1)
+        out[key.strip()] = value.strip()
+    return out
+
+
+class LscpuSystemInfo(SystemInfoInterface):
+    """System discovery against a simulated node."""
+
+    def __init__(self, node: SimulatedNode) -> None:
+        self.node = node
+
+    def fetch(self) -> SystemInfo:
+        fields = parse_lscpu(render_lscpu(self.node))
+        try:
+            cpu_name = fields["Model name"]
+            threads_per_core = int(fields["Thread(s) per core"])
+            cores = int(fields["Core(s) per socket"]) * int(fields["Socket(s)"])
+        except (KeyError, ValueError) as exc:
+            raise ChronusError(f"cannot parse lscpu output: {exc}") from exc
+
+        freq_text = self.node.read_file(
+            "/sys/devices/system/cpu/cpu0/cpufreq/scaling_available_frequencies"
+        )
+        frequencies = tuple(sorted(float(f) for f in freq_text.split()))
+        if not frequencies:
+            raise ChronusError("scaling_available_frequencies is empty")
+
+        meminfo = self.node.read_file("/proc/meminfo")
+        m = re.search(r"MemTotal:\s+(\d+)\s+kB", meminfo)
+        ram_kb = int(m.group(1)) if m else 0
+
+        return SystemInfo(
+            cpu_name=cpu_name,
+            cores=cores,
+            threads_per_core=threads_per_core,
+            frequencies=frequencies,
+            ram_kb=ram_kb,
+        )

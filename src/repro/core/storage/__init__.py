@@ -1,0 +1,6 @@
+"""Local-storage integrations: settings (ETC Storage) and blob storage."""
+
+from repro.core.storage.etc_storage import EtcStorage
+from repro.core.storage.local_file_repository import LocalFileRepository
+
+__all__ = ["EtcStorage", "LocalFileRepository"]

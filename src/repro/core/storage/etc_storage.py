@@ -1,0 +1,61 @@
+"""ETC Storage: settings in ``<root>/settings.json``.
+
+The paper's deployment keeps settings in ``/etc/chronus/settings.json``;
+the root directory is a constructor argument so tests and the simulated
+deployment point it anywhere (a tmp dir stands in for /etc/chronus).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.application.interfaces import LocalStorageInterface
+from repro.core.domain.errors import SettingsError
+from repro.core.domain.settings import ChronusSettings
+
+__all__ = ["EtcStorage"]
+
+
+class EtcStorage(LocalStorageInterface):
+    """Settings storage rooted at a directory."""
+
+    SETTINGS_FILE = "settings.json"
+
+    def __init__(self, root: str) -> None:
+        if not root:
+            raise ValueError("root directory cannot be empty")
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    @property
+    def settings_path(self) -> str:
+        return os.path.join(self.root, self.SETTINGS_FILE)
+
+    def load(self) -> ChronusSettings:
+        if not os.path.exists(self.settings_path):
+            return ChronusSettings()
+        try:
+            with open(self.settings_path) as fh:
+                return ChronusSettings.from_json(fh.read())
+        except (OSError, json.JSONDecodeError, ValueError, KeyError) as exc:
+            raise SettingsError(
+                f"cannot read {self.settings_path}: {exc}"
+            ) from exc
+
+    def save(self, settings: ChronusSettings) -> None:
+        tmp = self.settings_path + ".tmp"
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(settings.to_json())
+            os.replace(tmp, self.settings_path)
+        except OSError as exc:
+            raise SettingsError(
+                f"cannot write {self.settings_path}: {exc}"
+            ) from exc
+
+    def resolve_path(self, relative: str) -> str:
+        """Settings-relative path -> absolute path under the root."""
+        if os.path.isabs(relative):
+            return relative
+        return os.path.join(self.root, relative)

@@ -1,0 +1,56 @@
+"""Local-disk blob storage (the File Repository's shipped implementation).
+
+Saves model artifacts under a directory — the paper's ``./optimizers``
+folder — with names supplied by the caller.  The same interface would be
+backed by NFS/SMB/S3 in other deployments (paper section 3.2).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.application.interfaces import FileRepositoryInterface
+from repro.core.domain.errors import ModelNotFoundError
+
+__all__ = ["LocalFileRepository"]
+
+
+class LocalFileRepository(FileRepositoryInterface):
+    """Blob storage in a local directory."""
+
+    def __init__(self, directory: str) -> None:
+        if not directory:
+            raise ValueError("directory cannot be empty")
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _safe_join(self, name: str) -> str:
+        path = os.path.normpath(os.path.join(self.directory, name))
+        root = os.path.abspath(self.directory)
+        if not os.path.abspath(path).startswith(root + os.sep) and os.path.abspath(path) != root:
+            raise ValueError(f"blob name {name!r} escapes the storage directory")
+        return path
+
+    def save(self, name: str, data: bytes) -> str:
+        if not name:
+            raise ValueError("blob name cannot be empty")
+        path = self._safe_join(name)
+        os.makedirs(os.path.dirname(path) or self.directory, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, path: str) -> bytes:
+        # accept both storage paths (what save returned) and bare names
+        candidate = path if os.path.isabs(path) or os.path.exists(path) else self._safe_join(path)
+        try:
+            with open(candidate, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise ModelNotFoundError(f"no blob at {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        candidate = path if os.path.isabs(path) or os.path.exists(path) else self._safe_join(path)
+        return os.path.exists(candidate)

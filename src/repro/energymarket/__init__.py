@@ -1,0 +1,32 @@
+"""Energy-market extension (paper sections 6.2.1 and 6.2.4).
+
+The paper's future work sketches two features this package implements:
+
+* **Time scheduling** — "schedule a job at a specific time ... to get a
+  better price for the energy or ... only use renewable energy, based on
+  the energy market" (the Vestas/Lancium use case from the introduction).
+  :class:`~repro.energymarket.scheduling.TimeShiftScheduler` picks the
+  cheapest (or greenest) start window for a job on a synthetic spot-price /
+  carbon-intensity trace.
+* **Deadlines** — "giving a deadline as an input in sbatch, and the model
+  finds the best configuration that still finishes before the deadline".
+  :class:`~repro.energymarket.scheduling.DeadlineConfigSelector` restricts
+  the optimizer's choice to configurations whose predicted runtime meets
+  the deadline.
+"""
+
+from repro.energymarket.traces import CarbonTrace, PriceTrace, Trace
+from repro.energymarket.scheduling import (
+    DeadlineConfigSelector,
+    ScheduleDecision,
+    TimeShiftScheduler,
+)
+
+__all__ = [
+    "Trace",
+    "PriceTrace",
+    "CarbonTrace",
+    "TimeShiftScheduler",
+    "ScheduleDecision",
+    "DeadlineConfigSelector",
+]

@@ -1,0 +1,164 @@
+"""Time-shifting and deadline-aware configuration selection.
+
+Two decision procedures built on top of Chronus data:
+
+* :class:`TimeShiftScheduler` answers *when* to run: scan candidate start
+  times within [earliest, deadline - duration] and pick the one minimizing
+  the trace integral (energy cost in EUR, or carbon in gCO2) for the job's
+  predicted power profile.
+* :class:`DeadlineConfigSelector` answers *how* to run: among benchmarked
+  configurations whose predicted runtime meets the deadline, pick the most
+  energy-efficient one (paper section 6.2.1's sbatch-deadline feature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import ChronusError
+from repro.energymarket.traces import Trace
+
+__all__ = ["ScheduleDecision", "TimeShiftScheduler", "DeadlineConfigSelector"]
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    """Outcome of a time-shifting decision."""
+
+    start_s: float
+    end_s: float
+    cost: float
+    #: cost if the job had started at ``earliest`` instead
+    baseline_cost: float
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.baseline_cost == 0:
+            return 0.0
+        return 1.0 - self.cost / self.baseline_cost
+
+
+class TimeShiftScheduler:
+    """Chooses the cheapest/greenest start time for a fixed-length job.
+
+    Args:
+        trace: the objective trace (price or carbon intensity).
+        step_s: start-time grid resolution.
+        unit_energy_wh: the energy unit the trace values are "per" —
+            1e6 for EUR/MWh price traces (default), 1e3 for gCO2/kWh
+            carbon traces; :meth:`job_cost` then returns EUR / gCO2.
+    """
+
+    def __init__(
+        self, trace: Trace, *, step_s: float = 3600.0, unit_energy_wh: float = 1e6
+    ) -> None:
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        if unit_energy_wh <= 0:
+            raise ValueError("unit_energy_wh must be positive")
+        self.trace = trace
+        self.step_s = step_s
+        self.unit_energy_wh = unit_energy_wh
+
+    def job_cost(self, start_s: float, duration_s: float, avg_power_w: float) -> float:
+        """Trace integral for a job drawing ``avg_power_w`` over the window.
+
+        ``W * s / 3600 = Wh``, divided by the trace's energy unit and
+        multiplied by the trace value: EUR for EUR/MWh traces, gCO2 for
+        gCO2/kWh traces.
+        """
+        integral = self.trace.integrate(start_s, start_s + duration_s)
+        return integral * avg_power_w / 3600.0 / self.unit_energy_wh
+
+    def best_start(
+        self,
+        duration_s: float,
+        avg_power_w: float,
+        *,
+        earliest_s: float = 0.0,
+        deadline_s: Optional[float] = None,
+    ) -> ScheduleDecision:
+        """Scan start candidates on the step grid; earliest wins ties."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if avg_power_w <= 0:
+            raise ValueError("avg_power_w must be positive")
+        horizon = self.trace.horizon_s if deadline_s is None else deadline_s
+        latest_start = horizon - duration_s
+        if latest_start < earliest_s:
+            raise ChronusError(
+                f"job of {duration_s:.0f}s cannot finish by deadline "
+                f"{horizon:.0f}s starting no earlier than {earliest_s:.0f}s"
+            )
+        baseline = self.job_cost(earliest_s, duration_s, avg_power_w)
+        best_t = earliest_s
+        best_cost = baseline
+        t = earliest_s
+        while t <= latest_start:
+            cost = self.job_cost(t, duration_s, avg_power_w)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_t = t
+            t += self.step_s
+        return ScheduleDecision(
+            start_s=best_t,
+            end_s=best_t + duration_s,
+            cost=best_cost,
+            baseline_cost=baseline,
+        )
+
+
+class DeadlineConfigSelector:
+    """Most efficient configuration that still meets a deadline.
+
+    Runtime prediction uses the benchmarks' measured GFLOP/s against the
+    job's total work: ``runtime = total_flops / gflops``.  A safety margin
+    guards against run-to-run variance ("finishes before the deadline
+    (statistically)" in the paper's words).
+    """
+
+    def __init__(
+        self,
+        benchmarks: Sequence[BenchmarkResult],
+        total_flops: float,
+        *,
+        safety_margin: float = 0.05,
+    ) -> None:
+        if not benchmarks:
+            raise ChronusError("deadline selection needs benchmark data")
+        if total_flops <= 0:
+            raise ValueError("total_flops must be positive")
+        if not 0.0 <= safety_margin < 1.0:
+            raise ValueError("safety_margin must be in [0, 1)")
+        self.benchmarks = list(benchmarks)
+        self.total_flops = total_flops
+        self.safety_margin = safety_margin
+
+    def predicted_runtime_s(self, row: BenchmarkResult) -> float:
+        if row.gflops <= 0:
+            return float("inf")
+        return self.total_flops / (row.gflops * 1e9) * (1.0 + self.safety_margin)
+
+    def feasible(self, deadline_s: float) -> list[BenchmarkResult]:
+        return [
+            b for b in self.benchmarks if self.predicted_runtime_s(b) <= deadline_s
+        ]
+
+    def select(self, deadline_s: float) -> Configuration:
+        """Best efficiency among deadline-feasible configurations.
+
+        Raises:
+            ChronusError: no configuration can meet the deadline.
+        """
+        feasible = self.feasible(deadline_s)
+        if not feasible:
+            fastest = max(self.benchmarks, key=lambda b: b.gflops)
+            raise ChronusError(
+                f"no configuration finishes within {deadline_s:.0f}s; the "
+                f"fastest needs {self.predicted_runtime_s(fastest):.0f}s"
+            )
+        best = max(feasible, key=lambda b: b.gflops_per_watt)
+        return best.configuration

@@ -1,0 +1,36 @@
+"""GPU frequency tuning — the paper's section 6.2.2 extension.
+
+"Another potential enhancement is to tune the clock rate and memory
+frequency to get better energy efficiency on GPU.  Research has found that
+this can save 28% energy for 1% performance loss [Abe et al. 2012].
+Nvidia provides telemetry tools for this purpose."
+
+This package provides the simulated substrate and the tuner:
+
+* :class:`~repro.gpu.spec.GpuSpec` / :data:`~repro.gpu.spec.NVIDIA_A100`
+  — supported SM and memory clock states, like ``nvidia-smi -q -d
+  SUPPORTED_CLOCKS`` reports.
+* :class:`~repro.gpu.device.SimulatedGpu` — a device with application
+  clocks, a calibrated power model and continuous energy integration.
+* :class:`~repro.gpu.dcgm.DcgmTelemetry` — the DCGM-style field sampler.
+* :class:`~repro.gpu.tuner.GpuFrequencyTuner` — sweeps (SM, memory) clock
+  pairs for a kernel and picks the lowest-energy configuration under a
+  performance-loss budget, reproducing the 28%-for-1% shape.
+"""
+
+from repro.gpu.spec import GpuSpec, NVIDIA_A100
+from repro.gpu.device import GpuKernel, KernelRun, SimulatedGpu
+from repro.gpu.dcgm import DcgmSample, DcgmTelemetry
+from repro.gpu.tuner import GpuFrequencyTuner, TuneResult
+
+__all__ = [
+    "GpuSpec",
+    "NVIDIA_A100",
+    "SimulatedGpu",
+    "GpuKernel",
+    "KernelRun",
+    "DcgmSample",
+    "DcgmTelemetry",
+    "GpuFrequencyTuner",
+    "TuneResult",
+]

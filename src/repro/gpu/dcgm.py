@@ -1,0 +1,73 @@
+"""DCGM-style GPU telemetry.
+
+The paper's section 6.2.2 points at NVIDIA's Data Center GPU Manager
+(DCGM) as the telemetry source a GPU-aware plugin would use; this is that
+integration surface: field-id based sampling of power, clocks and
+utilization, matching the fields Slurm's own DCGM job-statistics plugin
+collects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.device import GpuKernel, SimulatedGpu
+
+__all__ = ["DcgmSample", "DcgmTelemetry", "FIELD_IDS"]
+
+#: the DCGM field identifiers we model (names mirror dcgm_fields.h)
+FIELD_IDS = {
+    "DCGM_FI_DEV_POWER_USAGE": 155,
+    "DCGM_FI_DEV_SM_CLOCK": 100,
+    "DCGM_FI_DEV_MEM_CLOCK": 101,
+    "DCGM_FI_DEV_GPU_UTIL": 203,
+    "DCGM_FI_DEV_TOTAL_ENERGY_CONSUMPTION": 156,
+}
+
+
+@dataclass(frozen=True)
+class DcgmSample:
+    """One telemetry snapshot."""
+
+    power_w: float
+    sm_clock_mhz: int
+    mem_clock_mhz: int
+    gpu_util_pct: float
+    total_energy_mj: float  # DCGM reports millijoules
+
+
+class DcgmTelemetry:
+    """Field-based sampler over one simulated GPU."""
+
+    def __init__(self, gpu: SimulatedGpu) -> None:
+        self.gpu = gpu
+        self._active_kernel: Optional[GpuKernel] = None
+
+    def set_active_kernel(self, kernel: Optional[GpuKernel]) -> None:
+        """Tell the sampler what is currently executing (None = idle)."""
+        self._active_kernel = kernel
+
+    def sample(self) -> DcgmSample:
+        kernel = self._active_kernel
+        util = 0.0 if kernel is None else kernel.utilization * 100.0
+        return DcgmSample(
+            power_w=self.gpu.power_w(kernel),
+            sm_clock_mhz=self.gpu.sm_mhz,
+            mem_clock_mhz=self.gpu.mem_mhz,
+            gpu_util_pct=util,
+            total_energy_mj=self.gpu.total_energy_j * 1000.0,
+        )
+
+    def field(self, name: str) -> float:
+        """Read one DCGM field by name (see :data:`FIELD_IDS`)."""
+        if name not in FIELD_IDS:
+            raise KeyError(f"unknown DCGM field {name!r}; known: {sorted(FIELD_IDS)}")
+        sample = self.sample()
+        return {
+            "DCGM_FI_DEV_POWER_USAGE": sample.power_w,
+            "DCGM_FI_DEV_SM_CLOCK": float(sample.sm_clock_mhz),
+            "DCGM_FI_DEV_MEM_CLOCK": float(sample.mem_clock_mhz),
+            "DCGM_FI_DEV_GPU_UTIL": sample.gpu_util_pct,
+            "DCGM_FI_DEV_TOTAL_ENERGY_CONSUMPTION": sample.total_energy_mj,
+        }[name]

@@ -1,0 +1,139 @@
+"""The simulated GPU: application clocks, power, kernel execution.
+
+A :class:`GpuKernel` describes a workload by its arithmetic intensity
+regime through two roof coefficients; :meth:`SimulatedGpu.run_kernel`
+executes a fixed amount of work at the current application clocks and
+returns the timed, energy-accounted result.  Everything is closed-form —
+the GPU does not need the discrete-event engine, mirroring how the paper's
+node-level benchmarking treats the application as a black box with a
+runtime and an energy bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.spec import GpuSpec, NVIDIA_A100
+from repro.simkernel.random import RandomStreams
+
+__all__ = ["GpuKernel", "KernelRun", "SimulatedGpu"]
+
+
+@dataclass(frozen=True)
+class GpuKernel:
+    """A GPU workload's performance character.
+
+    Throughput follows a sharp roofline over the two clock domains::
+
+        perf = smoothmin( compute_per_mhz * sm_clock,
+                          memory_per_mhz  * mem_clock )
+
+    ``utilization`` scales dynamic SM power (kernels that stall draw less).
+    """
+
+    name: str
+    #: relative throughput per SM MHz when compute-bound
+    compute_per_mhz: float
+    #: relative throughput per memory MHz when memory-bound
+    memory_per_mhz: float
+    #: total work units the benchmark run executes
+    work_units: float
+    #: SM switching-activity factor in (0, 1]
+    utilization: float = 1.0
+    #: roofline blend sharpness (higher = harder min)
+    smoothmin_n: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.compute_per_mhz <= 0 or self.memory_per_mhz <= 0:
+            raise ValueError("roof coefficients must be positive")
+        if self.work_units <= 0:
+            raise ValueError("work_units must be positive")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+
+    def throughput(self, sm_mhz: float, mem_mhz: float) -> float:
+        """Work units per second at the given clocks."""
+        pc = self.compute_per_mhz * sm_mhz
+        pm = self.memory_per_mhz * mem_mhz
+        n = self.smoothmin_n
+        return (pc ** -n + pm ** -n) ** (-1.0 / n)
+
+    def compute_fraction(self, sm_mhz: float, mem_mhz: float) -> float:
+        """Achieved / compute-roof ratio (drives the SM stall model)."""
+        return self.throughput(sm_mhz, mem_mhz) / (self.compute_per_mhz * sm_mhz)
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Result of one kernel execution."""
+
+    kernel: str
+    sm_mhz: int
+    mem_mhz: int
+    runtime_s: float
+    avg_power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.avg_power_w * self.runtime_s
+
+
+class SimulatedGpu:
+    """One GPU with settable application clocks."""
+
+    def __init__(
+        self,
+        spec: GpuSpec = NVIDIA_A100,
+        streams: Optional[RandomStreams] = None,
+        *,
+        noise_sigma: float = 0.003,
+    ) -> None:
+        self.spec = spec
+        self.sm_mhz = spec.max_sm_mhz
+        self.mem_mhz = spec.max_mem_mhz
+        self._rng = (streams or RandomStreams(0)).get(f"gpu:{spec.name}")
+        self.noise_sigma = noise_sigma
+        self.total_energy_j = 0.0
+        self._runs = 0
+
+    # ------------------------------------------------------------------
+    def set_application_clocks(self, sm_mhz: int, mem_mhz: int) -> None:
+        """``nvidia-smi -ac <mem>,<sm>`` equivalent."""
+        self.spec.validate_clocks(sm_mhz, mem_mhz)
+        self.sm_mhz = sm_mhz
+        self.mem_mhz = mem_mhz
+
+    def reset_application_clocks(self) -> None:
+        self.sm_mhz = self.spec.max_sm_mhz
+        self.mem_mhz = self.spec.max_mem_mhz
+
+    # ------------------------------------------------------------------
+    def power_w(self, kernel: Optional[GpuKernel] = None) -> float:
+        """Board power at the current clocks (idle when no kernel runs)."""
+        s = self.spec
+        if kernel is None:
+            return s.idle_w
+        volt = s.sm_voltage(self.sm_mhz)
+        act = kernel.utilization * (
+            0.25 + 0.75 * kernel.compute_fraction(self.sm_mhz, self.mem_mhz)
+        )
+        dyn = s.dyn_w_per_v2ghz * volt * volt * (self.sm_mhz / 1000.0) * act
+        mem = s.mem_w_per_ghz * (self.mem_mhz / 1000.0)
+        return min(s.tdp_w, s.idle_w + dyn + mem)
+
+    def run_kernel(self, kernel: GpuKernel) -> KernelRun:
+        """Execute the kernel's full work at the current clocks."""
+        rate = kernel.throughput(self.sm_mhz, self.mem_mhz)
+        noise = 1.0 + float(self._rng.normal(0.0, self.noise_sigma))
+        runtime = kernel.work_units / (rate * max(1e-9, noise))
+        power = self.power_w(kernel)
+        self.total_energy_j += power * runtime
+        self._runs += 1
+        return KernelRun(
+            kernel=kernel.name,
+            sm_mhz=self.sm_mhz,
+            mem_mhz=self.mem_mhz,
+            runtime_s=runtime,
+            avg_power_w=power,
+        )

@@ -1,0 +1,89 @@
+"""GPU device specifications.
+
+Mirrors what ``nvidia-smi -q -d SUPPORTED_CLOCKS`` exposes: the discrete
+SM (graphics) clock states and memory clock states that application-clock
+pinning (``nvidia-smi -ac``) accepts — the knobs a GPU-aware eco plugin
+would turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GpuSpec", "NVIDIA_A100"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    sm_clocks_mhz: tuple[int, ...]
+    mem_clocks_mhz: tuple[int, ...]
+    #: board power limit (W)
+    tdp_w: float
+    #: idle board power (W)
+    idle_w: float
+    #: SM voltage at the lowest/highest SM clock (linear in between)
+    v_min: float
+    v_max: float
+    #: dynamic power coefficient (W per V^2 per GHz at full utilization)
+    dyn_w_per_v2ghz: float
+    #: memory-subsystem power per memory-clock GHz (W)
+    mem_w_per_ghz: float
+
+    def __post_init__(self) -> None:
+        if not self.sm_clocks_mhz or not self.mem_clocks_mhz:
+            raise ValueError("a GPU needs at least one SM and one memory clock")
+        if list(self.sm_clocks_mhz) != sorted(self.sm_clocks_mhz):
+            raise ValueError("sm_clocks_mhz must be ascending")
+        if list(self.mem_clocks_mhz) != sorted(self.mem_clocks_mhz):
+            raise ValueError("mem_clocks_mhz must be ascending")
+        if self.v_min <= 0 or self.v_max < self.v_min:
+            raise ValueError("need 0 < v_min <= v_max")
+
+    @property
+    def max_sm_mhz(self) -> int:
+        return self.sm_clocks_mhz[-1]
+
+    @property
+    def max_mem_mhz(self) -> int:
+        return self.mem_clocks_mhz[-1]
+
+    def validate_clocks(self, sm_mhz: int, mem_mhz: int) -> None:
+        """Application clocks must be supported states (nvidia-smi -ac)."""
+        if sm_mhz not in self.sm_clocks_mhz:
+            raise ValueError(
+                f"{sm_mhz} MHz is not a supported SM clock "
+                f"(supported: {list(self.sm_clocks_mhz)})"
+            )
+        if mem_mhz not in self.mem_clocks_mhz:
+            raise ValueError(
+                f"{mem_mhz} MHz is not a supported memory clock "
+                f"(supported: {list(self.mem_clocks_mhz)})"
+            )
+
+    def sm_voltage(self, sm_mhz: float) -> float:
+        """Linear V(f) across the SM clock range, clamped at the ends."""
+        lo, hi = self.sm_clocks_mhz[0], self.sm_clocks_mhz[-1]
+        return float(np.interp(sm_mhz, [lo, hi], [self.v_min, self.v_max]))
+
+
+#: An A100-PCIe-like part.  SM clocks span the real part's application-
+#: clock range in 15 steps; two memory P-states as on real boards.  The
+#: power constants are chosen so a memory-bound kernel reproduces the
+#: ~28%-energy-for-1%-performance trade of Abe et al. [1] (validated in
+#: tests/test_gpu.py).
+NVIDIA_A100 = GpuSpec(
+    name="NVIDIA A100-PCIE-40GB",
+    sm_clocks_mhz=tuple(range(510, 1411, 60)),  # 510..1410 in 60 MHz steps
+    mem_clocks_mhz=(810, 1215),
+    tdp_w=250.0,
+    idle_w=38.0,
+    v_min=0.72,
+    v_max=1.10,
+    dyn_w_per_v2ghz=100.0,
+    mem_w_per_ghz=28.0,
+)

@@ -1,0 +1,41 @@
+"""Simulated single-node HPC hardware.
+
+This package stands in for the paper's Lenovo ThinkSystem SR650 (AMD EPYC
+7502P, 256 GB RAM, Rocky 8.7): a CPU specification with per-core DVFS, a
+calibrated CMOS power model, a first-order thermal model, a memory-bandwidth
+saturation model, a virtual ``/proc`` + ``/sys`` filesystem for `lscpu`-style
+discovery, a BMC with IPMI sensors, and the ground-truth wattmeter used to
+reproduce the paper's Equation (1) measurement validation.
+"""
+
+from repro.hardware.cpu import AMD_EPYC_7502P, CpuSpec, VoltageCurve
+from repro.hardware.dvfs import CpufreqPolicy, Governor
+from repro.hardware.memory import MemorySpec, SR650_MEMORY
+from repro.hardware.power import PowerModel, PowerModelParams, PowerBreakdown
+from repro.hardware.thermal import ThermalModel, ThermalParams
+from repro.hardware.node import SimulatedNode, Workload, ConstantWorkload
+from repro.hardware.bmc import BoardManagementController, SensorReading
+from repro.hardware.ipmi import IpmiTool
+from repro.hardware.wattmeter import WattMeter
+
+__all__ = [
+    "AMD_EPYC_7502P",
+    "CpuSpec",
+    "VoltageCurve",
+    "CpufreqPolicy",
+    "Governor",
+    "MemorySpec",
+    "SR650_MEMORY",
+    "PowerModel",
+    "PowerModelParams",
+    "PowerBreakdown",
+    "ThermalModel",
+    "ThermalParams",
+    "SimulatedNode",
+    "Workload",
+    "ConstantWorkload",
+    "BoardManagementController",
+    "SensorReading",
+    "IpmiTool",
+    "WattMeter",
+]

@@ -1,0 +1,60 @@
+"""`ipmitool`-shaped facade over the simulated BMC.
+
+Chronus' IPMI system-service integration shells out to ``ipmitool`` (or
+reads ``/dev/ipmi0``) on the real system; here it talks to this facade.  A
+simple permission model reproduces the paper's §3.4.2 requirement that
+``/dev/ipmi0`` be made readable (``chmod o+r /dev/ipmi0``) before Chronus
+can sample power.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.bmc import BoardManagementController, SensorReading
+
+__all__ = ["IpmiPermissionError", "IpmiTool"]
+
+
+class IpmiPermissionError(PermissionError):
+    """Raised when /dev/ipmi0 is not readable by the caller."""
+
+
+class IpmiTool:
+    """Command-level IPMI access (the ``ipmitool`` CLI surface we use)."""
+
+    def __init__(self, bmc: BoardManagementController, *, device_readable: bool = True) -> None:
+        self.bmc = bmc
+        self._device_readable = device_readable
+
+    @property
+    def device_readable(self) -> bool:
+        return self._device_readable
+
+    def chmod_device(self, readable: bool) -> None:
+        """Equivalent of ``chmod o+r /dev/ipmi0`` (or revoking it)."""
+        self._device_readable = readable
+
+    def _check_access(self) -> None:
+        if not self._device_readable:
+            raise IpmiPermissionError(
+                "/dev/ipmi0 is not readable; run `chmod o+r /dev/ipmi0` "
+                "or provide BMC credentials (paper section 3.4.2)"
+            )
+
+    def sdr_list(self) -> str:
+        """``ipmitool sdr list`` output."""
+        self._check_access()
+        return self.bmc.sdr_list()
+
+    def read_sensor(self, name: str) -> SensorReading:
+        self._check_access()
+        return self.bmc.read_sensor(name)
+
+    def total_power_watts(self) -> float:
+        """Convenience: the ``Total_Power`` sensor value in watts."""
+        return self.read_sensor("Total_Power").value
+
+    def cpu_power_watts(self) -> float:
+        return self.read_sensor("CPU_Power").value
+
+    def cpu_temp_c(self) -> float:
+        return self.read_sensor("CPU_Temp").value

@@ -1,0 +1,43 @@
+"""Render ``lscpu`` output for a simulated node.
+
+The paper's System Info integration interface has exactly one
+implementation — ``lscpu`` — which Chronus parses to identify the system
+(CPU name, cores, threads per core, available frequencies).  We render the
+fields that parser needs in the util-linux layout.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.node import SimulatedNode
+
+__all__ = ["render_lscpu"]
+
+
+def render_lscpu(node: SimulatedNode) -> str:
+    """Produce an ``lscpu``-style text block for ``node``."""
+    spec = node.spec
+    max_mhz = spec.max_freq_khz / 1000.0
+    min_mhz = spec.min_freq_khz / 1000.0
+    lines = [
+        ("Architecture", "x86_64"),
+        ("CPU op-mode(s)", "32-bit, 64-bit"),
+        ("Byte Order", "Little Endian"),
+        ("CPU(s)", str(spec.total_threads)),
+        ("On-line CPU(s) list", f"0-{spec.total_threads - 1}"),
+        ("Thread(s) per core", str(spec.threads_per_core)),
+        ("Core(s) per socket", str(spec.cores_per_socket)),
+        ("Socket(s)", str(spec.sockets)),
+        ("NUMA node(s)", "1"),
+        ("Vendor ID", spec.vendor),
+        ("CPU family", str(spec.family)),
+        ("Model", str(spec.model)),
+        ("Model name", spec.model_name),
+        ("Stepping", str(spec.stepping)),
+        ("CPU MHz", f"{node.policies[0].current_freq_khz / 1000:.3f}"),
+        ("CPU max MHz", f"{max_mhz:.4f}"),
+        ("CPU min MHz", f"{min_mhz:.4f}"),
+        ("BogoMIPS", f"{spec.bogomips:.2f}"),
+        ("L3 cache", f"{spec.cache_l3_kb // 1024} MiB"),
+    ]
+    width = max(len(k) for k, _ in lines) + 1
+    return "\n".join(f"{k + ':':<{width}} {v}" for k, v in lines) + "\n"

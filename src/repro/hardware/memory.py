@@ -1,0 +1,86 @@
+"""Memory subsystem: capacity for `/proc/meminfo`, bandwidth saturation.
+
+HPCG is memory-bound — the paper leans on this repeatedly (observation 2 of
+§5.2.1).  The quantity that matters to the performance model is the
+*effective* sustained bandwidth as a function of how many hardware threads
+are issuing requests: a saturating curve, because each thread contributes a
+bounded number of outstanding misses (memory-level parallelism) and the
+controller tops out.
+
+We use the standard concurrency-saturation form
+
+    BW(t) = BW_max * t / (t + t_half)
+
+where ``t`` is an effective thread count and ``t_half`` the half-saturation
+constant.  Hyper-threading increases ``t`` per core but with an efficiency
+< 1 (the two siblings share miss-handling resources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemorySpec", "SR650_MEMORY"]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """DRAM configuration of the simulated node."""
+
+    capacity_gib: int
+    channels: int
+    speed_mt_s: int
+    peak_bandwidth_gbs: float
+    #: half-saturation constant of the concurrency curve (threads)
+    sat_half_threads: float
+    #: relative memory-level-parallelism contribution of an HT sibling
+    ht_mlp_efficiency: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.capacity_gib <= 0 or self.channels <= 0:
+            raise ValueError("capacity and channels must be positive")
+        if self.peak_bandwidth_gbs <= 0:
+            raise ValueError("peak bandwidth must be positive")
+        if self.sat_half_threads <= 0:
+            raise ValueError("sat_half_threads must be positive")
+        if not 0.0 <= self.ht_mlp_efficiency <= 1.0:
+            raise ValueError("ht_mlp_efficiency must be in [0, 1]")
+
+    @property
+    def capacity_kb(self) -> int:
+        """Capacity in kB, the `/proc/meminfo` MemTotal unit."""
+        return self.capacity_gib * 1024 * 1024
+
+    def effective_threads(self, cores: int, threads_per_core: int) -> float:
+        """Effective request-issuing thread count for the saturation curve."""
+        if cores < 0:
+            raise ValueError("cores must be >= 0")
+        if threads_per_core not in (1, 2):
+            raise ValueError("threads_per_core must be 1 or 2")
+        extra = self.ht_mlp_efficiency if threads_per_core == 2 else 0.0
+        return cores * (1.0 + extra)
+
+    def sustained_bandwidth_gbs(self, cores: int, threads_per_core: int = 1) -> float:
+        """Saturating sustained bandwidth for ``cores`` active cores.
+
+        Returns 0 for 0 cores; monotonically increasing and bounded by
+        :attr:`peak_bandwidth_gbs`.
+        """
+        t = self.effective_threads(cores, threads_per_core)
+        if t == 0:
+            return 0.0
+        return self.peak_bandwidth_gbs * t / (t + self.sat_half_threads)
+
+
+#: 256 GB (8 x 32 GB DDR4-3200, 8 channels) as in the paper's SR650.  The
+#: peak/sat constants are calibration outputs (see analysis.calibration);
+#: they produce the paper's measured HPCG bandwidth envelope, not the
+#: theoretical DDR4 number.
+SR650_MEMORY = MemorySpec(
+    capacity_gib=256,
+    channels=8,
+    speed_mt_s=3200,
+    peak_bandwidth_gbs=90.0,
+    sat_half_threads=8.0237366248,
+    ht_mlp_efficiency=0.1,
+)

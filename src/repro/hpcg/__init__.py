@@ -1,0 +1,34 @@
+"""High Performance Conjugate Gradients (HPCG) substrate.
+
+Two halves:
+
+* A **real mini-HPCG** implemented from scratch (27-point stencil problem
+  generation, CSR sparse kernels, symmetric Gauss–Seidel smoother, a
+  multigrid V-cycle preconditioner and the preconditioned CG driver with
+  exact flop accounting).  It runs genuine numerics at small problem sizes
+  and validates that our flop bookkeeping matches the analytic count.
+* A **calibrated roofline performance model** that maps a configuration
+  ``(cores, frequency, threads_per_core)`` to a sustained GFLOP/s rating for
+  the paper's full-scale 104^3 problem, so the simulator can sweep the 138
+  configurations of Tables 4-6 in milliseconds.
+"""
+
+from repro.hpcg.problem import HpcgProblem, generate_problem
+from repro.hpcg.cg import CgResult, pcg
+from repro.hpcg.benchmark import HpcgBenchmark, HpcgRating
+from repro.hpcg.performance_model import HpcgPerformanceModel, PerformanceParams
+from repro.hpcg.workload import HpcgWorkload
+from repro.hpcg import reference
+
+__all__ = [
+    "HpcgProblem",
+    "generate_problem",
+    "CgResult",
+    "pcg",
+    "HpcgBenchmark",
+    "HpcgRating",
+    "HpcgPerformanceModel",
+    "PerformanceParams",
+    "HpcgWorkload",
+    "reference",
+]

@@ -1,0 +1,107 @@
+"""Preconditioned conjugate gradients — the HPCG outer iteration.
+
+Standard PCG with the multigrid (or any) preconditioner, flop-accounted
+exactly like the HPCG reference driver:
+
+per iteration: 1 SpMV (2·nnz), 1 preconditioner application, 2 dots (z·r
+and p·Ap, 2·n each), 3 WAXPBYs (x, r, p updates, 2·n each) — plus the
+initial residual SpMV/WAXPBY and r·r norm computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hpcg.sparse import CsrMatrix, FlopCounter, axpby, dot
+
+__all__ = ["CgResult", "pcg"]
+
+
+@dataclass
+class CgResult:
+    """Outcome of a PCG solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: list[float] = field(default_factory=list)
+    flops: FlopCounter = field(default_factory=FlopCounter)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+def pcg(
+    matrix: CsrMatrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    *,
+    preconditioner: Optional[Callable[[np.ndarray, Optional[FlopCounter]], np.ndarray]] = None,
+    tol: float = 1e-8,
+    max_iter: int = 500,
+) -> CgResult:
+    """Solve ``A x = b`` with preconditioned CG.
+
+    Args:
+        matrix: SPD system matrix.
+        b: right-hand side.
+        x0: initial guess (zeros by default, per the HPCG driver).
+        preconditioner: callable ``z = M(r, flops)``; identity if None.
+        tol: relative residual tolerance ``||r|| / ||b||``.
+        max_iter: iteration cap (HPCG uses a fixed 50 per set).
+
+    Returns:
+        :class:`CgResult` with the solution, convergence info and flops.
+    """
+    flops = FlopCounter()
+    n = matrix.nrows
+    if b.shape != (n,):
+        raise ValueError(f"b has shape {b.shape}, expected ({n},)")
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+
+    norm_b = np.sqrt(dot(b, b, flops))
+    if norm_b == 0.0:
+        return CgResult(x=np.zeros(n), iterations=0, converged=True, residual_norms=[0.0], flops=flops)
+
+    ax = matrix.matvec(x, flops)
+    r = axpby(1.0, b, -1.0, ax, flops)
+    norm_r = np.sqrt(dot(r, r, flops))
+    norms = [norm_r]
+    if norm_r / norm_b <= tol:
+        return CgResult(x=x, iterations=0, converged=True, residual_norms=norms, flops=flops)
+
+    def precond(res: np.ndarray) -> np.ndarray:
+        if preconditioner is None:
+            return res.copy()
+        return preconditioner(res, flops)
+
+    z = precond(r)
+    p = z.copy()
+    rz = dot(r, z, flops)
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        ap = matrix.matvec(p, flops)
+        pap = dot(p, ap, flops)
+        if pap <= 0:
+            raise np.linalg.LinAlgError(
+                "p^T A p <= 0: the matrix is not positive definite"
+            )
+        alpha = rz / pap
+        x = axpby(1.0, x, alpha, p, flops)
+        r = axpby(1.0, r, -alpha, ap, flops)
+        norm_r = np.sqrt(dot(r, r, flops))
+        norms.append(norm_r)
+        if norm_r / norm_b <= tol:
+            converged = True
+            break
+        z = precond(r)
+        rz_new = dot(r, z, flops)
+        beta = rz_new / rz
+        rz = rz_new
+        p = axpby(1.0, z, beta, p, flops)
+    return CgResult(x=x, iterations=it, converged=converged, residual_norms=norms, flops=flops)

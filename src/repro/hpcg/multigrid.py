@@ -1,0 +1,93 @@
+"""Geometric multigrid V-cycle preconditioner, HPCG style.
+
+HPCG builds a fixed 4-level hierarchy by halving each grid dimension, uses
+one symmetric Gauss–Seidel sweep as pre- and post-smoother, restricts by
+injection at even-coordinate points and prolongates by adding the coarse
+correction back to those points.  The coarsest level is "solved" with a
+single SymGS sweep — multigrid here is a preconditioner, not a solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hpcg.problem import HpcgProblem, generate_problem
+from repro.hpcg.sparse import FlopCounter
+from repro.hpcg.symgs import MulticolorSymgs
+
+__all__ = ["MultigridLevel", "MultigridPreconditioner"]
+
+
+@dataclass
+class MultigridLevel:
+    """One level of the hierarchy plus its transfer operator to the coarser."""
+
+    problem: HpcgProblem
+    smoother: MulticolorSymgs
+    #: fine-grid row index of each coarse point (injection map); None at
+    #: the coarsest level
+    f2c: Optional[np.ndarray]
+
+
+class MultigridPreconditioner:
+    """HPCG's fixed-depth V-cycle, acting as ``z = M^-1 r``."""
+
+    def __init__(self, fine: HpcgProblem, levels: int = 4) -> None:
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self.levels: list[MultigridLevel] = []
+        problem = fine
+        for depth in range(levels):
+            can_coarsen = (
+                depth < levels - 1
+                and problem.nx % 2 == 0 and problem.ny % 2 == 0 and problem.nz % 2 == 0
+                and min(problem.nx, problem.ny, problem.nz) >= 4
+            )
+            f2c = self._injection_map(problem) if can_coarsen else None
+            self.levels.append(
+                MultigridLevel(problem=problem, smoother=MulticolorSymgs(problem), f2c=f2c)
+            )
+            if f2c is None:
+                break
+            problem = generate_problem(problem.nx // 2, problem.ny // 2, problem.nz // 2)
+
+    @staticmethod
+    def _injection_map(problem: HpcgProblem) -> np.ndarray:
+        """Fine-grid indices of the even-coordinate points, coarse ordering."""
+        nx, ny, nz = problem.nx, problem.ny, problem.nz
+        cz, cy, cx = np.meshgrid(
+            np.arange(nz // 2), np.arange(ny // 2), np.arange(nx // 2), indexing="ij"
+        )
+        return (2 * cx + nx * (2 * cy + ny * 2 * cz)).ravel().astype(np.int64)
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def apply(self, r: np.ndarray, flops: Optional[FlopCounter] = None) -> np.ndarray:
+        """One V-cycle on residual ``r`` -> approximate ``A^-1 r``."""
+        if r.shape != (self.levels[0].problem.nrows,):
+            raise ValueError("residual shape mismatch with fine problem")
+        return self._cycle(0, r, flops)
+
+    def _cycle(self, depth: int, r: np.ndarray, flops: Optional[FlopCounter]) -> np.ndarray:
+        level = self.levels[depth]
+        problem = level.problem
+        z = np.zeros_like(r)
+        z = level.smoother.sweep(r, z, flops)
+        if level.f2c is None:
+            return z
+        # residual on the fine grid
+        az = problem.matrix.matvec(z, flops)
+        resid = r - az
+        # restrict by injection
+        rc = resid[level.f2c]
+        zc = self._cycle(depth + 1, rc, flops)
+        # prolongate: add coarse correction at injection points
+        z[level.f2c] += zc
+        # post-smooth
+        z = level.smoother.sweep(r, z, flops)
+        return z

@@ -1,0 +1,119 @@
+"""HPCG problem generation: the 27-point stencil Poisson-like operator.
+
+The HPCG specification builds a symmetric positive-definite system from a
+3-D grid where each interior point couples to its 26 neighbours with -1 and
+to itself with +26 (boundary rows simply have fewer off-diagonals).  The
+right-hand side is chosen so that the exact solution is the all-ones vector
+(row entries sum to ``27 - nnz_row``... specifically ``b_i = 26 - (nnz_i - 1)``),
+which makes convergence easy to verify.
+
+Construction is fully vectorized: one COO block per (dx,dy,dz) offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hpcg.sparse import CsrMatrix
+
+__all__ = ["HpcgProblem", "generate_problem", "grid_coloring"]
+
+#: Default HPCG local problem dimension used by the paper (104^3, 32 GB).
+PAPER_PROBLEM_DIM = 104
+
+
+@dataclass
+class HpcgProblem:
+    """One level of the HPCG hierarchy: matrix, RHS, exact solution, grid."""
+
+    nx: int
+    ny: int
+    nz: int
+    matrix: CsrMatrix
+    b: np.ndarray
+    x_exact: np.ndarray
+    #: 8-coloring of grid points by coordinate parity (for multicolor GS)
+    colors: np.ndarray = field(repr=False)
+
+    @property
+    def nrows(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    def color_rows(self, color: int) -> np.ndarray:
+        """Row indices belonging to one of the 8 parity colors."""
+        return np.flatnonzero(self.colors == color)
+
+
+def grid_coloring(nx: int, ny: int, nz: int) -> np.ndarray:
+    """8-coloring by coordinate parity.
+
+    Two points with equal parity in all three coordinates differ by at least
+    2 in some coordinate, hence are *not* neighbours under the 27-point
+    stencil — so every color class is an independent set, which is exactly
+    what multicolor Gauss–Seidel needs.
+    """
+    iz, iy, ix = np.meshgrid(np.arange(nz), np.arange(ny), np.arange(nx), indexing="ij")
+    return ((ix % 2) + 2 * (iy % 2) + 4 * (iz % 2)).ravel().astype(np.int8)
+
+
+def generate_problem(nx: int, ny: Optional[int] = None, nz: Optional[int] = None) -> HpcgProblem:
+    """Build the HPCG operator on an ``nx x ny x nz`` grid.
+
+    Args:
+        nx: grid points in x (>= 2); ny/nz default to nx (cubic problem).
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if min(nx, ny, nz) < 2:
+        raise ValueError(f"grid must be at least 2^3, got {(nx, ny, nz)}")
+
+    n = nx * ny * nz
+    iz, iy, ix = np.meshgrid(np.arange(nz), np.arange(ny), np.arange(nx), indexing="ij")
+    ix = ix.ravel()
+    iy = iy.ravel()
+    iz = iz.ravel()
+    base = ix + nx * (iy + ny * iz)
+
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    vals_list: list[np.ndarray] = []
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                jx = ix + dx
+                jy = iy + dy
+                jz = iz + dz
+                ok = (
+                    (jx >= 0) & (jx < nx)
+                    & (jy >= 0) & (jy < ny)
+                    & (jz >= 0) & (jz < nz)
+                )
+                r = base[ok]
+                c = (jx + nx * (jy + ny * jz))[ok]
+                v = np.full(r.size, 26.0 if (dx == 0 and dy == 0 and dz == 0) else -1.0)
+                rows_list.append(r)
+                cols_list.append(c)
+                vals_list.append(v)
+
+    matrix = CsrMatrix.from_coo(
+        np.concatenate(rows_list),
+        np.concatenate(cols_list),
+        np.concatenate(vals_list),
+        (n, n),
+    )
+    x_exact = np.ones(n, dtype=np.float64)
+    # b = A @ 1: the row sums; computed directly from the structure so the
+    # generator does not depend on the matvec kernel it is used to test.
+    row_nnz = np.diff(matrix.indptr)
+    b = 26.0 - (row_nnz - 1).astype(np.float64)
+    return HpcgProblem(
+        nx=nx, ny=ny, nz=nz, matrix=matrix, b=b, x_exact=x_exact,
+        colors=grid_coloring(nx, ny, nz),
+    )

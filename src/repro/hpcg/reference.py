@@ -1,0 +1,270 @@
+"""The paper's measured results, transcribed for calibration and validation.
+
+Nothing in the simulator *returns* these numbers; they are the target the
+parametric models are calibrated against and the yardstick EXPERIMENTS.md
+compares simulated output to.
+
+Sources (Springborg 2023):
+* Tables 4/5/6 — all 138 measured GFLOPS/W points (Appendix A.2).
+* Table 1 — top-13 configurations with relative GFLOPS/W and performance.
+* Table 2 — power/energy/temperature/runtime of the best and standard runs.
+* Figure 1 — the HPCG GFLOP/s rating at the standard configuration.
+* Section 5.1 — the IPMI-vs-wattmeter readings of Equation 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ReferencePoint",
+    "GFLOPS_PER_WATT",
+    "TABLE1_RELATIVE",
+    "TABLE2",
+    "Table2Row",
+    "STANDARD_CONFIG",
+    "BEST_CONFIG",
+    "FIG1_GFLOPS",
+    "EQ1_IPMI_WATTS",
+    "EQ1_WATTMETER_WATTS",
+    "EQ1_PERCENT_DIFFERENCE",
+    "RELATED_WORK_IMPROVEMENT_PCT",
+    "RELATED_WORK_REDUCTION_PCT",
+    "CORE_COUNTS",
+    "FREQS_GHZ",
+    "lookup",
+]
+
+
+@dataclass(frozen=True)
+class ReferencePoint:
+    """One measured configuration from Tables 4-6."""
+
+    cores: int
+    freq_ghz: float
+    hyperthread: bool
+    gflops_per_watt: float
+
+    @property
+    def freq_khz(self) -> int:
+        return int(round(self.freq_ghz * 1e6))
+
+
+def _pt(cores: int, ghz: float, e: float, ht: bool) -> ReferencePoint:
+    return ReferencePoint(cores, ghz, ht, e)
+
+
+#: Tables 4, 5 and 6 — every (cores, GHz, GFLOPS/W, hyper-thread) row, in
+#: the paper's (descending GFLOPS/W) order.
+GFLOPS_PER_WATT: tuple[ReferencePoint, ...] = (
+    # ---- Table 4 (part 1) ----
+    _pt(32, 2.2, 0.048767, False),
+    _pt(32, 2.2, 0.048286, True),
+    _pt(32, 1.5, 0.047978, False),
+    _pt(32, 1.5, 0.046933, True),
+    _pt(30, 2.2, 0.045618, True),
+    _pt(30, 2.2, 0.045603, False),
+    _pt(30, 1.5, 0.044614, True),
+    _pt(28, 2.2, 0.044392, False),
+    _pt(30, 1.5, 0.044127, False),
+    _pt(28, 2.2, 0.043690, True),
+    _pt(32, 2.5, 0.043168, False),
+    _pt(32, 2.5, 0.043122, True),
+    _pt(28, 1.5, 0.042526, True),
+    _pt(27, 2.2, 0.042289, True),
+    _pt(27, 2.2, 0.042171, False),
+    _pt(28, 1.5, 0.041438, False),
+    _pt(27, 1.5, 0.041218, True),
+    _pt(30, 2.5, 0.040994, False),
+    _pt(27, 1.5, 0.040803, False),
+    _pt(25, 2.2, 0.040196, False),
+    _pt(25, 2.2, 0.039824, True),
+    _pt(30, 2.5, 0.039537, True),
+    _pt(28, 2.5, 0.038596, True),
+    _pt(25, 1.5, 0.038480, False),
+    _pt(28, 2.5, 0.038408, False),
+    _pt(24, 2.2, 0.038154, False),
+    _pt(24, 2.2, 0.037978, True),
+    _pt(25, 1.5, 0.037609, True),
+    _pt(27, 2.5, 0.037581, True),
+    _pt(27, 2.5, 0.037275, False),
+    _pt(24, 1.5, 0.037072, False),
+    _pt(24, 1.5, 0.036513, True),
+    _pt(25, 2.5, 0.035153, True),
+    _pt(25, 2.5, 0.034758, False),
+    _pt(21, 2.2, 0.034490, False),
+    _pt(21, 2.2, 0.034477, True),
+    _pt(24, 2.5, 0.034234, False),
+    _pt(20, 2.2, 0.033840, False),
+    _pt(21, 1.5, 0.033378, False),
+    _pt(20, 2.2, 0.033332, True),
+    _pt(21, 1.5, 0.033251, True),
+    _pt(24, 2.5, 0.032800, True),
+    _pt(20, 1.5, 0.032278, False),
+    _pt(21, 2.5, 0.031940, False),
+    _pt(21, 2.5, 0.031821, True),
+    _pt(20, 1.5, 0.031744, True),
+    _pt(20, 2.5, 0.031623, True),
+    _pt(20, 2.5, 0.031473, False),
+    _pt(18, 2.2, 0.031221, False),
+    _pt(18, 2.2, 0.031209, True),
+    _pt(18, 1.5, 0.030226, False),
+    # ---- Table 5 (part 2) ----
+    _pt(18, 1.5, 0.030030, True),
+    _pt(8, 2.5, 0.030025, False),
+    _pt(16, 2.2, 0.029694, False),
+    _pt(18, 2.5, 0.029675, False),
+    _pt(16, 2.2, 0.029481, True),
+    _pt(8, 2.2, 0.029461, True),
+    _pt(18, 2.5, 0.029385, True),
+    _pt(9, 2.2, 0.029378, False),
+    _pt(8, 2.2, 0.029355, False),
+    _pt(8, 2.5, 0.029334, True),
+    _pt(10, 2.2, 0.029024, False),
+    _pt(10, 2.5, 0.028914, False),
+    _pt(10, 2.2, 0.028787, True),
+    _pt(9, 2.2, 0.028717, True),
+    _pt(6, 2.5, 0.028709, True),
+    _pt(9, 2.5, 0.028601, True),
+    _pt(12, 2.2, 0.028460, False),
+    _pt(9, 2.5, 0.028423, False),
+    _pt(16, 2.5, 0.028402, False),
+    _pt(12, 2.5, 0.028379, True),
+    _pt(12, 2.5, 0.028355, False),
+    _pt(16, 2.5, 0.028317, True),
+    _pt(10, 2.5, 0.028312, True),
+    _pt(15, 2.2, 0.028312, True),
+    _pt(12, 2.2, 0.028258, True),
+    _pt(14, 2.2, 0.028235, True),
+    _pt(16, 1.5, 0.028144, False),
+    _pt(14, 2.2, 0.028097, False),
+    _pt(6, 2.5, 0.027928, False),
+    _pt(15, 2.2, 0.027785, False),
+    _pt(7, 2.5, 0.027625, False),
+    _pt(7, 2.5, 0.027594, True),
+    _pt(14, 1.5, 0.027554, False),
+    _pt(16, 1.5, 0.027520, True),
+    _pt(15, 2.5, 0.027500, False),
+    _pt(15, 2.5, 0.027353, True),
+    _pt(7, 2.2, 0.027228, True),
+    _pt(14, 1.5, 0.027054, True),
+    _pt(7, 2.2, 0.027033, False),
+    _pt(14, 2.5, 0.027008, False),
+    _pt(12, 1.5, 0.026994, False),
+    _pt(15, 1.5, 0.026925, True),
+    _pt(15, 1.5, 0.026879, False),
+    _pt(14, 2.5, 0.026860, True),
+    _pt(6, 2.2, 0.026797, True),
+    _pt(10, 1.5, 0.026599, False),
+    _pt(8, 1.5, 0.026577, True),
+    _pt(10, 1.5, 0.026549, True),
+    _pt(6, 2.2, 0.026512, False),
+    _pt(8, 1.5, 0.026397, False),
+    _pt(9, 1.5, 0.026236, False),
+    _pt(12, 1.5, 0.026219, True),
+    _pt(9, 1.5, 0.026151, True),
+    _pt(5, 2.5, 0.026056, True),
+    _pt(5, 2.5, 0.026028, False),
+    # ---- Table 6 (part 3) ----
+    _pt(4, 2.5, 0.025157, True),
+    _pt(4, 2.5, 0.024648, False),
+    _pt(5, 2.2, 0.023307, False),
+    _pt(7, 1.5, 0.022859, True),
+    _pt(5, 2.2, 0.022752, True),
+    _pt(7, 1.5, 0.022643, False),
+    _pt(4, 2.2, 0.022313, False),
+    _pt(6, 1.5, 0.021718, True),
+    _pt(6, 1.5, 0.021681, False),
+    _pt(4, 2.2, 0.021294, True),
+    _pt(3, 2.5, 0.020024, False),
+    _pt(3, 2.5, 0.019348, True),
+    _pt(5, 1.5, 0.018599, True),
+    _pt(5, 1.5, 0.018445, False),
+    _pt(4, 1.5, 0.016654, False),
+    _pt(4, 1.5, 0.016160, True),
+    _pt(2, 2.5, 0.016094, False),
+    _pt(2, 2.5, 0.015917, True),
+    _pt(3, 2.2, 0.015503, True),
+    _pt(1, 2.5, 0.014558, False),
+    _pt(1, 2.5, 0.014548, True),
+    _pt(3, 2.2, 0.014462, False),
+    _pt(2, 2.2, 0.011852, False),
+    _pt(3, 1.5, 0.011503, True),
+    _pt(2, 2.2, 0.011355, True),
+    _pt(3, 1.5, 0.011177, False),
+    _pt(1, 2.2, 0.010560, True),
+    _pt(1, 2.2, 0.010462, False),
+    _pt(1, 1.5, 0.007571, True),
+    _pt(1, 1.5, 0.007569, False),
+    _pt(2, 1.5, 0.007236, False),
+    _pt(2, 1.5, 0.007150, True),
+)
+
+#: Core counts and frequencies the paper swept.
+CORE_COUNTS: tuple[int, ...] = tuple(sorted({p.cores for p in GFLOPS_PER_WATT}))
+FREQS_GHZ: tuple[float, ...] = (1.5, 2.2, 2.5)
+
+#: Table 1 — (cores, GHz, hyperthread) -> (GFLOPS/W ratio vs standard,
+#: performance ratio vs standard).  The performance column is the only
+#: absolute-GFLOPS information beyond Figure 1, so it anchors the
+#: performance-model calibration.
+TABLE1_RELATIVE: dict[tuple[int, float, bool], tuple[float, float]] = {
+    (32, 2.2, False): (1.13, 0.98),
+    (32, 2.2, True): (1.12, 0.98),
+    (32, 1.5, False): (1.11, 0.90),
+    (32, 1.5, True): (1.09, 0.90),
+    (30, 2.2, True): (1.06, 0.93),
+    (30, 2.2, False): (1.06, 0.93),
+    (30, 1.5, True): (1.03, 0.86),
+    (28, 2.2, False): (1.03, 0.88),
+    (30, 1.5, False): (1.02, 0.86),
+    (28, 2.2, True): (1.01, 0.88),
+    (32, 2.5, False): (1.00, 1.00),
+    (32, 2.5, True): (1.00, 1.00),
+    (28, 1.5, True): (0.99, 0.81),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2 (full-run power/energy summary)."""
+
+    name: str
+    avg_sys_w: float
+    avg_cpu_w: float
+    sys_kj: float
+    cpu_kj: float
+    avg_temp_c: float
+    runtime_s: int
+
+
+TABLE2: dict[str, Table2Row] = {
+    "standard": Table2Row("Standard", 216.6, 120.4, 240.2, 133.5, 62.8, 18 * 60 + 29),
+    "best": Table2Row("Best", 190.1, 97.4, 214.4, 109.8, 53.8, 18 * 60 + 47),
+}
+
+#: The Slurm default (performance governor, all cores, HT available).
+STANDARD_CONFIG: tuple[int, float, bool] = (32, 2.5, True)
+#: The winning configuration of Table 1.
+BEST_CONFIG: tuple[int, float, bool] = (32, 2.2, False)
+
+#: Figure 1: "GFLOP/s rating found: 9.34829" at the standard configuration.
+FIG1_GFLOPS: float = 9.34829
+
+#: Section 5.1 / Equation 1 measurement-validation readings.
+EQ1_IPMI_WATTS: float = 258.0
+EQ1_WATTMETER_WATTS: float = 129.7 + 143.7  # two PSUs
+EQ1_PERCENT_DIFFERENCE: float = 5.96
+
+#: Section 5.2.3 / Equation 2: the related work's 106% efficiency
+#: improvement recomputed as a 5.66% reduction.
+RELATED_WORK_IMPROVEMENT_PCT: float = 106.0
+RELATED_WORK_REDUCTION_PCT: float = 5.66
+
+
+def lookup(cores: int, freq_ghz: float, hyperthread: bool) -> ReferencePoint:
+    """Find the reference point for a configuration; KeyError if absent."""
+    for p in GFLOPS_PER_WATT:
+        if p.cores == cores and abs(p.freq_ghz - freq_ghz) < 1e-9 and p.hyperthread == hyperthread:
+            return p
+    raise KeyError(f"no reference point for ({cores}, {freq_ghz}, ht={hyperthread})")

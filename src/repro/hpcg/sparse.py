@@ -1,0 +1,233 @@
+"""From-scratch CSR sparse-matrix kernels with flop accounting.
+
+HPCG's kernels are SpMV, dot products, AXPY-family vector updates and the
+symmetric Gauss–Seidel sweep.  We implement CSR ourselves (no scipy.sparse)
+both because the benchmark *is* the substrate here and because we need exact
+flop counts: HPCG's official rating divides a fixed analytic flop count by
+wall time, so the counter must match the textbook numbers (2·nnz per SpMV,
+2·n per dot, 2·n per AXPY, 2·nnz per Gauss–Seidel half-sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["FlopCounter", "CsrMatrix"]
+
+
+@dataclass
+class FlopCounter:
+    """Accumulates floating-point operation counts by kernel."""
+
+    by_kernel: dict[str, int] = field(default_factory=dict)
+
+    def add(self, kernel: str, flops: int) -> None:
+        self.by_kernel[kernel] = self.by_kernel.get(kernel, 0) + int(flops)
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_kernel.values())
+
+    def reset(self) -> None:
+        self.by_kernel.clear()
+
+    def merged(self, other: "FlopCounter") -> "FlopCounter":
+        out = FlopCounter(dict(self.by_kernel))
+        for k, v in other.by_kernel.items():
+            out.add(k, v)
+        return out
+
+
+class CsrMatrix:
+    """Compressed Sparse Row matrix over float64 numpy arrays.
+
+    Invariants (checked on construction):
+      * ``indptr`` has length ``nrows + 1``, starts at 0, is non-decreasing;
+      * ``indices``/``data`` have length ``indptr[-1]``;
+      * column indices are within ``[0, ncols)``.
+
+    Column indices within a row are kept in ascending order by the builder,
+    which the Gauss–Seidel lower/upper splits rely on.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+        self._diag: Optional[np.ndarray] = None
+
+    def _validate(self) -> None:
+        nrows, ncols = self.shape
+        if self.indptr.shape != (nrows + 1,):
+            raise ValueError(f"indptr length {self.indptr.shape[0]} != nrows+1 {nrows + 1}")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise ValueError("indices/data length must equal indptr[-1]")
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= ncols):
+            raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CsrMatrix":
+        """Build from COO triplets (duplicates are summed)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError("rows/cols/vals must have identical shapes")
+        nrows, ncols = shape
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if rows.size:
+            # merge duplicates
+            key_change = np.empty(rows.size, dtype=bool)
+            key_change[0] = True
+            key_change[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            group_ids = np.cumsum(key_change) - 1
+            uniq_rows = rows[key_change]
+            uniq_cols = cols[key_change]
+            uniq_vals = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+            np.add.at(uniq_vals, group_ids, vals)
+        else:
+            uniq_rows = rows
+            uniq_cols = cols
+            uniq_vals = vals
+        counts = np.bincount(uniq_rows, minlength=nrows)
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, uniq_cols, uniq_vals, shape)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal (cached). Missing diagonal entries read as 0."""
+        if self._diag is None:
+            diag = np.zeros(self.nrows, dtype=np.float64)
+            for i in range(self.nrows):
+                lo, hi = self.indptr[i], self.indptr[i + 1]
+                cols = self.indices[lo:hi]
+                hit = np.searchsorted(cols, i)
+                if hit < cols.size and cols[hit] == i:
+                    diag[i] = self.data[lo + hit]
+            self._diag = diag
+        return self._diag
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray, flops: Optional[FlopCounter] = None) -> np.ndarray:
+        """y = A @ x (vectorized segmented reduction; 2*nnz flops)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise ValueError(f"x has shape {x.shape}, expected ({self.ncols},)")
+        products = self.data * x[self.indices]
+        y = np.zeros(self.nrows, dtype=np.float64)
+        if products.size:
+            # segmented sum over rows: reduceat on non-empty segments
+            row_has = np.diff(self.indptr) > 0
+            starts = self.indptr[:-1][row_has]
+            sums = np.add.reduceat(products, starts)
+            y[row_has] = sums
+        if flops is not None:
+            flops.add("spmv", 2 * self.nnz)
+        return y
+
+    def subset_matvec(
+        self,
+        rows: np.ndarray,
+        x: np.ndarray,
+        flops: Optional[FlopCounter] = None,
+    ) -> np.ndarray:
+        """(A @ x) restricted to ``rows`` without computing other rows."""
+        x = np.asarray(x, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty(rows.size, dtype=np.float64)
+        nnz_touched = 0
+        for k, i in enumerate(rows):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            out[k] = np.dot(self.data[lo:hi], x[self.indices[lo:hi]])
+            nnz_touched += hi - lo
+        if flops is not None:
+            flops.add("spmv", 2 * int(nnz_touched))
+        return out
+
+    # ------------------------------------------------------------------
+    # dense helpers for tests
+    # ------------------------------------------------------------------
+    def todense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        for i in range(self.nrows):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            dense[i, self.indices[lo:hi]] = self.data[lo:hi]
+        return dense
+
+    def is_symmetric(self, tol: float = 1e-12) -> bool:
+        dense = self.todense()
+        return bool(np.allclose(dense, dense.T, atol=tol))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CsrMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def dot(a: np.ndarray, b: np.ndarray, flops: Optional[FlopCounter] = None) -> float:
+    """Inner product with flop accounting (2n flops)."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if flops is not None:
+        flops.add("dot", 2 * a.size)
+    return float(np.dot(a, b))
+
+
+def axpby(
+    alpha: float,
+    x: np.ndarray,
+    beta: float,
+    y: np.ndarray,
+    flops: Optional[FlopCounter] = None,
+) -> np.ndarray:
+    """w = alpha*x + beta*y with HPCG's WAXPBY accounting (2n flops)."""
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if flops is not None:
+        flops.add("waxpby", 2 * x.size)
+    return alpha * x + beta * y

@@ -1,0 +1,156 @@
+"""HPCG as a node workload: what actually runs when Slurm starts the job.
+
+Connects the roofline model to the hardware layer.  The workload exposes
+HPCG's two-phase time profile (problem setup, then the solve) plus the
+power *instability* the paper's Figure 15 shows for the standard
+configuration: at the top P-state the package repeatedly bumps into its
+power/thermal envelope and oscillates, while the 2.2 GHz configuration sits
+flat ("running at a constant speed" in the paper's car metaphor).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.hardware.cpu import khz_to_ghz
+from repro.hardware.node import Workload
+from repro.hpcg.performance_model import HpcgPerformanceModel, PAPER_TOTAL_FLOPS
+from repro.simkernel.random import RandomStreams
+
+__all__ = ["HpcgWorkload"]
+
+#: fraction of the run spent in problem setup/validation (lower power)
+SETUP_FRACTION = 0.04
+#: power-oscillation period at the thermal envelope (seconds)
+OSCILLATION_PERIOD_S = 42.0
+
+
+class HpcgWorkload(Workload):
+    """One HPCG execution at a fixed configuration.
+
+    Args:
+        cores: scheduled cores (``--ntasks``).
+        threads_per_core: 1 or 2 (``--ntasks-per-core``).
+        freq_khz: pinned CPU frequency.
+        model: the shared roofline model.
+        total_flops: work to complete; runtime = flops / rate.
+        duration_s: if given, run time-bounded instead of work-bounded
+            (the paper's 20-minute sweep jobs).
+        streams: random streams for the run-level rating noise.
+        run_tag: disambiguates noise draws between runs.
+        n_nodes: nodes the job spans; this object models *one node's shard*
+            but reports the aggregate rating.  Cross-node halo exchanges
+            cost an efficiency factor per doubling (multi-node extension,
+            paper section 6.2.3).
+    """
+
+    #: multi-node parallel efficiency per doubling of the node count
+    INTERNODE_EFFICIENCY = 0.96
+
+    def __init__(
+        self,
+        cores: int,
+        threads_per_core: int,
+        freq_khz: int,
+        *,
+        model: Optional[HpcgPerformanceModel] = None,
+        total_flops: float = PAPER_TOTAL_FLOPS,
+        duration_s: Optional[float] = None,
+        streams: Optional[RandomStreams] = None,
+        run_tag: str = "run",
+        max_freq_khz: int = 2_500_000,
+        n_nodes: int = 1,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.name = f"hpcg-c{cores}-t{threads_per_core}-f{freq_khz}"
+        self.cores = cores
+        self.threads_per_core = threads_per_core
+        self.freq_khz = freq_khz
+        self.n_nodes = n_nodes
+        self.model = model or HpcgPerformanceModel()
+        self.total_flops = total_flops
+        shard = self.model.gflops(cores, freq_khz, threads_per_core)
+        scaling = self.INTERNODE_EFFICIENCY ** math.log2(n_nodes) if n_nodes > 1 else 1.0
+        base = shard * n_nodes * scaling
+        if streams is not None:
+            noise = streams.get(f"hpcg:{run_tag}").normal(0.0, self.model.params.noise_sigma)
+        else:
+            noise = 0.0
+        #: the aggregate GFLOP/s rating this run will report
+        self.rating_gflops = base * (1.0 + noise)
+        self._cf = self.model.compute_fraction(cores, freq_khz, threads_per_core)
+        #: per-node DRAM bandwidth (each node streams its own shard)
+        self._bw = (
+            self.rating_gflops / n_nodes / self.model.params.ai_flops_per_byte
+        )
+        if duration_s is not None:
+            self.runtime_s = float(duration_s)
+            self.completed_flops = self.rating_gflops * 1e9 * self.solve_seconds
+        else:
+            # PAPER_TOTAL_FLOPS is calibrated against Table 2's wall-clock
+            # runtime, so it covers the whole run (setup included).
+            self.runtime_s = total_flops / (self.rating_gflops * 1e9)
+            self.completed_flops = total_flops
+        # Power oscillation: only when pinned at (or defaulting to) the top
+        # P-state, where the package duty-cycles against its envelope.
+        ghz = khz_to_ghz(freq_khz)
+        top = khz_to_ghz(max_freq_khz)
+        headroom = max(0.0, (ghz - 2.2) / max(1e-9, top - 2.2))
+        self._osc_amp = 0.055 * headroom
+        if streams is not None:
+            self._osc_phase = float(streams.get(f"hpcg-phase:{run_tag}").uniform(0, 2 * math.pi))
+        else:
+            self._osc_phase = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def solve_seconds(self) -> float:
+        return self.runtime_s * (1.0 - SETUP_FRACTION)
+
+    @property
+    def setup_seconds(self) -> float:
+        return self.runtime_s * SETUP_FRACTION
+
+    def _in_setup(self, elapsed_s: float) -> bool:
+        return elapsed_s < self.setup_seconds
+
+    def compute_fraction(self, elapsed_s: float) -> float:
+        if self._in_setup(elapsed_s):
+            return 0.35 * self._cf
+        return self._cf
+
+    def bandwidth_gbs(self, elapsed_s: float) -> float:
+        if self._in_setup(elapsed_s):
+            return 0.55 * self._bw
+        return self._bw
+
+    def utilization(self, elapsed_s: float) -> float:
+        return 1.0
+
+    def power_modulation(self, elapsed_s: float) -> float:
+        if self._in_setup(elapsed_s) or self._osc_amp == 0.0:
+            return 1.0
+        return 1.0 + self._osc_amp * math.sin(
+            2.0 * math.pi * elapsed_s / OSCILLATION_PERIOD_S + self._osc_phase
+        )
+
+    def render_output(self) -> str:
+        """Job stdout in the shape of HPCG's final summary block.
+
+        Chronus' HPCG application runner parses the ``GFLOP/s rating of``
+        line, exactly like the original parses real HPCG output.
+        """
+        return (
+            "HPCG-Benchmark version=3.1\n"
+            f"Machine Summary::Distributed Processes={self.cores * self.n_nodes}\n"
+            f"Machine Summary::Threads per processes={self.threads_per_core}\n"
+            "Global Problem Dimensions::Global nx=104\n"
+            "Global Problem Dimensions::Global ny=104\n"
+            "Global Problem Dimensions::Global nz=104\n"
+            f"Benchmark Time Summary::Total={self.runtime_s:.4f}\n"
+            f"Floating Point Operations Summary::Total={self.completed_flops:.6e}\n"
+            "Final Summary::HPCG result is VALID with a GFLOP/s rating "
+            f"of={self.rating_gflops:.5f}\n"
+        )

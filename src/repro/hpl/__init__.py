@@ -1,0 +1,31 @@
+"""HPL (High-Performance Linpack) — a second Application Runner target.
+
+The paper contrasts HPCG with HPL ("the High-Performance Linpack
+benchmark, which is often used for ranking computer systems") but only
+ships an HPCG runner, and its plugin hard-codes the binary path
+(limitation 6.1.2) so one model serves every application (limitation
+6.1.3).  This package supplies the missing second application:
+
+* HPL is **compute-bound** — throughput tracks ``cores x frequency`` almost
+  linearly and drives the package into its power limit, so its
+  energy-optimal configuration is *different* from HPCG's: maximum
+  frequency wins (the TDP cap means higher clocks buy performance at no
+  extra package power).
+* With two applications on the cluster, Chronus' per-binary model
+  dispatch (the ``binary_hash`` argument of ``slurm-config``) becomes
+  observable: the eco plugin rewrites HPCG jobs to 32c/2.2 GHz and HPL
+  jobs to 32c/2.5 GHz.
+"""
+
+from repro.hpl.model import HplPerformanceModel, HplParams, HPL_TOTAL_FLOPS
+from repro.hpl.workload import HplWorkload
+
+__all__ = [
+    "HplPerformanceModel",
+    "HplParams",
+    "HPL_TOTAL_FLOPS",
+    "HplWorkload",
+]
+
+#: canonical path of the HPL executable on the simulated cluster
+HPL_BINARY = "/opt/hpl/bin/xhpl"

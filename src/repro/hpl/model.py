@@ -1,0 +1,68 @@
+"""HPL performance model: compute-bound DGEMM-dominated throughput.
+
+HPL spends its time in matrix-matrix multiply, so sustained GFLOP/s is a
+large fraction of peak and scales with ``cores x frequency``; the memory
+roof sits far above the operating point (DGEMM's arithmetic intensity
+grows with block size).  A mild parallel-efficiency loss with core count
+models panel-factorisation serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import khz_to_ghz
+
+__all__ = ["HplParams", "HplPerformanceModel", "HPL_TOTAL_FLOPS"]
+
+#: total flops of the benchmark problem (2/3 N^3 for N ~ 190k scaled down
+#: so a full-node run lasts roughly the paper's HPCG duration)
+HPL_TOTAL_FLOPS: float = 2.4e14
+
+
+@dataclass(frozen=True)
+class HplParams:
+    """HPL model constants (plausible for an EPYC 7502P, not fitted —
+    there is no HPL table in the paper to fit against)."""
+
+    #: sustained flops per core per cycle (AVX2 FMA, ~80% DGEMM efficiency)
+    flops_per_cycle: float = 12.8
+    #: parallel-efficiency exponent: eff = cores^(-alpha)
+    parallel_alpha: float = 0.03
+    #: hyper-threading effect: the FPUs are already saturated
+    ht_factor: float = 0.97
+    #: fraction of peak FLOP rate actually switching (power activity)
+    compute_fraction: float = 0.85
+    #: DRAM bandwidth per achieved TFLOP/s (GB/s) — low, DGEMM is blocked
+    bw_gbs_per_tflops: float = 18.0
+
+
+class HplPerformanceModel:
+    """Maps (cores, frequency, threads/core) to sustained HPL GFLOP/s."""
+
+    def __init__(self, params: HplParams | None = None) -> None:
+        self.params = params or HplParams()
+
+    def gflops(self, cores: int, freq_khz: float, threads_per_core: int = 1) -> float:
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        if threads_per_core not in (1, 2):
+            raise ValueError("threads_per_core must be 1 or 2")
+        p = self.params
+        ghz = khz_to_ghz(freq_khz)
+        eff = cores ** (-p.parallel_alpha)
+        ht = p.ht_factor if threads_per_core == 2 else 1.0
+        return p.flops_per_cycle * cores * ghz * eff * ht
+
+    def compute_fraction(self, cores: int, freq_khz: float, threads_per_core: int = 1) -> float:
+        """High and configuration-independent: DGEMM keeps pipelines full."""
+        return self.params.compute_fraction
+
+    def bandwidth_gbs(self, cores: int, freq_khz: float, threads_per_core: int = 1) -> float:
+        return self.gflops(cores, freq_khz, threads_per_core) / 1000.0 * self.params.bw_gbs_per_tflops
+
+    def runtime_seconds(
+        self, cores: int, freq_khz: float, threads_per_core: int = 1,
+        total_flops: float = HPL_TOTAL_FLOPS,
+    ) -> float:
+        return total_flops / (self.gflops(cores, freq_khz, threads_per_core) * 1e9)

@@ -1,0 +1,76 @@
+"""HPL as a node workload, plus its HPL-style output block."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.node import Workload
+from repro.hpl.model import HPL_TOTAL_FLOPS, HplPerformanceModel
+from repro.simkernel.random import RandomStreams
+
+__all__ = ["HplWorkload"]
+
+
+class HplWorkload(Workload):
+    """One HPL execution at a fixed configuration.
+
+    Compute-bound: no setup/solve power split worth modelling (HPL's
+    panel broadcasts average out), constant high activity.
+    """
+
+    def __init__(
+        self,
+        cores: int,
+        threads_per_core: int,
+        freq_khz: int,
+        *,
+        model: Optional[HplPerformanceModel] = None,
+        total_flops: float = HPL_TOTAL_FLOPS,
+        duration_s: Optional[float] = None,
+        streams: Optional[RandomStreams] = None,
+        run_tag: str = "run",
+        noise_sigma: float = 0.003,
+    ) -> None:
+        self.name = f"hpl-c{cores}-t{threads_per_core}-f{freq_khz}"
+        self.cores = cores
+        self.threads_per_core = threads_per_core
+        self.freq_khz = freq_khz
+        self.model = model or HplPerformanceModel()
+        base = self.model.gflops(cores, freq_khz, threads_per_core)
+        noise = (
+            float(streams.get(f"hpl:{run_tag}").normal(0.0, noise_sigma))
+            if streams is not None
+            else 0.0
+        )
+        self.rating_gflops = base * (1.0 + noise)
+        self._cf = self.model.compute_fraction(cores, freq_khz, threads_per_core)
+        self._bw = self.rating_gflops / 1000.0 * self.model.params.bw_gbs_per_tflops
+        if duration_s is not None:
+            self.runtime_s = float(duration_s)
+            self.completed_flops = self.rating_gflops * 1e9 * duration_s
+        else:
+            self.runtime_s = total_flops / (self.rating_gflops * 1e9)
+            self.completed_flops = total_flops
+
+    # ------------------------------------------------------------------
+    def compute_fraction(self, elapsed_s: float) -> float:
+        return self._cf
+
+    def bandwidth_gbs(self, elapsed_s: float) -> float:
+        return self._bw
+
+    def render_output(self) -> str:
+        """HPL's result block; the rating line is parseable by the same
+        regex Chronus uses for HPCG (``GFLOP/s rating of=...``) so the
+        HPCG runner subclass only swaps the binary path."""
+        n = 190_000
+        return (
+            "================================================================\n"
+            f"T/V                N    NB     P     Q               Time  Gflops\n"
+            "----------------------------------------------------------------\n"
+            f"WR11C2R4      {n}   232     4     8        {self.runtime_s:12.2f} "
+            f"{self.rating_gflops:.4e}\n"
+            "||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N)= 0.0021 PASSED\n"
+            "Final Summary::HPL result is VALID with a GFLOP/s rating "
+            f"of={self.rating_gflops:.5f}\n"
+        )

@@ -1,0 +1,206 @@
+"""Core discrete-event engine: clock, events and the simulator loop.
+
+The engine follows the classic calendar-queue structure: callers schedule
+callbacks at absolute or relative simulated times; :meth:`Simulator.run`
+pops events in timestamp order (ties broken by insertion order, so the
+simulation is deterministic) and advances the clock to each event's time.
+
+Simulated time is a float number of seconds since simulation start.  Nothing
+in the engine sleeps on the wall clock; a 20-minute HPCG run elapses in the
+microseconds it takes to drain its events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["SimClock", "Event", "EventQueue", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling in the past)."""
+
+
+class SimClock:
+    """Monotonic simulated clock.
+
+    The clock only ever moves forward; it is advanced exclusively by the
+    :class:`Simulator` event loop.  Components hold a reference to the clock
+    and read :attr:`now` when they need a timestamp.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def _advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {t} < {self._now}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now:.3f})"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, seq)``.  ``seq`` is a global insertion counter so
+    two events at the same timestamp fire in the order they were scheduled,
+    which keeps multi-component simulations deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap event queue with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(self, time: float, callback: Callable[[], None], name: str = "") -> Event:
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        ev = Event(time=time, seq=next(self._counter), callback=callback, name=name)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or None if empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """The event loop tying a clock and an event queue together.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.call_at(10.0, lambda: print("t=10"))
+        sim.call_in(5.0, lambda: print("t=5"))
+        sim.run()            # drains all events
+        sim.now              # -> 10.0
+
+    ``run(until=...)`` executes events up to and including ``until`` and then
+    advances the clock to ``until`` even if the queue empties earlier, which
+    is what fixed-horizon experiment drivers want.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self.events = EventQueue()
+        self._running = False
+        self._stopped = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # scheduling API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (for tests and diagnostics)."""
+        return self._event_count
+
+    def call_at(self, time: float, callback: Callable[[], None], name: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self.now}"
+            )
+        return self.events.push(time, callback, name)
+
+    def call_in(self, delay: float, callback: Callable[[], None], name: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.events.push(self.now + delay, callback, name)
+
+    def stop(self) -> None:
+        """Request the currently-running loop to stop after this event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain events; returns the number of events executed.
+
+        Args:
+            until: inclusive horizon.  Events scheduled later stay queued.
+                The clock is left at ``max(now, until)`` when given.
+            max_events: safety valve for runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                t = self.events.peek_time()
+                if t is None:
+                    break
+                if until is not None and t > until:
+                    break
+                ev = self.events.pop()
+                assert ev is not None
+                self.clock._advance_to(ev.time)
+                ev.callback()
+                executed += 1
+                self._event_count += 1
+            if until is not None and until > self.now and not self._stopped:
+                self.clock._advance_to(until)
+        finally:
+            self._running = False
+        return executed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue is empty."""
+        return self.run(max_events=max_events)
+
+    def peek_next_time(self) -> Optional[float]:
+        return self.events.peek_time()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self.now:.3f}, pending={len(self.events)})"

@@ -1,0 +1,42 @@
+"""Discrete-event Slurm simulator.
+
+A faithful-in-the-parts-that-matter model of Slurm 22.05 as the paper uses
+it: a controller (``slurmctld``) with a job-submit plugin chain, per-node
+daemons (``slurmd``), ``#SBATCH`` batch-script parsing, FIFO +
+conservative-backfill scheduling, accounting (``slurmdbd``) and text-mode
+command front-ends (``sbatch``/``squeue``/``sinfo``/``scontrol``/``sacct``).
+
+The eco plugin lives in :mod:`repro.slurm.plugins.eco`; it is a Python
+translation of the paper's C ``job_submit_eco`` plugin operating on the
+same ``job_descriptor`` fields (``num_tasks``, ``threads_per_core``,
+``min/max`` CPU frequency).
+"""
+
+from repro.slurm.job import Job, JobDescriptor, JobState
+from repro.slurm.batch_script import parse_batch_script, BatchScriptError
+from repro.slurm.config import SlurmConfig
+from repro.slurm.controller import Slurmctld, SubmitError
+from repro.slurm.nodemgr import Slurmd, ApplicationRegistry
+from repro.slurm.accounting import AccountingDatabase, JobRecord
+from repro.slurm.priority import PriorityWeights, multifactor_priority
+from repro.slurm.commands import SlurmCommands
+from repro.slurm.cluster import SimCluster
+
+__all__ = [
+    "Job",
+    "JobDescriptor",
+    "JobState",
+    "parse_batch_script",
+    "BatchScriptError",
+    "SlurmConfig",
+    "Slurmctld",
+    "SubmitError",
+    "Slurmd",
+    "ApplicationRegistry",
+    "AccountingDatabase",
+    "JobRecord",
+    "PriorityWeights",
+    "multifactor_priority",
+    "SlurmCommands",
+    "SimCluster",
+]

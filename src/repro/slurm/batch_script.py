@@ -1,0 +1,250 @@
+"""``#SBATCH`` batch-script parsing.
+
+Chronus generates exactly the script shape of the paper's Listing 6::
+
+    #!/bin/bash
+    #SBATCH --nodes=1
+    #SBATCH --ntasks={cores}
+    #SBATCH --cpu-freq={frequency}
+
+    srun --mpi=pmix_v4 --ntasks-per-core={thread_per_core} {hpcg_path}
+
+The parser handles that plus the common option spellings (``--opt=value``
+and ``--opt value``, short ``-n``/``-N``/``-J``/``-t``), ``--comment``
+(how a user opts a job into the eco plugin, section 3.3) and ``--time``
+in Slurm's ``[[days-]hours:]minutes[:seconds]`` formats.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+
+from repro.slurm.job import JobDescriptor
+
+__all__ = ["BatchScriptError", "parse_batch_script", "parse_time_limit", "build_script"]
+
+
+class BatchScriptError(ValueError):
+    """Malformed batch script."""
+
+
+def parse_time_limit(text: str) -> int:
+    """Parse a Slurm time spec into seconds.
+
+    Accepted forms: ``minutes``, ``minutes:seconds``, ``hours:minutes:seconds``
+    and ``days-hours[:minutes[:seconds]]``.
+    """
+    text = text.strip()
+    days = 0
+    if "-" in text:
+        day_part, text = text.split("-", 1)
+        if not day_part.isdigit():
+            raise BatchScriptError(f"bad day component in time limit: {day_part!r}")
+        days = int(day_part)
+        # days-hours[:minutes[:seconds]]
+        parts = text.split(":")
+        if not all(p.isdigit() for p in parts) or not 1 <= len(parts) <= 3:
+            raise BatchScriptError(f"bad time limit: {text!r}")
+        nums = [int(p) for p in parts] + [0] * (3 - len(parts))
+        hours, minutes, seconds = nums
+    else:
+        parts = text.split(":")
+        if not all(p.isdigit() for p in parts):
+            raise BatchScriptError(f"bad time limit: {text!r}")
+        if len(parts) == 1:
+            hours, minutes, seconds = 0, int(parts[0]), 0
+        elif len(parts) == 2:
+            hours, minutes, seconds = 0, int(parts[0]), int(parts[1])
+        elif len(parts) == 3:
+            hours, minutes, seconds = int(parts[0]), int(parts[1]), int(parts[2])
+        else:
+            raise BatchScriptError(f"bad time limit: {text!r}")
+    return ((days * 24 + hours) * 60 + minutes) * 60 + seconds
+
+
+_OPT_ALIASES = {
+    "-n": "--ntasks",
+    "-N": "--nodes",
+    "-J": "--job-name",
+    "-t": "--time",
+    "-p": "--partition",
+}
+
+
+def _split_options(tokens: list[str]) -> dict[str, str]:
+    """Normalise a token list into an option->value mapping."""
+    out: dict[str, str] = {}
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        tok = _OPT_ALIASES.get(tok, tok)
+        if not tok.startswith("--"):
+            raise BatchScriptError(f"unexpected token in #SBATCH line: {tok!r}")
+        if "=" in tok:
+            key, value = tok.split("=", 1)
+            out[key] = value
+            i += 1
+        else:
+            if i + 1 >= len(tokens):
+                raise BatchScriptError(f"option {tok!r} is missing a value")
+            out[tok] = tokens[i + 1]
+            i += 2
+    return out
+
+
+def parse_batch_script(script: str) -> JobDescriptor:
+    """Parse a batch script into a :class:`JobDescriptor`.
+
+    Raises:
+        BatchScriptError: on malformed directives or a missing srun line.
+    """
+    if not script.strip():
+        raise BatchScriptError("empty batch script")
+    desc = JobDescriptor()
+    lines = script.splitlines()
+    if not lines[0].startswith("#!"):
+        raise BatchScriptError("batch script must start with a shebang (#!)")
+
+    options: dict[str, str] = {}
+    for line in lines[1:]:
+        stripped = line.strip()
+        if stripped.startswith("#SBATCH"):
+            rest = stripped[len("#SBATCH"):].strip()
+            if not rest:
+                raise BatchScriptError("empty #SBATCH directive")
+            options.update(_split_options(shlex.split(rest)))
+        elif stripped.startswith("#") or not stripped:
+            continue
+
+    if "--job-name" in options:
+        desc.name = options["--job-name"]
+    if "--nodes" in options:
+        desc.nodes = _parse_int(options["--nodes"], "--nodes")
+    if "--ntasks" in options:
+        desc.num_tasks = _parse_int(options["--ntasks"], "--ntasks")
+    if "--cpu-freq" in options:
+        desc.cpu_freq_min, desc.cpu_freq_max = _parse_cpu_freq(options["--cpu-freq"])
+    if "--comment" in options:
+        desc.comment = options["--comment"]
+    if "--time" in options:
+        desc.time_limit_s = parse_time_limit(options["--time"])
+    if "--partition" in options:
+        desc.partition = options["--partition"]
+    if "--array" in options:
+        desc.array = parse_array_spec(options["--array"])
+
+    # the job step: first non-comment command line mentioning srun, or the
+    # bare command line itself
+    for line in lines[1:]:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        tokens = shlex.split(stripped)
+        if tokens[0] == "srun":
+            srun_opts: list[str] = []
+            binary = ""
+            for tok in tokens[1:]:
+                if tok.startswith("-"):
+                    srun_opts.append(tok)
+                else:
+                    binary = tok
+                    break
+            desc.srun_args = tuple(srun_opts)
+            desc.binary = binary
+            for opt in srun_opts:
+                if opt.startswith("--ntasks-per-core="):
+                    desc.threads_per_core = _parse_int(
+                        opt.split("=", 1)[1], "--ntasks-per-core"
+                    )
+        else:
+            desc.binary = desc.binary or tokens[0]
+        break
+    if not desc.binary:
+        raise BatchScriptError("batch script has no command to run")
+    return desc
+
+
+def parse_array_spec(value: str) -> tuple[int, ...]:
+    """Parse ``--array`` specs: ``0-9``, ``1,3,7``, ``0-9:2``, ``0-9%4``.
+
+    The ``%limit`` concurrency throttle is accepted and ignored (the
+    simulator's scheduler already bounds concurrency by cores).
+    """
+    spec = value.strip()
+    if "%" in spec:
+        spec = spec.split("%", 1)[0]
+    indices: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            raise BatchScriptError(f"empty element in --array spec {value!r}")
+        step = 1
+        if ":" in part:
+            part, step_text = part.split(":", 1)
+            if not step_text.isdigit() or int(step_text) < 1:
+                raise BatchScriptError(f"bad --array step in {value!r}")
+            step = int(step_text)
+        if "-" in part:
+            lo_text, hi_text = part.split("-", 1)
+            if not (lo_text.isdigit() and hi_text.isdigit()):
+                raise BatchScriptError(f"bad --array range in {value!r}")
+            lo, hi = int(lo_text), int(hi_text)
+            if hi < lo:
+                raise BatchScriptError(f"descending --array range in {value!r}")
+            indices.extend(range(lo, hi + 1, step))
+        elif part.isdigit():
+            indices.append(int(part))
+        else:
+            raise BatchScriptError(f"bad --array element {part!r} in {value!r}")
+    if not indices:
+        raise BatchScriptError(f"empty --array spec {value!r}")
+    return tuple(sorted(set(indices)))
+
+
+def _parse_int(value: str, opt: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise BatchScriptError(f"{opt} expects an integer, got {value!r}") from None
+
+
+def _parse_cpu_freq(value: str) -> tuple[int, int]:
+    """Parse ``--cpu-freq`` — ``<freq>`` or ``<min>-<max>`` in kHz."""
+    m = re.fullmatch(r"(\d+)(?:-(\d+))?", value.strip())
+    if not m:
+        raise BatchScriptError(f"--cpu-freq expects kHz or min-max kHz, got {value!r}")
+    lo = int(m.group(1))
+    hi = int(m.group(2)) if m.group(2) else lo
+    return lo, hi
+
+
+def build_script(
+    cores: int,
+    frequency_khz: int,
+    threads_per_core: int,
+    binary: str,
+    *,
+    comment: str = "",
+    time_limit: str = "",
+    job_name: str = "",
+    nodes: int = 1,
+) -> str:
+    """Generate a batch script in the paper's Listing-6 shape.
+
+    ``cores`` is the total task count (``--ntasks``); pass ``nodes`` for a
+    spanning job (multi-node extension).
+    """
+    lines = ["#!/bin/bash", f"#SBATCH --nodes={nodes}", f"#SBATCH --ntasks={cores}",
+             f"#SBATCH --cpu-freq={frequency_khz}"]
+    if comment:
+        lines.append(f'#SBATCH --comment "{comment}"')
+    if time_limit:
+        lines.append(f"#SBATCH --time={time_limit}")
+    if job_name:
+        lines.append(f"#SBATCH --job-name={job_name}")
+    lines.append("")
+    lines.append(
+        f"srun --mpi=pmix_v4 --ntasks-per-core={threads_per_core} {binary}"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,123 @@
+"""Text-mode Slurm command front-ends.
+
+Chronus shells out to ``sbatch``/``squeue``/``scontrol`` on a real cluster;
+here those commands are methods returning the same textual shapes, so the
+Chronus integration code can parse output the way the original does
+(Appendix D: "tests verified that these scripts worked with Slurm by
+checking squeue and scontrol").
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.slurm.batch_script import parse_batch_script
+from repro.slurm.controller import Slurmctld
+from repro.slurm.job import Job, JobState
+
+__all__ = ["SlurmCommands", "parse_sbatch_output"]
+
+
+def _fmt_elapsed(seconds: float) -> str:
+    s = int(round(seconds))
+    h, rem = divmod(s, 3600)
+    m, sec = divmod(rem, 60)
+    return f"{h}:{m:02d}:{sec:02d}"
+
+
+def parse_sbatch_output(text: str) -> int:
+    """Extract the job id from ``Submitted batch job N``."""
+    m = re.search(r"Submitted batch job (\d+)", text)
+    if not m:
+        raise ValueError(f"unrecognised sbatch output: {text!r}")
+    return int(m.group(1))
+
+
+class SlurmCommands:
+    """User-facing command surface over one controller."""
+
+    def __init__(self, ctld: Slurmctld) -> None:
+        self.ctld = ctld
+
+    # ------------------------------------------------------------------
+    def sbatch(self, script: str, *, uid: int = 1000) -> str:
+        """Submit a batch script; returns sbatch's stdout."""
+        descriptor = parse_batch_script(script)
+        job_id = self.ctld.submit(descriptor, submit_uid=uid)
+        return f"Submitted batch job {job_id}\n"
+
+    def scancel(self, job_id: int) -> str:
+        self.ctld.cancel(job_id)
+        return ""
+
+    # ------------------------------------------------------------------
+    def squeue(self) -> str:
+        """Active (pending + running) jobs in squeue's default layout."""
+        header = f"{'JOBID':>10} {'PARTITION':>9} {'NAME':>12} {'ST':>2} {'TIME':>10} {'NODES':>5} {'NODELIST(REASON)':>20}"
+        lines = [header]
+        now = self.ctld.sim.now
+        for job in sorted(self.ctld.active_jobs(), key=lambda j: j.job_id):
+            if job.state is JobState.RUNNING and job.start_time is not None:
+                elapsed = _fmt_elapsed(now - job.start_time)
+                where = ",".join(job.node_list) or job.node
+            else:
+                elapsed = "0:00"
+                where = f"({job.pending_reason})"
+            lines.append(
+                f"{job.display_id:>10} {job.descriptor.partition:>9} "
+                f"{job.descriptor.name[:12]:>12} {job.state.short:>2} "
+                f"{elapsed:>10} {job.descriptor.nodes:>5} {where:>20}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def sinfo(self) -> str:
+        """Partition/node availability summary."""
+        lines = [f"{'PARTITION':>9} {'AVAIL':>5} {'NODES':>5} {'STATE':>6} {'NODELIST':>12}"]
+        for slurmd in self.ctld.nodes:
+            node = slurmd.node
+            busy = node.total_cores - node.free_cores()
+            if busy == 0:
+                state = "idle"
+            elif node.free_cores() == 0:
+                state = "alloc"
+            else:
+                state = "mix"
+            lines.append(f"{'batch':>9} {'up':>5} {1:>5} {state:>6} {node.hostname:>12}")
+        return "\n".join(lines) + "\n"
+
+    def scontrol_show_job(self, job_id: int) -> str:
+        """``scontrol show job <id>`` detail block."""
+        job = self.ctld.get_job(job_id)
+        d = job.descriptor
+        fields = [
+            f"JobId={job.job_id}",
+            f"JobName={d.name}",
+            f"JobState={job.state.value}",
+            f"NumNodes={d.nodes}",
+            f"NumTasks={d.num_tasks}",
+            f"ThreadsPerCore={d.threads_per_core}",
+            f"CpuFreqMin={d.cpu_freq_min or 'Default'}",
+            f"CpuFreqMax={d.cpu_freq_max or 'Default'}",
+            f"Comment={d.comment or '(null)'}",
+            f"Command={d.binary}",
+            f"SubmitTime={job.submit_time:.1f}",
+            f"StartTime={'' if job.start_time is None else f'{job.start_time:.1f}'}",
+            f"EndTime={'' if job.end_time is None else f'{job.end_time:.1f}'}",
+            f"NodeList={','.join(job.node_list) if job.node_list else '(null)'}",
+            f"ExitCode={job.exit_code}:0",
+        ]
+        return " ".join(fields) + "\n"
+
+    def sacct(self) -> str:
+        """Accounting rows incl. consumed energy (AcctGatherEnergy style)."""
+        lines = [
+            f"{'JobID':>8} {'JobName':>14} {'State':>10} {'Elapsed':>10} "
+            f"{'NTasks':>6} {'ConsumedEnergy':>15}"
+        ]
+        for rec in self.ctld.accounting.all():
+            elapsed = "" if rec.elapsed_s is None else _fmt_elapsed(rec.elapsed_s)
+            lines.append(
+                f"{rec.job_id:>8} {rec.name[:14]:>14} {rec.state:>10} {elapsed:>10} "
+                f"{rec.num_tasks:>6} {rec.energy_j / 1000:>14.1f}K"
+            )
+        return "\n".join(lines) + "\n"

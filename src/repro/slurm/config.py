@@ -1,0 +1,113 @@
+"""``slurm.conf`` parsing and controller configuration.
+
+Only the knobs the reproduction exercises are modelled, most importantly
+``JobSubmitPlugins=eco`` — the single line the paper's section 3.4.1 says
+enables the plugin — plus scheduler selection and the plugin time budget
+(Slurm complains when a job-submit plugin stalls the controller; the paper
+leans on this to motivate pre-loading models to local disk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SlurmConfig", "ConfigError"]
+
+
+class ConfigError(ValueError):
+    """Malformed slurm.conf content."""
+
+
+@dataclass
+class SlurmConfig:
+    """Parsed controller configuration."""
+
+    cluster_name: str = "chronus-cluster"
+    job_submit_plugins: tuple[str, ...] = ()
+    scheduler_type: str = "sched/backfill"
+    priority_type: str = "priority/basic"
+    priority_weight_age: float = 1000.0
+    priority_weight_job_size: float = 500.0
+    priority_weight_fair_share: float = 2000.0
+    #: wall-clock budget for one job_submit plugin invocation (seconds).
+    #: Real slurmctld serialises plugin calls and logs warnings when they
+    #: stall submission; we log a warning past this budget.
+    plugin_time_budget_s: float = 2.0
+    #: default partition wall-clock limit (seconds)
+    default_time_limit_s: int = 24 * 3600
+    extra: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, text: str) -> "SlurmConfig":
+        """Parse slurm.conf ``Key=Value`` lines (``#`` comments allowed)."""
+        cfg = cls()
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise ConfigError(f"line {lineno}: expected Key=Value, got {raw!r}")
+            key, value = line.split("=", 1)
+            key = key.strip()
+            value = value.strip()
+            lower = key.lower()
+            if lower == "clustername":
+                cfg.cluster_name = value
+            elif lower == "jobsubmitplugins":
+                cfg.job_submit_plugins = tuple(
+                    p.strip() for p in value.split(",") if p.strip()
+                )
+            elif lower == "schedulertype":
+                if value not in ("sched/backfill", "sched/builtin"):
+                    raise ConfigError(f"line {lineno}: unknown SchedulerType {value!r}")
+                cfg.scheduler_type = value
+            elif lower == "prioritytype":
+                if value not in ("priority/basic", "priority/multifactor"):
+                    raise ConfigError(f"line {lineno}: unknown PriorityType {value!r}")
+                cfg.priority_type = value
+            elif lower in ("priorityweightage", "priorityweightjobsize",
+                           "priorityweightfairshare"):
+                try:
+                    weight = float(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"line {lineno}: {key} expects a number, got {value!r}"
+                    ) from None
+                if lower == "priorityweightage":
+                    cfg.priority_weight_age = weight
+                elif lower == "priorityweightjobsize":
+                    cfg.priority_weight_job_size = weight
+                else:
+                    cfg.priority_weight_fair_share = weight
+            elif lower == "plugintimebudget":
+                try:
+                    cfg.plugin_time_budget_s = float(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"line {lineno}: PluginTimeBudget expects seconds, got {value!r}"
+                    ) from None
+            elif lower == "defaulttime":
+                try:
+                    cfg.default_time_limit_s = int(value) * 60
+                except ValueError:
+                    raise ConfigError(
+                        f"line {lineno}: DefaultTime expects minutes, got {value!r}"
+                    ) from None
+            else:
+                cfg.extra[key] = value
+        return cfg
+
+    def render(self) -> str:
+        """Emit slurm.conf text (round-trips through :meth:`parse`)."""
+        lines = [
+            f"ClusterName={self.cluster_name}",
+            f"SchedulerType={self.scheduler_type}",
+            f"PriorityType={self.priority_type}",
+            f"PluginTimeBudget={self.plugin_time_budget_s}",
+            f"DefaultTime={self.default_time_limit_s // 60}",
+        ]
+        if self.job_submit_plugins:
+            lines.append("JobSubmitPlugins=" + ",".join(self.job_submit_plugins))
+        for k, v in sorted(self.extra.items()):
+            lines.append(f"{k}={v}")
+        return "\n".join(lines) + "\n"

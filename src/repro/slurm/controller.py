@@ -1,0 +1,324 @@
+"""``slurmctld`` — the controller: queue, plugin chain, lifecycle, events.
+
+The controller is a discrete-event process: job completions are events on
+the shared simulator, and every submission or completion triggers a
+scheduling pass.  Job-submit plugins run synchronously inside
+:meth:`Slurmctld.submit`, exactly where the paper's plugin executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.simkernel.engine import Simulator
+from repro.slurm.accounting import AccountingDatabase
+from repro.slurm.config import SlurmConfig
+from repro.slurm.job import Job, JobDescriptor, JobState
+from repro.slurm.nodemgr import Slurmd, UnknownBinaryError
+from repro.slurm.plugins.base import SLURM_SUCCESS, JobSubmitPlugin, PluginChain
+from repro.slurm.priority import PriorityWeights, order_by_priority
+from repro.slurm.scheduler import NodeView, backfill_schedule, fifo_schedule
+
+__all__ = ["SubmitError", "Slurmctld"]
+
+
+class SubmitError(RuntimeError):
+    """Submission rejected (validation failure or plugin veto)."""
+
+
+class Slurmctld:
+    """The cluster controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SlurmConfig,
+        nodes: list[Slurmd],
+        accounting: Optional[AccountingDatabase] = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        self.sim = sim
+        self.config = config
+        self.nodes = nodes
+        # explicit None check: an empty AccountingDatabase is falsy (__len__)
+        self.accounting = accounting if accounting is not None else AccountingDatabase()
+        self.plugin_chain = PluginChain(time_budget_s=config.plugin_time_budget_s)
+        self.jobs: dict[int, Job] = {}
+        self._pending: list[int] = []
+        self._running: list[int] = []
+        self._next_job_id = 1
+        self.log: list[str] = []
+        self._completion_events: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # plugins
+    # ------------------------------------------------------------------
+    def register_plugin(self, plugin: JobSubmitPlugin) -> None:
+        """Load a plugin if slurm.conf's JobSubmitPlugins names it."""
+        if plugin.name not in self.config.job_submit_plugins:
+            raise ValueError(
+                f"plugin {plugin.name!r} is not enabled in slurm.conf "
+                f"(JobSubmitPlugins={','.join(self.config.job_submit_plugins) or '<empty>'})"
+            )
+        self.plugin_chain.register(plugin)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, descriptor: JobDescriptor, submit_uid: int = 1000) -> int:
+        """Submit a job: plugin chain, validation, enqueue, schedule."""
+        rc, msg = self.plugin_chain.run(descriptor, submit_uid)
+        if rc != SLURM_SUCCESS:
+            raise SubmitError(msg)
+        max_cores = max(n.node.total_cores for n in self.nodes)
+        try:
+            descriptor.validate(max_cores, cluster_nodes=len(self.nodes))
+        except ValueError as exc:
+            raise SubmitError(str(exc)) from exc
+        if descriptor.time_limit_s == 0:
+            descriptor.time_limit_s = self.config.default_time_limit_s
+        if descriptor.array:
+            return self._submit_array(descriptor)
+        job = Job(
+            job_id=self._next_job_id,
+            descriptor=descriptor,
+            submit_time=self.sim.now,
+        )
+        self._next_job_id += 1
+        self.jobs[job.job_id] = job
+        self._pending.append(job.job_id)
+        self.log.append(f"[{self.sim.now:.1f}] submitted job {job.job_id} ({descriptor.name})")
+        self._schedule_pass()
+        return job.job_id
+
+    def _submit_array(self, descriptor: JobDescriptor) -> int:
+        """Expand a ``--array`` submission into one task per index.
+
+        The plugin chain already ran once on the master descriptor (like
+        slurmctld, which calls job_submit once per array submission); each
+        task gets an independent descriptor copy so runtime mutation of
+        one cannot leak into siblings.
+        """
+        master_id = self._next_job_id
+        for index in descriptor.array:
+            task_desc = replace(descriptor, array=())
+            job = Job(
+                job_id=self._next_job_id,
+                descriptor=task_desc,
+                submit_time=self.sim.now,
+                array_job_id=master_id,
+                array_task_id=index,
+            )
+            self._next_job_id += 1
+            self.jobs[job.job_id] = job
+            self._pending.append(job.job_id)
+        self.log.append(
+            f"[{self.sim.now:.1f}] submitted array job {master_id} "
+            f"({descriptor.name}, {len(descriptor.array)} tasks)"
+        )
+        self._schedule_pass()
+        return master_id
+
+    def array_tasks(self, master_id: int) -> list[Job]:
+        """All tasks of one array submission, by task index."""
+        tasks = [
+            j for j in self.jobs.values() if j.array_job_id == master_id
+        ]
+        if not tasks:
+            raise KeyError(f"no array job with master id {master_id}")
+        return sorted(tasks, key=lambda j: j.array_task_id or 0)
+
+    def wait_for_array(self, master_id: int) -> list[Job]:
+        """Advance the simulation until every array task is terminal."""
+        tasks = self.array_tasks(master_id)
+        for task in tasks:
+            if not task.state.is_terminal:
+                self.wait_for_job(task.job_id)
+        return self.array_tasks(master_id)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _node_views(self) -> list[NodeView]:
+        views = []
+        for slurmd in self.nodes:
+            running = []
+            for jid in self._running:
+                job = self.jobs[jid]
+                if slurmd.hostname in job.node_list and job.start_time is not None:
+                    expected_end = job.start_time + job.descriptor.time_limit_s
+                    running.append((expected_end, job.descriptor.tasks_per_node))
+            views.append(slurmd.view(running))
+        return views
+
+    def _schedule_pass(self) -> None:
+        if not self._pending:
+            return
+        pending_jobs = [self.jobs[j] for j in self._pending]
+        if self.config.priority_type == "priority/multifactor":
+            weights = PriorityWeights(
+                age=self.config.priority_weight_age,
+                job_size=self.config.priority_weight_job_size,
+                fair_share=self.config.priority_weight_fair_share,
+            )
+            pending_jobs = order_by_priority(
+                pending_jobs,
+                self.sim.now,
+                total_cores=max(n.node.total_cores for n in self.nodes),
+                usage_by_uid=self.accounting.usage_by_uid(),
+                weights=weights,
+            )
+        views = self._node_views()
+        if self.config.scheduler_type == "sched/backfill":
+            placements = backfill_schedule(
+                pending_jobs,
+                views,
+                self.sim.now,
+                default_limit_s=self.config.default_time_limit_s,
+            )
+        else:
+            placements = fifo_schedule(pending_jobs, views)
+        for placement in placements:
+            self._start_job(placement.job, placement.node_names)
+
+    def _slurmd(self, hostname: str) -> Slurmd:
+        for n in self.nodes:
+            if n.hostname == hostname:
+                return n
+        raise KeyError(f"unknown node {hostname!r}")
+
+    def _start_job(self, job: Job, node_names: tuple[str, ...]) -> None:
+        slurmds = [self._slurmd(name) for name in node_names]
+        steps = []
+        try:
+            for slurmd in slurmds:
+                steps.append((slurmd, slurmd.start_job(job)))
+        except UnknownBinaryError as exc:
+            for slurmd, step in steps:  # roll back shards already launched
+                slurmd.node.stop_workload(step.handle)
+            self._pending.remove(job.job_id)
+            job.state = JobState.FAILED
+            job.exit_code = 127  # command not found
+            job.end_time = self.sim.now
+            job.stdout = f"slurmstepd: error: {exc}\n"
+            self.accounting.upsert(job)
+            self.log.append(f"[{self.sim.now:.1f}] job {job.job_id} failed: {exc}")
+            return
+        job.state = JobState.RUNNING
+        job.start_time = self.sim.now
+        job.node = node_names[0]
+        job.node_list = tuple(node_names)
+        job.workload_handles = {
+            slurmd.hostname: step.handle for slurmd, step in steps
+        }
+        job.workload_handle = steps[0][1].handle
+        job.energy_start_j = sum(
+            slurmd.node.true_energy_joules for slurmd, _ in steps
+        )
+        self._pending.remove(job.job_id)
+        self._running.append(job.job_id)
+        step_runtime = max(step.runtime_s for _, step in steps)
+        runtime = min(step_runtime, job.descriptor.time_limit_s)
+        timed_out = step_runtime > job.descriptor.time_limit_s
+        ev = self.sim.call_in(
+            runtime,
+            lambda jid=job.job_id, to=timed_out: self._complete_job(jid, to),
+            name=f"job{job.job_id}-done",
+        )
+        self._completion_events[job.job_id] = ev
+        self.log.append(
+            f"[{self.sim.now:.1f}] started job {job.job_id} on "
+            f"{','.join(node_names)} (tasks={job.descriptor.num_tasks}, "
+            f"tpc={job.descriptor.threads_per_core}, "
+            f"freq={job.descriptor.cpu_freq_min or 'default'})"
+        )
+
+    def _complete_job(self, job_id: int, timed_out: bool) -> None:
+        job = self.jobs[job_id]
+        if job.state is not JobState.RUNNING:
+            return
+        workload = None
+        energy_end = 0.0
+        for hostname in job.node_list:
+            slurmd = self._slurmd(hostname)
+            stopped = slurmd.node.stop_workload(job.workload_handles[hostname])
+            if hostname == job.node:
+                workload = stopped
+            energy_end += slurmd.node.true_energy_joules
+        job.end_time = self.sim.now
+        job.energy_end_j = energy_end
+        self._running.remove(job_id)
+        self._completion_events.pop(job_id, None)
+        if timed_out:
+            job.state = JobState.TIMEOUT
+            job.exit_code = 1
+            job.stdout = "slurmstepd: error: *** JOB CANCELLED DUE TO TIME LIMIT ***\n"
+        else:
+            job.state = JobState.COMPLETED
+            job.exit_code = 0
+            render = getattr(workload, "render_output", None)
+            job.stdout = render() if callable(render) else ""
+        self.accounting.upsert(job)
+        self.log.append(
+            f"[{self.sim.now:.1f}] job {job_id} {'timed out' if timed_out else 'completed'}"
+        )
+        self._schedule_pass()
+
+    # ------------------------------------------------------------------
+    # control operations
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: int) -> None:
+        """scancel: cancel a pending or running job."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id}")
+        if job.state.is_terminal:
+            return
+        if job.state is JobState.PENDING:
+            self._pending.remove(job_id)
+        elif job.state is JobState.RUNNING:
+            energy_end = 0.0
+            for hostname in job.node_list:
+                slurmd = self._slurmd(hostname)
+                slurmd.node.stop_workload(job.workload_handles[hostname])
+                energy_end += slurmd.node.true_energy_joules
+            job.energy_end_j = energy_end
+            self._running.remove(job_id)
+            ev = self._completion_events.pop(job_id, None)
+            if ev is not None:
+                ev.cancel()  # type: ignore[attr-defined]
+        job.state = JobState.CANCELLED
+        job.end_time = self.sim.now
+        self.accounting.upsert(job)
+        self.log.append(f"[{self.sim.now:.1f}] job {job_id} cancelled")
+        self._schedule_pass()
+
+    def get_job(self, job_id: int) -> Job:
+        if job_id not in self.jobs:
+            raise KeyError(f"unknown job {job_id}")
+        return self.jobs[job_id]
+
+    def pending_jobs(self) -> list[Job]:
+        return [self.jobs[j] for j in self._pending]
+
+    def running_jobs(self) -> list[Job]:
+        return [self.jobs[j] for j in self._running]
+
+    def active_jobs(self) -> list[Job]:
+        return self.pending_jobs() + self.running_jobs()
+
+    def wait_for_job(self, job_id: int, *, max_events: int = 1_000_000) -> Job:
+        """Advance the simulation until ``job_id`` reaches a terminal state."""
+        job = self.get_job(job_id)
+        while not job.state.is_terminal:
+            executed = self.sim.run(max_events=1)
+            if executed == 0:
+                raise RuntimeError(
+                    f"simulation went idle while job {job_id} is {job.state.value}"
+                )
+            max_events -= 1
+            if max_events <= 0:
+                raise RuntimeError(f"wait_for_job({job_id}) exceeded event budget")
+        return job

@@ -1,0 +1,162 @@
+"""Job descriptors and job runtime state.
+
+:class:`JobDescriptor` mirrors the subset of Slurm's ``job_desc_msg_t`` the
+eco plugin manipulates (paper section 4.2.2):
+
+* ``num_tasks``            (``job_description->num_tasks``)
+* ``threads_per_core``     (``job_description->threads_per_cpu``)
+* ``cpu_freq_min/max``     (``job_description->min_frequency/max_frequency``)
+
+plus the submission metadata the plugin reads (``comment``, the executable
+path) and standard batch fields (name, time limit, uid).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["JobState", "JobDescriptor", "Job"]
+
+
+class JobState(str, enum.Enum):
+    """Slurm job lifecycle states (the subset the simulator uses)."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    TIMEOUT = "TIMEOUT"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMEOUT,
+        )
+
+    @property
+    def short(self) -> str:
+        """squeue-style two-letter code."""
+        return {
+            JobState.PENDING: "PD",
+            JobState.RUNNING: "R",
+            JobState.COMPLETED: "CD",
+            JobState.FAILED: "F",
+            JobState.CANCELLED: "CA",
+            JobState.TIMEOUT: "TO",
+        }[self]
+
+
+@dataclass
+class JobDescriptor:
+    """What arrives at ``job_submit`` time — mutable by plugins."""
+
+    name: str = "job"
+    num_tasks: int = 1
+    threads_per_core: int = 1
+    nodes: int = 1
+    #: cpufreq window in kHz; 0 means "not requested" (governor default)
+    cpu_freq_min: int = 0
+    cpu_freq_max: int = 0
+    #: free-text job comment; ``"chronus"`` opts in to the eco plugin
+    comment: str = ""
+    #: the executable the job step runs (srun argument)
+    binary: str = ""
+    #: wall-clock limit in seconds; 0 means the partition default
+    time_limit_s: int = 0
+    uid: int = 1000
+    partition: str = "batch"
+    #: extra srun arguments captured from the script (informational)
+    srun_args: tuple[str, ...] = ()
+    #: job-array task indices (``--array``); empty for plain jobs
+    array: tuple[int, ...] = ()
+
+    @property
+    def tasks_per_node(self) -> int:
+        """Tasks placed on each allocated node (ceil division, like srun's
+        block distribution)."""
+        return -(-self.num_tasks // self.nodes)
+
+    def validate(self, max_cores: int, cluster_nodes: int = 1) -> None:
+        """Sanity checks applied at submission (slurmctld's validation)."""
+        if self.num_tasks < 1:
+            raise ValueError(f"num_tasks must be >= 1, got {self.num_tasks}")
+        if self.threads_per_core not in (1, 2):
+            raise ValueError(
+                f"threads_per_core must be 1 or 2, got {self.threads_per_core}"
+            )
+        if self.nodes < 1:
+            raise ValueError(f"--nodes must be >= 1, got {self.nodes}")
+        if self.nodes > cluster_nodes:
+            raise ValueError(
+                f"--nodes={self.nodes} exceeds the cluster's {cluster_nodes} node(s)"
+            )
+        if self.nodes > self.num_tasks:
+            raise ValueError(
+                f"--nodes={self.nodes} exceeds --ntasks={self.num_tasks}"
+            )
+        if self.tasks_per_node > max_cores:
+            raise ValueError(
+                f"{self.tasks_per_node} tasks per node exceeds node cores {max_cores}"
+            )
+        if self.cpu_freq_min and self.cpu_freq_max and self.cpu_freq_min > self.cpu_freq_max:
+            raise ValueError(
+                f"cpu_freq_min {self.cpu_freq_min} > cpu_freq_max {self.cpu_freq_max}"
+            )
+        if self.time_limit_s < 0:
+            raise ValueError(f"time_limit_s must be >= 0, got {self.time_limit_s}")
+
+
+@dataclass
+class Job:
+    """Runtime record of a submitted job."""
+
+    job_id: int
+    descriptor: JobDescriptor
+    submit_time: float
+    state: JobState = JobState.PENDING
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    node: str = ""
+    #: all allocated hostnames (equals (node,) for single-node jobs)
+    node_list: tuple[str, ...] = ()
+    allocated_cores: tuple[int, ...] = ()
+    workload_handle: Optional[int] = None
+    #: per-node step handles for multi-node jobs (hostname -> handle)
+    workload_handles: dict = field(default_factory=dict)
+    exit_code: int = 0
+    stdout: str = ""
+    #: energy counter snapshot at job start (for sacct energy accounting);
+    #: for multi-node jobs these are sums across the allocation
+    energy_start_j: float = 0.0
+    energy_end_j: float = 0.0
+    #: reason the job is still pending (squeue's REASON column)
+    pending_reason: str = "None"
+    #: array bookkeeping: the master job id and this task's index
+    array_job_id: Optional[int] = None
+    array_task_id: Optional[int] = None
+
+    @property
+    def display_id(self) -> str:
+        """squeue's JOBID column: ``master_index`` for array tasks."""
+        if self.array_job_id is not None and self.array_task_id is not None:
+            return f"{self.array_job_id}_{self.array_task_id}"
+        return str(self.job_id)
+
+    @property
+    def elapsed_s(self) -> Optional[float]:
+        if self.start_time is None:
+            return None
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def consumed_energy_j(self) -> float:
+        """Node energy consumed while this job ran (whole-node attribution)."""
+        return max(0.0, self.energy_end_j - self.energy_start_j)

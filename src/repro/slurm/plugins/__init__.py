@@ -1,0 +1,22 @@
+"""Slurm job-submit plugin framework and the eco plugin."""
+
+from repro.slurm.plugins.base import (
+    SLURM_SUCCESS,
+    SLURM_ERROR,
+    JobSubmitPlugin,
+    PluginChain,
+    PluginInvocation,
+)
+from repro.slurm.plugins.chash import simple_hash
+from repro.slurm.plugins.eco import JobSubmitEco, ChronusConfigProvider
+
+__all__ = [
+    "SLURM_SUCCESS",
+    "SLURM_ERROR",
+    "JobSubmitPlugin",
+    "PluginChain",
+    "PluginInvocation",
+    "simple_hash",
+    "JobSubmitEco",
+    "ChronusConfigProvider",
+]

@@ -1,0 +1,110 @@
+"""The job-submit plugin API.
+
+Slurm loads job-submit plugins as shared objects and calls their
+``job_submit(job_desc, submit_uid, err_msg)`` entry point for every
+submission, *synchronously inside slurmctld*, which is why Slurm gives
+plugins "a very short time to make a decision" (paper section 3.1.2).  The
+simulator reproduces that contract: plugins mutate the descriptor in place,
+return ``SLURM_SUCCESS``/``SLURM_ERROR``, and their wall-clock latency is
+measured against the configured budget.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.slurm.job import JobDescriptor
+
+__all__ = [
+    "SLURM_SUCCESS",
+    "SLURM_ERROR",
+    "JobSubmitPlugin",
+    "PluginInvocation",
+    "PluginChain",
+]
+
+SLURM_SUCCESS = 0
+SLURM_ERROR = -1
+
+
+class JobSubmitPlugin(abc.ABC):
+    """Base class for job-submit plugins."""
+
+    #: plugin name as referenced by ``JobSubmitPlugins=`` in slurm.conf
+    name: str = "base"
+
+    @abc.abstractmethod
+    def job_submit(self, job_desc: JobDescriptor, submit_uid: int) -> int:
+        """Inspect/mutate ``job_desc``; return SLURM_SUCCESS or SLURM_ERROR.
+
+        Returning SLURM_ERROR rejects the submission.  Exceptions are
+        treated as plugin bugs: the chain logs them and rejects the job
+        (matching slurmctld's defensive handling).
+        """
+
+
+@dataclass(frozen=True)
+class PluginInvocation:
+    """Telemetry for one plugin call (feeds the latency ablation bench)."""
+
+    plugin: str
+    job_name: str
+    wall_seconds: float
+    result: int
+    over_budget: bool
+    error: str = ""
+
+
+@dataclass
+class PluginChain:
+    """Ordered list of plugins slurmctld consults at submission."""
+
+    plugins: list[JobSubmitPlugin] = field(default_factory=list)
+    time_budget_s: float = 2.0
+    log: list[str] = field(default_factory=list)
+    invocations: list[PluginInvocation] = field(default_factory=list)
+
+    def register(self, plugin: JobSubmitPlugin) -> None:
+        if any(p.name == plugin.name for p in self.plugins):
+            raise ValueError(f"plugin {plugin.name!r} already registered")
+        self.plugins.append(plugin)
+
+    def run(self, job_desc: JobDescriptor, submit_uid: int) -> tuple[int, str]:
+        """Run every plugin; returns (result, message).
+
+        The first plugin returning SLURM_ERROR (or raising) aborts the
+        chain and rejects the job, like slurmctld does.
+        """
+        for plugin in self.plugins:
+            started = time.perf_counter()
+            error = ""
+            try:
+                rc = plugin.job_submit(job_desc, submit_uid)
+            except Exception as exc:  # plugin bug: reject defensively
+                rc = SLURM_ERROR
+                error = f"{type(exc).__name__}: {exc}"
+            wall = time.perf_counter() - started
+            over = wall > self.time_budget_s
+            self.invocations.append(
+                PluginInvocation(
+                    plugin=plugin.name,
+                    job_name=job_desc.name,
+                    wall_seconds=wall,
+                    result=rc,
+                    over_budget=over,
+                    error=error,
+                )
+            )
+            if over:
+                self.log.append(
+                    f"warning: job_submit/{plugin.name} took {wall:.3f}s "
+                    f"(budget {self.time_budget_s:.3f}s); submissions stalled"
+                )
+            if rc != SLURM_SUCCESS:
+                msg = error or f"job rejected by job_submit/{plugin.name}"
+                self.log.append(f"error: {msg}")
+                return SLURM_ERROR, msg
+        return SLURM_SUCCESS, ""

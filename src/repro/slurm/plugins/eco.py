@@ -1,0 +1,177 @@
+"""``job_submit_eco`` — the paper's C plugin, translated.
+
+Responsibilities (paper sections 3.1.1, 4.2):
+
+1. Decide whether the plugin applies: a *plugin state* managed through
+   ``chronus set state`` chooses between ``deactivated`` (never), ``user``
+   (only jobs submitted with ``--comment "chronus"``, the default) and
+   ``activated`` (every job).
+2. Identify the system: read ``/proc/cpuinfo`` and ``/proc/meminfo`` (with
+   error handling), concatenate, and ``simple_hash`` the result.
+3. Identify the application: hash the executable.  The paper's
+   implementation hard-codes the binary path (limitation 6.1.2); we hash
+   the descriptor's binary string, preserving the same contract.
+4. Ask Chronus (``chronus slurm-config <system> <binary>``) for the
+   energy-efficient configuration, which returns JSON
+   ``{"cores": .., "threads_per_core": .., "frequency": ..}``.
+5. Rewrite the job descriptor: ``num_tasks``, ``threads_per_core`` and the
+   ``--cpu-freq`` window.
+
+Failure policy matches production common sense (and the plugin's default
+no-op behaviour): if Chronus is unreachable or returns garbage, the job is
+submitted *unchanged* — an energy optimizer must never take the cluster
+down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional, Protocol
+
+from repro.hardware.node import SimulatedNode
+from repro.slurm.job import JobDescriptor
+from repro.slurm.plugins.base import SLURM_SUCCESS, JobSubmitPlugin
+from repro.slurm.plugins.chash import simple_hash
+
+__all__ = ["PluginState", "ChronusConfigProvider", "JobSubmitEco", "system_hash_from_node", "parse_chronus_comment"]
+
+
+class ChronusConfigProvider(Protocol):
+    """The ``chronus slurm-config`` call, as the plugin sees it."""
+
+    def slurm_config(
+        self, system_id: int, binary_hash: int, min_perf: "float | None" = None
+    ) -> str:
+        """Return the energy-efficient configuration as a JSON string."""
+        ...
+
+
+def parse_chronus_comment(comment: str) -> "tuple[bool, float | None]":
+    """Parse the job-comment opt-in syntax.
+
+    ``"chronus"`` opts in; ``"chronus perf=0.95"`` additionally sets a
+    performance floor (run at least this fraction of the fastest measured
+    configuration — the practical slice of the paper's 6.2.1 deadline
+    idea).  Returns (opted_in, min_perf).  Malformed perf values opt the
+    job in without a floor (never block a submission over a typo).
+    """
+    tokens = comment.strip().lower().split()
+    if not tokens or tokens[0] != "chronus":
+        return False, None
+    min_perf = None
+    for token in tokens[1:]:
+        if token.startswith("perf="):
+            try:
+                value = float(token.split("=", 1)[1])
+            except ValueError:
+                continue
+            if 0.0 < value <= 1.0:
+                min_perf = value
+    return True, min_perf
+
+
+#: valid plugin states (``chronus set state <..>``)
+PLUGIN_STATES = ("deactivated", "user", "activated")
+
+
+class PluginState:
+    """Shared mutable plugin state (admin-controlled via the Chronus CLI)."""
+
+    def __init__(self, state: str = "user") -> None:
+        self.set(state)
+
+    def set(self, state: str) -> None:
+        if state not in PLUGIN_STATES:
+            raise ValueError(f"unknown plugin state {state!r}; valid: {PLUGIN_STATES}")
+        self.state = state
+
+
+def system_hash_from_node(node: SimulatedNode) -> int:
+    """The C plugin's system identifier: hash(cpuinfo + meminfo).
+
+    Mirrors the error handling of the original: an unreadable file
+    contributes an empty string rather than failing the submission.
+    """
+    parts = []
+    for path in ("/proc/cpuinfo", "/proc/meminfo"):
+        try:
+            parts.append(node.read_file(path))
+        except OSError:
+            parts.append("")
+    return simple_hash("".join(parts))
+
+
+class JobSubmitEco(JobSubmitPlugin):
+    """The eco job-submit plugin."""
+
+    name = "eco"
+
+    def __init__(
+        self,
+        node: SimulatedNode,
+        provider: ChronusConfigProvider,
+        state: Optional[PluginState] = None,
+        *,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.node = node
+        self.provider = provider
+        self.state = state or PluginState()
+        self._log = log or (lambda msg: None)
+        #: cached system hash — /proc contents are stable for a node's
+        #: lifetime, and slurmctld cannot afford re-reading them per job
+        self._system_hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def system_hash(self) -> int:
+        if self._system_hash is None:
+            self._system_hash = system_hash_from_node(self.node)
+        return self._system_hash
+
+    @staticmethod
+    def binary_hash(binary: str) -> int:
+        return simple_hash(binary)
+
+    def _applies(self, job_desc: JobDescriptor) -> "tuple[bool, float | None]":
+        opted_in, min_perf = parse_chronus_comment(job_desc.comment)
+        if self.state.state == "deactivated":
+            return False, None
+        if self.state.state == "activated":
+            return True, min_perf
+        # user mode: opt-in through the job comment
+        return opted_in, min_perf
+
+    # ------------------------------------------------------------------
+    def job_submit(self, job_desc: JobDescriptor, submit_uid: int) -> int:
+        applies, min_perf = self._applies(job_desc)
+        if not applies:
+            return SLURM_SUCCESS
+        try:
+            raw = self.provider.slurm_config(
+                self.system_hash(), self.binary_hash(job_desc.binary), min_perf
+            )
+            config = json.loads(raw)
+            cores = int(config["cores"])
+            tpc = int(config["threads_per_core"])
+            freq = int(config["frequency"])
+        except Exception as exc:
+            self._log(
+                f"job_submit/eco: could not obtain configuration "
+                f"({type(exc).__name__}: {exc}); submitting job unmodified"
+            )
+            return SLURM_SUCCESS
+        if cores < 1 or tpc not in (1, 2) or freq <= 0:
+            self._log(
+                f"job_submit/eco: implausible configuration {config!r}; "
+                "submitting job unmodified"
+            )
+            return SLURM_SUCCESS
+        job_desc.num_tasks = cores
+        job_desc.threads_per_core = tpc
+        job_desc.cpu_freq_min = freq
+        job_desc.cpu_freq_max = freq
+        self._log(
+            f"job_submit/eco: set job {job_desc.name!r} to cores={cores} "
+            f"threads_per_core={tpc} frequency={freq}"
+        )
+        return SLURM_SUCCESS

@@ -1,0 +1,155 @@
+"""Tests for metrics, tables, related-work comparison and calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.comparison import (
+    Table3Row,
+    build_table3,
+    related_work_reduction_pct,
+)
+from repro.analysis.metrics import (
+    average,
+    energy_joules,
+    gflops_per_watt,
+    percentage_difference,
+)
+from repro.analysis.tables import TextTable
+
+
+class TestMetrics:
+    def test_gflops_per_watt(self):
+        assert gflops_per_watt(9.34829, 216.6) == pytest.approx(0.04316, abs=1e-4)
+
+    def test_gflops_per_watt_validation(self):
+        with pytest.raises(ValueError):
+            gflops_per_watt(1.0, 0.0)
+        with pytest.raises(ValueError):
+            gflops_per_watt(-1.0, 10.0)
+
+    def test_energy_trapezoid(self):
+        # constant 100 W for 10 s = 1000 J
+        assert energy_joules([0, 5, 10], [100, 100, 100]) == pytest.approx(1000)
+        # ramp 0 -> 100 W over 10 s = 500 J
+        assert energy_joules([0, 10], [0, 100]) == pytest.approx(500)
+
+    def test_energy_edge_cases(self):
+        assert energy_joules([], []) == 0.0
+        assert energy_joules([1.0], [50.0]) == 0.0
+
+    def test_energy_validation(self):
+        with pytest.raises(ValueError):
+            energy_joules([0, 0], [1, 1])  # non-increasing
+        with pytest.raises(ValueError):
+            energy_joules([0, 1], [1, 1, 1])
+
+    def test_average(self):
+        assert average([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            average([])
+
+    def test_percentage_difference_eq1(self):
+        """The paper's Equation 1: |258 - 273.4| / 258 = 5.96%."""
+        assert percentage_difference(258.0, 273.4) == pytest.approx(5.96, abs=0.02)
+
+    def test_percentage_difference_validation(self):
+        with pytest.raises(ValueError):
+            percentage_difference(0.0, 100.0)
+
+    @given(
+        w=st.floats(min_value=1.0, max_value=1e4),
+        n=st.integers(2, 50),
+        dt=st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_constant_power_energy_property(self, w, n, dt):
+        times = [i * dt for i in range(n)]
+        watts = [w] * n
+        assert energy_joules(times, watts) == pytest.approx(w * dt * (n - 1), rel=1e-9)
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["A", "Bee"], title="T")
+        table.add_row(1, 2.5)
+        table.add_row("long-value", True)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Bee" in lines[1]
+        assert "long-value" in text
+        assert "t" in text  # bool rendered as paper's t/f
+
+    def test_row_width_validation(self):
+        table = TextTable(["A"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+
+class TestRelatedWorkComparison:
+    def test_equation2(self):
+        """106% improvement -> 5.66% reduction, the paper's Equation 2."""
+        assert related_work_reduction_pct(106.0) == pytest.approx(5.66, abs=0.01)
+
+    def test_no_improvement_no_reduction(self):
+        assert related_work_reduction_pct(100.0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            related_work_reduction_pct(0.0)
+
+    def test_build_table3(self):
+        rows = build_table3(18.0, 11.0)
+        assert rows[0] == Table3Row("Eco", 18.0, 11.0)
+        assert rows[1].cpu_reduction_pct is None
+        assert rows[1].system_reduction_pct == pytest.approx(5.66, abs=0.01)
+
+
+class TestCalibration:
+    def test_spearman_of_reference_against_itself(self):
+        from repro.analysis.calibration import spearman_rho
+        from repro.hpcg import reference
+
+        perfect = {
+            (p.cores, p.freq_ghz, p.hyperthread): p.gflops_per_watt
+            for p in reference.GFLOPS_PER_WATT
+        }
+        assert spearman_rho(perfect) == pytest.approx(1.0)
+
+    def test_shipped_models_rank_like_the_paper(self):
+        from repro.analysis.calibration import predicted_efficiency, spearman_rho
+        from repro.hardware.cpu import AMD_EPYC_7502P
+        from repro.hardware.power import PowerModel
+        from repro.hpcg.performance_model import HpcgPerformanceModel
+
+        predicted = predicted_efficiency(HpcgPerformanceModel(), PowerModel(AMD_EPYC_7502P))
+        assert spearman_rho(predicted) > 0.93
+
+    def test_shipped_models_pick_the_papers_winner(self):
+        from repro.analysis.calibration import predicted_efficiency
+        from repro.hardware.cpu import AMD_EPYC_7502P
+        from repro.hardware.power import PowerModel
+        from repro.hpcg import reference
+        from repro.hpcg.performance_model import HpcgPerformanceModel
+
+        predicted = predicted_efficiency(HpcgPerformanceModel(), PowerModel(AMD_EPYC_7502P))
+        assert max(predicted, key=predicted.get) == reference.BEST_CONFIG
+
+    def test_steady_state_point_consistency(self):
+        from repro.analysis.calibration import steady_state_point
+        from repro.hardware.cpu import AMD_EPYC_7502P
+        from repro.hardware.power import PowerModel
+        from repro.hardware.thermal import ThermalParams
+        from repro.hpcg.performance_model import HpcgPerformanceModel
+
+        sp = steady_state_point(
+            32, 2.5, False, HpcgPerformanceModel(), PowerModel(AMD_EPYC_7502P), ThermalParams()
+        )
+        assert sp.sys_w > sp.cpu_w
+        assert sp.efficiency == pytest.approx(sp.gflops / sp.sys_w)
+        # temperature consistent with the thermal model's steady state
+        assert sp.temp_c == pytest.approx(ThermalParams().steady_state_c(sp.cpu_w))

@@ -1,0 +1,76 @@
+"""Tests for the CSV figure exporters."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_ranking_csv,
+    export_surface_csv,
+    export_timeseries_csv,
+)
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.run import EnergySample, Run
+
+
+class TestSurfaceExport:
+    def test_writes_all_rows(self, steady_rows, tmp_path):
+        path = export_surface_csv(steady_rows, str(tmp_path / "s.csv"))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(steady_rows)
+        assert set(rows[0]) == {
+            "cores", "frequency_ghz", "hyperthread", "gflops",
+            "avg_system_w", "gflops_per_watt",
+        }
+
+    def test_values_roundtrip(self, steady_rows, tmp_path):
+        path = export_surface_csv(steady_rows, str(tmp_path / "s.csv"))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        by_key = {
+            (int(r["cores"]), float(r["frequency_ghz"]), r["hyperthread"]): r
+            for r in rows
+        }
+        sample = steady_rows[0]
+        cfg = sample.configuration
+        got = by_key[(cfg.cores, round(cfg.frequency_ghz, 1), "t" if cfg.hyperthread else "f")]
+        assert float(got["gflops_per_watt"]) == pytest.approx(
+            sample.gflops_per_watt, abs=1e-5
+        )
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_surface_csv([], str(tmp_path / "s.csv"))
+
+
+class TestRankingExport:
+    def test_ranked_descending(self, steady_rows, tmp_path):
+        path = export_ranking_csv(steady_rows, str(tmp_path / "r.csv"))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        values = [float(r["gflops_per_watt"]) for r in rows]
+        assert values == sorted(values, reverse=True)
+        assert [int(r["rank"]) for r in rows] == list(range(1, len(rows) + 1))
+
+
+class TestTimeseriesExport:
+    def test_samples_per_run(self, tmp_path):
+        run = Run(
+            configuration=Configuration(32, 1, 2_200_000),
+            start_time=100.0,
+            end_time=109.0,
+            gflops=9.0,
+            samples=[EnergySample(100.0 + 3 * i, 190.0, 97.0, 54.0) for i in range(4)],
+        )
+        path = export_timeseries_csv({"best": run}, str(tmp_path / "t.csv"))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert rows[0]["run"] == "best"
+        assert float(rows[0]["elapsed_s"]) == 0.0
+        assert float(rows[-1]["elapsed_s"]) == 9.0
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_timeseries_csv({}, str(tmp_path / "t.csv"))

@@ -1,0 +1,99 @@
+"""Randomised controller stress tests: global invariants under arbitrary
+job streams.
+
+Hypothesis drives random mixes of job sizes, node counts, time limits and
+cancellations through the full controller and asserts the properties a
+production scheduler must never violate:
+
+* cores are never oversubscribed at any instant,
+* every accepted job eventually reaches a terminal state,
+* energy attribution is non-negative and additive,
+* accounting has exactly one row per terminal job.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.slurm.batch_script import build_script
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+from repro.slurm.commands import parse_sbatch_output
+from repro.slurm.job import JobState
+
+job_strategy = st.lists(
+    st.tuples(
+        st.integers(1, 32),            # tasks per job
+        st.sampled_from([1_500_000, 2_200_000, 2_500_000]),
+        st.integers(1, 30),            # time limit minutes
+        st.booleans(),                 # cancel this one right away?
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def check_no_oversubscription(cluster: SimCluster) -> None:
+    for node in cluster.nodes:
+        assert len(node.allocated_core_ids()) <= node.total_cores
+        used = sum(rw.workload.cores for rw in node.running_workloads())
+        assert used == len(node.allocated_core_ids())
+
+
+class TestRandomJobStreams:
+    @settings(max_examples=25, deadline=None)
+    @given(jobs=job_strategy, n_nodes=st.integers(1, 3), seed=st.integers(0, 99))
+    def test_invariants_hold(self, jobs, n_nodes, seed):
+        cluster = SimCluster(seed=seed, n_nodes=n_nodes, hpcg_duration_s=400.0)
+        ids = []
+        for tasks, freq, limit_min, cancel in jobs:
+            script = build_script(
+                tasks, freq, 1, HPCG_BINARY, time_limit=f"{limit_min}:00"
+            )
+            jid = parse_sbatch_output(cluster.commands.sbatch(script))
+            ids.append(jid)
+            check_no_oversubscription(cluster)
+            if cancel:
+                cluster.ctld.cancel(jid)
+                check_no_oversubscription(cluster)
+
+        # drain the simulation; every job must reach a terminal state
+        cluster.sim.run_until_idle()
+        for jid in ids:
+            job = cluster.ctld.get_job(jid)
+            assert job.state.is_terminal, f"job {jid} stuck in {job.state}"
+            assert job.consumed_energy_j >= 0.0
+        check_no_oversubscription(cluster)
+        assert cluster.ctld.pending_jobs() == []
+        assert cluster.ctld.running_jobs() == []
+
+        # accounting: exactly one row per job, energy totals additive
+        assert len(cluster.accounting) == len(ids)
+        total = cluster.accounting.total_energy_j()
+        assert total == pytest.approx(
+            sum(cluster.ctld.get_job(j).consumed_energy_j for j in ids)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(jobs=job_strategy, seed=st.integers(0, 20))
+    def test_fifo_vs_backfill_complete_same_jobs(self, jobs, seed):
+        """Both schedulers must finish the same job set (backfill changes
+        order, never outcomes)."""
+        from repro.slurm.config import SlurmConfig
+
+        outcomes = {}
+        for sched in ("sched/backfill", "sched/builtin"):
+            cluster = SimCluster(
+                seed=seed,
+                config=SlurmConfig.parse(f"SchedulerType={sched}\n"),
+                hpcg_duration_s=300.0,
+            )
+            ids = []
+            for tasks, freq, limit_min, _ in jobs:
+                script = build_script(
+                    tasks, freq, 1, HPCG_BINARY, time_limit=f"{limit_min}:00"
+                )
+                ids.append(parse_sbatch_output(cluster.commands.sbatch(script)))
+            cluster.sim.run_until_idle()
+            outcomes[sched] = {
+                jid: cluster.ctld.get_job(jid).state for jid in ids
+            }
+        assert outcomes["sched/backfill"] == outcomes["sched/builtin"]

@@ -1,0 +1,234 @@
+"""Tests for Chronus domain entities."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.model import ModelMetadata
+from repro.core.domain.run import EnergySample, Run
+from repro.core.domain.settings import ChronusSettings
+from repro.core.domain.system_info import SystemInfo
+
+
+class TestConfiguration:
+    def test_paper_json_shape(self):
+        cfg = Configuration(cores=32, threads_per_core=2, frequency=2_200_000)
+        assert json.loads(cfg.to_json()) == {
+            "cores": 32,
+            "threads_per_core": 2,
+            "frequency": 2200000,
+        }
+
+    def test_from_json(self):
+        cfg = Configuration.from_json(
+            '{"cores": 4, "threads_per_core": 1, "frequency": 1500000}'
+        )
+        assert cfg == Configuration(4, 1, 1_500_000)
+
+    def test_derived_properties(self):
+        cfg = Configuration(8, 2, 2_500_000)
+        assert cfg.frequency_ghz == 2.5
+        assert cfg.hyperthread
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Configuration(0, 1, 1_500_000)
+        with pytest.raises(ValueError):
+            Configuration(1, 3, 1_500_000)
+        with pytest.raises(ValueError):
+            Configuration(1, 1, 0)
+
+    def test_from_dict_missing_keys(self):
+        with pytest.raises(ValueError, match="missing keys"):
+            Configuration.from_dict({"cores": 1})
+
+    def test_list_from_json(self):
+        configs = Configuration.list_from_json(
+            '[{"cores": 1, "threads_per_core": 1, "frequency": 1500000}]'
+        )
+        assert configs == [Configuration(1, 1, 1_500_000)]
+
+    def test_list_from_json_rejects_object(self):
+        with pytest.raises(ValueError, match="array"):
+            Configuration.list_from_json('{"cores": 1}')
+
+    def test_sweep_cross_product(self):
+        configs = Configuration.sweep([1, 2], [1_500_000, 2_500_000], (1, 2))
+        assert len(configs) == 8
+        assert len(set(configs)) == 8
+
+    def test_hashable_and_ordered(self):
+        a = Configuration(1, 1, 1_500_000)
+        b = Configuration(2, 1, 1_500_000)
+        assert a < b
+        assert len({a, b, a}) == 2
+
+    @given(
+        cores=st.integers(1, 64),
+        tpc=st.sampled_from([1, 2]),
+        freq=st.integers(1, 10_000_000),
+    )
+    def test_json_roundtrip(self, cores, tpc, freq):
+        cfg = Configuration(cores, tpc, freq)
+        assert Configuration.from_json(cfg.to_json()) == cfg
+
+
+class TestSystemInfo:
+    def make(self) -> SystemInfo:
+        return SystemInfo(
+            cpu_name="AMD EPYC 7502P 32-Core Processor",
+            cores=32,
+            threads_per_core=2,
+            frequencies=(1_500_000.0, 2_200_000.0, 2_500_000.0),
+            ram_kb=256 * 1024 * 1024,
+        )
+
+    def test_str_matches_fig1_shape(self):
+        text = str(self.make())
+        assert "cpu_name='AMD EPYC 7502P 32-Core Processor'" in text
+        assert "frequencies=[1500000.0, 2200000.0, 2500000.0]" in text
+
+    def test_fingerprint_stable(self):
+        assert self.make().fingerprint() == self.make().fingerprint()
+
+    def test_fingerprint_differs_across_systems(self):
+        other = SystemInfo("Xeon", 28, 2, (1_000_000.0, 2_000_000.0))
+        assert self.make().fingerprint() != other.fingerprint()
+
+    def test_dict_roundtrip(self):
+        info = self.make()
+        assert SystemInfo.from_dict(info.to_dict()) == info
+
+    def test_min_max_frequency(self):
+        info = self.make()
+        assert info.min_frequency == 1_500_000
+        assert info.max_frequency == 2_500_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemInfo("x", 0, 1, (1.0,))
+        with pytest.raises(ValueError):
+            SystemInfo("x", 1, 0, (1.0,))
+        with pytest.raises(ValueError):
+            SystemInfo("x", 1, 1, ())
+        with pytest.raises(ValueError):
+            SystemInfo("x", 1, 1, (2.0, 1.0))
+
+
+def make_run(gflops=9.0, watts=200.0, n_samples=5) -> Run:
+    samples = [
+        EnergySample(time=float(3 * i), system_w=watts, cpu_w=watts / 2, cpu_temp_c=55.0)
+        for i in range(n_samples)
+    ]
+    return Run(
+        configuration=Configuration(32, 1, 2_200_000),
+        start_time=0.0,
+        end_time=3.0 * (n_samples - 1),
+        gflops=gflops,
+        samples=samples,
+    )
+
+
+class TestRun:
+    def test_aggregates(self):
+        run = make_run(gflops=9.0, watts=200.0)
+        assert run.average_system_w() == 200.0
+        assert run.average_cpu_w() == 100.0
+        assert run.gflops_per_watt() == pytest.approx(0.045)
+
+    def test_energy_integration(self):
+        run = make_run(watts=100.0, n_samples=5)  # 12 s window
+        assert run.system_energy_j() == pytest.approx(1200.0)
+        assert run.cpu_energy_j() == pytest.approx(600.0)
+
+    def test_runtime(self):
+        assert make_run(n_samples=5).runtime_s == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Run(Configuration(1, 1, 1), start_time=5.0, end_time=1.0, gflops=1.0)
+        with pytest.raises(ValueError):
+            Run(Configuration(1, 1, 1), start_time=0.0, end_time=1.0, gflops=-1.0)
+        with pytest.raises(ValueError):
+            EnergySample(0.0, -1.0, 0.0, 20.0)
+
+
+class TestBenchmarkResult:
+    def test_from_run(self):
+        run = make_run(gflops=9.0, watts=200.0)
+        row = BenchmarkResult.from_run(1, "hpcg", run)
+        assert row.system_id == 1
+        assert row.application == "hpcg"
+        assert row.gflops_per_watt == pytest.approx(0.045)
+        assert row.runtime_s == run.runtime_s
+
+    def test_dict_roundtrip(self):
+        row = BenchmarkResult.from_run(1, "hpcg", make_run())
+        again = BenchmarkResult.from_dict(row.to_dict())
+        assert again == row
+
+    def test_dict_roundtrip_from_strings(self):
+        """CSV readers hand back strings; from_dict must coerce."""
+        row = BenchmarkResult.from_run(1, "hpcg", make_run())
+        as_strings = {k: str(v) for k, v in row.to_dict().items()}
+        assert BenchmarkResult.from_dict(as_strings) == row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkResult(1, "hpcg", Configuration(1, 1, 1), -1.0, 100, 50, 50, 1, 1, 10)
+        with pytest.raises(ValueError):
+            BenchmarkResult(1, "hpcg", Configuration(1, 1, 1), 1.0, 0.0, 50, 50, 1, 1, 10)
+        with pytest.raises(ValueError):
+            BenchmarkResult(1, "hpcg", Configuration(1, 1, 1), 1.0, 100, 50, 50, 1, 1, 0.0)
+
+
+class TestModelMetadata:
+    def test_roundtrip(self):
+        meta = ModelMetadata(3, "linear-regression", 1, "hpcg", "/blob/m.json", 12.5, 138)
+        assert ModelMetadata.from_dict(meta.to_dict()) == meta
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelMetadata(1, "", 1, "hpcg", "/p", 0.0, 1)
+        with pytest.raises(ValueError):
+            ModelMetadata(1, "t", 1, "hpcg", "", 0.0, 1)
+        with pytest.raises(ValueError):
+            ModelMetadata(1, "t", 1, "hpcg", "/p", 0.0, -1)
+
+
+class TestChronusSettings:
+    def test_defaults(self):
+        s = ChronusSettings()
+        assert s.plugin_state == "user"
+        assert s.database_path == "chronus.db"
+
+    def test_json_roundtrip(self):
+        s = (
+            ChronusSettings()
+            .with_database("data/data.db")
+            .with_blob_storage("/var/blobs")
+            .with_state("activated")
+            .with_loaded_model(1, "/opt/chronus/optimizer/m.json", "brute-force")
+        )
+        again = ChronusSettings.from_json(s.to_json())
+        assert again == s
+        assert again.loaded_model_for(1) == {
+            "path": "/opt/chronus/optimizer/m.json",
+            "type": "brute-force",
+        }
+
+    def test_invalid_state(self):
+        with pytest.raises(ValueError):
+            ChronusSettings(plugin_state="maybe")
+
+    def test_loaded_model_for_unknown(self):
+        assert ChronusSettings().loaded_model_for(5) is None
+
+    def test_updates_are_copies(self):
+        a = ChronusSettings()
+        b = a.with_state("deactivated")
+        assert a.plugin_state == "user"
+        assert b.plugin_state == "deactivated"

@@ -1,0 +1,95 @@
+"""Tests for the HPCG runner, IPMI service and lscpu discovery against the
+simulated cluster."""
+
+import pytest
+
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import ChronusError
+from repro.core.runners.hpcg_runner import HpcgRunner, parse_hpcg_rating
+from repro.core.services.ipmi_service import IpmiSystemService
+from repro.core.services.lscpu_info import LscpuSystemInfo, parse_lscpu
+from repro.slurm.cluster import HPCG_BINARY
+
+
+class TestParseHpcgRating:
+    def test_parses_final_summary(self):
+        text = "...\nFinal Summary::HPCG result is VALID with a GFLOP/s rating of=9.34829\n"
+        assert parse_hpcg_rating(text) == 9.34829
+
+    def test_missing_rating(self):
+        with pytest.raises(ChronusError, match="no GFLOP/s rating"):
+            parse_hpcg_rating("job crashed")
+
+
+class TestHpcgRunner:
+    def test_generated_script_matches_listing6(self, sweep_cluster):
+        runner = HpcgRunner(sweep_cluster, HPCG_BINARY)
+        script = runner.generate_slurm_file_content(Configuration(28, 2, 2_200_000))
+        assert "#SBATCH --nodes=1" in script
+        assert "#SBATCH --ntasks=28" in script
+        assert "#SBATCH --cpu-freq=2200000" in script
+        assert "srun --mpi=pmix_v4 --ntasks-per-core=2" in script
+        assert HPCG_BINARY in script
+
+    def test_submit_wait_collect(self, sweep_cluster):
+        runner = HpcgRunner(sweep_cluster, HPCG_BINARY)
+        handle = runner.submit(Configuration(32, 1, 2_200_000))
+        assert not runner.is_done(handle)
+        while not runner.is_done(handle):
+            runner.advance(3.0)
+        result = runner.result(handle)
+        assert result.success
+        assert result.gflops == pytest.approx(9.0, abs=0.5)
+        assert result.runtime_s == pytest.approx(600.0)
+
+    def test_result_before_done_raises(self, sweep_cluster):
+        runner = HpcgRunner(sweep_cluster, HPCG_BINARY)
+        handle = runner.submit(Configuration(4, 1, 1_500_000))
+        with pytest.raises(ChronusError, match="still"):
+            runner.result(handle)
+
+    def test_advance_validates(self, sweep_cluster):
+        runner = HpcgRunner(sweep_cluster, HPCG_BINARY)
+        with pytest.raises(ValueError):
+            runner.advance(0.0)
+
+    def test_failed_job_reported(self, cluster):
+        runner = HpcgRunner(cluster, "/bin/not-registered")
+        handle = runner.submit(Configuration(4, 1, 1_500_000))
+        assert runner.is_done(handle)  # fails immediately
+        result = runner.result(handle)
+        assert not result.success
+        assert result.gflops == 0.0
+
+
+class TestIpmiService:
+    def test_sample_fields(self, cluster):
+        svc = IpmiSystemService(cluster.ipmi, clock=lambda: cluster.sim.now)
+        sample = svc.sample()
+        assert sample.system_w > sample.cpu_w > 0
+        assert sample.time == cluster.sim.now
+
+    def test_permission_error_wrapped(self, cluster):
+        cluster.ipmi.chmod_device(False)
+        svc = IpmiSystemService(cluster.ipmi, clock=lambda: 0.0)
+        with pytest.raises(ChronusError, match="IPMI access denied"):
+            svc.sample()
+
+
+class TestLscpuDiscovery:
+    def test_parse_lscpu(self):
+        fields = parse_lscpu("CPU(s):   64\nModel name:  Foo Bar\n")
+        assert fields["CPU(s)"] == "64"
+        assert fields["Model name"] == "Foo Bar"
+
+    def test_fetch_matches_node(self, cluster):
+        info = LscpuSystemInfo(cluster.node).fetch()
+        assert info.cpu_name == "AMD EPYC 7502P 32-Core Processor"
+        assert info.cores == 32
+        assert info.threads_per_core == 2
+        assert info.frequencies == (1_500_000.0, 2_200_000.0, 2_500_000.0)
+        assert info.ram_kb == 256 * 1024 * 1024
+
+    def test_fingerprint_stable_across_fetches(self, cluster):
+        svc = LscpuSystemInfo(cluster.node)
+        assert svc.fetch().fingerprint() == svc.fetch().fingerprint()

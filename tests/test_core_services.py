@@ -1,0 +1,328 @@
+"""Tests for the application services with in-memory fakes."""
+
+import pytest
+
+from repro.core.application.benchmark_service import BenchmarkService
+from repro.core.application.init_model_service import InitModelService
+from repro.core.application.interfaces import (
+    ApplicationRunnerInterface,
+    FileRepositoryInterface,
+    LocalStorageInterface,
+    RunnerResult,
+    SystemInfoInterface,
+    SystemServiceInterface,
+)
+from repro.core.application.load_model_service import LoadModelService
+from repro.core.application.settings_service import SettingsService
+from repro.core.application.slurm_config_service import SlurmConfigService
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import (
+    ChronusError,
+    ModelNotFoundError,
+    NoBenchmarksError,
+    SystemNotFoundError,
+)
+from repro.core.domain.run import EnergySample
+from repro.core.domain.settings import ChronusSettings
+from repro.core.domain.system_info import SystemInfo
+from repro.core.factory import ModelFactory
+from repro.core.repositories.memory_repository import MemoryRepository
+
+SYSTEM = SystemInfo("TestCPU", 4, 2, (1_500_000.0, 2_500_000.0))
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class FakeRunner(ApplicationRunnerInterface):
+    """Deterministic runner: runtime 10 s, gflops = cores * GHz."""
+
+    application = "hpcg"
+
+    def __init__(self, clock: FakeClock, fail_configs=()):
+        self.clock = clock
+        self.fail_configs = set(fail_configs)
+        self._jobs = {}
+        self._next = 1
+
+    def submit(self, configuration):
+        h = self._next
+        self._next += 1
+        self._jobs[h] = (configuration, self.clock.t + 10.0)
+        return h
+
+    def is_done(self, handle):
+        return self.clock.t >= self._jobs[handle][1]
+
+    def advance(self, seconds):
+        self.clock.t += seconds
+
+    def result(self, handle):
+        cfg, _ = self._jobs[handle]
+        if cfg in self.fail_configs:
+            return RunnerResult(0.0, 10.0, False)
+        return RunnerResult(cfg.cores * cfg.frequency_ghz, 10.0, True)
+
+
+class FakeSystemService(SystemServiceInterface):
+    def __init__(self, clock: FakeClock):
+        self.clock = clock
+        self.samples_taken = 0
+
+    def sample(self):
+        self.samples_taken += 1
+        return EnergySample(self.clock.t, 100.0, 50.0, 55.0)
+
+
+class FakeSystemInfo(SystemInfoInterface):
+    def fetch(self):
+        return SYSTEM
+
+
+class DictBlobStore(FileRepositoryInterface):
+    def __init__(self):
+        self.blobs = {}
+
+    def save(self, name, data):
+        path = f"/blob/{name}"
+        self.blobs[path] = data
+        return path
+
+    def load(self, path):
+        if path not in self.blobs:
+            raise ModelNotFoundError(path)
+        return self.blobs[path]
+
+    def exists(self, path):
+        return path in self.blobs
+
+
+class DictLocalStorage(LocalStorageInterface):
+    def __init__(self):
+        self.settings = ChronusSettings()
+
+    def load(self):
+        return self.settings
+
+    def save(self, settings):
+        self.settings = settings
+
+    def resolve_path(self, relative):
+        return f"/etc/chronus/{relative}"
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def repo():
+    return MemoryRepository()
+
+
+@pytest.fixture
+def bench_service(repo, clock):
+    return BenchmarkService(
+        repo, FakeRunner(clock), FakeSystemService(clock), FakeSystemInfo(),
+        sample_interval_s=3.0,
+    )
+
+
+class TestBenchmarkService:
+    def test_default_configurations_full_sweep(self, bench_service):
+        configs = bench_service.default_configurations()
+        # 4 cores x 2 freqs x 2 tpc
+        assert len(configs) == 16
+
+    def test_run_benchmarks_persists(self, bench_service, repo, clock):
+        configs = [Configuration(2, 1, 2_500_000), Configuration(4, 1, 2_500_000)]
+        results = bench_service.run_benchmarks(configs, clock=clock)
+        assert len(results) == 2
+        assert len(repo.benchmarks_for_system(1, "hpcg")) == 2
+        assert results[1].gflops == pytest.approx(4 * 2.5)
+
+    def test_sampling_cadence(self, repo, clock):
+        service = FakeSystemService(clock)
+        bs = BenchmarkService(
+            repo, FakeRunner(clock), service, FakeSystemInfo(), sample_interval_s=2.0
+        )
+        run = bs.run_one(Configuration(1, 1, 2_500_000), clock=clock)
+        # 10 s runtime at 2 s cadence -> 5 samples
+        assert len(run.samples) == 5
+        assert run.runtime_s == pytest.approx(10.0)
+
+    def test_failed_run_skipped(self, repo, clock):
+        bad = Configuration(2, 1, 2_500_000)
+        runner = FakeRunner(clock, fail_configs=[bad])
+        bs = BenchmarkService(repo, runner, FakeSystemService(clock), FakeSystemInfo())
+        results = bs.run_benchmarks([bad, Configuration(4, 1, 2_500_000)], clock=clock)
+        assert len(results) == 1
+        assert results[0].configuration.cores == 4
+
+    def test_empty_configuration_list_rejected(self, bench_service, clock):
+        with pytest.raises(ChronusError, match="no configurations"):
+            bench_service.run_benchmarks([], clock=clock)
+
+    def test_invalid_interval(self, repo, clock):
+        with pytest.raises(ValueError):
+            BenchmarkService(
+                repo, FakeRunner(clock), FakeSystemService(clock), FakeSystemInfo(),
+                sample_interval_s=0.0,
+            )
+
+
+@pytest.fixture
+def populated_repo(bench_service, repo, clock):
+    bench_service.run_benchmarks(
+        [Configuration(c, t, f) for c in (1, 2, 4) for f in (1_500_000, 2_500_000)
+         for t in (1, 2)],
+        clock=clock,
+    )
+    return repo
+
+
+class TestInitModelService:
+    def test_builds_and_stores(self, populated_repo):
+        blobs = DictBlobStore()
+        service = InitModelService(populated_repo, blobs, ModelFactory.get_optimizer)
+        meta = service.run("brute-force", 1, created_at=42.0)
+        assert meta.model_id == 1
+        assert meta.model_type == "brute-force"
+        assert meta.training_points == 12
+        assert blobs.exists(meta.blob_path)
+        assert populated_repo.get_model_metadata(1) == meta
+
+    def test_no_benchmarks_error(self, repo):
+        repo.save_system(SYSTEM)
+        service = InitModelService(repo, DictBlobStore(), ModelFactory.get_optimizer)
+        with pytest.raises(NoBenchmarksError):
+            service.run("brute-force", 1)
+
+    def test_unknown_system_error(self, repo):
+        service = InitModelService(repo, DictBlobStore(), ModelFactory.get_optimizer)
+        with pytest.raises(SystemNotFoundError):
+            service.run("brute-force", 99)
+
+    def test_model_ids_increment(self, populated_repo):
+        blobs = DictBlobStore()
+        service = InitModelService(populated_repo, blobs, ModelFactory.get_optimizer)
+        a = service.run("brute-force", 1)
+        b = service.run("linear-regression", 1)
+        assert (a.model_id, b.model_id) == (1, 2)
+
+
+class TestLoadModelService:
+    def test_load_flow(self, populated_repo):
+        blobs = DictBlobStore()
+        init = InitModelService(populated_repo, blobs, ModelFactory.get_optimizer)
+        meta = init.run("brute-force", 1)
+
+        local = DictLocalStorage()
+        written = {}
+        load = LoadModelService(
+            populated_repo, blobs, local, write_local=lambda p, d: written.update({p: d})
+        )
+        metadata, path = load.run(meta.model_id)
+        assert metadata == meta
+        assert path in written
+        entry = local.load().loaded_model_for(1)
+        assert entry == {"path": path, "type": "brute-force"}
+
+    def test_unknown_model(self, populated_repo):
+        load = LoadModelService(
+            populated_repo, DictBlobStore(), DictLocalStorage(), write_local=lambda p, d: None
+        )
+        with pytest.raises(ModelNotFoundError):
+            load.run(404)
+
+
+class TestSlurmConfigService:
+    def _loaded(self, populated_repo):
+        blobs = DictBlobStore()
+        init = InitModelService(populated_repo, blobs, ModelFactory.get_optimizer)
+        meta = init.run("brute-force", 1)
+        local = DictLocalStorage()
+        files = {}
+        load = LoadModelService(
+            populated_repo, blobs, local, write_local=lambda p, d: files.update({p: d})
+        )
+        load.run(meta.model_id)
+        return local, files
+
+    def test_predicts_best(self, populated_repo):
+        local, files = self._loaded(populated_repo)
+        svc = SlurmConfigService(
+            local, ModelFactory.load_optimizer, read_local=lambda p: files[p]
+        )
+        cfg = svc.run(1, 12345)
+        # FakeRunner gflops = cores*GHz, all powers equal -> best is most cores
+        # at highest frequency
+        assert cfg == Configuration(4, 2, 2_500_000) or cfg.cores == 4
+
+    def test_json_output(self, populated_repo):
+        local, files = self._loaded(populated_repo)
+        svc = SlurmConfigService(
+            local, ModelFactory.load_optimizer, read_local=lambda p: files[p]
+        )
+        import json
+
+        out = json.loads(svc.run_json(1, "abc"))
+        assert set(out) == {"cores", "threads_per_core", "frequency"}
+
+    def test_unknown_system_falls_back_to_single_model(self, populated_repo):
+        """A plugin-side hash that is not the repo id still resolves when
+        exactly one model is loaded (single-node deployment)."""
+        local, files = self._loaded(populated_repo)
+        svc = SlurmConfigService(
+            local, ModelFactory.load_optimizer, read_local=lambda p: files[p]
+        )
+        cfg = svc.run(9_999_999_999, 1)
+        assert cfg.cores == 4
+
+    def test_no_loaded_model_raises(self):
+        svc = SlurmConfigService(
+            DictLocalStorage(), ModelFactory.load_optimizer, read_local=lambda p: b""
+        )
+        with pytest.raises(ModelNotFoundError, match="load-model"):
+            svc.run(1)
+
+    def test_optimizer_cached_across_calls(self, populated_repo):
+        local, files = self._loaded(populated_repo)
+        reads = []
+
+        def read(p):
+            reads.append(p)
+            return files[p]
+
+        svc = SlurmConfigService(local, ModelFactory.load_optimizer, read_local=read)
+        svc.run(1)
+        svc.run(1)
+        assert len(reads) == 1
+
+
+class TestSettingsService:
+    def test_set_operations(self):
+        local = DictLocalStorage()
+        svc = SettingsService(local)
+        svc.set_database("/data/other.db")
+        svc.set_blob_storage("/blobs")
+        svc.set_state("activated")
+        s = svc.current()
+        assert s.database_path == "/data/other.db"
+        assert s.blob_storage_path == "/blobs"
+        assert s.plugin_state == "activated"
+
+    def test_invalid_values(self):
+        svc = SettingsService(DictLocalStorage())
+        with pytest.raises(ValueError):
+            svc.set_database("")
+        with pytest.raises(ValueError):
+            svc.set_blob_storage("")
+        with pytest.raises(ValueError):
+            svc.set_state("on")

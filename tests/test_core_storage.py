@@ -1,0 +1,89 @@
+"""Tests for ETC settings storage and local blob storage."""
+
+import os
+
+import pytest
+
+from repro.core.domain.errors import ModelNotFoundError, SettingsError
+from repro.core.domain.settings import ChronusSettings
+from repro.core.storage.etc_storage import EtcStorage
+from repro.core.storage.local_file_repository import LocalFileRepository
+
+
+class TestEtcStorage:
+    def test_defaults_when_missing(self, tmp_path):
+        storage = EtcStorage(str(tmp_path / "etc"))
+        assert storage.load() == ChronusSettings()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        storage = EtcStorage(str(tmp_path))
+        settings = ChronusSettings().with_state("activated").with_database("x.db")
+        storage.save(settings)
+        assert storage.load() == settings
+
+    def test_persisted_as_json_file(self, tmp_path):
+        storage = EtcStorage(str(tmp_path))
+        storage.save(ChronusSettings())
+        assert os.path.exists(os.path.join(str(tmp_path), "settings.json"))
+
+    def test_corrupt_file_raises_settings_error(self, tmp_path):
+        storage = EtcStorage(str(tmp_path))
+        with open(storage.settings_path, "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(SettingsError):
+            storage.load()
+
+    def test_resolve_path(self, tmp_path):
+        storage = EtcStorage(str(tmp_path))
+        assert storage.resolve_path("optimizer/m.json") == os.path.join(
+            str(tmp_path), "optimizer/m.json"
+        )
+        assert storage.resolve_path("/abs/path") == "/abs/path"
+
+    def test_empty_root_rejected(self):
+        with pytest.raises(ValueError):
+            EtcStorage("")
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        storage = EtcStorage(str(tmp_path))
+        storage.save(ChronusSettings())
+        assert not os.path.exists(storage.settings_path + ".tmp")
+
+
+class TestLocalFileRepository:
+    def test_save_load_roundtrip(self, tmp_path):
+        repo = LocalFileRepository(str(tmp_path / "blobs"))
+        path = repo.save("model-1.json", b"payload")
+        assert repo.exists(path)
+        assert repo.load(path) == b"payload"
+
+    def test_load_by_name(self, tmp_path):
+        repo = LocalFileRepository(str(tmp_path / "blobs"))
+        repo.save("m.json", b"x")
+        assert repo.load("m.json") == b"x"
+
+    def test_missing_blob_raises(self, tmp_path):
+        repo = LocalFileRepository(str(tmp_path))
+        with pytest.raises(ModelNotFoundError):
+            repo.load("nope.json")
+
+    def test_overwrite(self, tmp_path):
+        repo = LocalFileRepository(str(tmp_path))
+        path = repo.save("m.json", b"v1")
+        repo.save("m.json", b"v2")
+        assert repo.load(path) == b"v2"
+
+    def test_path_traversal_blocked(self, tmp_path):
+        repo = LocalFileRepository(str(tmp_path / "blobs"))
+        with pytest.raises(ValueError, match="escapes"):
+            repo.save("../outside.json", b"x")
+
+    def test_empty_name_rejected(self, tmp_path):
+        repo = LocalFileRepository(str(tmp_path))
+        with pytest.raises(ValueError):
+            repo.save("", b"x")
+
+    def test_nested_names(self, tmp_path):
+        repo = LocalFileRepository(str(tmp_path))
+        path = repo.save("sys1/m.json", b"deep")
+        assert repo.load(path) == b"deep"

@@ -1,0 +1,189 @@
+"""Tests for the energy-market extension (traces + schedulers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import ChronusError
+from repro.energymarket.scheduling import DeadlineConfigSelector, TimeShiftScheduler
+from repro.energymarket.traces import HOUR, CarbonTrace, PriceTrace, Trace
+
+
+class TestTrace:
+    def test_at_steps_hourly(self):
+        t = Trace(values=np.array([10.0, 20.0, 30.0]))
+        assert t.at(0.0) == 10.0
+        assert t.at(3599.0) == 10.0
+        assert t.at(3600.0) == 20.0
+
+    def test_clamps_beyond_horizon(self):
+        t = Trace(values=np.array([10.0, 20.0]))
+        assert t.at(1e9) == 20.0
+
+    def test_integrate_exact(self):
+        t = Trace(values=np.array([10.0, 20.0]))
+        # 30 min at 10 + 30 min at... no: [0, 5400] = 3600*10 + 1800*20
+        assert t.integrate(0.0, 5400.0) == pytest.approx(3600 * 10 + 1800 * 20)
+
+    def test_integrate_within_one_hour(self):
+        t = Trace(values=np.array([10.0, 20.0]))
+        assert t.integrate(600.0, 1200.0) == pytest.approx(600 * 10)
+
+    def test_integrate_validation(self):
+        t = Trace(values=np.array([1.0]))
+        with pytest.raises(ValueError):
+            t.integrate(5.0, 1.0)
+        with pytest.raises(ValueError):
+            t.integrate(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            t.at(-1.0)
+
+    def test_mean_over(self):
+        t = Trace(values=np.array([10.0, 20.0]))
+        assert t.mean_over(0.0, 7200.0) == pytest.approx(15.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(values=np.array([]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        start=st.floats(0, 50_000),
+        length=st.floats(1.0, 100_000),
+    )
+    def test_integral_additivity(self, seed, start, length):
+        trace = PriceTrace.synthetic(days=3, seed=seed)
+        mid = start + length / 2
+        end = start + length
+        total = trace.integrate(start, end)
+        split = trace.integrate(start, mid) + trace.integrate(mid, end)
+        assert total == pytest.approx(split, rel=1e-9, abs=1e-6)
+
+
+class TestSyntheticTraces:
+    def test_price_positive(self):
+        trace = PriceTrace.synthetic(days=7, seed=1)
+        assert (trace.values >= 1.0).all()
+        assert trace.values.size == 7 * 24
+
+    def test_price_deterministic(self):
+        a = PriceTrace.synthetic(days=2, seed=9).values
+        b = PriceTrace.synthetic(days=2, seed=9).values
+        np.testing.assert_array_equal(a, b)
+
+    def test_price_nights_cheaper_than_evenings(self):
+        trace = PriceTrace.synthetic(days=14, seed=0, volatility=0.0,
+                                     spike_probability=0.0)
+        nights = trace.values[[d * 24 + 4 for d in range(14)]]
+        evenings = trace.values[[d * 24 + 19 for d in range(14)]]
+        assert nights.mean() < evenings.mean()
+
+    def test_carbon_positive(self):
+        trace = CarbonTrace.synthetic(days=7, seed=1)
+        assert (trace.values >= 10.0).all()
+
+    def test_days_validation(self):
+        with pytest.raises(ValueError):
+            PriceTrace.synthetic(days=0)
+        with pytest.raises(ValueError):
+            CarbonTrace.synthetic(days=0)
+
+
+class TestTimeShiftScheduler:
+    def make_trace(self):
+        # expensive first 12 h, cheap next 12 h
+        return Trace(values=np.array([100.0] * 12 + [10.0] * 12))
+
+    def test_moves_job_to_cheap_window(self):
+        sched = TimeShiftScheduler(self.make_trace())
+        decision = sched.best_start(2 * HOUR, avg_power_w=200.0)
+        assert decision.start_s >= 12 * HOUR
+        assert decision.savings_fraction == pytest.approx(0.9)
+
+    def test_respects_deadline(self):
+        sched = TimeShiftScheduler(self.make_trace())
+        decision = sched.best_start(2 * HOUR, 200.0, deadline_s=6 * HOUR)
+        assert decision.end_s <= 6 * HOUR
+        assert decision.savings_fraction == 0.0  # flat expensive region
+
+    def test_infeasible_deadline(self):
+        sched = TimeShiftScheduler(self.make_trace())
+        with pytest.raises(ChronusError, match="cannot finish"):
+            sched.best_start(10 * HOUR, 200.0, earliest_s=20 * HOUR, deadline_s=24 * HOUR)
+
+    def test_job_cost_units(self):
+        # 1 MW for 1 h at 50 EUR/MWh = 50 EUR
+        trace = Trace(values=np.array([50.0] * 2))
+        sched = TimeShiftScheduler(trace)
+        assert sched.job_cost(0.0, HOUR, 1e6) == pytest.approx(50.0)
+
+    def test_ties_prefer_earliest(self):
+        trace = Trace(values=np.array([10.0] * 24))
+        sched = TimeShiftScheduler(trace)
+        assert sched.best_start(HOUR, 100.0).start_s == 0.0
+
+    def test_validation(self):
+        sched = TimeShiftScheduler(self.make_trace())
+        with pytest.raises(ValueError):
+            sched.best_start(0.0, 100.0)
+        with pytest.raises(ValueError):
+            sched.best_start(HOUR, 0.0)
+        with pytest.raises(ValueError):
+            TimeShiftScheduler(self.make_trace(), step_s=0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), duration_h=st.integers(1, 12))
+    def test_never_worse_than_baseline(self, seed, duration_h):
+        trace = PriceTrace.synthetic(days=4, seed=seed)
+        sched = TimeShiftScheduler(trace)
+        decision = sched.best_start(duration_h * HOUR, 200.0)
+        assert decision.cost <= decision.baseline_cost + 1e-9
+
+
+class TestDeadlineConfigSelector:
+    def test_relaxed_deadline_gives_most_efficient(self, paper_rows):
+        sel = DeadlineConfigSelector(paper_rows, total_flops=1e13)
+        cfg = sel.select(deadline_s=10 * 24 * 3600)
+        best = max(paper_rows, key=lambda b: b.gflops_per_watt)
+        assert cfg == best.configuration
+
+    def test_tight_deadline_forces_faster_config(self, paper_rows):
+        sel = DeadlineConfigSelector(paper_rows, total_flops=1e13, safety_margin=0.0)
+        fastest = max(paper_rows, key=lambda b: b.gflops)
+        tight = sel.predicted_runtime_s(fastest) * 1.001
+        cfg = sel.select(deadline_s=tight)
+        assert cfg == fastest.configuration
+
+    def test_deadline_between_best_and_fastest(self, paper_rows):
+        """With a deadline that excludes the global optimum, the selection
+        is the most efficient *feasible* configuration."""
+        sel = DeadlineConfigSelector(paper_rows, total_flops=1e13, safety_margin=0.0)
+        by_cfg = {b.configuration: b for b in paper_rows}
+        best = max(paper_rows, key=lambda b: b.gflops_per_watt)
+        deadline = sel.predicted_runtime_s(best) * 0.999  # just excludes it
+        cfg = sel.select(deadline)
+        assert cfg != best.configuration
+        assert sel.predicted_runtime_s(by_cfg[cfg]) <= deadline
+
+    def test_impossible_deadline(self, paper_rows):
+        sel = DeadlineConfigSelector(paper_rows, total_flops=1e13)
+        with pytest.raises(ChronusError, match="no configuration finishes"):
+            sel.select(deadline_s=1.0)
+
+    def test_safety_margin_inflates_runtime(self, paper_rows):
+        tight = DeadlineConfigSelector(paper_rows, 1e13, safety_margin=0.0)
+        safe = DeadlineConfigSelector(paper_rows, 1e13, safety_margin=0.2)
+        row = paper_rows[0]
+        assert safe.predicted_runtime_s(row) == pytest.approx(
+            tight.predicted_runtime_s(row) * 1.2
+        )
+
+    def test_validation(self, paper_rows):
+        with pytest.raises(ChronusError):
+            DeadlineConfigSelector([], 1e13)
+        with pytest.raises(ValueError):
+            DeadlineConfigSelector(paper_rows, 0.0)
+        with pytest.raises(ValueError):
+            DeadlineConfigSelector(paper_rows, 1e13, safety_margin=1.0)

@@ -1,0 +1,159 @@
+"""Failure injection and determinism: production-credibility tests.
+
+An energy optimizer must never take the cluster down (the eco plugin's
+failure policy) and must never corrupt its own data on partial failures.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.application.benchmark_service import BenchmarkService
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import ChronusError, OptimizerError, SettingsError
+from repro.core.factory import ChronusApp
+from repro.core.repositories.memory_repository import MemoryRepository
+from repro.core.runners.hpcg_runner import HpcgRunner
+from repro.core.services.ipmi_service import IpmiSystemService
+from repro.core.services.lscpu_info import LscpuSystemInfo
+from repro.slurm.batch_script import build_script
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+from repro.slurm.commands import parse_sbatch_output
+from repro.slurm.config import SlurmConfig
+
+SMALL_SWEEP = [Configuration(32, 1, f) for f in (2_200_000, 2_500_000)]
+
+
+class TestIpmiFailureMidSweep:
+    def test_denied_ipmi_aborts_without_partial_rows(self, sweep_cluster):
+        repo = MemoryRepository()
+        service = BenchmarkService(
+            repo,
+            HpcgRunner(sweep_cluster, HPCG_BINARY),
+            IpmiSystemService(sweep_cluster.ipmi, clock=lambda: sweep_cluster.sim.now),
+            LscpuSystemInfo(sweep_cluster.node),
+        )
+        # access revoked mid-campaign (e.g. /dev/ipmi0 permissions reset)
+        sweep_cluster.ipmi.chmod_device(False)
+        with pytest.raises(ChronusError, match="IPMI access denied"):
+            service.run_benchmarks(SMALL_SWEEP, clock=lambda: sweep_cluster.sim.now)
+        # the aborted configuration left no half-written benchmark row
+        assert repo.benchmarks_for_system(1) == []
+
+
+class TestFailedJobsMidSweep:
+    def test_unknown_binary_yields_empty_results_not_crash(self, sweep_cluster):
+        repo = MemoryRepository()
+        service = BenchmarkService(
+            repo,
+            HpcgRunner(sweep_cluster, "/opt/unknown/app"),
+            IpmiSystemService(sweep_cluster.ipmi, clock=lambda: sweep_cluster.sim.now),
+            LscpuSystemInfo(sweep_cluster.node),
+        )
+        results = service.run_benchmarks(
+            SMALL_SWEEP, clock=lambda: sweep_cluster.sim.now
+        )
+        assert results == []
+        assert repo.benchmarks_for_system(1) == []
+
+    def test_timeout_job_skipped_but_sweep_continues(self, cluster):
+        """A configuration whose run exceeds the runner's time limit is
+        recorded as failed and skipped; the rest of the sweep completes."""
+        repo = MemoryRepository()
+        runner = HpcgRunner(cluster, HPCG_BINARY, time_limit="0:10:00")  # < ~19 min runs
+        service = BenchmarkService(
+            repo, runner,
+            IpmiSystemService(cluster.ipmi, clock=lambda: cluster.sim.now),
+            LscpuSystemInfo(cluster.node),
+        )
+        results = service.run_benchmarks(SMALL_SWEEP, clock=lambda: cluster.sim.now)
+        assert results == []  # every full run outlives 10 minutes
+        assert all(r.state == "TIMEOUT" for r in cluster.accounting.all())
+
+
+class TestCorruptArtifacts:
+    def test_corrupt_settings_raise_settings_error(self, tmp_path):
+        from repro.core.storage.etc_storage import EtcStorage
+
+        etc = EtcStorage(str(tmp_path))
+        with open(etc.settings_path, "w") as fh:
+            fh.write('{"plugin_state": "always"}')  # invalid state value
+        with pytest.raises(SettingsError):
+            etc.load()
+
+    def test_corrupt_model_on_disk_leaves_jobs_unmodified(self, tmp_path):
+        """The pre-loaded model file gets corrupted; the plugin must still
+        let submissions through untouched."""
+        cluster = SimCluster(
+            seed=3, config=SlurmConfig.parse("JobSubmitPlugins=eco\n"),
+            hpcg_duration_s=300.0,
+        )
+        app = ChronusApp(cluster, str(tmp_path / "ws"))
+        app.benchmark_service.run_benchmarks(SMALL_SWEEP, clock=app.clock)
+        meta = app.init_model_service.run("brute-force", 1)
+        _, local_path = app.load_model_service.run(meta.model_id)
+        app.enable_eco_plugin()
+        with open(local_path, "w") as fh:
+            fh.write("corrupted bytes")
+        script = build_script(8, 2_500_000, 1, HPCG_BINARY, comment="chronus")
+        job_id = parse_sbatch_output(cluster.commands.sbatch(script))
+        job = cluster.ctld.get_job(job_id)
+        assert job.descriptor.num_tasks == 8  # untouched
+        assert not job.state.is_terminal or job.state.value == "RUNNING"
+
+    def test_corrupt_model_raises_for_direct_callers(self, tmp_path):
+        cluster = SimCluster(seed=3, hpcg_duration_s=300.0)
+        app = ChronusApp(cluster, str(tmp_path / "ws"))
+        app.benchmark_service.run_benchmarks(SMALL_SWEEP, clock=app.clock)
+        meta = app.init_model_service.run("brute-force", 1)
+        _, local_path = app.load_model_service.run(meta.model_id)
+        with open(local_path, "w") as fh:
+            fh.write("not json")
+        with pytest.raises(OptimizerError, match="corrupt"):
+            app.slurm_config_service.run(1)
+
+    def test_missing_blob_raises_model_not_found(self, tmp_path):
+        from repro.core.domain.errors import ModelNotFoundError
+
+        cluster = SimCluster(seed=3, hpcg_duration_s=300.0)
+        app = ChronusApp(cluster, str(tmp_path / "ws"))
+        app.benchmark_service.run_benchmarks(SMALL_SWEEP, clock=app.clock)
+        meta = app.init_model_service.run("brute-force", 1)
+        os.remove(meta.blob_path)
+        with pytest.raises(ModelNotFoundError):
+            app.load_model_service.run(meta.model_id)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sweep(self):
+        def sweep(seed):
+            cluster = SimCluster(seed=seed, hpcg_duration_s=300.0)
+            repo = MemoryRepository()
+            service = BenchmarkService(
+                repo, HpcgRunner(cluster, HPCG_BINARY),
+                IpmiSystemService(cluster.ipmi, clock=lambda: cluster.sim.now),
+                LscpuSystemInfo(cluster.node),
+            )
+            return service.run_benchmarks(SMALL_SWEEP, clock=lambda: cluster.sim.now)
+
+        a = sweep(77)
+        b = sweep(77)
+        assert [(r.gflops, r.avg_system_w) for r in a] == [
+            (r.gflops, r.avg_system_w) for r in b
+        ]
+
+    def test_different_seed_different_noise(self):
+        def one(seed):
+            cluster = SimCluster(seed=seed, hpcg_duration_s=300.0)
+            repo = MemoryRepository()
+            service = BenchmarkService(
+                repo, HpcgRunner(cluster, HPCG_BINARY),
+                IpmiSystemService(cluster.ipmi, clock=lambda: cluster.sim.now),
+                LscpuSystemInfo(cluster.node),
+            )
+            return service.run_benchmarks(
+                SMALL_SWEEP[:1], clock=lambda: cluster.sim.now
+            )[0]
+
+        assert one(1).gflops != one(2).gflops

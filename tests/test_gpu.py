@@ -1,0 +1,194 @@
+"""Tests for the GPU frequency-tuning extension (paper section 6.2.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu import (
+    DcgmTelemetry,
+    GpuFrequencyTuner,
+    GpuKernel,
+    NVIDIA_A100,
+    SimulatedGpu,
+)
+from repro.gpu.spec import GpuSpec
+from repro.simkernel.random import RandomStreams
+
+
+def memory_bound_kernel(work: float = 1e6) -> GpuKernel:
+    """A stencil-like kernel whose memory roof sits near 850 MHz SM."""
+    return GpuKernel(
+        "stencil", compute_per_mhz=1.0, memory_per_mhz=0.6,
+        work_units=work, smoothmin_n=16.0,
+    )
+
+
+def compute_bound_kernel(work: float = 1e6) -> GpuKernel:
+    return GpuKernel(
+        "gemm", compute_per_mhz=1.0, memory_per_mhz=5.0,
+        work_units=work, smoothmin_n=16.0,
+    )
+
+
+@pytest.fixture
+def gpu() -> SimulatedGpu:
+    return SimulatedGpu(streams=RandomStreams(1), noise_sigma=0.0)
+
+
+class TestGpuSpec:
+    def test_a100_clock_states(self):
+        assert NVIDIA_A100.max_sm_mhz == 1410
+        assert NVIDIA_A100.max_mem_mhz == 1215
+        assert 510 in NVIDIA_A100.sm_clocks_mhz
+
+    def test_validate_clocks(self):
+        NVIDIA_A100.validate_clocks(1410, 1215)
+        with pytest.raises(ValueError, match="SM clock"):
+            NVIDIA_A100.validate_clocks(1400, 1215)
+        with pytest.raises(ValueError, match="memory clock"):
+            NVIDIA_A100.validate_clocks(1410, 1000)
+
+    def test_voltage_monotone(self):
+        volts = [NVIDIA_A100.sm_voltage(f) for f in NVIDIA_A100.sm_clocks_mhz]
+        assert volts == sorted(volts)
+        assert volts[0] == NVIDIA_A100.v_min
+        assert volts[-1] == NVIDIA_A100.v_max
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", (), (810,), 250, 38, 0.7, 1.1, 100, 28)
+        with pytest.raises(ValueError):
+            GpuSpec("x", (1410, 510), (810,), 250, 38, 0.7, 1.1, 100, 28)
+        with pytest.raises(ValueError):
+            GpuSpec("x", (510,), (810,), 250, 38, 1.1, 0.7, 100, 28)
+
+
+class TestGpuKernel:
+    def test_throughput_below_both_roofs(self):
+        k = memory_bound_kernel()
+        t = k.throughput(1410, 1215)
+        assert t < 1410 * k.compute_per_mhz
+        assert t < 1215 * k.memory_per_mhz
+
+    def test_memory_bound_insensitive_to_sm_at_top(self):
+        k = memory_bound_kernel()
+        assert k.throughput(1410, 1215) < k.throughput(1050, 1215) * 1.02
+
+    def test_compute_bound_tracks_sm(self):
+        k = compute_bound_kernel()
+        assert k.throughput(1410, 1215) > 1.3 * k.throughput(1050, 1215)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuKernel("x", 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            GpuKernel("x", 1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            GpuKernel("x", 1.0, 1.0, 1.0, utilization=0.0)
+
+
+class TestSimulatedGpu:
+    def test_default_clocks_are_max(self, gpu):
+        assert (gpu.sm_mhz, gpu.mem_mhz) == (1410, 1215)
+
+    def test_set_and_reset_clocks(self, gpu):
+        gpu.set_application_clocks(810, 810)
+        assert (gpu.sm_mhz, gpu.mem_mhz) == (810, 810)
+        gpu.reset_application_clocks()
+        assert (gpu.sm_mhz, gpu.mem_mhz) == (1410, 1215)
+
+    def test_idle_vs_busy_power(self, gpu):
+        assert gpu.power_w() == NVIDIA_A100.idle_w
+        assert gpu.power_w(memory_bound_kernel()) > 2 * NVIDIA_A100.idle_w
+
+    def test_power_capped_at_tdp(self, gpu):
+        assert gpu.power_w(compute_bound_kernel()) <= NVIDIA_A100.tdp_w
+
+    def test_lower_clocks_lower_power(self, gpu):
+        k = memory_bound_kernel()
+        p_max = gpu.power_w(k)
+        gpu.set_application_clocks(810, 1215)
+        assert gpu.power_w(k) < p_max
+
+    def test_run_kernel_accounts_energy(self, gpu):
+        run = gpu.run_kernel(memory_bound_kernel())
+        assert run.runtime_s > 0
+        assert gpu.total_energy_j == pytest.approx(run.energy_j)
+
+    def test_runs_deterministic_per_seed(self):
+        a = SimulatedGpu(streams=RandomStreams(9)).run_kernel(memory_bound_kernel())
+        b = SimulatedGpu(streams=RandomStreams(9)).run_kernel(memory_bound_kernel())
+        assert a.runtime_s == b.runtime_s
+
+    @given(
+        sm=st.sampled_from(NVIDIA_A100.sm_clocks_mhz),
+        mem=st.sampled_from(NVIDIA_A100.mem_clocks_mhz),
+    )
+    def test_power_positive_and_bounded(self, sm, mem):
+        gpu = SimulatedGpu(noise_sigma=0.0)
+        gpu.set_application_clocks(sm, mem)
+        p = gpu.power_w(memory_bound_kernel())
+        assert NVIDIA_A100.idle_w < p <= NVIDIA_A100.tdp_w
+
+
+class TestDcgm:
+    def test_fields(self, gpu):
+        telemetry = DcgmTelemetry(gpu)
+        assert telemetry.field("DCGM_FI_DEV_POWER_USAGE") == NVIDIA_A100.idle_w
+        assert telemetry.field("DCGM_FI_DEV_SM_CLOCK") == 1410.0
+        assert telemetry.field("DCGM_FI_DEV_GPU_UTIL") == 0.0
+
+    def test_active_kernel_changes_readings(self, gpu):
+        telemetry = DcgmTelemetry(gpu)
+        telemetry.set_active_kernel(memory_bound_kernel())
+        assert telemetry.field("DCGM_FI_DEV_GPU_UTIL") == 100.0
+        assert telemetry.field("DCGM_FI_DEV_POWER_USAGE") > NVIDIA_A100.idle_w
+
+    def test_energy_in_millijoules(self, gpu):
+        telemetry = DcgmTelemetry(gpu)
+        run = gpu.run_kernel(memory_bound_kernel())
+        assert telemetry.field("DCGM_FI_DEV_TOTAL_ENERGY_CONSUMPTION") == pytest.approx(
+            run.energy_j * 1000.0
+        )
+
+    def test_unknown_field(self, gpu):
+        with pytest.raises(KeyError):
+            DcgmTelemetry(gpu).field("DCGM_FI_DEV_FAN_SPEED")
+
+
+class TestGpuFrequencyTuner:
+    def test_reproduces_cited_28_percent_for_1_percent(self, gpu):
+        """Paper 6.2.2: '28% energy for 1% performance loss' [Abe et al.]."""
+        result = GpuFrequencyTuner(gpu).tune(memory_bound_kernel(), max_perf_loss=0.01)
+        assert 0.24 <= result.energy_saving_fraction <= 0.33
+        assert result.perf_loss_fraction <= 0.01
+        # the tuner drops the SM clock, not the memory clock (the kernel
+        # is memory bound)
+        assert result.best.sm_mhz < NVIDIA_A100.max_sm_mhz
+        assert result.best.mem_mhz == NVIDIA_A100.max_mem_mhz
+
+    def test_compute_bound_kernel_keeps_max_clocks(self, gpu):
+        result = GpuFrequencyTuner(gpu).tune(compute_bound_kernel(), max_perf_loss=0.01)
+        assert result.best.sm_mhz == NVIDIA_A100.max_sm_mhz
+        assert result.energy_saving_fraction < 0.05
+
+    def test_bigger_budget_bigger_saving(self, gpu):
+        tight = GpuFrequencyTuner(gpu).tune(memory_bound_kernel(), max_perf_loss=0.01)
+        loose = GpuFrequencyTuner(gpu).tune(memory_bound_kernel(), max_perf_loss=0.20)
+        assert loose.energy_saving_fraction >= tight.energy_saving_fraction
+
+    def test_sweep_covers_all_pairs(self, gpu):
+        runs = GpuFrequencyTuner(gpu).sweep(memory_bound_kernel())
+        assert len(runs) == len(NVIDIA_A100.sm_clocks_mhz) * len(NVIDIA_A100.mem_clocks_mhz)
+
+    def test_sweep_restores_clocks(self, gpu):
+        gpu.set_application_clocks(810, 810)
+        GpuFrequencyTuner(gpu).sweep(memory_bound_kernel())
+        assert (gpu.sm_mhz, gpu.mem_mhz) == (810, 810)
+
+    def test_never_picks_worse_than_baseline(self, gpu):
+        result = GpuFrequencyTuner(gpu).tune(memory_bound_kernel(), max_perf_loss=0.0)
+        assert result.energy_saving_fraction >= 0.0
+
+    def test_negative_budget_rejected(self, gpu):
+        with pytest.raises(ValueError):
+            GpuFrequencyTuner(gpu).tune(memory_bound_kernel(), max_perf_loss=-0.1)

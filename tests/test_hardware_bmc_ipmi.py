@@ -1,0 +1,112 @@
+"""Unit tests for BMC sensors, the ipmitool facade and the wattmeter."""
+
+import pytest
+
+from repro.analysis.metrics import percentage_difference
+from repro.hardware.bmc import BoardManagementController
+from repro.hardware.ipmi import IpmiPermissionError, IpmiTool
+from repro.hardware.node import ConstantWorkload, SimulatedNode
+from repro.hardware.wattmeter import WattMeter
+from repro.simkernel.engine import Simulator
+from repro.simkernel.random import RandomStreams
+
+
+@pytest.fixture
+def loaded_node(sim) -> SimulatedNode:
+    node = SimulatedNode(sim)
+    node.start_workload(
+        ConstantWorkload(cores=32, compute_fraction=0.06, bandwidth_gbs=37.4),
+        freq_min_khz=2_500_000,
+    )
+    sim.call_at(600.0, lambda: None)
+    sim.run()
+    return node
+
+
+class TestBmc:
+    def test_sensor_names(self, loaded_node, streams):
+        bmc = BoardManagementController(loaded_node, streams)
+        for name in bmc.SENSORS:
+            reading = bmc.read_sensor(name)
+            assert reading.name == name
+            assert reading.value >= 0
+
+    def test_unknown_sensor(self, loaded_node, streams):
+        bmc = BoardManagementController(loaded_node, streams)
+        with pytest.raises(KeyError):
+            bmc.read_sensor("GPU_Power")
+
+    def test_power_sensors_quantised_to_watts(self, loaded_node, streams):
+        bmc = BoardManagementController(loaded_node, streams)
+        value = bmc.read_sensor("Total_Power").value
+        assert value == int(value)
+
+    def test_sdr_list_format(self, loaded_node, streams):
+        bmc = BoardManagementController(loaded_node, streams)
+        text = bmc.sdr_list()
+        assert "Total_Power" in text
+        assert "Watts" in text
+        assert "degrees C" in text
+
+    def test_reading_tracks_true_power(self, loaded_node, streams):
+        bmc = BoardManagementController(loaded_node, streams, noise_w=0.0)
+        true = loaded_node.instantaneous_power().system_w
+        assert bmc.read_sensor("Total_Power").value == pytest.approx(true, abs=1.0)
+
+    def test_power_scale_applied(self, loaded_node, streams):
+        bmc = BoardManagementController(loaded_node, streams, power_scale=0.5, noise_w=0.0)
+        true = loaded_node.instantaneous_power().system_w
+        assert bmc.read_sensor("Total_Power").value == pytest.approx(true * 0.5, abs=1.0)
+
+    def test_invalid_power_scale(self, loaded_node):
+        with pytest.raises(ValueError):
+            BoardManagementController(loaded_node, power_scale=0.0)
+
+    def test_render_line_shape(self, loaded_node, streams):
+        bmc = BoardManagementController(loaded_node, streams)
+        line = bmc.read_sensor("Total_Power").render()
+        assert line.startswith("Total_Power")
+        assert line.endswith("Watts")
+        assert "|" in line
+
+
+class TestIpmiTool:
+    def test_permission_denied_without_device_access(self, loaded_node, streams):
+        ipmi = IpmiTool(BoardManagementController(loaded_node, streams), device_readable=False)
+        with pytest.raises(IpmiPermissionError, match="chmod o\\+r /dev/ipmi0"):
+            ipmi.total_power_watts()
+
+    def test_chmod_grants_access(self, loaded_node, streams):
+        ipmi = IpmiTool(BoardManagementController(loaded_node, streams), device_readable=False)
+        ipmi.chmod_device(True)
+        assert ipmi.total_power_watts() > 0
+
+    def test_convenience_readers(self, loaded_node, streams):
+        ipmi = IpmiTool(BoardManagementController(loaded_node, streams))
+        assert ipmi.total_power_watts() > ipmi.cpu_power_watts() > 0
+        assert 20 < ipmi.cpu_temp_c() < 95
+
+    def test_sdr_list_passthrough(self, loaded_node, streams):
+        ipmi = IpmiTool(BoardManagementController(loaded_node, streams))
+        assert "Total_Power" in ipmi.sdr_list()
+
+
+class TestWattMeter:
+    def test_two_psu_split(self, loaded_node, streams):
+        meter = WattMeter(loaded_node, streams)
+        reading = meter.read()
+        assert reading.psu1_w > 0 and reading.psu2_w > 0
+        assert reading.psu1_w != reading.psu2_w  # imbalanced share
+
+    def test_ac_side_reads_above_ipmi(self, loaded_node, streams):
+        """Equation 1: the wattmeter reads ~6% above IPMI."""
+        ipmi = IpmiTool(BoardManagementController(loaded_node, streams, noise_w=0.0))
+        meter = WattMeter(loaded_node, streams, noise_w=0.0)
+        diff = percentage_difference(ipmi.total_power_watts(), meter.total_watts())
+        assert diff == pytest.approx(5.96, abs=0.5)
+
+    def test_validation(self, loaded_node):
+        with pytest.raises(ValueError):
+            WattMeter(loaded_node, psu1_share=0.0)
+        with pytest.raises(ValueError):
+            WattMeter(loaded_node, ac_side_factor=0.0)

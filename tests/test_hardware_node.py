@@ -1,0 +1,165 @@
+"""Unit tests for the simulated node: allocation, power, virtual FS."""
+
+import pytest
+
+from repro.hardware.node import ConstantWorkload, NodeError, SimulatedNode
+from repro.simkernel.engine import Simulator
+
+
+class TestAllocation:
+    def test_start_allocates_cores(self, node):
+        h = node.start_workload(ConstantWorkload(cores=8))
+        assert node.free_cores() == 24
+        assert len(node.allocated_core_ids()) == 8
+        node.stop_workload(h)
+        assert node.free_cores() == 32
+
+    def test_insufficient_cores_rejected(self, node):
+        node.start_workload(ConstantWorkload(cores=30))
+        with pytest.raises(NodeError, match="only 2 free"):
+            node.start_workload(ConstantWorkload(cores=3))
+
+    def test_zero_core_workload_rejected(self, node):
+        with pytest.raises(NodeError):
+            node.start_workload(ConstantWorkload(cores=0))
+
+    def test_unknown_handle_rejected(self, node):
+        with pytest.raises(NodeError):
+            node.stop_workload(99)
+
+    def test_two_workloads_coexist(self, node):
+        node.start_workload(ConstantWorkload(cores=10))
+        node.start_workload(ConstantWorkload(cores=10))
+        assert node.free_cores() == 12
+        assert len(node.running_workloads()) == 2
+
+    def test_cores_reset_on_stop(self, node):
+        h = node.start_workload(
+            ConstantWorkload(cores=4), freq_min_khz=1_500_000, freq_max_khz=1_500_000
+        )
+        core = next(iter(node.allocated_core_ids()))
+        assert node.policies[core].current_freq_khz == 1_500_000
+        node.stop_workload(h)
+        assert node.policies[core].current_freq_khz == 2_500_000
+
+
+class TestPowerAndEnergy:
+    def test_freq_window_applied(self, node):
+        node.start_workload(
+            ConstantWorkload(cores=32, compute_fraction=0.2),
+            freq_min_khz=2_200_000,
+            freq_max_khz=2_200_000,
+        )
+        rw = node.running_workloads()[0]
+        assert rw.freq_khz == 2_200_000
+
+    def test_power_rises_under_load(self, node):
+        idle_w = node.instantaneous_power().system_w
+        node.start_workload(ConstantWorkload(cores=32, compute_fraction=0.5, bandwidth_gbs=30.0))
+        node.sim.call_at(300.0, lambda: None)
+        node.sim.run()
+        assert node.instantaneous_power().system_w > idle_w + 30
+
+    def test_temperature_rises_under_load(self, node):
+        t0 = node.cpu_temp_c
+        node.start_workload(ConstantWorkload(cores=32, compute_fraction=0.5))
+        node.sim.call_at(600.0, lambda: None)
+        node.sim.run()
+        assert node.cpu_temp_c > t0 + 5
+
+    def test_energy_accumulates(self, node):
+        node.start_workload(ConstantWorkload(cores=16, compute_fraction=0.3))
+        node.sim.call_at(100.0, lambda: None)
+        node.sim.run()
+        e1 = node.true_energy_joules
+        node.sim.call_at(200.0, lambda: None)
+        node.sim.run()
+        e2 = node.true_energy_joules
+        assert e2 > e1 > 0
+
+    def test_energy_roughly_power_times_time(self, node):
+        # settle thermals first so fan power is near-constant over the window
+        node.sim.call_at(1000.0, lambda: None)
+        node.sim.run()
+        node.start_workload(ConstantWorkload(cores=32, compute_fraction=0.3, bandwidth_gbs=35.0))
+        node.sim.call_at(2000.0, lambda: None)
+        node.sim.run()
+        e_start = node.true_energy_joules
+        p = node.instantaneous_power().system_w
+        node.sim.call_at(3000.0, lambda: None)
+        node.sim.run()
+        delta = node.true_energy_joules - e_start
+        assert delta == pytest.approx(p * 1000.0, rel=0.02)
+
+    def test_bandwidth_capped_at_memory_peak(self, node):
+        node.start_workload(ConstantWorkload(cores=16, bandwidth_gbs=500.0))
+        node.start_workload(ConstantWorkload(cores=16, bandwidth_gbs=500.0))
+        bd = node.instantaneous_power()
+        max_dram = node.power_model.params.mem_w_per_gbs * node.memory.peak_bandwidth_gbs
+        assert bd.dram_w <= max_dram + 1e-9
+
+
+class TestVirtualFilesystem:
+    def test_cpuinfo_has_all_threads(self, node):
+        text = node.read_file("/proc/cpuinfo")
+        assert text.count("processor\t:") == 64
+        assert "AMD EPYC 7502P" in text
+
+    def test_meminfo_total(self, node):
+        text = node.read_file("/proc/meminfo")
+        assert f"MemTotal:       {256 * 1024 * 1024} kB" in text
+
+    def test_scaling_available_frequencies(self, node):
+        text = node.read_file(
+            "/sys/devices/system/cpu/cpu0/cpufreq/scaling_available_frequencies"
+        )
+        assert text.split() == ["1500000", "2200000", "2500000"]
+
+    def test_scaling_governor(self, node):
+        assert node.read_file(
+            "/sys/devices/system/cpu/cpu5/cpufreq/scaling_governor"
+        ).strip() == "performance"
+
+    def test_cur_freq_reflects_workload(self, node):
+        node.start_workload(
+            ConstantWorkload(cores=1), freq_min_khz=1_500_000, freq_max_khz=1_500_000
+        )
+        core = next(iter(node.allocated_core_ids()))
+        text = node.read_file(
+            f"/sys/devices/system/cpu/cpu{core}/cpufreq/scaling_cur_freq"
+        )
+        assert text.strip() == "1500000"
+
+    def test_ht_sibling_maps_to_same_core(self, node):
+        a = node.read_file("/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq")
+        b = node.read_file("/sys/devices/system/cpu/cpu32/cpufreq/scaling_cur_freq")
+        assert a == b
+
+    def test_unknown_path_raises(self, node):
+        with pytest.raises(FileNotFoundError):
+            node.read_file("/etc/passwd")
+        with pytest.raises(FileNotFoundError):
+            node.read_file("/sys/devices/system/cpu/cpu99/cpufreq/scaling_cur_freq")
+        with pytest.raises(FileNotFoundError):
+            node.read_file("/sys/devices/system/cpu/cpu0/cpufreq/nonsense")
+
+    def test_cpufreq_dir_raises_isadirectory(self, node):
+        with pytest.raises(IsADirectoryError):
+            node.read_file("/sys/devices/system/cpu/cpu0/cpufreq")
+
+
+class TestLscpu:
+    def test_render_fields(self, node):
+        from repro.hardware.lscpu import render_lscpu
+
+        text = render_lscpu(node)
+        assert "Model name:" in text
+        assert "AMD EPYC 7502P 32-Core Processor" in text
+        assert "Thread(s) per core:" in text
+        lines = dict(
+            (l.split(":", 1)[0], l.split(":", 1)[1].strip())
+            for l in text.splitlines()
+        )
+        assert lines["CPU(s)"] == "64"
+        assert lines["Core(s) per socket"] == "32"
+        assert lines["Socket(s)"] == "1"

@@ -1,0 +1,190 @@
+"""Unit + property tests for the power and thermal models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.cpu import AMD_EPYC_7502P
+from repro.hardware.memory import SR650_MEMORY, MemorySpec
+from repro.hardware.power import PowerModel, PowerModelParams
+from repro.hardware.thermal import ThermalModel, ThermalParams
+
+
+@pytest.fixture
+def model() -> PowerModel:
+    return PowerModel(AMD_EPYC_7502P)
+
+
+class TestPowerModel:
+    def test_idle_below_loaded(self, model):
+        idle = model.idle_breakdown()
+        loaded = model.breakdown(32, 1, 2_500_000, compute_fraction=0.1,
+                                 bandwidth_gbs=37.0, cpu_temp_c=60.0)
+        assert idle.system_w < loaded.system_w
+        assert idle.cpu_w < loaded.cpu_w
+
+    def test_breakdown_sums(self, model):
+        bd = model.breakdown(16, 1, 2_200_000, compute_fraction=0.5,
+                             bandwidth_gbs=20.0, cpu_temp_c=50.0)
+        assert bd.cpu_w == pytest.approx(bd.uncore_w + bd.idle_cores_w + bd.active_cores_w)
+        assert bd.system_w == pytest.approx(
+            bd.platform_w + bd.dram_w + bd.fan_w + bd.cpu_w
+        )
+
+    def test_monotonic_in_cores(self, model):
+        powers = [
+            model.breakdown(c, 1, 2_500_000, compute_fraction=0.3).cpu_w
+            for c in (1, 8, 16, 32)
+        ]
+        assert powers == sorted(powers)
+
+    def test_monotonic_in_frequency(self, model):
+        powers = [
+            model.breakdown(32, 1, f, compute_fraction=0.3).cpu_w
+            for f in (1_500_000, 2_200_000, 2_500_000)
+        ]
+        assert powers == sorted(powers)
+
+    def test_fan_power_kicks_in_above_knee(self, model):
+        cold = model.breakdown(1, 1, 1_500_000, cpu_temp_c=35.0)
+        hot = model.breakdown(1, 1, 1_500_000, cpu_temp_c=70.0)
+        assert cold.fan_w == 0.0
+        assert hot.fan_w > 0.0
+
+    def test_stall_model_reduces_power(self, model):
+        stalled = model.breakdown(32, 1, 2_500_000, compute_fraction=0.0)
+        busy = model.breakdown(32, 1, 2_500_000, compute_fraction=1.0)
+        assert stalled.cpu_w < busy.cpu_w
+
+    def test_effective_activity_range(self, model):
+        lo = model.effective_activity(0.0)
+        hi = model.effective_activity(1.0)
+        assert lo == pytest.approx(model.params.stall_floor)
+        assert hi == pytest.approx(1.0)
+        assert model.effective_activity(-3.0) == lo  # clamped
+        assert model.effective_activity(5.0) == hi
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.breakdown(33, 1, 2_500_000)
+        with pytest.raises(ValueError):
+            model.breakdown(-1, 1, 2_500_000)
+        with pytest.raises(ValueError):
+            model.breakdown(1, 3, 2_500_000)
+        with pytest.raises(ValueError):
+            model.breakdown(1, 1, 2_500_000, utilization=2.0)
+
+    def test_calibrated_operating_points(self, model):
+        """The shipped constants reproduce Table 2's power split (+-3%)."""
+        from repro.hpcg.performance_model import HpcgPerformanceModel
+
+        perf = HpcgPerformanceModel()
+        for freq, sys_ref, cpu_ref in (
+            (2_500_000, 216.6, 120.4),
+            (2_200_000, 190.1, 97.4),
+        ):
+            cf = perf.compute_fraction(32, freq, 1)
+            bw = perf.bandwidth_gbs(32, freq, 1)
+            bd0 = model.breakdown(32, 1, freq, compute_fraction=cf, bandwidth_gbs=bw)
+            temp = ThermalParams().steady_state_c(bd0.cpu_w)
+            bd = model.breakdown(
+                32, 1, freq, compute_fraction=cf, bandwidth_gbs=bw, cpu_temp_c=temp
+            )
+            assert bd.system_w == pytest.approx(sys_ref, rel=0.03)
+            assert bd.cpu_w == pytest.approx(cpu_ref, rel=0.03)
+
+    @given(
+        cores=st.integers(min_value=0, max_value=32),
+        tpc=st.sampled_from([1, 2]),
+        freq=st.sampled_from([1_500_000, 2_200_000, 2_500_000]),
+        cf=st.floats(min_value=0.0, max_value=1.0),
+        bw=st.floats(min_value=0.0, max_value=80.0),
+        temp=st.floats(min_value=20.0, max_value=95.0),
+    )
+    def test_power_always_positive_and_finite(self, cores, tpc, freq, cf, bw, temp):
+        model = PowerModel(AMD_EPYC_7502P)
+        bd = model.breakdown(
+            cores, tpc, freq, compute_fraction=cf, bandwidth_gbs=bw, cpu_temp_c=temp
+        )
+        assert bd.system_w > 0
+        assert bd.cpu_w > 0
+        assert math.isfinite(bd.system_w)
+
+
+class TestThermalModel:
+    def test_steady_state_linear(self):
+        params = ThermalParams(ambient_c=15.7, theta_c_per_w=0.391)
+        assert params.steady_state_c(120.4) == pytest.approx(62.8, abs=0.2)
+        assert params.steady_state_c(97.4) == pytest.approx(53.8, abs=0.2)
+
+    def test_advance_approaches_steady_state(self):
+        model = ThermalModel(ThermalParams(tau_s=60.0), initial_c=30.0)
+        target = model.steady_state_c(120.0)
+        model.advance(600.0, 120.0)  # 10 time constants
+        assert model.temp_c == pytest.approx(target, abs=0.05)
+
+    def test_exact_exponential(self):
+        params = ThermalParams(tau_s=60.0)
+        model = ThermalModel(params, initial_c=30.0)
+        t_ss = params.steady_state_c(100.0)
+        model.advance(60.0, 100.0)
+        expected = t_ss + (30.0 - t_ss) * math.exp(-1.0)
+        assert model.temp_c == pytest.approx(expected)
+
+    def test_step_size_invariance(self):
+        """Exact ODE solution: 1x60s equals 60x1s."""
+        a = ThermalModel(initial_c=30.0)
+        b = ThermalModel(initial_c=30.0)
+        a.advance(60.0, 110.0)
+        for _ in range(60):
+            b.advance(1.0, 110.0)
+        assert a.temp_c == pytest.approx(b.temp_c, abs=1e-9)
+
+    def test_cooling(self):
+        model = ThermalModel(initial_c=70.0)
+        model.advance(600.0, 10.0)
+        assert model.temp_c < 30.0
+
+    def test_zero_dt(self):
+        model = ThermalModel(initial_c=42.0)
+        assert model.advance(0.0, 500.0) == 42.0
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalModel().advance(-1.0, 100.0)
+
+    def test_settle(self):
+        model = ThermalModel()
+        assert model.settle(120.4) == pytest.approx(62.8, abs=0.2)
+
+
+class TestMemorySpec:
+    def test_bandwidth_monotonic_in_cores(self):
+        bws = [SR650_MEMORY.sustained_bandwidth_gbs(c) for c in (0, 1, 8, 16, 32)]
+        assert bws == sorted(bws)
+        assert bws[0] == 0.0
+
+    def test_bandwidth_bounded_by_peak(self):
+        assert SR650_MEMORY.sustained_bandwidth_gbs(32, 2) < SR650_MEMORY.peak_bandwidth_gbs
+
+    def test_ht_increases_effective_threads(self):
+        assert SR650_MEMORY.effective_threads(8, 2) > SR650_MEMORY.effective_threads(8, 1)
+
+    def test_capacity_kb(self):
+        assert SR650_MEMORY.capacity_kb == 256 * 1024 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySpec(0, 8, 3200, 50.0, 5.0)
+        with pytest.raises(ValueError):
+            MemorySpec(256, 8, 3200, -1.0, 5.0)
+        with pytest.raises(ValueError):
+            MemorySpec(256, 8, 3200, 50.0, 0.0)
+        with pytest.raises(ValueError):
+            MemorySpec(256, 8, 3200, 50.0, 5.0, ht_mlp_efficiency=1.5)
+        spec = MemorySpec(256, 8, 3200, 50.0, 5.0)
+        with pytest.raises(ValueError):
+            spec.effective_threads(-1, 1)
+        with pytest.raises(ValueError):
+            spec.effective_threads(4, 4)

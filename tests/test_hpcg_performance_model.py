@@ -1,0 +1,178 @@
+"""Tests for the calibrated roofline model and the HPCG workload."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hpcg import reference
+from repro.hpcg.performance_model import (
+    HpcgPerformanceModel,
+    PAPER_TOTAL_FLOPS,
+    PerformanceParams,
+)
+from repro.hpcg.workload import HpcgWorkload
+from repro.simkernel.random import RandomStreams
+
+
+@pytest.fixture(scope="module")
+def model() -> HpcgPerformanceModel:
+    return HpcgPerformanceModel()
+
+
+class TestRoofline:
+    def test_fig1_anchor(self, model):
+        """Standard config reproduces the paper's 9.34829 GFLOP/s (+-2%)."""
+        assert model.gflops(32, 2_500_000, 1) == pytest.approx(
+            reference.FIG1_GFLOPS, rel=0.02
+        )
+
+    def test_monotone_in_cores(self, model):
+        values = [model.gflops(c, 2_500_000, 1) for c in range(1, 33)]
+        assert values == sorted(values)
+
+    def test_monotone_in_frequency(self, model):
+        values = [model.gflops(16, f, 1) for f in (1_500_000, 2_200_000, 2_500_000)]
+        assert values == sorted(values)
+
+    def test_below_both_roofs(self, model):
+        g = model.gflops(16, 2_200_000, 1)
+        assert g < model.compute_roof_gflops(16, 2_200_000, 1)
+        assert g < model.memory_roof_gflops(16, 1)
+
+    def test_saturation_shape(self, model):
+        """Going 16 -> 32 cores gains far less than 1 -> 17 (memory bound)."""
+        low_gain = model.gflops(17, 2_500_000, 1) - model.gflops(1, 2_500_000, 1)
+        high_gain = model.gflops(32, 2_500_000, 1) - model.gflops(16, 2_500_000, 1)
+        assert high_gain < 0.45 * low_gain
+
+    def test_table1_performance_ratios(self, model):
+        """Relative GFLOP/s of the key configs match Table 1 (+-0.05)."""
+        std = model.gflops(32, 2_500_000, 1)
+        for (c, f, ht), (_, perf_ratio) in reference.TABLE1_RELATIVE.items():
+            g = model.gflops(c, int(f * 1e6), 2 if ht else 1)
+            assert g / std == pytest.approx(perf_ratio, abs=0.05)
+
+    def test_compute_fraction_in_unit_interval(self, model):
+        for c in (1, 8, 32):
+            cf = model.compute_fraction(c, 2_200_000, 1)
+            assert 0.0 < cf < 1.0
+
+    def test_bandwidth_consistent_with_ai(self, model):
+        g = model.gflops(32, 2_500_000, 1)
+        assert model.bandwidth_gbs(32, 2_500_000, 1) == pytest.approx(g / 0.25)
+
+    def test_runtime_matches_table2(self, model):
+        """Fixed-work runtime reproduces Table 2's 18:29 / ~18:47."""
+        t_std = model.runtime_seconds(32, 2_500_000, 1)
+        t_best = model.runtime_seconds(32, 2_200_000, 1)
+        assert t_std == pytest.approx(18 * 60 + 29, rel=0.02)
+        assert t_best == pytest.approx(18 * 60 + 47, rel=0.04)
+        assert t_best > t_std
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.gflops(0, 2_500_000, 1)
+        with pytest.raises(ValueError):
+            model.gflops(4, 2_500_000, 3)
+
+    def test_with_params_override(self, model):
+        slower = model.with_params(kappa_flops_per_cycle=1.0)
+        assert slower.gflops(4, 2_500_000, 1) < model.gflops(4, 2_500_000, 1)
+
+    @given(
+        cores=st.integers(1, 32),
+        freq=st.sampled_from([1_500_000, 2_200_000, 2_500_000]),
+        tpc=st.sampled_from([1, 2]),
+    )
+    def test_gflops_positive_finite(self, cores, freq, tpc):
+        g = HpcgPerformanceModel().gflops(cores, freq, tpc)
+        assert 0 < g < 50
+
+
+class TestHtCrossover:
+    def test_ht_loses_at_32_cores(self, model):
+        assert model.gflops(32, 2_200_000, 1) > model.gflops(32, 2_200_000, 2)
+
+    def test_memory_roof_penalised_by_ht_at_saturation(self, model):
+        assert model.memory_roof_gflops(32, 2) < model.memory_roof_gflops(32, 1) * 1.001
+
+
+class TestWorkload:
+    def test_completion_mode_runtime(self):
+        wl = HpcgWorkload(32, 1, 2_500_000)
+        assert wl.runtime_s == pytest.approx(
+            PAPER_TOTAL_FLOPS / (wl.rating_gflops * 1e9)
+        )
+        assert wl.completed_flops == PAPER_TOTAL_FLOPS
+
+    def test_duration_mode(self):
+        wl = HpcgWorkload(16, 1, 2_200_000, duration_s=1200.0)
+        assert wl.runtime_s == 1200.0
+        assert wl.completed_flops < PAPER_TOTAL_FLOPS
+
+    def test_rating_noise_seeded(self):
+        streams_a = RandomStreams(5)
+        streams_b = RandomStreams(5)
+        a = HpcgWorkload(8, 1, 2_200_000, streams=streams_a, run_tag="x")
+        b = HpcgWorkload(8, 1, 2_200_000, streams=streams_b, run_tag="x")
+        assert a.rating_gflops == b.rating_gflops
+        c = HpcgWorkload(8, 1, 2_200_000, streams=streams_a, run_tag="y")
+        assert c.rating_gflops != a.rating_gflops
+
+    def test_setup_phase_draws_less(self):
+        wl = HpcgWorkload(32, 1, 2_200_000)
+        assert wl.compute_fraction(0.0) < wl.compute_fraction(wl.runtime_s / 2)
+        assert wl.bandwidth_gbs(0.0) < wl.bandwidth_gbs(wl.runtime_s / 2)
+
+    def test_oscillation_only_at_top_pstate(self):
+        top = HpcgWorkload(32, 1, 2_500_000)
+        mid = HpcgWorkload(32, 1, 2_200_000)
+        t = top.setup_seconds + 30.0
+        mods_top = {round(top.power_modulation(t + dt), 6) for dt in range(0, 42, 7)}
+        mods_mid = {round(mid.power_modulation(t + dt), 6) for dt in range(0, 42, 7)}
+        assert len(mods_top) > 1  # oscillating
+        assert mods_mid == {1.0}  # flat
+
+    def test_render_output_parsable(self):
+        from repro.core.runners.hpcg_runner import parse_hpcg_rating
+
+        wl = HpcgWorkload(32, 2, 2_500_000)
+        assert parse_hpcg_rating(wl.render_output()) == pytest.approx(
+            wl.rating_gflops, abs=1e-4
+        )
+
+
+class TestReferenceData:
+    def test_point_count(self):
+        assert len(reference.GFLOPS_PER_WATT) == 138
+
+    def test_all_configurations_unique(self):
+        keys = {(p.cores, p.freq_ghz, p.hyperthread) for p in reference.GFLOPS_PER_WATT}
+        assert len(keys) == 138
+
+    def test_sorted_descending(self):
+        values = [p.gflops_per_watt for p in reference.GFLOPS_PER_WATT]
+        assert values == sorted(values, reverse=True)
+
+    def test_core_counts(self):
+        assert len(reference.CORE_COUNTS) == 23
+        assert reference.CORE_COUNTS[0] == 1
+        assert reference.CORE_COUNTS[-1] == 32
+
+    def test_lookup(self):
+        p = reference.lookup(32, 2.2, False)
+        assert p.gflops_per_watt == 0.048767
+        with pytest.raises(KeyError):
+            reference.lookup(13, 2.2, False)
+
+    def test_best_and_standard_rows(self):
+        best = reference.lookup(*reference.BEST_CONFIG)
+        assert best.gflops_per_watt == max(
+            p.gflops_per_watt for p in reference.GFLOPS_PER_WATT
+        )
+
+    def test_eq1_numbers(self):
+        from repro.analysis.metrics import percentage_difference
+
+        assert percentage_difference(
+            reference.EQ1_IPMI_WATTS, reference.EQ1_WATTMETER_WATTS
+        ) == pytest.approx(reference.EQ1_PERCENT_DIFFERENCE, abs=0.01)

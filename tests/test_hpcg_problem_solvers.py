@@ -1,0 +1,214 @@
+"""Tests for problem generation, SymGS, multigrid and the PCG driver."""
+
+import numpy as np
+import pytest
+
+from repro.hpcg.cg import pcg
+from repro.hpcg.multigrid import MultigridPreconditioner
+from repro.hpcg.problem import generate_problem, grid_coloring
+from repro.hpcg.sparse import FlopCounter
+from repro.hpcg.symgs import MulticolorSymgs, symgs_multicolor, symgs_reference
+
+
+class TestProblemGeneration:
+    def test_shape_and_nnz(self):
+        p = generate_problem(4)
+        assert p.nrows == 64
+        # interior point has 27 neighbours; corners 8
+        assert p.matrix.nnz == sum(
+            (2 if x in (0, 3) else 3) * (2 if y in (0, 3) else 3) * (2 if z in (0, 3) else 3)
+            for x in range(4) for y in range(4) for z in range(4)
+        )
+
+    def test_symmetric(self):
+        assert generate_problem(3).matrix.is_symmetric()
+
+    def test_diagonal_is_26(self):
+        p = generate_problem(3)
+        np.testing.assert_allclose(p.matrix.diagonal(), 26.0)
+
+    def test_rhs_consistent_with_exact_solution(self):
+        p = generate_problem(4)
+        np.testing.assert_allclose(p.matrix.matvec(p.x_exact), p.b)
+
+    def test_positive_definite(self):
+        p = generate_problem(3)
+        eigs = np.linalg.eigvalsh(p.matrix.todense())
+        assert eigs.min() > 0
+
+    def test_non_cubic(self):
+        p = generate_problem(2, 3, 4)
+        assert p.nrows == 24
+
+    def test_rejects_tiny_grids(self):
+        with pytest.raises(ValueError):
+            generate_problem(1)
+
+
+class TestColoring:
+    def test_eight_colors(self):
+        colors = grid_coloring(4, 4, 4)
+        assert set(colors) == set(range(8))
+
+    def test_color_classes_are_independent_sets(self):
+        """No two same-colored points are 27-point-stencil neighbours."""
+        p = generate_problem(4)
+        for i in range(p.nrows):
+            cols, _ = p.matrix.row(i)
+            for j in cols:
+                if j != i:
+                    assert p.colors[i] != p.colors[j]
+
+
+class TestSymgs:
+    def test_multicolor_reduces_residual(self):
+        p = generate_problem(4)
+        x = np.zeros(p.nrows)
+        r0 = np.linalg.norm(p.b - p.matrix.matvec(x))
+        x = symgs_multicolor(p, p.b, x)
+        r1 = np.linalg.norm(p.b - p.matrix.matvec(x))
+        assert r1 < 0.5 * r0
+
+    def test_reference_reduces_residual(self):
+        p = generate_problem(3)
+        x = symgs_reference(p.matrix, p.b, np.zeros(p.nrows))
+        r = np.linalg.norm(p.b - p.matrix.matvec(x))
+        assert r < 0.5 * np.linalg.norm(p.b)
+
+    def test_exact_solution_is_fixed_point(self):
+        p = generate_problem(3)
+        for sweep in (
+            lambda x: symgs_reference(p.matrix, p.b, x),
+            lambda x: symgs_multicolor(p, p.b, x),
+        ):
+            out = sweep(p.x_exact.copy())
+            np.testing.assert_allclose(out, p.x_exact, atol=1e-12)
+
+    def test_repeated_sweeps_converge(self):
+        p = generate_problem(3)
+        smoother = MulticolorSymgs(p)
+        x = np.zeros(p.nrows)
+        for _ in range(60):
+            x = smoother.sweep(p.b, x)
+        np.testing.assert_allclose(x, p.x_exact, atol=1e-8)
+
+    def test_flop_accounting(self):
+        p = generate_problem(3)
+        flops = FlopCounter()
+        symgs_multicolor(p, p.b, np.zeros(p.nrows), flops)
+        assert flops.by_kernel["symgs"] == 4 * p.matrix.nnz
+
+    def test_input_not_mutated(self):
+        p = generate_problem(3)
+        x = np.zeros(p.nrows)
+        symgs_multicolor(p, p.b, x)
+        np.testing.assert_allclose(x, 0.0)
+
+
+class TestMultigrid:
+    def test_builds_requested_depth(self):
+        mg = MultigridPreconditioner(generate_problem(16), levels=3)
+        assert mg.depth == 3
+        assert mg.levels[-1].problem.nx == 4
+
+    def test_stops_at_odd_dims(self):
+        mg = MultigridPreconditioner(generate_problem(6), levels=4)
+        # 6 -> 3 (odd, cannot coarsen further): depth 2
+        assert mg.depth == 2
+
+    def test_single_level_is_just_smoothing(self):
+        p = generate_problem(4)
+        mg = MultigridPreconditioner(p, levels=1)
+        assert mg.depth == 1
+        z = mg.apply(p.b)
+        assert np.linalg.norm(p.b - p.matrix.matvec(z)) < np.linalg.norm(p.b)
+
+    def test_vcycle_beats_single_smoother(self):
+        p = generate_problem(8)
+        mg = MultigridPreconditioner(p, levels=3)
+        z_mg = mg.apply(p.b)
+        z_gs = symgs_multicolor(p, p.b, np.zeros(p.nrows))
+        r_mg = np.linalg.norm(p.b - p.matrix.matvec(z_mg))
+        r_gs = np.linalg.norm(p.b - p.matrix.matvec(z_gs))
+        assert r_mg < r_gs
+
+    def test_shape_validation(self):
+        mg = MultigridPreconditioner(generate_problem(4), levels=2)
+        with pytest.raises(ValueError):
+            mg.apply(np.zeros(5))
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            MultigridPreconditioner(generate_problem(4), levels=0)
+
+
+class TestPcg:
+    def test_converges_to_exact_solution(self):
+        p = generate_problem(8)
+        mg = MultigridPreconditioner(p, levels=3)
+        result = pcg(p.matrix, p.b, preconditioner=mg.apply, tol=1e-10, max_iter=100)
+        assert result.converged
+        np.testing.assert_allclose(result.x, p.x_exact, atol=1e-7)
+
+    def test_unpreconditioned_also_converges(self):
+        p = generate_problem(4)
+        result = pcg(p.matrix, p.b, tol=1e-10, max_iter=500)
+        assert result.converged
+        np.testing.assert_allclose(result.x, p.x_exact, atol=1e-7)
+
+    def test_preconditioning_cuts_iterations(self):
+        p = generate_problem(8)
+        mg = MultigridPreconditioner(p, levels=3)
+        plain = pcg(p.matrix, p.b, tol=1e-8, max_iter=200)
+        precond = pcg(p.matrix, p.b, preconditioner=mg.apply, tol=1e-8, max_iter=200)
+        assert precond.iterations < plain.iterations
+
+    def test_residual_norms_decrease_overall(self):
+        p = generate_problem(6)
+        result = pcg(p.matrix, p.b, tol=1e-10, max_iter=300)
+        assert result.residual_norms[-1] < result.residual_norms[0] * 1e-9
+
+    def test_zero_rhs(self):
+        p = generate_problem(3)
+        result = pcg(p.matrix, np.zeros(p.nrows))
+        assert result.converged
+        np.testing.assert_allclose(result.x, 0.0)
+
+    def test_warm_start(self):
+        p = generate_problem(4)
+        result = pcg(p.matrix, p.b, x0=p.x_exact.copy(), tol=1e-10)
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_flops_counted(self):
+        p = generate_problem(4)
+        result = pcg(p.matrix, p.b, tol=1e-8, max_iter=50)
+        # at least one spmv per iteration
+        assert result.flops.by_kernel["spmv"] >= 2 * p.matrix.nnz * result.iterations
+
+    def test_rhs_shape_validation(self):
+        p = generate_problem(3)
+        with pytest.raises(ValueError):
+            pcg(p.matrix, np.zeros(5))
+
+    def test_non_spd_detected(self):
+        from repro.hpcg.sparse import CsrMatrix
+
+        m = CsrMatrix.from_coo(
+            np.array([0, 1]), np.array([0, 1]), np.array([1.0, -1.0]), (2, 2)
+        )
+        with pytest.raises(np.linalg.LinAlgError):
+            pcg(m, np.array([1.0, 1.0]), max_iter=10)
+
+
+class TestBenchmark:
+    def test_run_produces_valid_rating(self):
+        from repro.hpcg.benchmark import HpcgBenchmark
+
+        bench = HpcgBenchmark(8, levels=2)
+        rating = bench.run(tol=1e-8)
+        assert rating.converged
+        assert rating.gflops > 0
+        assert rating.total_flops > 0
+        assert rating.final_relative_residual < 1e-8
+        assert "GFLOP/s" in rating.summary()

@@ -1,0 +1,150 @@
+"""Unit + property tests for the CSR kernels and flop accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hpcg.sparse import CsrMatrix, FlopCounter, axpby, dot
+
+
+def random_coo(rng: np.random.Generator, n: int, density: float = 0.3):
+    mask = rng.random((n, n)) < density
+    rows, cols = np.nonzero(mask)
+    vals = rng.normal(size=rows.size)
+    return rows, cols, vals
+
+
+class TestConstruction:
+    def test_from_coo_matches_dense(self):
+        rng = np.random.default_rng(0)
+        rows, cols, vals = random_coo(rng, 6)
+        m = CsrMatrix.from_coo(rows, cols, vals, (6, 6))
+        dense = np.zeros((6, 6))
+        for r, c, v in zip(rows, cols, vals):
+            dense[r, c] += v
+        np.testing.assert_allclose(m.todense(), dense)
+
+    def test_duplicates_summed(self):
+        m = CsrMatrix.from_coo(
+            np.array([0, 0]), np.array([1, 1]), np.array([2.0, 3.0]), (2, 2)
+        )
+        assert m.nnz == 1
+        assert m.todense()[0, 1] == 5.0
+
+    def test_empty_matrix(self):
+        m = CsrMatrix.from_coo(np.array([]), np.array([]), np.array([]), (3, 3))
+        assert m.nnz == 0
+        np.testing.assert_allclose(m.matvec(np.ones(3)), np.zeros(3))
+
+    def test_columns_sorted_within_rows(self):
+        rng = np.random.default_rng(1)
+        rows, cols, vals = random_coo(rng, 8)
+        m = CsrMatrix.from_coo(rows, cols, vals, (8, 8))
+        for i in range(8):
+            idx, _ = m.row(i)
+            assert list(idx) == sorted(idx)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]), (1, 2))
+        with pytest.raises(ValueError):
+            CsrMatrix(np.array([1, 1]), np.array([]), np.array([]), (1, 1))
+        with pytest.raises(ValueError):
+            CsrMatrix(np.array([0, 2, 1]), np.array([0, 0]), np.array([1.0, 1.0]), (2, 1))
+
+
+class TestMatvec:
+    def test_identity(self):
+        n = 5
+        m = CsrMatrix.from_coo(
+            np.arange(n), np.arange(n), np.ones(n), (n, n)
+        )
+        x = np.arange(n, dtype=float)
+        np.testing.assert_allclose(m.matvec(x), x)
+
+    def test_shape_mismatch(self):
+        m = CsrMatrix.from_coo(np.array([0]), np.array([0]), np.array([1.0]), (2, 2))
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(3))
+
+    def test_flop_count(self):
+        rng = np.random.default_rng(2)
+        rows, cols, vals = random_coo(rng, 10)
+        m = CsrMatrix.from_coo(rows, cols, vals, (10, 10))
+        flops = FlopCounter()
+        m.matvec(np.ones(10), flops)
+        assert flops.total == 2 * m.nnz
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 12))
+    def test_matches_dense_matvec(self, seed, n):
+        rng = np.random.default_rng(seed)
+        rows, cols, vals = random_coo(rng, n)
+        m = CsrMatrix.from_coo(rows, cols, vals, (n, n))
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(m.matvec(x), m.todense() @ x, atol=1e-12)
+
+    def test_subset_matvec(self):
+        rng = np.random.default_rng(3)
+        rows, cols, vals = random_coo(rng, 10)
+        m = CsrMatrix.from_coo(rows, cols, vals, (10, 10))
+        x = rng.normal(size=10)
+        subset = np.array([1, 4, 7])
+        full = m.matvec(x)
+        np.testing.assert_allclose(m.subset_matvec(subset, x), full[subset])
+
+
+class TestDiagonal:
+    def test_extracts_diagonal(self):
+        m = CsrMatrix.from_coo(
+            np.array([0, 1, 1]), np.array([0, 0, 1]), np.array([4.0, -1.0, 5.0]), (2, 2)
+        )
+        np.testing.assert_allclose(m.diagonal(), [4.0, 5.0])
+
+    def test_missing_diagonal_is_zero(self):
+        m = CsrMatrix.from_coo(np.array([0]), np.array([1]), np.array([1.0]), (2, 2))
+        np.testing.assert_allclose(m.diagonal(), [0.0, 0.0])
+
+
+class TestVectorKernels:
+    def test_dot_value_and_flops(self):
+        flops = FlopCounter()
+        assert dot(np.array([1.0, 2.0]), np.array([3.0, 4.0]), flops) == 11.0
+        assert flops.total == 4
+
+    def test_dot_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dot(np.ones(2), np.ones(3))
+
+    def test_axpby(self):
+        flops = FlopCounter()
+        out = axpby(2.0, np.array([1.0, 1.0]), -1.0, np.array([1.0, 2.0]), flops)
+        np.testing.assert_allclose(out, [1.0, 0.0])
+        assert flops.total == 4
+
+    def test_axpby_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            axpby(1.0, np.ones(2), 1.0, np.ones(3))
+
+
+class TestFlopCounter:
+    def test_accumulates_by_kernel(self):
+        fc = FlopCounter()
+        fc.add("spmv", 10)
+        fc.add("spmv", 5)
+        fc.add("dot", 2)
+        assert fc.by_kernel == {"spmv": 15, "dot": 2}
+        assert fc.total == 17
+
+    def test_reset(self):
+        fc = FlopCounter()
+        fc.add("x", 1)
+        fc.reset()
+        assert fc.total == 0
+
+    def test_merged(self):
+        a = FlopCounter({"x": 1})
+        b = FlopCounter({"x": 2, "y": 3})
+        merged = a.merged(b)
+        assert merged.by_kernel == {"x": 3, "y": 3}
+        assert a.by_kernel == {"x": 1}  # originals untouched

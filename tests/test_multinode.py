@@ -1,0 +1,207 @@
+"""Tests for the multi-node extension (paper section 6.2.3).
+
+Covers: multi-node cluster construction, scheduling across nodes,
+multi-node job shards, energy attribution over the whole allocation, the
+cluster-wide power API integration, and multi-node HPCG scaling shape.
+"""
+
+import pytest
+
+from repro.core.services.cluster_power import ClusterPowerService
+from repro.hpcg.workload import HpcgWorkload
+from repro.slurm.batch_script import parse_batch_script
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+from repro.slurm.commands import parse_sbatch_output
+from repro.slurm.controller import SubmitError
+from repro.slurm.job import JobDescriptor, JobState
+
+
+def multinode_script(nodes: int, ntasks: int, freq: int = 2_200_000, tpc: int = 1,
+                     time_limit: str = "") -> str:
+    lines = [
+        "#!/bin/bash",
+        f"#SBATCH --nodes={nodes}",
+        f"#SBATCH --ntasks={ntasks}",
+        f"#SBATCH --cpu-freq={freq}",
+    ]
+    if time_limit:
+        lines.append(f"#SBATCH --time={time_limit}")
+    lines.append("")
+    lines.append(f"srun --mpi=pmix_v4 --ntasks-per-core={tpc} {HPCG_BINARY}")
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture
+def cluster4() -> SimCluster:
+    return SimCluster(seed=9, n_nodes=4)
+
+
+class TestClusterConstruction:
+    def test_node_count_and_names(self, cluster4):
+        assert len(cluster4.nodes) == 4
+        assert [n.hostname for n in cluster4.nodes] == [
+            "node001", "node002", "node003", "node004",
+        ]
+        assert cluster4.node is cluster4.nodes[0]
+
+    def test_per_node_bmc(self, cluster4):
+        assert len(cluster4.ipmis) == 4
+        for ipmi in cluster4.ipmis:
+            assert ipmi.total_power_watts() > 0
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            SimCluster(n_nodes=0)
+
+    def test_sinfo_lists_all_nodes(self, cluster4):
+        text = cluster4.commands.sinfo()
+        for name in ("node001", "node004"):
+            assert name in text
+
+
+class TestMultiNodeJobs:
+    def test_two_node_job_spans_two_nodes(self, cluster4):
+        job = cluster4.submit_and_wait(multinode_script(2, 64))
+        assert job.state is JobState.COMPLETED
+        assert len(job.node_list) == 2
+        assert job.descriptor.tasks_per_node == 32
+
+    def test_shards_occupy_their_nodes(self, cluster4):
+        jid = parse_sbatch_output(cluster4.commands.sbatch(multinode_script(2, 64)))
+        job = cluster4.ctld.get_job(jid)
+        assert job.state is JobState.RUNNING
+        busy = [n for n in cluster4.nodes if n.free_cores() == 0]
+        assert len(busy) == 2
+        cluster4.ctld.cancel(jid)
+        assert all(n.free_cores() == 32 for n in cluster4.nodes)
+
+    def test_multi_node_rating_scales_sublinearly(self, cluster4):
+        single = cluster4.submit_and_wait(multinode_script(1, 32))
+        quad = cluster4.submit_and_wait(multinode_script(4, 128))
+        from repro.core.runners.hpcg_runner import parse_hpcg_rating
+
+        g1 = parse_hpcg_rating(single.stdout)
+        g4 = parse_hpcg_rating(quad.stdout)
+        # more nodes => faster, but below perfect linear scaling
+        assert g4 > 2.5 * g1
+        assert g4 < 4.0 * g1
+
+    def test_multi_node_energy_covers_all_nodes(self, cluster4):
+        one = cluster4.submit_and_wait(multinode_script(1, 32, time_limit="0:05:00"))
+        two = cluster4.submit_and_wait(multinode_script(2, 64, time_limit="0:05:00"))
+        # both timed out at 5 min; the 2-node job burned roughly twice the
+        # marginal energy (same idle baseline counted on both nodes)
+        assert two.consumed_energy_j > 1.7 * one.consumed_energy_j
+
+    def test_scontrol_shows_nodelist(self, cluster4):
+        jid = parse_sbatch_output(cluster4.commands.sbatch(multinode_script(3, 96)))
+        text = cluster4.commands.scontrol_show_job(jid)
+        assert "NumNodes=3" in text
+        assert "NodeList=node001,node002,node003" in text
+
+    def test_too_many_nodes_rejected(self, cluster4):
+        with pytest.raises(SubmitError, match="exceeds the cluster"):
+            cluster4.ctld.submit(
+                parse_batch_script(multinode_script(5, 160))
+            )
+
+    def test_parse_nodes_from_script(self):
+        desc = parse_batch_script(multinode_script(2, 64))
+        assert desc.nodes == 2
+        assert desc.num_tasks == 64
+
+
+class TestSchedulingAcrossNodes:
+    def test_single_node_jobs_spread(self, cluster4):
+        ids = [
+            parse_sbatch_output(cluster4.commands.sbatch(multinode_script(1, 32)))
+            for _ in range(4)
+        ]
+        jobs = [cluster4.ctld.get_job(i) for i in ids]
+        assert all(j.state is JobState.RUNNING for j in jobs)
+        assert len({j.node for j in jobs}) == 4
+
+    def test_fifth_job_queues(self, cluster4):
+        for _ in range(4):
+            cluster4.commands.sbatch(multinode_script(1, 32))
+        jid = parse_sbatch_output(cluster4.commands.sbatch(multinode_script(1, 32)))
+        assert cluster4.ctld.get_job(jid).state is JobState.PENDING
+
+    def test_multi_node_head_waits_for_enough_nodes(self, cluster4):
+        # fill three nodes
+        for _ in range(3):
+            cluster4.commands.sbatch(multinode_script(1, 32))
+        # 2-node job: only one node free -> pending
+        jid = parse_sbatch_output(cluster4.commands.sbatch(multinode_script(2, 64)))
+        assert cluster4.ctld.get_job(jid).state is JobState.PENDING
+
+    def test_small_job_backfills_around_multinode_head(self, cluster4):
+        # node001..003 busy for a long time; head wants 4 nodes
+        for _ in range(3):
+            cluster4.commands.sbatch(multinode_script(1, 32, time_limit="3:00:00"))
+        head = parse_sbatch_output(
+            cluster4.commands.sbatch(multinode_script(4, 128, time_limit="1:00:00"))
+        )
+        # a short small job fits on node004 and finishes before the head
+        # could possibly start
+        small = parse_sbatch_output(
+            cluster4.commands.sbatch(multinode_script(1, 4, time_limit="0:05:00"))
+        )
+        assert cluster4.ctld.get_job(head).state is JobState.PENDING
+        assert cluster4.ctld.get_job(small).state is JobState.RUNNING
+
+
+class TestClusterPowerService:
+    def test_sums_across_nodes(self, cluster4):
+        svc = ClusterPowerService(cluster4.ipmis, clock=lambda: cluster4.sim.now)
+        single = cluster4.ipmis[0].total_power_watts()
+        sample = svc.sample()
+        assert sample.system_w == pytest.approx(4 * single, rel=0.05)
+        assert sample.cpu_w < sample.system_w
+
+    def test_temperature_is_max(self, cluster4):
+        # heat up node002 only
+        wl = HpcgWorkload(32, 1, 2_500_000)
+        cluster4.nodes[1].start_workload(wl, freq_min_khz=2_500_000)
+        cluster4.sim.call_at(600.0, lambda: None)
+        cluster4.sim.run()
+        svc = ClusterPowerService(cluster4.ipmis, clock=lambda: cluster4.sim.now)
+        sample = svc.sample()
+        hot = cluster4.ipmis[1].cpu_temp_c()
+        assert sample.cpu_temp_c == pytest.approx(hot, abs=1.5)
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            ClusterPowerService([], clock=lambda: 0.0)
+
+    def test_permission_error_names_the_node(self, cluster4):
+        from repro.core.domain.errors import ChronusError
+
+        cluster4.ipmis[2].chmod_device(False)
+        svc = ClusterPowerService(cluster4.ipmis, clock=lambda: 0.0)
+        with pytest.raises(ChronusError, match="node003"):
+            svc.sample()
+
+
+class TestBenchmarkingOnMultiNodeCluster:
+    def test_chronus_benchmarks_with_cluster_power(self, cluster4, tmp_path):
+        """Chronus runs its sweep against the cluster-wide power API —
+        the paper's multi-node integration swap."""
+        from repro.core.application.benchmark_service import BenchmarkService
+        from repro.core.domain.configuration import Configuration
+        from repro.core.repositories.memory_repository import MemoryRepository
+        from repro.core.runners.hpcg_runner import HpcgRunner
+        from repro.core.services.lscpu_info import LscpuSystemInfo
+
+        cluster4.hpcg_duration_s = 300.0
+        service = BenchmarkService(
+            MemoryRepository(),
+            HpcgRunner(cluster4, HPCG_BINARY),
+            ClusterPowerService(cluster4.ipmis, clock=lambda: cluster4.sim.now),
+            LscpuSystemInfo(cluster4.node),
+        )
+        run = service.run_one(
+            Configuration(32, 1, 2_200_000), clock=lambda: cluster4.sim.now
+        )
+        # system power now includes three idle nodes' baseline
+        assert run.average_system_w() > 3 * 130.0

@@ -1,0 +1,114 @@
+"""Tests for presenter views, squeue/sinfo/sacct details, and misc gaps."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.domain.model import ModelMetadata
+from repro.core.domain.system_info import SystemInfo
+from repro.core.presenter.views import (
+    render_benchmark_row,
+    render_models_table,
+    render_systems_table,
+)
+from repro.slurm.batch_script import build_script, parse_batch_script
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+
+
+class TestSystemsTable:
+    def test_empty_hint(self):
+        text = render_systems_table([])
+        assert "chronus benchmark" in text
+
+    def test_lists_systems_with_hint(self):
+        info = SystemInfo("AMD EPYC 7502P 32-Core Processor", 32, 2,
+                          (1_500_000.0, 2_200_000.0, 2_500_000.0))
+        text = render_systems_table([(1, info)])
+        assert "Available Systems" in text
+        assert "1500000 2200000 2500000" in text
+        assert "--system <id>" in text
+
+
+class TestModelsTable:
+    def test_empty_hint(self):
+        assert "init-model" in render_models_table([])
+
+    def test_lists_models(self):
+        meta = ModelMetadata(3, "random-forest", 1, "hpcg", "/b/m.json", 1.0, 138)
+        text = render_models_table([meta])
+        assert "random-forest" in text
+        assert "--model <id>" in text
+
+
+class TestBenchmarkRow:
+    def test_contains_metrics(self, steady_rows):
+        line = render_benchmark_row(steady_rows[0])
+        assert "GFLOP/s" in line and "GFLOPS/W" in line and "kHz" in line
+
+
+class TestBuildScriptNodes:
+    def test_nodes_parameter_roundtrip(self):
+        script = build_script(64, 2_200_000, 1, HPCG_BINARY, nodes=2)
+        desc = parse_batch_script(script)
+        assert desc.nodes == 2
+        assert desc.num_tasks == 64
+        assert desc.tasks_per_node == 32
+
+    @settings(max_examples=25, deadline=None)
+    @given(nodes=st.integers(1, 4), per_node=st.integers(1, 32))
+    def test_roundtrip_property(self, nodes, per_node):
+        script = build_script(per_node * nodes, 2_200_000, 1, "/bin/app", nodes=nodes)
+        desc = parse_batch_script(script)
+        assert desc.tasks_per_node == per_node
+
+
+class TestNodeEnergyConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        cores=st.integers(1, 32),
+        cf=st.floats(0.0, 1.0),
+        duration=st.floats(10.0, 2000.0),
+    )
+    def test_energy_equals_integrated_power(self, cores, cf, duration):
+        """The node's continuous energy counter must match the trapezoid
+        integral of finely sampled true power (conservation property)."""
+        from repro.analysis.metrics import energy_joules
+        from repro.hardware.node import ConstantWorkload
+
+        cluster = SimCluster(seed=1)
+        node = cluster.node
+        node.start_workload(ConstantWorkload(cores=cores, compute_fraction=cf,
+                                             bandwidth_gbs=10.0))
+        e0 = node.true_energy_joules
+        times, watts = [0.0], [node.instantaneous_power().system_w]
+        steps = 80
+        for i in range(1, steps + 1):
+            t = duration * i / steps
+            cluster.sim.run(until=t)
+            times.append(t)
+            watts.append(node.instantaneous_power().system_w)
+        sampled = energy_joules(times, watts)
+        true = node.true_energy_joules - e0
+        assert sampled == pytest.approx(true, rel=0.01)
+
+
+class TestSinfoMultiNodeStates:
+    def test_mixed_states_across_nodes(self):
+        cluster = SimCluster(seed=2, n_nodes=2)
+        cluster.commands.sbatch(build_script(32, 2_200_000, 1, HPCG_BINARY))
+        text = cluster.commands.sinfo()
+        assert "alloc" in text
+        assert "idle" in text
+
+
+class TestSacctMultipleStates:
+    def test_cancelled_and_completed_rows(self, sweep_cluster):
+        from repro.slurm.commands import parse_sbatch_output
+
+        done = sweep_cluster.submit_and_wait(
+            build_script(4, 2_200_000, 1, HPCG_BINARY, job_name="done"))
+        jid = parse_sbatch_output(sweep_cluster.commands.sbatch(
+            build_script(4, 2_200_000, 1, HPCG_BINARY, job_name="gone")))
+        sweep_cluster.commands.scancel(jid)
+        text = sweep_cluster.commands.sacct()
+        assert "COMPLETED" in text
+        assert "CANCELLED" in text

@@ -1,0 +1,131 @@
+"""The paper's headline claims, reproduced end-to-end through the real
+pipeline (simulated cluster + Chronus benchmark service + IPMI sampling).
+
+These are the acceptance tests of the whole reproduction: who wins, by
+roughly what factor, and where the crossovers fall.
+"""
+
+import pytest
+
+from repro.core.application.benchmark_service import BenchmarkService
+from repro.core.domain.configuration import Configuration
+from repro.core.factory import ChronusApp
+from repro.core.runners.hpcg_runner import HpcgRunner
+from repro.core.services.ipmi_service import IpmiSystemService
+from repro.core.services.lscpu_info import LscpuSystemInfo
+from repro.core.repositories.memory_repository import MemoryRepository
+from repro.hpcg import reference
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+
+STANDARD = Configuration(32, 1, 2_500_000)
+BEST = Configuration(32, 1, 2_200_000)
+
+
+@pytest.fixture(scope="module")
+def full_runs():
+    """Two complete (work-bounded) runs: standard and best configuration."""
+    cluster = SimCluster(seed=21)  # completion mode
+    repo = MemoryRepository()
+    service = BenchmarkService(
+        repo,
+        HpcgRunner(cluster, HPCG_BINARY),
+        IpmiSystemService(cluster.ipmi, clock=lambda: cluster.sim.now),
+        LscpuSystemInfo(cluster.node),
+        sample_interval_s=3.0,
+    )
+    std = service.run_one(STANDARD, clock=lambda: cluster.sim.now)
+    best = service.run_one(BEST, clock=lambda: cluster.sim.now)
+    return std, best
+
+
+class TestTable2Reproduction:
+    def test_average_system_power(self, full_runs):
+        std, best = full_runs
+        assert std.average_system_w() == pytest.approx(216.6, rel=0.04)
+        assert best.average_system_w() == pytest.approx(190.1, rel=0.04)
+
+    def test_average_cpu_power(self, full_runs):
+        std, best = full_runs
+        assert std.average_cpu_w() == pytest.approx(120.4, rel=0.05)
+        assert best.average_cpu_w() == pytest.approx(97.4, rel=0.05)
+
+    def test_average_temperature(self, full_runs):
+        std, best = full_runs
+        assert std.average_cpu_temp_c() == pytest.approx(62.8, abs=2.0)
+        assert best.average_cpu_temp_c() == pytest.approx(53.8, abs=2.0)
+
+    def test_runtimes(self, full_runs):
+        std, best = full_runs
+        assert std.runtime_s == pytest.approx(18 * 60 + 29, rel=0.03)
+        assert best.runtime_s == pytest.approx(18 * 60 + 47, rel=0.04)
+        assert best.runtime_s > std.runtime_s
+
+    def test_system_energy_reduction_about_11_percent(self, full_runs):
+        """The paper's abstract number: ~11% system-energy saving."""
+        std, best = full_runs
+        reduction = 1.0 - best.system_energy_j() / std.system_energy_j()
+        assert 0.07 <= reduction <= 0.14
+
+    def test_cpu_energy_reduction(self, full_runs):
+        """Paper: 18% CPU-energy reduction (we reproduce ~16%)."""
+        std, best = full_runs
+        reduction = 1.0 - best.cpu_energy_j() / std.cpu_energy_j()
+        assert 0.12 <= reduction <= 0.22
+
+    def test_energy_magnitudes(self, full_runs):
+        std, best = full_runs
+        assert std.system_energy_j() == pytest.approx(240_200, rel=0.06)
+        assert best.system_energy_j() == pytest.approx(214_400, rel=0.06)
+
+
+class TestGflopsPerWattClaims:
+    def test_best_beats_standard_by_about_13_percent(self, full_runs):
+        std, best = full_runs
+        ratio = best.gflops_per_watt() / std.gflops_per_watt()
+        assert 1.08 <= ratio <= 1.16  # paper: 1.13
+
+    def test_performance_loss_small(self, full_runs):
+        std, best = full_runs
+        perf_ratio = best.gflops / std.gflops
+        assert 0.95 <= perf_ratio <= 0.995  # paper: 0.98
+
+    def test_absolute_efficiency_levels(self, full_runs):
+        std, best = full_runs
+        assert std.gflops_per_watt() == pytest.approx(0.0432, rel=0.05)
+        assert best.gflops_per_watt() == pytest.approx(0.0488, rel=0.05)
+
+
+class TestFigure15Shape:
+    def test_standard_power_fluctuates_more(self, full_runs):
+        """Figure 15: standard-config power oscillates, best is stable."""
+        import numpy as np
+
+        std, best = full_runs
+        # skip the setup phase and the thermal transient
+        def steady(run):
+            w = np.array([s.system_w for s in run.samples])
+            return w[len(w) // 4 :]
+
+        assert steady(std).std() > 2.0 * steady(best).std()
+
+    def test_best_runs_cooler(self, full_runs):
+        std, best = full_runs
+        assert best.average_cpu_temp_c() < std.average_cpu_temp_c() - 5.0
+
+
+class TestEquation1:
+    def test_ipmi_vs_wattmeter(self):
+        from repro.analysis.metrics import percentage_difference
+        from repro.hardware.node import ConstantWorkload
+
+        cluster = SimCluster(seed=4)
+        cluster.node.start_workload(
+            ConstantWorkload(cores=32, compute_fraction=0.05, bandwidth_gbs=37.0),
+            freq_min_khz=2_500_000,
+        )
+        cluster.sim.call_at(900.0, lambda: None)
+        cluster.sim.run()
+        ipmi = cluster.ipmi.total_power_watts()
+        meter = cluster.wattmeter.read().total_w
+        diff = percentage_difference(ipmi, meter)
+        assert diff == pytest.approx(reference.EQ1_PERCENT_DIFFERENCE, abs=0.8)

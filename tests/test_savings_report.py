@@ -1,0 +1,114 @@
+"""Tests for the savings report and the ``chronus report`` command."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import SavingsReport
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.errors import ChronusError
+
+
+def row(cores, freq, gflops, watts, app="hpcg"):
+    return BenchmarkResult(
+        system_id=1,
+        application=app,
+        configuration=Configuration(cores, 1, freq),
+        gflops=gflops,
+        avg_system_w=watts,
+        avg_cpu_w=watts * 0.55,
+        avg_cpu_temp_c=60.0,
+        system_energy_j=watts * 1000.0,
+        cpu_energy_j=watts * 550.0,
+        runtime_s=1000.0,
+    )
+
+
+@pytest.fixture
+def rows():
+    return [
+        row(32, 2_500_000, 9.35, 216.6),   # default (fastest)
+        row(32, 2_200_000, 9.16, 187.8),   # eco winner
+        row(16, 1_500_000, 6.0, 170.0),
+    ]
+
+
+class TestSavingsReport:
+    def test_picks_default_and_eco(self, rows):
+        report = SavingsReport.from_benchmarks(rows)
+        assert report.default_config == Configuration(32, 1, 2_500_000)
+        assert report.best_config == Configuration(32, 1, 2_200_000)
+
+    def test_work_normalised_saving(self, rows):
+        report = SavingsReport.from_benchmarks(rows)
+        expected = 1.0 - (187.8 / 9.16) / (216.6 / 9.35)
+        assert report.saving_fraction == pytest.approx(expected)
+        assert 0.10 < report.saving_fraction < 0.13  # paper's ~11%
+
+    def test_performance_cost(self, rows):
+        report = SavingsReport.from_benchmarks(rows)
+        assert report.performance_cost_fraction == pytest.approx(1 - 9.16 / 9.35)
+
+    def test_annual_projection_scales_with_duty_cycle(self, rows):
+        half = SavingsReport.from_benchmarks(rows, duty_cycle=0.5)
+        full = SavingsReport.from_benchmarks(rows, duty_cycle=1.0)
+        assert full.annual_kwh_saved == pytest.approx(2 * half.annual_kwh_saved)
+
+    def test_monetary_and_carbon(self, rows):
+        report = SavingsReport.from_benchmarks(
+            rows, price_eur_per_mwh=100.0, carbon_g_per_kwh=500.0
+        )
+        assert report.annual_eur_saved == pytest.approx(
+            report.annual_kwh_saved / 10.0
+        )
+        assert report.annual_kg_co2_saved == pytest.approx(
+            report.annual_kwh_saved / 2.0
+        )
+
+    def test_render_contains_projections(self, rows):
+        text = SavingsReport.from_benchmarks(rows).render()
+        assert "Eco savings report" in text
+        assert "kWh" in text and "EUR" in text and "CO2" in text
+
+    def test_validation(self, rows):
+        with pytest.raises(ChronusError):
+            SavingsReport.from_benchmarks([])
+        with pytest.raises(ValueError):
+            SavingsReport.from_benchmarks(rows, duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            SavingsReport.from_benchmarks(rows, price_eur_per_mwh=-1.0)
+        mixed = rows + [row(8, 1_500_000, 100.0, 250.0, app="hpl")]
+        with pytest.raises(ChronusError, match="one application"):
+            SavingsReport.from_benchmarks(mixed)
+
+    def test_no_saving_when_default_is_best(self):
+        only = [row(32, 2_500_000, 9.35, 216.6)]
+        report = SavingsReport.from_benchmarks(only)
+        assert report.saving_fraction == pytest.approx(0.0)
+
+
+class TestReportCommand:
+    def test_cli_report(self, capsys, tmp_path):
+        from repro.core.cli.main import main
+
+        ws = str(tmp_path / "ws")
+        configs = [
+            {"cores": c, "threads_per_core": 1, "frequency": f}
+            for c in (16, 32) for f in (2_200_000, 2_500_000)
+        ]
+        cfg_file = tmp_path / "configs.json"
+        cfg_file.write_text(json.dumps(configs))
+        assert main(["--workspace", ws, "benchmark",
+                     "--configurations", str(cfg_file), "--duration", "300"]) == 0
+        capsys.readouterr()
+        assert main(["--workspace", ws, "report", "--system", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Eco savings report" in out
+        assert "energy saved" in out
+
+    def test_cli_report_lists_systems_without_id(self, capsys, tmp_path):
+        from repro.core.cli.main import main
+
+        assert main(["--workspace", str(tmp_path / "ws"), "report"]) == 0
+        assert "Available Systems" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Unit tests for periodic tasks and processes."""
+
+import pytest
+
+from repro.simkernel.engine import SimulationError, Simulator
+from repro.simkernel.process import PeriodicTask, Process
+
+
+class TestProcess:
+    def test_now_tracks_simulator(self):
+        sim = Simulator()
+        proc = Process(sim, name="p")
+        sim.call_at(4.0, lambda: None)
+        sim.run()
+        assert proc.now == 4.0
+
+    def test_default_name(self):
+        assert Process(Simulator()).name == "Process"
+
+
+class TestPeriodicTask:
+    def test_fires_on_cadence(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 2.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+        assert task.invocations == 3
+
+    def test_immediate_start(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 2.0, lambda: times.append(sim.now), immediate=True)
+        task.start()
+        sim.run(until=4.0)
+        assert times == [0.0, 2.0, 4.0]
+
+    def test_start_at(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now), start_at=5.0)
+        task.start()
+        sim.run(until=7.0)
+        assert times == [5.0, 6.0, 7.0]
+
+    def test_stop_cancels_future_firings(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        task.start()
+        sim.call_at(3.5, task.stop)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0, 3.0]
+        assert not task.running
+
+    def test_callback_can_stop_itself(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 1.0, lambda: task.stop() if task.invocations >= 2 else None)
+        task.start()
+        sim.run(until=100.0)
+        assert task.invocations == 2
+
+    def test_double_start_is_noop(self):
+        sim = Simulator()
+        count = []
+        task = PeriodicTask(sim, 1.0, lambda: count.append(1))
+        task.start()
+        task.start()
+        sim.run(until=1.0)
+        assert count == [1]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(SimulationError):
+            PeriodicTask(Simulator(), 0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            PeriodicTask(Simulator(), -1.0, lambda: None)

@@ -1,0 +1,130 @@
+"""Tests for #SBATCH parsing and script generation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.slurm.batch_script import (
+    BatchScriptError,
+    build_script,
+    parse_batch_script,
+    parse_time_limit,
+)
+
+
+class TestParseTimeLimit:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("30", 30 * 60),
+            ("5:30", 5 * 60 + 30),
+            ("1:30:00", 5400),
+            ("0:45:00", 45 * 60),
+            ("2-12", 2 * 86400 + 12 * 3600),
+            ("1-0:30", 86400 + 30 * 60),
+            ("1-2:3:4", 86400 + 2 * 3600 + 3 * 60 + 4),
+        ],
+    )
+    def test_formats(self, text, expected):
+        assert parse_time_limit(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1:2:3:4", "x-1", "1-"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(BatchScriptError):
+            parse_time_limit(bad)
+
+
+PAPER_SCRIPT = """#!/bin/bash
+#SBATCH --nodes=1
+#SBATCH --ntasks=28
+#SBATCH --cpu-freq=2200000
+
+srun --mpi=pmix_v4 --ntasks-per-core=2 /opt/hpcg/build/bin/xhpcg
+"""
+
+
+class TestParseBatchScript:
+    def test_paper_listing6_shape(self):
+        desc = parse_batch_script(PAPER_SCRIPT)
+        assert desc.nodes == 1
+        assert desc.num_tasks == 28
+        assert desc.cpu_freq_min == 2_200_000
+        assert desc.cpu_freq_max == 2_200_000
+        assert desc.threads_per_core == 2
+        assert desc.binary == "/opt/hpcg/build/bin/xhpcg"
+        assert "--mpi=pmix_v4" in desc.srun_args
+
+    def test_comment_option(self):
+        script = '#!/bin/bash\n#SBATCH --comment "chronus"\n./a.out\n'
+        assert parse_batch_script(script).comment == "chronus"
+
+    def test_space_separated_options(self):
+        script = "#!/bin/bash\n#SBATCH --ntasks 8\n#SBATCH -J myjob\n./a.out\n"
+        desc = parse_batch_script(script)
+        assert desc.num_tasks == 8
+        assert desc.name == "myjob"
+
+    def test_cpu_freq_range(self):
+        script = "#!/bin/bash\n#SBATCH --cpu-freq=1500000-2500000\n./a.out\n"
+        desc = parse_batch_script(script)
+        assert (desc.cpu_freq_min, desc.cpu_freq_max) == (1_500_000, 2_500_000)
+
+    def test_time_limit(self):
+        script = "#!/bin/bash\n#SBATCH --time=0:20:00\n./a.out\n"
+        assert parse_batch_script(script).time_limit_s == 1200
+
+    def test_bare_command_without_srun(self):
+        script = "#!/bin/bash\n/usr/bin/stress\n"
+        assert parse_batch_script(script).binary == "/usr/bin/stress"
+
+    def test_rejects_missing_shebang(self):
+        with pytest.raises(BatchScriptError, match="shebang"):
+            parse_batch_script("#SBATCH --ntasks=1\n./a.out\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(BatchScriptError):
+            parse_batch_script("   \n")
+
+    def test_rejects_no_command(self):
+        with pytest.raises(BatchScriptError, match="no command"):
+            parse_batch_script("#!/bin/bash\n#SBATCH --ntasks=1\n")
+
+    def test_rejects_bad_int(self):
+        with pytest.raises(BatchScriptError):
+            parse_batch_script("#!/bin/bash\n#SBATCH --ntasks=four\n./a.out\n")
+
+    def test_rejects_bad_cpu_freq(self):
+        with pytest.raises(BatchScriptError):
+            parse_batch_script("#!/bin/bash\n#SBATCH --cpu-freq=fast\n./a.out\n")
+
+    def test_rejects_dangling_option(self):
+        with pytest.raises(BatchScriptError):
+            parse_batch_script("#!/bin/bash\n#SBATCH --ntasks\n./a.out\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        script = "#!/bin/bash\n\n# a comment\n#SBATCH --ntasks=2\n\n./a.out arg\n"
+        assert parse_batch_script(script).num_tasks == 2
+
+
+class TestBuildScript:
+    def test_roundtrip(self):
+        script = build_script(16, 2_200_000, 2, "/opt/hpcg/build/bin/xhpcg",
+                              comment="chronus", time_limit="0:30:00", job_name="bench")
+        desc = parse_batch_script(script)
+        assert desc.num_tasks == 16
+        assert desc.cpu_freq_min == 2_200_000
+        assert desc.threads_per_core == 2
+        assert desc.comment == "chronus"
+        assert desc.time_limit_s == 1800
+        assert desc.name == "bench"
+        assert desc.binary == "/opt/hpcg/build/bin/xhpcg"
+
+    @given(
+        cores=st.integers(1, 32),
+        freq=st.sampled_from([1_500_000, 2_200_000, 2_500_000]),
+        tpc=st.sampled_from([1, 2]),
+    )
+    def test_roundtrip_property(self, cores, freq, tpc):
+        desc = parse_batch_script(build_script(cores, freq, tpc, "/bin/app"))
+        assert (desc.num_tasks, desc.cpu_freq_min, desc.threads_per_core) == (
+            cores, freq, tpc,
+        )

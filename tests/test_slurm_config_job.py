@@ -1,0 +1,132 @@
+"""Tests for slurm.conf parsing and job descriptors."""
+
+import pytest
+
+from repro.slurm.config import ConfigError, SlurmConfig
+from repro.slurm.job import Job, JobDescriptor, JobState
+
+
+class TestSlurmConfig:
+    def test_parse_paper_install_line(self):
+        cfg = SlurmConfig.parse("JobSubmitPlugins=eco\n")
+        assert cfg.job_submit_plugins == ("eco",)
+
+    def test_parse_full(self):
+        cfg = SlurmConfig.parse(
+            """
+            # comment
+            ClusterName=grid.aau.dk
+            SchedulerType=sched/builtin
+            JobSubmitPlugins=eco,lua
+            PluginTimeBudget=0.5
+            DefaultTime=60
+            SlurmdPort=6818
+            """
+        )
+        assert cfg.cluster_name == "grid.aau.dk"
+        assert cfg.scheduler_type == "sched/builtin"
+        assert cfg.job_submit_plugins == ("eco", "lua")
+        assert cfg.plugin_time_budget_s == 0.5
+        assert cfg.default_time_limit_s == 3600
+        assert cfg.extra["SlurmdPort"] == "6818"
+
+    def test_defaults(self):
+        cfg = SlurmConfig()
+        assert cfg.scheduler_type == "sched/backfill"
+        assert cfg.job_submit_plugins == ()
+
+    def test_render_roundtrip(self):
+        cfg = SlurmConfig.parse("JobSubmitPlugins=eco\nClusterName=c1\n")
+        again = SlurmConfig.parse(cfg.render())
+        assert again.job_submit_plugins == cfg.job_submit_plugins
+        assert again.cluster_name == cfg.cluster_name
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "NotKeyValue",
+            "SchedulerType=sched/magic",
+            "PluginTimeBudget=soon",
+            "DefaultTime=never",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            SlurmConfig.parse(bad)
+
+
+class TestJobDescriptor:
+    def test_validate_accepts_sane(self):
+        JobDescriptor(num_tasks=32, threads_per_core=2).validate(32)
+
+    def test_rejects_too_many_tasks(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            JobDescriptor(num_tasks=33).validate(32)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            JobDescriptor(num_tasks=0).validate(32)
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ValueError):
+            JobDescriptor(threads_per_core=4).validate(32)
+
+    def test_rejects_more_nodes_than_cluster(self):
+        with pytest.raises(ValueError, match="exceeds the cluster"):
+            JobDescriptor(nodes=2, num_tasks=4).validate(32, cluster_nodes=1)
+
+    def test_accepts_multi_node_on_multi_node_cluster(self):
+        JobDescriptor(nodes=2, num_tasks=64).validate(32, cluster_nodes=2)
+
+    def test_rejects_nodes_exceeding_tasks(self):
+        with pytest.raises(ValueError, match="exceeds --ntasks"):
+            JobDescriptor(nodes=4, num_tasks=2).validate(32, cluster_nodes=4)
+
+    def test_rejects_shard_too_large(self):
+        with pytest.raises(ValueError, match="tasks per node"):
+            JobDescriptor(nodes=2, num_tasks=80).validate(32, cluster_nodes=2)
+
+    def test_tasks_per_node_ceil(self):
+        assert JobDescriptor(nodes=2, num_tasks=33).tasks_per_node == 17
+        assert JobDescriptor(nodes=1, num_tasks=7).tasks_per_node == 7
+
+    def test_rejects_inverted_freq_window(self):
+        with pytest.raises(ValueError):
+            JobDescriptor(cpu_freq_min=2_500_000, cpu_freq_max=1_500_000).validate(32)
+
+    def test_rejects_negative_time_limit(self):
+        with pytest.raises(ValueError):
+            JobDescriptor(time_limit_s=-1).validate(32)
+
+
+class TestJobState:
+    def test_terminal_states(self):
+        assert JobState.COMPLETED.is_terminal
+        assert JobState.FAILED.is_terminal
+        assert JobState.CANCELLED.is_terminal
+        assert JobState.TIMEOUT.is_terminal
+        assert not JobState.PENDING.is_terminal
+        assert not JobState.RUNNING.is_terminal
+
+    def test_short_codes(self):
+        assert JobState.PENDING.short == "PD"
+        assert JobState.RUNNING.short == "R"
+        assert JobState.COMPLETED.short == "CD"
+
+
+class TestJob:
+    def test_elapsed_and_energy(self):
+        job = Job(job_id=1, descriptor=JobDescriptor(), submit_time=0.0)
+        assert job.elapsed_s is None
+        job.start_time = 10.0
+        job.end_time = 110.0
+        job.energy_start_j = 1000.0
+        job.energy_end_j = 21000.0
+        assert job.elapsed_s == 100.0
+        assert job.consumed_energy_j == 20000.0
+
+    def test_energy_never_negative(self):
+        job = Job(job_id=1, descriptor=JobDescriptor(), submit_time=0.0)
+        job.energy_start_j = 5.0
+        job.energy_end_j = 1.0
+        assert job.consumed_energy_j == 0.0

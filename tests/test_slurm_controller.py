@@ -1,0 +1,178 @@
+"""Tests for slurmctld: lifecycle, scheduling, accounting, commands."""
+
+import pytest
+
+from repro.slurm.batch_script import build_script
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+from repro.slurm.commands import parse_sbatch_output
+from repro.slurm.controller import SubmitError
+from repro.slurm.job import JobDescriptor, JobState
+
+
+def submit(cluster, script) -> int:
+    return parse_sbatch_output(cluster.commands.sbatch(script))
+
+
+class TestLifecycle:
+    def test_job_runs_to_completion(self, cluster):
+        job = cluster.submit_and_wait(
+            build_script(32, 2_500_000, 1, HPCG_BINARY, job_name="std")
+        )
+        assert job.state is JobState.COMPLETED
+        assert job.exit_code == 0
+        assert job.elapsed_s == pytest.approx(18 * 60 + 29, rel=0.03)
+        assert "GFLOP/s rating" in job.stdout
+
+    def test_energy_attributed(self, cluster):
+        job = cluster.submit_and_wait(build_script(32, 2_500_000, 1, HPCG_BINARY))
+        # ~218 W for ~1109 s ~ 242 kJ
+        assert job.consumed_energy_j == pytest.approx(242_000, rel=0.05)
+
+    def test_timeout_kills_job(self, cluster):
+        script = build_script(32, 2_500_000, 1, HPCG_BINARY, time_limit="0:01:00")
+        job = cluster.submit_and_wait(script)
+        assert job.state is JobState.TIMEOUT
+        assert job.elapsed_s == pytest.approx(60.0)
+        assert "TIME LIMIT" in job.stdout
+
+    def test_unknown_binary_fails_fast(self, cluster):
+        script = "#!/bin/bash\n#SBATCH --ntasks=1\nsrun /bin/unknown-app\n"
+        job_id = submit(cluster, script)
+        job = cluster.ctld.get_job(job_id)
+        assert job.state is JobState.FAILED
+        assert job.exit_code == 127
+
+    def test_cancel_pending(self, cluster):
+        j1 = submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY))
+        j2 = submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY))
+        assert cluster.ctld.get_job(j2).state is JobState.PENDING
+        cluster.ctld.cancel(j2)
+        assert cluster.ctld.get_job(j2).state is JobState.CANCELLED
+
+    def test_cancel_running_frees_node(self, cluster):
+        j1 = submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY))
+        assert cluster.node.free_cores() == 0
+        cluster.ctld.cancel(j1)
+        assert cluster.node.free_cores() == 32
+        assert cluster.ctld.get_job(j1).state is JobState.CANCELLED
+
+    def test_cancel_unblocks_queue(self, cluster):
+        j1 = submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY))
+        j2 = submit(cluster, build_script(32, 2_200_000, 1, HPCG_BINARY))
+        cluster.ctld.cancel(j1)
+        assert cluster.ctld.get_job(j2).state is JobState.RUNNING
+
+    def test_cancel_terminal_is_noop(self, cluster):
+        job = cluster.submit_and_wait(build_script(4, 2_200_000, 1, HPCG_BINARY))
+        cluster.ctld.cancel(job.job_id)
+        assert job.state is JobState.COMPLETED
+
+    def test_sequential_jobs_share_node(self, cluster):
+        j1 = submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY))
+        j2 = submit(cluster, build_script(32, 2_200_000, 1, HPCG_BINARY))
+        job2 = cluster.ctld.wait_for_job(j2)
+        job1 = cluster.ctld.get_job(j1)
+        assert job1.state is JobState.COMPLETED
+        assert job2.start_time == pytest.approx(job1.end_time)
+
+    def test_parallel_jobs_when_cores_allow(self, cluster):
+        j1 = submit(cluster, build_script(16, 2_200_000, 1, HPCG_BINARY))
+        j2 = submit(cluster, build_script(16, 2_200_000, 1, HPCG_BINARY))
+        assert cluster.ctld.get_job(j1).state is JobState.RUNNING
+        assert cluster.ctld.get_job(j2).state is JobState.RUNNING
+
+    def test_submit_validation_errors(self, cluster):
+        with pytest.raises(SubmitError, match="exceeds"):
+            cluster.ctld.submit(JobDescriptor(num_tasks=64, binary=HPCG_BINARY))
+
+    def test_unknown_job_id(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.ctld.get_job(42)
+        with pytest.raises(KeyError):
+            cluster.ctld.wait_for_job(42)
+
+
+class TestPluginWiring:
+    def test_register_requires_conf_entry(self, cluster):
+        from repro.slurm.plugins.eco import JobSubmitEco
+
+        plugin = JobSubmitEco(cluster.node, provider=None)  # type: ignore[arg-type]
+        with pytest.raises(ValueError, match="not enabled"):
+            cluster.ctld.register_plugin(plugin)
+
+
+class TestCommands:
+    def test_sbatch_output_shape(self, cluster):
+        out = cluster.commands.sbatch(build_script(4, 2_200_000, 1, HPCG_BINARY))
+        assert out.startswith("Submitted batch job ")
+        assert parse_sbatch_output(out) == 1
+
+    def test_parse_sbatch_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_sbatch_output("error: something")
+
+    def test_squeue_shows_running_and_pending(self, cluster):
+        submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY, job_name="first"))
+        submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY, job_name="second"))
+        text = cluster.commands.squeue()
+        assert " R " in text
+        assert "PD" in text
+        assert "(Resources)" in text
+        assert "first" in text and "second" in text
+
+    def test_sinfo_states(self, cluster):
+        assert "idle" in cluster.commands.sinfo()
+        submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY))
+        assert "alloc" in cluster.commands.sinfo()
+
+    def test_sinfo_mix(self, cluster):
+        submit(cluster, build_script(4, 2_500_000, 1, HPCG_BINARY))
+        assert "mix" in cluster.commands.sinfo()
+
+    def test_scontrol_show_job(self, cluster):
+        jid = submit(
+            cluster,
+            build_script(28, 2_200_000, 2, HPCG_BINARY, comment="chronus"),
+        )
+        text = cluster.commands.scontrol_show_job(jid)
+        assert f"JobId={jid}" in text
+        assert "NumTasks=28" in text
+        assert "ThreadsPerCore=2" in text
+        assert "CpuFreqMin=2200000" in text
+        assert "Comment=chronus" in text
+
+    def test_sacct_shows_energy(self, cluster):
+        cluster.submit_and_wait(build_script(32, 2_500_000, 1, HPCG_BINARY))
+        text = cluster.commands.sacct()
+        assert "COMPLETED" in text
+        assert "ConsumedEnergy" in text
+
+    def test_scancel(self, cluster):
+        jid = submit(cluster, build_script(4, 2_200_000, 1, HPCG_BINARY))
+        cluster.commands.scancel(jid)
+        assert cluster.ctld.get_job(jid).state is JobState.CANCELLED
+
+
+class TestAccounting:
+    def test_record_fields(self, cluster):
+        job = cluster.submit_and_wait(
+            build_script(28, 2_200_000, 2, HPCG_BINARY, job_name="acct")
+        )
+        rec = cluster.accounting.get(job.job_id)
+        assert rec.state == "COMPLETED"
+        assert rec.num_tasks == 28
+        assert rec.threads_per_core == 2
+        assert rec.cpu_freq_min == 2_200_000
+        assert rec.energy_j > 0
+        assert rec.elapsed_s == pytest.approx(job.elapsed_s)
+        assert rec.wait_s == pytest.approx(0.0)
+
+    def test_by_state_and_totals(self, cluster):
+        cluster.submit_and_wait(build_script(4, 2_200_000, 1, HPCG_BINARY))
+        assert len(cluster.accounting.by_state(JobState.COMPLETED)) == 1
+        assert cluster.accounting.total_energy_j() > 0
+        assert len(cluster.accounting) == 1
+
+    def test_get_unknown(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.accounting.get(9)

@@ -1,0 +1,193 @@
+"""Tests for the multifactor priority plugin and job arrays."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.slurm.batch_script import BatchScriptError, parse_array_spec
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+from repro.slurm.commands import parse_sbatch_output
+from repro.slurm.config import SlurmConfig
+from repro.slurm.job import Job, JobDescriptor, JobState
+from repro.slurm.priority import (
+    PriorityWeights,
+    multifactor_priority,
+    order_by_priority,
+)
+
+
+def pending_job(job_id: int, tasks: int = 4, uid: int = 1000, submit: float = 0.0) -> Job:
+    return Job(
+        job_id=job_id,
+        descriptor=JobDescriptor(num_tasks=tasks, uid=uid),
+        submit_time=submit,
+    )
+
+
+class TestMultifactorPriority:
+    W = PriorityWeights()
+
+    def test_age_raises_priority(self):
+        old = pending_job(1, submit=0.0)
+        new = pending_job(2, submit=90_000.0)
+        now = 100_000.0
+        assert multifactor_priority(
+            old, now, total_cores=32, usage_by_uid={}, weights=self.W
+        ) > multifactor_priority(
+            new, now, total_cores=32, usage_by_uid={}, weights=self.W
+        )
+
+    def test_age_saturates(self):
+        w = PriorityWeights(max_age_s=100.0)
+        old = pending_job(1, submit=0.0)
+        p1 = multifactor_priority(old, 100.0, total_cores=32, usage_by_uid={}, weights=w)
+        p2 = multifactor_priority(old, 1e6, total_cores=32, usage_by_uid={}, weights=w)
+        assert p1 == p2
+
+    def test_bigger_jobs_rank_higher(self):
+        small = pending_job(1, tasks=2)
+        big = pending_job(2, tasks=32)
+        assert multifactor_priority(
+            big, 0.0, total_cores=32, usage_by_uid={}, weights=self.W
+        ) > multifactor_priority(
+            small, 0.0, total_cores=32, usage_by_uid={}, weights=self.W
+        )
+
+    def test_heavy_user_sinks(self):
+        light = pending_job(1, uid=1000)
+        heavy = pending_job(2, uid=2000)
+        usage = {2000: 500_000.0}
+        assert multifactor_priority(
+            light, 0.0, total_cores=32, usage_by_uid=usage, weights=self.W
+        ) > multifactor_priority(
+            heavy, 0.0, total_cores=32, usage_by_uid=usage, weights=self.W
+        )
+
+    def test_order_stable_on_ties(self):
+        jobs = [pending_job(i) for i in (1, 2, 3)]
+        ordered = order_by_priority(
+            jobs, 0.0, total_cores=32, usage_by_uid={}, weights=self.W
+        )
+        assert [j.job_id for j in ordered] == [1, 2, 3]
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            PriorityWeights(max_age_s=0.0)
+        with pytest.raises(ValueError):
+            multifactor_priority(
+                pending_job(1), 0.0, total_cores=0, usage_by_uid={}, weights=self.W
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tasks=st.integers(1, 32),
+        age=st.floats(0, 1e7),
+        usage=st.floats(0, 1e7),
+    )
+    def test_priority_positive_finite(self, tasks, age, usage):
+        job = pending_job(1, tasks=tasks, submit=0.0)
+        p = multifactor_priority(
+            job, age, total_cores=32, usage_by_uid={1000: usage},
+            weights=PriorityWeights(),
+        )
+        assert 0.0 <= p < 1e6
+
+
+class TestFairShareIntegration:
+    def test_light_user_jumps_heavy_users_queue(self):
+        """After uid 2000 burned the node for hours, uid 1000's queued job
+        outranks uid 2000's next one."""
+        cluster = SimCluster(
+            seed=5,
+            config=SlurmConfig.parse("PriorityType=priority/multifactor\n"),
+            hpcg_duration_s=600.0,
+        )
+        from repro.slurm.batch_script import build_script
+
+        # heavy user consumes the machine first
+        first = cluster.submit_and_wait(build_script(32, 2_500_000, 1, HPCG_BINARY))
+        # both users queue behind a running blocker
+        blocker = parse_sbatch_output(cluster.commands.sbatch(
+            build_script(32, 2_500_000, 1, HPCG_BINARY)))
+        heavy_desc = JobDescriptor(num_tasks=32, binary=HPCG_BINARY, uid=1000)
+        light_desc = JobDescriptor(num_tasks=32, binary=HPCG_BINARY, uid=2000)
+        heavy_id = cluster.ctld.submit(heavy_desc, submit_uid=1000)
+        light_id = cluster.ctld.submit(light_desc, submit_uid=2000)
+        # heavy submitted first, but light (no usage) should start first
+        cluster.ctld.wait_for_job(blocker)
+        assert cluster.ctld.get_job(light_id).state is JobState.RUNNING
+        assert cluster.ctld.get_job(heavy_id).state is JobState.PENDING
+
+
+class TestArraySpecParsing:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("0-3", (0, 1, 2, 3)),
+            ("1,5,9", (1, 5, 9)),
+            ("0-9:3", (0, 3, 6, 9)),
+            ("0-7%2", (0, 1, 2, 3, 4, 5, 6, 7)),
+            ("2,0-1", (0, 1, 2)),
+            ("3,3,3", (3,)),
+        ],
+    )
+    def test_valid_specs(self, spec, expected):
+        assert parse_array_spec(spec) == expected
+
+    @pytest.mark.parametrize("bad", ["", "a-b", "5-2", "1,,2", "0-9:0", "x"])
+    def test_invalid_specs(self, bad):
+        with pytest.raises(BatchScriptError):
+            parse_array_spec(bad)
+
+
+ARRAY_SCRIPT = f"""#!/bin/bash
+#SBATCH --ntasks=8
+#SBATCH --array=0-3
+#SBATCH --cpu-freq=2200000
+#SBATCH --time=0:05:00
+
+srun --mpi=pmix_v4 --ntasks-per-core=1 {HPCG_BINARY}
+"""
+
+
+class TestJobArrays:
+    def test_array_expands_to_tasks(self, sweep_cluster):
+        master = parse_sbatch_output(sweep_cluster.commands.sbatch(ARRAY_SCRIPT))
+        tasks = sweep_cluster.ctld.array_tasks(master)
+        assert len(tasks) == 4
+        assert [t.array_task_id for t in tasks] == [0, 1, 2, 3]
+        assert all(t.array_job_id == master for t in tasks)
+
+    def test_all_tasks_run_concurrently_when_cores_allow(self, sweep_cluster):
+        master = parse_sbatch_output(sweep_cluster.commands.sbatch(ARRAY_SCRIPT))
+        tasks = sweep_cluster.ctld.array_tasks(master)
+        # 4 tasks x 8 cores = 32 cores: all fit at once
+        assert all(t.state is JobState.RUNNING for t in tasks)
+
+    def test_squeue_shows_master_index_ids(self, sweep_cluster):
+        master = parse_sbatch_output(sweep_cluster.commands.sbatch(ARRAY_SCRIPT))
+        text = sweep_cluster.commands.squeue()
+        assert f"{master}_0" in text
+        assert f"{master}_3" in text
+
+    def test_wait_for_array(self, sweep_cluster):
+        master = parse_sbatch_output(sweep_cluster.commands.sbatch(ARRAY_SCRIPT))
+        tasks = sweep_cluster.ctld.wait_for_array(master)
+        assert all(t.state is JobState.TIMEOUT for t in tasks)  # 5 min < 10 min run
+        assert len(sweep_cluster.accounting.all()) == 4
+
+    def test_tasks_do_not_share_descriptor(self, sweep_cluster):
+        master = parse_sbatch_output(sweep_cluster.commands.sbatch(ARRAY_SCRIPT))
+        tasks = sweep_cluster.ctld.array_tasks(master)
+        tasks[0].descriptor.num_tasks = 99
+        assert tasks[1].descriptor.num_tasks == 8
+
+    def test_unknown_master_raises(self, sweep_cluster):
+        with pytest.raises(KeyError):
+            sweep_cluster.ctld.array_tasks(404)
+
+    def test_plain_job_display_id(self, sweep_cluster):
+        from repro.slurm.batch_script import build_script
+
+        jid = parse_sbatch_output(sweep_cluster.commands.sbatch(
+            build_script(4, 2_200_000, 1, HPCG_BINARY)))
+        assert sweep_cluster.ctld.get_job(jid).display_id == str(jid)

@@ -1,0 +1,130 @@
+"""Unit + property tests for FIFO and EASY-backfill scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.slurm.job import Job, JobDescriptor
+from repro.slurm.scheduler import NodeView, backfill_schedule, fifo_schedule
+
+
+def make_job(job_id: int, tasks: int, limit_s: int = 600) -> Job:
+    return Job(
+        job_id=job_id,
+        descriptor=JobDescriptor(name=f"j{job_id}", num_tasks=tasks, time_limit_s=limit_s),
+        submit_time=0.0,
+    )
+
+
+def node(free: int, running=None, total: int = 32) -> NodeView:
+    return NodeView(name="node001", total_cores=total, free_cores=free,
+                    running=list(running or []))
+
+
+class TestFifo:
+    def test_places_in_order(self):
+        jobs = [make_job(1, 8), make_job(2, 8)]
+        placements = fifo_schedule(jobs, [node(32)])
+        assert [p.job.job_id for p in placements] == [1, 2]
+
+    def test_stops_at_first_blocker(self):
+        jobs = [make_job(1, 30), make_job(2, 30), make_job(3, 1)]
+        placements = fifo_schedule(jobs, [node(32)])
+        # job 2 does not fit; strict FIFO must NOT start job 3
+        assert [p.job.job_id for p in placements] == [1]
+        assert jobs[1].pending_reason == "Resources"
+
+    def test_empty_queue(self):
+        assert fifo_schedule([], [node(32)]) == []
+
+
+class TestBackfill:
+    def test_behaves_like_fifo_when_everything_fits(self):
+        jobs = [make_job(1, 8), make_job(2, 8), make_job(3, 8)]
+        placements = backfill_schedule(jobs, [node(32)], 0.0, default_limit_s=600)
+        assert [p.job.job_id for p in placements] == [1, 2, 3]
+
+    def test_backfills_short_job(self):
+        # running job frees 32 cores at t=1000; head needs 32.
+        running = [(1000.0, 32)]
+        jobs = [make_job(1, 32, limit_s=600), make_job(2, 4, limit_s=500)]
+        # free cores 0 -> nothing can start, not even the backfill candidate
+        placements = backfill_schedule(jobs, [node(0, running)], 0.0, default_limit_s=600)
+        assert placements == []
+
+    def test_backfill_uses_leftover_cores(self):
+        # 8 cores free now; running 24-core job ends at t=1000.
+        # head needs 32 -> shadow at t=1000.  A 4-core job ending before
+        # t=1000 may backfill.
+        running = [(1000.0, 24)]
+        jobs = [make_job(1, 32), make_job(2, 4, limit_s=900)]
+        placements = backfill_schedule(jobs, [node(8, running)], 0.0, default_limit_s=600)
+        assert [p.job.job_id for p in placements] == [2]
+
+    def test_backfill_rejects_long_job_that_would_delay_head(self):
+        running = [(1000.0, 24)]
+        jobs = [make_job(1, 32), make_job(2, 4, limit_s=2000)]
+        placements = backfill_schedule(jobs, [node(8, running)], 0.0, default_limit_s=600)
+        assert placements == []
+        assert jobs[1].pending_reason == "Priority"
+
+    def test_long_backfill_ok_if_head_leaves_room(self):
+        # head needs 20 of 32; once the running 28-core job ends at t=1000
+        # there are 32 free, head takes 20, leaving 12 -> a long 4-core job
+        # can backfill even though it outlives the shadow time.
+        running = [(1000.0, 28)]
+        jobs = [make_job(1, 20), make_job(2, 4, limit_s=10_000)]
+        placements = backfill_schedule(jobs, [node(4, running)], 0.0, default_limit_s=600)
+        assert [p.job.job_id for p in placements] == [2]
+
+    def test_multiple_backfills_respect_extra_budget(self):
+        running = [(1000.0, 28)]
+        # extra at shadow = 32 - 20 = 12; three long 4-core jobs: all fit in
+        # the 4 free cores? no — only one fits the *current* 4 free cores.
+        jobs = [make_job(1, 20)] + [make_job(i, 4, limit_s=10_000) for i in (2, 3, 4)]
+        placements = backfill_schedule(jobs, [node(4, running)], 0.0, default_limit_s=600)
+        assert [p.job.job_id for p in placements] == [2]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 32), min_size=1, max_size=10),
+        limits=st.lists(st.integers(60, 7200), min_size=10, max_size=10),
+        free=st.integers(0, 32),
+    )
+    def test_head_job_never_delayed(self, sizes, limits, free):
+        """EASY invariant: backfilled jobs never push the head job's start.
+
+        Equivalent check: every backfill either finishes by the head's
+        shadow time or fits in the cores the head leaves free then.
+        """
+        running = [(500.0, 32 - free)] if free < 32 else []
+        jobs = [make_job(i + 1, s, limits[i % len(limits)]) for i, s in enumerate(sizes)]
+        view = node(free, running)
+        placements = backfill_schedule(jobs, [view], 0.0, default_limit_s=600)
+        placed_ids = {p.job.job_id for p in placements}
+        # find the head (first unplaced job in FIFO order)
+        head = next((j for j in jobs if j.job_id not in placed_ids), None)
+        if head is None:
+            return  # everything ran; nothing to protect
+        # total cores used by placements must not exceed what was free
+        used = sum(j.descriptor.num_tasks for j in jobs if j.job_id in placed_ids)
+        assert used <= free
+        # shadow time: when enough cores free up for the head, assuming
+        # FIFO-placed jobs run to their limits
+        # (the detailed arithmetic is inside the scheduler; here we check
+        # the observable core-conservation invariant)
+        assert head.descriptor.num_tasks > free - used or used == free
+
+
+class TestNoOversubscription:
+    @settings(max_examples=60, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 16), min_size=1, max_size=12))
+    def test_placements_fit_free_cores(self, sizes):
+        jobs = [make_job(i + 1, s) for i, s in enumerate(sizes)]
+        placements = backfill_schedule(jobs, [node(32)], 0.0, default_limit_s=600)
+        used = sum(p.job.descriptor.num_tasks for p in placements)
+        assert used <= 32
+
+    def test_fifo_never_oversubscribes(self):
+        jobs = [make_job(i, 10) for i in range(1, 6)]
+        placements = fifo_schedule(jobs, [node(32)])
+        assert sum(p.job.descriptor.num_tasks for p in placements) <= 32
