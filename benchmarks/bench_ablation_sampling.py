@@ -6,11 +6,9 @@ sampled traces at several cadences against the node's continuously
 integrated ground truth.
 """
 
-import pytest
 
 from repro.analysis.metrics import energy_joules
 from repro.analysis.tables import TextTable
-from repro.core.domain.configuration import Configuration
 from repro.hpcg.workload import HpcgWorkload
 from repro.slurm.cluster import SimCluster
 

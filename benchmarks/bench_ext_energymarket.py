@@ -6,7 +6,6 @@
   Lancium scenario of the introduction.
 """
 
-import pytest
 
 from repro.analysis.tables import TextTable
 from repro.energymarket.scheduling import DeadlineConfigSelector, TimeShiftScheduler

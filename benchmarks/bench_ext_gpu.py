@@ -7,7 +7,6 @@ compute-bound kernel and reports what the tuner achieves under the same
 1% budget.
 """
 
-import pytest
 
 from repro.analysis.tables import TextTable
 from repro.gpu import GpuFrequencyTuner, GpuKernel, NVIDIA_A100, SimulatedGpu

@@ -6,7 +6,6 @@ exactly why the binary hash exists in the paper's ``slurm-config``
 interface, and what its hard-coded binary path threw away.
 """
 
-import pytest
 
 from repro.analysis.tables import TextTable
 from repro.core.application.benchmark_service import BenchmarkService

@@ -7,15 +7,9 @@ eco configuration keeps winning on multiple nodes and (b) efficiency
 degrades gently with scale (interconnect overhead + per-node baseline).
 """
 
-import pytest
 
 from repro.analysis.tables import TextTable
-from repro.core.application.benchmark_service import BenchmarkService
-from repro.core.domain.configuration import Configuration
-from repro.core.repositories.memory_repository import MemoryRepository
-from repro.core.runners.hpcg_runner import HpcgRunner, parse_hpcg_rating
-from repro.core.services.cluster_power import ClusterPowerService
-from repro.core.services.lscpu_info import LscpuSystemInfo
+from repro.core.runners.hpcg_runner import parse_hpcg_rating
 from repro.slurm.batch_script import build_script
 from repro.slurm.cluster import HPCG_BINARY, SimCluster
 

@@ -7,10 +7,8 @@ surfaces from the sweep and prints them as grids (the textual equivalent
 of the surface plots), then asserts the three observations.
 """
 
-import pytest
 
 from repro.analysis.tables import TextTable
-from repro.hpcg import reference
 
 
 def build_surfaces(rows):

@@ -48,7 +48,8 @@ def test_fig15_power_over_time(benchmark, completion_runs):
     print(table.render())
 
     # steady-state windows (skip setup + thermal transient)
-    q = lambda a: a[a.size // 4:]
+    def q(a):
+        return a[a.size // 4:]
     print(f"\nsteady std  : {q(sys_s).mean():.1f} W (std-dev {q(sys_s).std():.2f})")
     print(f"steady best : {q(sys_b).mean():.1f} W (std-dev {q(sys_b).std():.2f})")
 

@@ -7,7 +7,6 @@ does (accounted flops / wall time).  It validates both the solver and the
 flop bookkeeping the simulator's ratings rely on.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.tables import TextTable

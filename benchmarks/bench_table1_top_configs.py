@@ -10,7 +10,6 @@ governor).
 import pytest
 
 from repro.analysis.tables import TextTable
-from repro.hpcg import reference
 
 
 def build_table1(rows):

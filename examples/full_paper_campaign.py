@@ -98,7 +98,8 @@ def section_522_full_runs() -> None:
     print(table3.render())
 
     # Figure 15 character: variability of the steady window
-    q = lambda run: np.array([s.system_w for s in run.samples])[len(run.samples) // 4:]
+    def q(run):
+        return np.array([s.system_w for s in run.samples])[len(run.samples) // 4:]
     print(f"\nFigure 15 — steady-window system-power std-dev: "
           f"standard {q(std).std():.2f} W vs best {q(best).std():.2f} W "
           f"(the paper's 'more stable' observation)")

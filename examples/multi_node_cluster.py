@@ -30,9 +30,9 @@ def main() -> None:
     print(cluster.commands.sinfo())
 
     # fill two nodes with single-node jobs, then submit a 2-node job
-    j1 = parse_sbatch_output(cluster.commands.sbatch(
+    parse_sbatch_output(cluster.commands.sbatch(
         build_script(32, 2_200_000, 1, HPCG_BINARY, job_name="single-a")))
-    j2 = parse_sbatch_output(cluster.commands.sbatch(
+    parse_sbatch_output(cluster.commands.sbatch(
         build_script(32, 2_200_000, 1, HPCG_BINARY, job_name="single-b")))
     j3 = parse_sbatch_output(cluster.commands.sbatch(spanning_script(2, 2_200_000)))
 

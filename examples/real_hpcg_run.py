@@ -15,8 +15,6 @@ import numpy as np
 from repro.analysis.tables import TextTable
 from repro.hpcg.benchmark import HpcgBenchmark
 from repro.hpcg.cg import pcg
-from repro.hpcg.multigrid import MultigridPreconditioner
-from repro.hpcg.problem import generate_problem
 
 
 def main() -> None:

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""CI gate: soft coverage floor over a Cobertura ``coverage.xml``.
+
+Reads the overall line rate that ``pytest --cov=repro --cov-report=xml``
+produced and fails when it drops below the floor.  The floor is a ratchet
+against regressions, not a target: raise it as coverage grows, never lower
+it to make a PR pass.
+
+Usage:
+    python scripts/check_coverage_floor.py coverage.xml [--floor 0.55]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to a Cobertura coverage.xml")
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.75,
+        help="minimum acceptable line rate, 0..1 (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        root = ET.parse(Path(args.report)).getroot()
+    except (OSError, ET.ParseError) as exc:
+        print(f"coverage floor: cannot read report: {exc}", file=sys.stderr)
+        return 2
+
+    rate_text = root.get("line-rate")
+    if rate_text is None:
+        print("coverage floor: report has no line-rate attribute", file=sys.stderr)
+        return 2
+    rate = float(rate_text)
+
+    if rate < args.floor:
+        print(f"coverage floor FAILED: line rate {rate:.1%} is below the floor {args.floor:.1%}", file=sys.stderr)
+        return 1
+    print(f"coverage floor passed: line rate {rate:.1%} (floor {args.floor:.1%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

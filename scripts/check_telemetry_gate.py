@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""CI gate: assert a telemetry snapshot contains the paper-critical metrics.
+
+Parses a snapshot JSON (written by ``scripts/run_bench_smoke.py`` or
+``chronus metrics --output``) and fails when a required metric is missing,
+a required counter never incremented, or the eco-plugin predict latency p95
+blows its budget.  The budget is deliberately generous — the paper's hard
+constraint is Slurm's ~100 ms plugin window; the simulated predict path
+sits orders of magnitude below it, so a breach means a real regression.
+
+Usage:
+    python scripts/check_telemetry_gate.py telemetry-snapshot.json \
+        [--predict-p95-budget 0.1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# (kind, name) pairs that must exist in the snapshot.  Counters must also
+# have incremented at least once.
+REQUIRED = (
+    ("histograms", "eco_predict_seconds"),
+    ("histograms", "sched_cycle_seconds"),
+    ("counters", "power_samples_total"),
+    ("counters", "eco_cache_hits_total"),
+    ("counters", "eco_cache_misses_total"),
+    ("counters", "eco_applied_total"),
+    ("counters", "sched_jobs_started_total"),
+    ("counters", "sim_events_total"),
+)
+
+
+def check(snapshot: dict, predict_p95_budget: float) -> "list[str]":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.telemetry import find_metric
+
+    failures: list[str] = []
+    for kind, name in REQUIRED:
+        entry = find_metric(snapshot, kind, name)
+        if entry is None:
+            failures.append(f"missing {kind[:-1]} {name!r}")
+        elif kind == "counters" and entry["value"] <= 0:
+            failures.append(f"counter {name!r} never incremented")
+        elif kind == "histograms" and entry["count"] <= 0:
+            failures.append(f"histogram {name!r} has no observations")
+
+    predict = find_metric(snapshot, "histograms", "eco_predict_seconds")
+    if predict is not None and predict["count"] > 0:
+        p95 = predict["p95"]
+        if p95 > predict_p95_budget:
+            failures.append(f"eco predict p95 {p95 * 1e3:.3f} ms exceeds budget {predict_p95_budget * 1e3:.1f} ms")
+        else:
+            print(f"eco predict p95: {p95 * 1e3:.3f} ms (budget {predict_p95_budget * 1e3:.1f} ms) - OK")
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", help="path to a telemetry snapshot JSON")
+    parser.add_argument(
+        "--predict-p95-budget",
+        type=float,
+        default=0.1,
+        help="eco predict latency p95 budget in seconds (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.telemetry import snapshot_from_json
+
+    try:
+        snapshot = snapshot_from_json(Path(args.snapshot).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"telemetry gate: cannot read snapshot: {exc}", file=sys.stderr)
+        return 2
+
+    failures = check(snapshot, args.predict_p95_budget)
+    if failures:
+        for f in failures:
+            print(f"telemetry gate FAILED: {f}", file=sys.stderr)
+        return 1
+    print(f"telemetry gate passed: all {len(REQUIRED)} required metrics present")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

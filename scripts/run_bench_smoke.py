@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Run the CI bench-smoke suite and dump a telemetry snapshot.
+
+Runs the two quick paper benchmarks (Figure 1 single run, eco-plugin
+submission latency) in-process with telemetry force-enabled and tiny
+pytest-benchmark iteration counts, then writes the process-wide telemetry
+snapshot to JSON for ``scripts/check_telemetry_gate.py`` to assert on.
+
+Usage:
+    python scripts/run_bench_smoke.py [--output telemetry-snapshot.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BENCH_FILES = (
+    "benchmarks/bench_fig1_quickrun.py",
+    "benchmarks/bench_ablation_plugin_latency.py",
+)
+
+BENCH_OPTS = (
+    "--benchmark-min-rounds=2",
+    "--benchmark-max-time=0.25",
+    "--benchmark-warmup=off",
+)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default="telemetry-snapshot.json",
+        help="where to write the telemetry snapshot (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    # Telemetry must be on before any repro module is imported: the process
+    # default is read from the environment at import time.
+    os.environ["CHRONUS_TELEMETRY"] = "1"
+    for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+    import pytest
+
+    rc = pytest.main([*BENCH_FILES, "-q", *BENCH_OPTS])
+    if rc != 0:
+        print(f"bench smoke: pytest exited with {rc}", file=sys.stderr)
+        return int(rc)
+
+    from repro import telemetry
+    from repro.telemetry import snapshot_to_json
+
+    snap = telemetry.snapshot()
+    out = Path(args.output)
+    out.write_text(snapshot_to_json(snap))
+    n_metrics = sum(len(snap.get(kind, [])) for kind in ("counters", "gauges", "histograms"))
+    print(f"bench smoke: wrote {n_metrics} metrics to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

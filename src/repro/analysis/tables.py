@@ -7,7 +7,7 @@ third-party dependency.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 __all__ = ["TextTable"]
 

@@ -9,8 +9,10 @@ repository.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, Sequence
 
+from repro import telemetry
 from repro.core.application.interfaces import (
     ApplicationRunnerInterface,
     RepositoryInterface,
@@ -62,12 +64,15 @@ class BenchmarkService:
 
     def run_one(self, configuration: Configuration, *, clock: Callable[[], float]) -> Run:
         """Execute one configuration and return the sampled Run."""
+        wall_started = time.perf_counter()
+        power_samples = telemetry.counter("power_samples_total")
         handle = self.runner.submit(configuration)
         start = clock()
         samples = []
         while not self.runner.is_done(handle):
             self.runner.advance(self.sample_interval_s)
             samples.append(self.system_service.sample())
+            power_samples.inc()
             if len(samples) > MAX_SAMPLES_PER_RUN:
                 raise ChronusError(
                     f"run at {configuration} exceeded {MAX_SAMPLES_PER_RUN} samples; "
@@ -78,6 +83,11 @@ class BenchmarkService:
         if not samples:
             # ultra-short run: take one sample post-hoc so aggregates exist
             samples.append(self.system_service.sample())
+            power_samples.inc()
+        telemetry.histogram("bench_sweep_point_seconds").observe(
+            time.perf_counter() - wall_started
+        )
+        telemetry.histogram("bench_sweep_point_sim_seconds").observe(end - start)
         return Run(
             configuration=configuration,
             start_time=start,

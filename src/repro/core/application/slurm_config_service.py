@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro import telemetry
 from repro.core.application.interfaces import LocalStorageInterface, OptimizerInterface
 from repro.core.domain.configuration import Configuration
 from repro.core.domain.errors import ModelNotFoundError
@@ -85,9 +86,12 @@ class SlurmConfigService:
     def _load_optimizer(self, path: str, model_type: str) -> OptimizerInterface:
         cached = self._cache.get(path)
         if cached is not None:
+            telemetry.counter("chronus_model_cache_hits_total").inc()
             return cached
-        data = self._read_local(path)
-        optimizer = self.optimizer_loader(model_type, data)
+        telemetry.counter("chronus_model_cache_misses_total").inc()
+        with telemetry.span("chronus.load_model", path=path, type=model_type):
+            data = self._read_local(path)
+            optimizer = self.optimizer_loader(model_type, data)
         self._cache[path] = optimizer
         return optimizer
 

@@ -6,8 +6,14 @@ The paper's section 3.3 surface plus one reporting addition::
     chronus init-model --model [MODEL_TYPE] --system [SYSTEM_ID]
     chronus load-model --model [MODEL_ID]
     chronus slurm-config [SYSTEM_IDENTIFIER] [BINARY_HASH]
-    chronus set {database,blob-storage,state} VALUE
+    chronus set {database,blob-storage,state,telemetry} VALUE
     chronus report --system [SYSTEM_ID]      (ours: projected savings)
+    chronus metrics [--format json|prometheus|summary]  (ours: telemetry)
+
+Every command leaves a telemetry snapshot at ``<workspace>/telemetry.json``
+(unless telemetry is disabled); ``chronus metrics`` either re-reads that
+file (``--from-file``) or runs a compact end-to-end demo — benchmark sweep,
+model training, eco-plugin submissions — and dumps the live registry.
 
 Each invocation builds a fresh simulated cluster (each real invocation is
 a fresh process on the head node); everything durable lives in the
@@ -20,13 +26,16 @@ invocations the way the paper's workflow does.  Logs go to stdout and to
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.core.domain.configuration import Configuration
 from repro.core.domain.errors import ChronusError
 from repro.core.factory import ChronusApp, ModelFactory
 from repro.core.presenter.views import (
+    TelemetryView,
     render_benchmark_row,
     render_models_table,
     render_systems_table,
@@ -106,6 +115,29 @@ def build_parser() -> argparse.ArgumentParser:
         "state", help="activates, sets it to user or deactivates the plugin"
     )
     s_state.add_argument("value", choices=["activated", "user", "deactivated"])
+    s_tele = set_sub.add_parser(
+        "telemetry", help="enable or disable the metrics/tracing layer"
+    )
+    s_tele.add_argument("value", choices=["on", "off"])
+
+    p_metrics = sub.add_parser(
+        "metrics", help="dump a telemetry snapshot (metrics + latency quantiles)"
+    )
+    p_metrics.add_argument(
+        "--format",
+        choices=["json", "prometheus", "summary"],
+        default="json",
+        help="stdout format [default: json]",
+    )
+    p_metrics.add_argument(
+        "--output", help="additionally write the JSON snapshot to this path"
+    )
+    p_metrics.add_argument(
+        "--from-file",
+        action="store_true",
+        help="read <workspace>/telemetry.json (written by previous commands) "
+        "instead of running the built-in demo simulation",
+    )
     return parser
 
 
@@ -128,14 +160,31 @@ class _Tee:
 
 def _make_app(args: argparse.Namespace, *, duration: Optional[float] = None,
               sample_interval: float = 3.0) -> ChronusApp:
-    import os
-
     cluster = SimCluster(seed=args.seed, hpcg_duration_s=duration)
     log = _Tee(os.path.join(args.workspace, "chronus.log"))
     os.makedirs(args.workspace, exist_ok=True)
     return ChronusApp(
         cluster, args.workspace, sample_interval_s=sample_interval, log=log
     )
+
+
+def _snapshot_path(args: argparse.Namespace) -> str:
+    return os.path.join(args.workspace, "telemetry.json")
+
+
+def _persist_snapshot(args: argparse.Namespace) -> None:
+    """Leave the invocation's metrics behind for ``chronus metrics``."""
+    if not telemetry.enabled():
+        return
+    snap = telemetry.snapshot()
+    if not any(snap.values()):
+        return
+    try:
+        os.makedirs(args.workspace, exist_ok=True)
+        with open(_snapshot_path(args), "w") as fh:
+            fh.write(telemetry.snapshot_to_json(snap))
+    except OSError:
+        pass  # telemetry must never break the command
 
 
 def _cmd_benchmark(args: argparse.Namespace) -> int:
@@ -191,7 +240,83 @@ def _cmd_set(args: argparse.Namespace) -> int:
         app.settings_service.set_blob_storage(args.value)
     elif args.setting == "state":
         app.settings_service.set_state(args.value)
+    elif args.setting == "telemetry":
+        app.settings_service.set_telemetry(args.value)
     print(f"{args.setting} = {args.value}")
+    return 0
+
+
+def _run_metrics_demo(args: argparse.Namespace) -> None:
+    """A compact end-to-end run exercising every instrumented layer.
+
+    Quickstart in miniature: a small benchmark sweep (IPMI sampling), model
+    training + pre-loading, then eco-plugin submissions through sbatch so
+    the predict path, the scheduler and the simulator all record metrics.
+    """
+    from repro.slurm.batch_script import build_script
+    from repro.slurm.commands import parse_sbatch_output
+    from repro.slurm.config import SlurmConfig
+
+    cluster = SimCluster(
+        seed=args.seed,
+        config=SlurmConfig.parse("JobSubmitPlugins=eco\n"),
+        hpcg_duration_s=120.0,
+    )
+    quiet = _Tee(os.path.join(args.workspace, "chronus.log"), quiet=True)
+    app = ChronusApp(cluster, args.workspace, log=quiet)
+    sweep = [
+        Configuration(cores, tpc, freq)
+        for cores in (16, 32)
+        for freq in (1_500_000, 2_500_000)
+        for tpc in (1, 2)
+    ]
+    app.benchmark_service.run_benchmarks(sweep, clock=app.clock)
+    meta = app.init_model_service.run("brute-force", 1, created_at=app.clock())
+    app.load_model_service.run(meta.model_id)
+    app.enable_eco_plugin()
+    for i in range(3):
+        script = build_script(
+            32, 2_500_000, 1, HPCG_BINARY,
+            comment="chronus", job_name=f"metrics-demo-{i}",
+        )
+        job_id = parse_sbatch_output(cluster.commands.sbatch(script))
+        cluster.ctld.wait_for_job(job_id)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.from_file:
+        try:
+            with open(_snapshot_path(args)) as fh:
+                snap = telemetry.snapshot_from_json(fh.read())
+        except (OSError, ValueError) as exc:
+            raise ChronusError(
+                f"no usable telemetry snapshot at {_snapshot_path(args)} ({exc}); "
+                "run a chronus command first or drop --from-file"
+            ) from exc
+    else:
+        if not telemetry.enabled():
+            raise ChronusError(
+                "telemetry is disabled (CHRONUS_TELEMETRY/settings); "
+                "enable it or use --from-file"
+            )
+        os.makedirs(args.workspace, exist_ok=True)
+        _run_metrics_demo(args)
+        if not telemetry.enabled():
+            # the workspace settings pinned telemetry off mid-demo
+            raise ChronusError(
+                "telemetry is disabled in this workspace's settings; "
+                "run `chronus set telemetry on` first"
+            )
+        snap = telemetry.snapshot()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(telemetry.snapshot_to_json(snap))
+    if args.format == "prometheus":
+        print(telemetry.snapshot_to_prometheus(snap), end="")
+    elif args.format == "summary":
+        print(TelemetryView(snap).render())
+    else:
+        print(telemetry.snapshot_to_json(snap))
     return 0
 
 
@@ -220,6 +345,7 @@ _COMMANDS = {
     "load-model": _cmd_load_model,
     "slurm-config": _cmd_slurm_config,
     "set": _cmd_set,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -230,6 +356,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ChronusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        _persist_snapshot(args)
 
 
 if __name__ == "__main__":

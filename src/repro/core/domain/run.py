@@ -10,7 +10,6 @@ GFLOPS/W) are the inputs to model building.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.analysis.metrics import average, energy_joules, gflops_per_watt
 from repro.core.domain.configuration import Configuration

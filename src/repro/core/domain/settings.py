@@ -32,6 +32,10 @@ class ChronusSettings:
     #: binary-hash (decimal string) -> application name, the mapping that
     #: fixes the paper's hard-coded-binary limitation (6.1.2)
     binary_aliases: dict[str, str] = field(default_factory=dict)
+    #: telemetry switch: True/False configure the process-wide registry;
+    #: None (the default) leaves whatever is already active untouched, so
+    #: a fresh settings file never overrides CHRONUS_TELEMETRY
+    telemetry_enabled: "bool | None" = None
 
     def __post_init__(self) -> None:
         if self.plugin_state not in VALID_PLUGIN_STATES:
@@ -49,6 +53,9 @@ class ChronusSettings:
 
     def with_state(self, state: str) -> "ChronusSettings":
         return replace(self, plugin_state=state)
+
+    def with_telemetry(self, enabled: "bool | None") -> "ChronusSettings":
+        return replace(self, telemetry_enabled=enabled)
 
     def with_loaded_model(
         self, system_id: int, local_path: str, model_type: str,
@@ -82,16 +89,16 @@ class ChronusSettings:
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "database_path": self.database_path,
-                "blob_storage_path": self.blob_storage_path,
-                "plugin_state": self.plugin_state,
-                "loaded_models": self.loaded_models,
-                "binary_aliases": self.binary_aliases,
-            },
-            indent=2,
-        )
+        data: dict[str, Any] = {
+            "database_path": self.database_path,
+            "blob_storage_path": self.blob_storage_path,
+            "plugin_state": self.plugin_state,
+            "loaded_models": self.loaded_models,
+            "binary_aliases": self.binary_aliases,
+        }
+        if self.telemetry_enabled is not None:
+            data["telemetry_enabled"] = self.telemetry_enabled
+        return json.dumps(data, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "ChronusSettings":
@@ -108,4 +115,8 @@ class ChronusSettings:
                 str(k): str(v)
                 for k, v in dict(data.get("binary_aliases", {})).items()
             },
+            telemetry_enabled=(
+                None if data.get("telemetry_enabled") is None
+                else bool(data["telemetry_enabled"])
+            ),
         )

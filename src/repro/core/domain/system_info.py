@@ -9,7 +9,7 @@ The paper's Figure 1 log shows the exact shape::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.slurm.plugins.chash import simple_hash

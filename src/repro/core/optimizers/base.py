@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import abc
 import json
+import time
 from typing import Any, Optional, Sequence
 
+from repro import telemetry
 from repro.core.application.interfaces import OptimizerInterface
 from repro.core.domain.benchmark import BenchmarkResult
 from repro.core.domain.configuration import Configuration
@@ -107,6 +109,7 @@ class BaseOptimizer(OptimizerInterface):
     def fit(self, benchmarks: Sequence[BenchmarkResult]) -> None:
         if not benchmarks:
             raise OptimizerError(f"{self.name()}: cannot fit on zero benchmarks")
+        started = time.perf_counter()
         self._candidates = sorted({b.configuration for b in benchmarks})
         sums: dict[Configuration, list[float]] = {}
         for b in benchmarks:
@@ -116,6 +119,10 @@ class BaseOptimizer(OptimizerInterface):
         }
         self._fit(benchmarks)
         self._fitted = True
+        telemetry.histogram(
+            "optimizer_fit_seconds", {"type": self.name()}
+        ).observe(time.perf_counter() - started)
+        telemetry.counter("optimizer_fits_total", {"type": self.name()}).inc()
 
     def _require_fitted(self) -> None:
         if not self._fitted:
@@ -142,7 +149,12 @@ class BaseOptimizer(OptimizerInterface):
         pool = list(candidates) if candidates is not None else list(self._candidates)
         if not pool:
             raise OptimizerError(f"{self.name()}: no candidate configurations")
-        return max(pool, key=self.predict_efficiency)
+        started = time.perf_counter()
+        best = max(pool, key=self.predict_efficiency)
+        telemetry.histogram(
+            "optimizer_predict_seconds", {"type": self.name()}
+        ).observe(time.perf_counter() - started)
+        return best
 
     # ------------------------------------------------------------------
     # serialization

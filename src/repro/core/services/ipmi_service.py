@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import telemetry
 from repro.core.application.interfaces import SystemServiceInterface
 from repro.core.domain.errors import ChronusError
 from repro.core.domain.run import EnergySample
@@ -31,7 +32,9 @@ class IpmiSystemService(SystemServiceInterface):
             total = self.ipmi.read_sensor("Total_Power").value
             cpu = self.ipmi.read_sensor("CPU_Power").value
             temp = self.ipmi.read_sensor("CPU_Temp").value
+            telemetry.counter("ipmi_samples_total").inc()
         except IpmiPermissionError as exc:
+            telemetry.counter("ipmi_errors_total").inc()
             raise ChronusError(
                 f"IPMI access denied: {exc}. See installation notes "
                 "(chmod o+r /dev/ipmi0 or configure BMC credentials)."

@@ -9,7 +9,6 @@ sources the paper lists in section 3.4.2.
 from __future__ import annotations
 
 import re
-from typing import Callable
 
 from repro.core.application.interfaces import SystemInfoInterface
 from repro.core.domain.errors import ChronusError

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.hardware.node import SimulatedNode
 from repro.simkernel.random import RandomStreams

@@ -7,8 +7,7 @@ everywhere a configuration is exchanged (the paper's JSON configurations use
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.hardware.cpu import CpuSpec, AMD_EPYC_7502P
 from repro.hardware.dvfs import CpufreqPolicy, Governor

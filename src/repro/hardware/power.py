@@ -22,7 +22,7 @@ simulated node reproduces the paper's Table 2 operating points
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, asdict
 
 from repro.hardware.cpu import CpuSpec, khz_to_ghz
 

@@ -17,7 +17,6 @@ import numpy as np
 from repro.hpcg.cg import CgResult, pcg
 from repro.hpcg.multigrid import MultigridPreconditioner
 from repro.hpcg.problem import HpcgProblem, generate_problem
-from repro.hpcg.sparse import FlopCounter
 
 __all__ = ["HpcgRating", "HpcgBenchmark"]
 

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-import numpy as np
 
 from repro.hardware.cpu import khz_to_ghz
 from repro.hardware.memory import MemorySpec

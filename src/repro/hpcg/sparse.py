@@ -11,7 +11,7 @@ wall time, so the counter must match the textbook numbers (2·nnz per SpMV,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

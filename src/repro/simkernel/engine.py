@@ -15,8 +15,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
+
+from repro import telemetry
 
 __all__ = ["SimClock", "Event", "EventQueue", "Simulator", "SimulationError"]
 
@@ -174,6 +177,10 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # handles fetched once per run(): the per-event cost of telemetry is
+        # one perf_counter pair + one observe (a no-op when disabled)
+        lag_hist = telemetry.histogram("sim_event_lag_seconds")
+        run_started = time.perf_counter()
         try:
             while not self._stopped:
                 if max_events is not None and executed >= max_events:
@@ -186,13 +193,20 @@ class Simulator:
                 ev = self.events.pop()
                 assert ev is not None
                 self.clock._advance_to(ev.time)
+                cb_started = time.perf_counter()
                 ev.callback()
+                lag_hist.observe(time.perf_counter() - cb_started)
                 executed += 1
                 self._event_count += 1
             if until is not None and until > self.now and not self._stopped:
                 self.clock._advance_to(until)
         finally:
             self._running = False
+            if executed:
+                telemetry.counter("sim_events_total").inc(executed)
+                telemetry.histogram("sim_run_seconds").observe(
+                    time.perf_counter() - run_started
+                )
         return executed
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:

@@ -8,8 +8,8 @@ burn", which the energy-market extension and Table-2 benches consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.slurm.job import Job, JobState
 

@@ -13,7 +13,7 @@ import re
 
 from repro.slurm.batch_script import parse_batch_script
 from repro.slurm.controller import Slurmctld
-from repro.slurm.job import Job, JobState
+from repro.slurm.job import JobState
 
 __all__ = ["SlurmCommands", "parse_sbatch_output"]
 

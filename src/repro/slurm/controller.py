@@ -8,9 +8,11 @@ scheduling pass.  Job-submit plugins run synchronously inside
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
-from typing import Callable, Optional
+from typing import Optional
 
+from repro import telemetry
 from repro.simkernel.engine import Simulator
 from repro.slurm.accounting import AccountingDatabase
 from repro.slurm.config import SlurmConfig
@@ -154,8 +156,10 @@ class Slurmctld:
         return views
 
     def _schedule_pass(self) -> None:
+        telemetry.gauge("sched_queue_depth").set(len(self._pending))
         if not self._pending:
             return
+        cycle_started = time.perf_counter()
         pending_jobs = [self.jobs[j] for j in self._pending]
         if self.config.priority_type == "priority/multifactor":
             weights = PriorityWeights(
@@ -182,6 +186,10 @@ class Slurmctld:
             placements = fifo_schedule(pending_jobs, views)
         for placement in placements:
             self._start_job(placement.job, placement.node_names)
+        telemetry.histogram("sched_cycle_seconds").observe(
+            time.perf_counter() - cycle_started
+        )
+        telemetry.gauge("sched_queue_depth").set(len(self._pending))
 
     def _slurmd(self, hostname: str) -> Slurmd:
         for n in self.nodes:
@@ -204,6 +212,7 @@ class Slurmctld:
             job.end_time = self.sim.now
             job.stdout = f"slurmstepd: error: {exc}\n"
             self.accounting.upsert(job)
+            telemetry.counter("sched_jobs_failed_total").inc()
             self.log.append(f"[{self.sim.now:.1f}] job {job.job_id} failed: {exc}")
             return
         job.state = JobState.RUNNING
@@ -228,6 +237,11 @@ class Slurmctld:
             name=f"job{job.job_id}-done",
         )
         self._completion_events[job.job_id] = ev
+        telemetry.counter("sched_jobs_started_total").inc()
+        telemetry.log_event(
+            "job.started", job_id=job.job_id, nodes=",".join(node_names),
+            tasks=job.descriptor.num_tasks, sim_time=self.sim.now,
+        )
         self.log.append(
             f"[{self.sim.now:.1f}] started job {job.job_id} on "
             f"{','.join(node_names)} (tasks={job.descriptor.num_tasks}, "
@@ -255,11 +269,13 @@ class Slurmctld:
             job.state = JobState.TIMEOUT
             job.exit_code = 1
             job.stdout = "slurmstepd: error: *** JOB CANCELLED DUE TO TIME LIMIT ***\n"
+            telemetry.counter("sched_jobs_timeout_total").inc()
         else:
             job.state = JobState.COMPLETED
             job.exit_code = 0
             render = getattr(workload, "render_output", None)
             job.stdout = render() if callable(render) else ""
+            telemetry.counter("sched_jobs_completed_total").inc()
         self.accounting.upsert(job)
         self.log.append(
             f"[{self.sim.now:.1f}] job {job_id} {'timed out' if timed_out else 'completed'}"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import posixpath
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.hardware.node import NodeError, SimulatedNode, Workload
 from repro.slurm.job import Job, JobDescriptor

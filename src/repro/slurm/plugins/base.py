@@ -14,7 +14,6 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.slurm.job import JobDescriptor
 

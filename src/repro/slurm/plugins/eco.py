@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 from typing import Callable, Optional, Protocol
 
+from repro import telemetry
 from repro.hardware.node import SimulatedNode
 from repro.slurm.job import JobDescriptor
 from repro.slurm.plugins.base import SLURM_SUCCESS, JobSubmitPlugin
@@ -125,7 +126,10 @@ class JobSubmitEco(JobSubmitPlugin):
     # ------------------------------------------------------------------
     def system_hash(self) -> int:
         if self._system_hash is None:
+            telemetry.counter("eco_cache_misses_total").inc()
             self._system_hash = system_hash_from_node(self.node)
+        else:
+            telemetry.counter("eco_cache_hits_total").inc()
         return self._system_hash
 
     @staticmethod
@@ -145,27 +149,37 @@ class JobSubmitEco(JobSubmitPlugin):
     def job_submit(self, job_desc: JobDescriptor, submit_uid: int) -> int:
         applies, min_perf = self._applies(job_desc)
         if not applies:
+            telemetry.counter("eco_skipped_total").inc()
             return SLURM_SUCCESS
         try:
-            raw = self.provider.slurm_config(
-                self.system_hash(), self.binary_hash(job_desc.binary), min_perf
-            )
-            config = json.loads(raw)
-            cores = int(config["cores"])
-            tpc = int(config["threads_per_core"])
-            freq = int(config["frequency"])
+            with telemetry.span("eco.predict", job=job_desc.name) as sp:
+                raw = self.provider.slurm_config(
+                    self.system_hash(), self.binary_hash(job_desc.binary), min_perf
+                )
+                config = json.loads(raw)
+                cores = int(config["cores"])
+                tpc = int(config["threads_per_core"])
+                freq = int(config["frequency"])
+            telemetry.histogram("eco_predict_seconds").observe(sp.duration_s)
         except Exception as exc:
+            telemetry.counter("eco_fallback_total").inc()
+            telemetry.log_event(
+                "eco.fallback", level="warning",
+                job=job_desc.name, error=type(exc).__name__,
+            )
             self._log(
                 f"job_submit/eco: could not obtain configuration "
                 f"({type(exc).__name__}: {exc}); submitting job unmodified"
             )
             return SLURM_SUCCESS
         if cores < 1 or tpc not in (1, 2) or freq <= 0:
+            telemetry.counter("eco_fallback_total").inc()
             self._log(
                 f"job_submit/eco: implausible configuration {config!r}; "
                 "submitting job unmodified"
             )
             return SLURM_SUCCESS
+        telemetry.counter("eco_applied_total").inc()
         job_desc.num_tasks = cores
         job_desc.threads_per_core = tpc
         job_desc.cpu_freq_min = freq

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.slurm.job import Job
 
 __all__ = ["NodeView", "Placement", "fifo_schedule", "backfill_schedule"]
@@ -72,6 +73,7 @@ def fifo_schedule(pending: Sequence[Job], nodes: Sequence[NodeView]) -> list[Pla
         chosen = _find_nodes(job, free, order)
         if chosen is None:
             job.pending_reason = "Resources"
+            telemetry.counter("sched_blocked_total", {"policy": "fifo"}).inc()
             break
         _commit(placements, job, chosen, free)
     return placements
@@ -169,10 +171,13 @@ def backfill_schedule(
 
     # Backfill pass over the rest of the queue (single- and multi-node
     # candidates alike; a candidate must fit *now*).
+    backfilled = telemetry.counter("sched_backfilled_total")
+    blocked = telemetry.counter("sched_blocked_total", {"policy": "backfill"})
     for job in remaining[1:]:
         chosen = _find_nodes(job, free, order)
         if chosen is None:
             job.pending_reason = "Priority"
+            blocked.inc()
             continue
         finishes_in_time = now + limit(job) <= shadow_t
         touches_shadow = any(name in shadow_nodes for name in chosen)
@@ -188,8 +193,10 @@ def backfill_schedule(
             )
             if not ok:
                 job.pending_reason = "Priority"
+                blocked.inc()
                 continue
             extra_at_shadow[chosen[0]] -= per_node
         _commit(placements, job, chosen, free)
         record_running(job, chosen)
+        backfilled.inc()
     return placements

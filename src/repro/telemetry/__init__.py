@@ -1,0 +1,143 @@
+"""``repro.telemetry`` — metrics, tracing and structured logs for the repro.
+
+The process holds one *active* registry/tracer/logger triple; instrumented
+modules call the module-level helpers (:func:`counter`, :func:`histogram`,
+:func:`span`, ...) which dispatch through it.  ``configure(enabled=False)``
+swaps in the no-op implementations, making every instrumentation point a
+single cheap method call with zero side effects — the
+"zero-overhead-when-disabled" contract the scheduler loop relies on.
+
+Enablement precedence (first match wins):
+
+1. explicit :func:`configure` calls (``ChronusApp`` applies the
+   ``telemetry_enabled`` field of ``/etc/chronus/settings.json``),
+2. the ``CHRONUS_TELEMETRY`` environment variable (``0``/``off``/``false``
+   disable, anything else enables) read at import,
+3. enabled by default.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from repro.telemetry.export import (
+    find_metric,
+    snapshot_from_json,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
+from repro.telemetry.logs import JsonLinesLogger, NullLogger
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    NullRegistry,
+)
+from repro.telemetry.tracing import NullSpan, NullTracer, Span, Tracer, current_span
+
+__all__ = [
+    # primitives
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "NullCounter", "NullGauge", "NullHistogram",
+    "Span", "Tracer", "NullSpan", "NullTracer", "current_span",
+    "JsonLinesLogger", "NullLogger",
+    # export helpers
+    "snapshot_to_json", "snapshot_from_json", "snapshot_to_prometheus",
+    "find_metric",
+    # global state
+    "configure", "enabled", "get_registry", "get_tracer", "get_logger",
+    "set_registry", "counter", "gauge", "histogram", "span", "log_event",
+    "snapshot", "reset",
+]
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("CHRONUS_TELEMETRY", "").strip().lower()
+    return value not in ("0", "off", "false", "no", "disabled")
+
+
+_registry: "MetricsRegistry | NullRegistry"
+_tracer: "Tracer | NullTracer"
+_logger: "JsonLinesLogger | NullLogger"
+
+
+def configure(
+    enabled: bool = True,
+    *,
+    log_path: Optional[str] = None,
+) -> None:
+    """Install the active telemetry implementations for this process."""
+    global _registry, _tracer, _logger
+    if enabled:
+        _registry = MetricsRegistry()
+        _tracer = Tracer(_registry)
+        _logger = JsonLinesLogger(path=log_path)
+    else:
+        _registry = NullRegistry()
+        _tracer = NullTracer()
+        _logger = NullLogger()
+
+
+configure(_env_enabled())
+
+
+def enabled() -> bool:
+    return _registry.enabled
+
+
+def get_registry() -> "MetricsRegistry | NullRegistry":
+    return _registry
+
+
+def set_registry(registry: "MetricsRegistry | NullRegistry") -> None:
+    """Swap the active registry (tests); the tracer follows it."""
+    global _registry, _tracer
+    _registry = registry
+    _tracer = Tracer(registry) if registry.enabled else NullTracer()
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    return _tracer
+
+
+def get_logger() -> "JsonLinesLogger | NullLogger":
+    return _logger
+
+
+# ---------------------------------------------------------------------------
+# hot-path helpers: one indirection over the active implementations
+# ---------------------------------------------------------------------------
+def counter(name: str, labels: Optional[dict] = None):
+    return _registry.counter(name, labels)
+
+
+def gauge(name: str, labels: Optional[dict] = None):
+    return _registry.gauge(name, labels)
+
+
+def histogram(name: str, labels: Optional[dict] = None):
+    return _registry.histogram(name, labels)
+
+
+def span(name: str, **attributes: Any):
+    return _tracer.span(name, **attributes)
+
+
+def log_event(event: str, *, level: str = "info", **fields: Any) -> dict:
+    return _logger.log(event, level=level, **fields)
+
+
+def snapshot() -> dict:
+    return _registry.snapshot()
+
+
+def reset() -> None:
+    """Clear metrics, span history and buffered log records."""
+    _registry.reset()
+    _tracer.reset()
+    _logger.reset()

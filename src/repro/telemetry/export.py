@@ -1,0 +1,82 @@
+"""Snapshot serialization: JSON and Prometheus text exposition format.
+
+A *snapshot* is the plain dict produced by
+:meth:`repro.telemetry.registry.MetricsRegistry.snapshot` — everything here
+operates on that dict so exports work identically on a live registry and on
+a snapshot reloaded from disk (the ``chronus metrics`` persistence path).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = [
+    "snapshot_to_json",
+    "snapshot_from_json",
+    "snapshot_to_prometheus",
+    "find_metric",
+]
+
+
+def snapshot_to_json(snapshot: dict, *, indent: int = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def snapshot_from_json(text: str) -> dict:
+    data = json.loads(text)
+    if not isinstance(data, dict) or "counters" not in data:
+        raise ValueError("not a telemetry snapshot (missing 'counters')")
+    return data
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Prometheus text format; histograms export as summaries (quantiles)."""
+    lines: list[str] = []
+    for c in snapshot.get("counters", []):
+        lines.append(f"# TYPE {c['name']} counter")
+        lines.append(f"{c['name']}{_labels_text(c.get('labels', {}))} {c['value']}")
+    for g in snapshot.get("gauges", []):
+        lines.append(f"# TYPE {g['name']} gauge")
+        lines.append(f"{g['name']}{_labels_text(g.get('labels', {}))} {g['value']}")
+    for h in snapshot.get("histograms", []):
+        name = h["name"]
+        labels = dict(h.get("labels", {}))
+        lines.append(f"# TYPE {name} summary")
+        for q in ("0.5", "0.95", "0.99"):
+            key = {"0.5": "p50", "0.95": "p95", "0.99": "p99"}[q]
+            lines.append(
+                f"{name}{_labels_text({**labels, 'quantile': q})} {h[key]}"
+            )
+        lines.append(f"{name}_sum{_labels_text(labels)} {h['sum']}")
+        lines.append(f"{name}_count{_labels_text(labels)} {h['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def find_metric(
+    snapshot: dict, kind: str, name: str, labels: Optional[dict] = None
+) -> Optional[dict]:
+    """Look up one metric entry in a snapshot; None when absent.
+
+    Args:
+        kind: ``"counters"``, ``"gauges"`` or ``"histograms"``.
+        labels: when given, must match the entry's labels exactly; when
+            None, the first entry with the name matches (label-free lookup).
+    """
+    for entry in snapshot.get(kind, []):
+        if entry.get("name") != name:
+            continue
+        if labels is not None and entry.get("labels", {}) != labels:
+            continue
+        return entry
+    return None

@@ -1,6 +1,5 @@
 """Tests for metrics, tables, related-work comparison and calibration."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -17,7 +17,6 @@ from hypothesis import given, settings, strategies as st
 from repro.slurm.batch_script import build_script
 from repro.slurm.cluster import HPCG_BINARY, SimCluster
 from repro.slurm.commands import parse_sbatch_output
-from repro.slurm.job import JobState
 
 job_strategy = st.lists(
     st.tuples(

@@ -13,7 +13,6 @@ from repro.core.optimizers import (
     deserialize_optimizer,
     optimizer_from_name,
 )
-from repro.hpcg import reference
 
 BEST = Configuration(32, 1, 2_200_000)
 STANDARD = Configuration(32, 1, 2_500_000)

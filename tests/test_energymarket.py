@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.domain.configuration import Configuration
 from repro.core.domain.errors import ChronusError
 from repro.energymarket.scheduling import DeadlineConfigSelector, TimeShiftScheduler
 from repro.energymarket.traces import HOUR, CarbonTrace, PriceTrace, Trace

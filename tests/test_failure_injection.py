@@ -4,7 +4,6 @@ An energy optimizer must never take the cluster down (the eco plugin's
 failure policy) and must never corrupt its own data on partial failures.
 """
 
-import json
 import os
 
 import pytest

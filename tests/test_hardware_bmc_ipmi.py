@@ -7,8 +7,6 @@ from repro.hardware.bmc import BoardManagementController
 from repro.hardware.ipmi import IpmiPermissionError, IpmiTool
 from repro.hardware.node import ConstantWorkload, SimulatedNode
 from repro.hardware.wattmeter import WattMeter
-from repro.simkernel.engine import Simulator
-from repro.simkernel.random import RandomStreams
 
 
 @pytest.fixture

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.hardware.node import ConstantWorkload, NodeError, SimulatedNode
-from repro.simkernel.engine import Simulator
+from repro.hardware.node import ConstantWorkload, NodeError
 
 
 class TestAllocation:
@@ -157,8 +156,8 @@ class TestLscpu:
         assert "AMD EPYC 7502P 32-Core Processor" in text
         assert "Thread(s) per core:" in text
         lines = dict(
-            (l.split(":", 1)[0], l.split(":", 1)[1].strip())
-            for l in text.splitlines()
+            (line.split(":", 1)[0], line.split(":", 1)[1].strip())
+            for line in text.splitlines()
         )
         assert lines["CPU(s)"] == "64"
         assert lines["Core(s) per socket"] == "32"

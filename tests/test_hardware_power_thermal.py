@@ -7,7 +7,7 @@ from hypothesis import given, strategies as st
 
 from repro.hardware.cpu import AMD_EPYC_7502P
 from repro.hardware.memory import SR650_MEMORY, MemorySpec
-from repro.hardware.power import PowerModel, PowerModelParams
+from repro.hardware.power import PowerModel
 from repro.hardware.thermal import ThermalModel, ThermalParams
 
 

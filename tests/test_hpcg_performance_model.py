@@ -4,11 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.hpcg import reference
-from repro.hpcg.performance_model import (
-    HpcgPerformanceModel,
-    PAPER_TOTAL_FLOPS,
-    PerformanceParams,
-)
+from repro.hpcg.performance_model import HpcgPerformanceModel, PAPER_TOTAL_FLOPS
 from repro.hpcg.workload import HpcgWorkload
 from repro.simkernel.random import RandomStreams
 

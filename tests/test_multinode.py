@@ -13,7 +13,7 @@ from repro.slurm.batch_script import parse_batch_script
 from repro.slurm.cluster import HPCG_BINARY, SimCluster
 from repro.slurm.commands import parse_sbatch_output
 from repro.slurm.controller import SubmitError
-from repro.slurm.job import JobDescriptor, JobState
+from repro.slurm.job import JobState
 
 
 def multinode_script(nodes: int, ntasks: int, freq: int = 2_200_000, tpc: int = 1,

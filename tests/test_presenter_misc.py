@@ -104,7 +104,7 @@ class TestSacctMultipleStates:
     def test_cancelled_and_completed_rows(self, sweep_cluster):
         from repro.slurm.commands import parse_sbatch_output
 
-        done = sweep_cluster.submit_and_wait(
+        sweep_cluster.submit_and_wait(
             build_script(4, 2_200_000, 1, HPCG_BINARY, job_name="done"))
         jid = parse_sbatch_output(sweep_cluster.commands.sbatch(
             build_script(4, 2_200_000, 1, HPCG_BINARY, job_name="gone")))

@@ -9,7 +9,6 @@ import pytest
 
 from repro.core.application.benchmark_service import BenchmarkService
 from repro.core.domain.configuration import Configuration
-from repro.core.factory import ChronusApp
 from repro.core.runners.hpcg_runner import HpcgRunner
 from repro.core.services.ipmi_service import IpmiSystemService
 from repro.core.services.lscpu_info import LscpuSystemInfo

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.slurm.batch_script import build_script
-from repro.slurm.cluster import HPCG_BINARY, SimCluster
+from repro.slurm.cluster import HPCG_BINARY
 from repro.slurm.commands import parse_sbatch_output
 from repro.slurm.controller import SubmitError
 from repro.slurm.job import JobDescriptor, JobState
@@ -43,7 +43,7 @@ class TestLifecycle:
         assert job.exit_code == 127
 
     def test_cancel_pending(self, cluster):
-        j1 = submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY))
+        submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY))
         j2 = submit(cluster, build_script(32, 2_500_000, 1, HPCG_BINARY))
         assert cluster.ctld.get_job(j2).state is JobState.PENDING
         cluster.ctld.cancel(j2)

@@ -146,7 +146,6 @@ GOOD = json.dumps({"cores": 32, "threads_per_core": 1, "frequency": 2_200_000})
 
 
 class TestParseChronusComment:
-    from repro.slurm.plugins.eco import parse_chronus_comment as _parse
 
     @staticmethod
     def parse(comment):
@@ -216,7 +215,7 @@ class TestJobSubmitEco:
         desc = JobDescriptor(num_tasks=4, comment="chronus", binary="/x")
         assert plugin.job_submit(desc, 1000) == SLURM_SUCCESS
         assert desc.num_tasks == 4
-        assert any("unmodified" in l for l in logs)
+        assert any("unmodified" in line for line in logs)
 
     def test_garbage_json_leaves_job_unmodified(self, node):
         plugin = JobSubmitEco(node, _StubProvider("not json"))

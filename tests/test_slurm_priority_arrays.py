@@ -104,7 +104,7 @@ class TestFairShareIntegration:
         from repro.slurm.batch_script import build_script
 
         # heavy user consumes the machine first
-        first = cluster.submit_and_wait(build_script(32, 2_500_000, 1, HPCG_BINARY))
+        cluster.submit_and_wait(build_script(32, 2_500_000, 1, HPCG_BINARY))
         # both users queue behind a running blocker
         blocker = parse_sbatch_output(cluster.commands.sbatch(
             build_script(32, 2_500_000, 1, HPCG_BINARY)))

@@ -1,6 +1,5 @@
 """Unit + property tests for FIFO and EASY-backfill scheduling."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.slurm.job import Job, JobDescriptor
