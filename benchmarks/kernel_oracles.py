@@ -1,0 +1,83 @@
+"""Pre-fast-path kernel implementations, preserved verbatim as baselines.
+
+These are the row-loop kernels the vectorized fast path (PR 2) replaced in
+:mod:`repro.hpcg.sparse` / :mod:`repro.hpcg.symgs`.  They are kept here —
+not in the library — purely so the benchmark suite can measure the real
+before/after speedup against the code that actually shipped, rather than
+against a strawman.  Numerics are bit-identical to the fast path; the
+fast-path tests (``tests/test_hpcg_fastpath.py``) pin that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpcg.problem import HpcgProblem
+from repro.hpcg.sparse import CsrMatrix
+
+__all__ = [
+    "diagonal_loop",
+    "subset_matvec_loop",
+    "todense_loop",
+    "multicolor_gather_loop",
+]
+
+
+def diagonal_loop(matrix: CsrMatrix) -> np.ndarray:
+    """Per-row binary-search diagonal extraction (pre-PR2 ``diagonal``)."""
+    diag = np.zeros(matrix.nrows, dtype=np.float64)
+    for i in range(matrix.nrows):
+        lo, hi = matrix.indptr[i], matrix.indptr[i + 1]
+        cols = matrix.indices[lo:hi]
+        hit = np.searchsorted(cols, i)
+        if hit < cols.size and cols[hit] == i:
+            diag[i] = matrix.data[lo + hit]
+    return diag
+
+
+def subset_matvec_loop(matrix: CsrMatrix, rows: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Row-at-a-time restricted SpMV (pre-PR2 ``subset_matvec``)."""
+    x = np.asarray(x, dtype=np.float64)
+    rows = np.asarray(rows, dtype=np.int64)
+    out = np.empty(rows.size, dtype=np.float64)
+    for k, i in enumerate(rows):
+        lo, hi = matrix.indptr[i], matrix.indptr[i + 1]
+        out[k] = np.dot(matrix.data[lo:hi], x[matrix.indices[lo:hi]])
+    return out
+
+
+def todense_loop(matrix: CsrMatrix) -> np.ndarray:
+    """Row-at-a-time densification (pre-PR2 ``todense``)."""
+    dense = np.zeros(matrix.shape, dtype=np.float64)
+    for i in range(matrix.nrows):
+        lo, hi = matrix.indptr[i], matrix.indptr[i + 1]
+        dense[i, matrix.indices[lo:hi]] = matrix.data[lo:hi]
+    return dense
+
+
+def multicolor_gather_loop(
+    problem: HpcgProblem,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-color sub-CSR gather with a Python row loop and no memoisation
+    (pre-PR2 ``MulticolorSymgs.__init__`` body)."""
+    m = problem.matrix
+    per_color: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for color in range(8):
+        rows = np.flatnonzero(problem.colors == color).astype(np.int64)
+        if rows.size == 0:
+            per_color.append(
+                (np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64), np.zeros(0))
+            )
+            continue
+        lengths = (m.indptr[rows + 1] - m.indptr[rows]).astype(np.int64)
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        nnz = int(indptr[-1])
+        idx = np.empty(nnz, dtype=np.int64)
+        dat = np.empty(nnz, dtype=np.float64)
+        for k, r in enumerate(rows):
+            lo, hi = m.indptr[r], m.indptr[r + 1]
+            idx[indptr[k] : indptr[k + 1]] = m.indices[lo:hi]
+            dat[indptr[k] : indptr[k + 1]] = m.data[lo:hi]
+        per_color.append((indptr, idx, dat))
+    return per_color

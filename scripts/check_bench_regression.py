@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Gate a fresh bench-suite run against the committed ``BENCH_PR2.json``.
+
+Absolute kernel timings vary wildly across runners, so the gate compares
+the **machine-normalized** metric: each kernel's speedup over its own
+row-loop baseline measured in the same process on the same host.  A fresh
+speedup more than ``--tolerance`` (default 20%) below the committed
+baseline's speedup fails the build.
+
+Also asserted, because they are machine-independent and must never move:
+
+* the mini-HPCG analytic flop total (when problem sizes match),
+* parallel sweep rows identical to serial,
+* Spearman rank correlation vs the paper's Tables 4-6 ranking > 0.93
+  (full, non-quick runs only).
+
+Usage:
+    python scripts/check_bench_regression.py fresh.json \\
+        [--baseline BENCH_PR2.json] [--tolerance 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SPEARMAN_FLOOR = 0.93
+
+#: speedups are compared after clamping to this value.  Cache-hit paths
+#: (e.g. multicolor_setup) run in near-constant time while their loop
+#: baselines scale with problem size, so the raw ratio swings by orders of
+#: magnitude across hosts/sizes; above the cap, all that matters is that
+#: the fast path stays dramatically faster (losing the cache -> ~1x).
+SPEEDUP_CAP = 50.0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="JSON emitted by scripts/run_bench_suite.py")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_PR2.json",
+        help="committed trajectory to compare against (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional speedup regression (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures: list[str] = []
+
+    for name, base in baseline.get("kernels", {}).items():
+        if "speedup" not in base:
+            continue  # metadata entry such as "problem"
+        got = fresh.get("kernels", {}).get(name)
+        if got is None:
+            failures.append(f"kernel {name!r}: missing from fresh run")
+            continue
+        base_speedup = min(base["speedup"], SPEEDUP_CAP)
+        got_speedup = min(got["speedup"], SPEEDUP_CAP)
+        floor = base_speedup * (1.0 - args.tolerance)
+        status = "OK" if got_speedup >= floor else "REGRESSED"
+        print(
+            f"kernel {name:18s} speedup {got['speedup']:8.1f}x "
+            f"(baseline {base['speedup']:8.1f}x, gated floor {floor:8.1f}x)  {status}"
+        )
+        if status != "OK":
+            failures.append(
+                f"kernel {name!r}: speedup {got['speedup']:.1f}x fell below "
+                f"{floor:.1f}x ({args.tolerance:.0%} under capped baseline "
+                f"{base_speedup:.1f}x)"
+            )
+
+    f_hpcg, b_hpcg = fresh.get("hpcg", {}), baseline.get("hpcg", {})
+    if f_hpcg.get("nx") == b_hpcg.get("nx"):
+        if f_hpcg.get("total_flops") != b_hpcg.get("total_flops"):
+            failures.append(
+                f"mini-HPCG flop total moved: {f_hpcg.get('total_flops')} != "
+                f"baseline {b_hpcg.get('total_flops')} (accounting drift)"
+            )
+        else:
+            print(f"mini-HPCG flop total unchanged ({f_hpcg.get('total_flops')})")
+    else:
+        print(
+            f"mini-HPCG sizes differ (fresh nx={f_hpcg.get('nx')}, baseline "
+            f"nx={b_hpcg.get('nx')}); skipping flop comparison"
+        )
+    if not f_hpcg.get("converged", True):
+        failures.append("mini-HPCG solve did not converge")
+
+    sweep = fresh.get("sweep", {})
+    if not sweep.get("identical_results", False):
+        failures.append("parallel sweep rows differ from serial (determinism broken)")
+    else:
+        print("sweep: parallel rows identical to serial")
+    rho = sweep.get("spearman_rho")
+    if rho is not None:
+        status = "OK" if rho > SPEARMAN_FLOOR else "REGRESSED"
+        print(f"sweep: Spearman rho vs paper {rho:.4f} (floor {SPEARMAN_FLOOR})  {status}")
+        if status != "OK":
+            failures.append(
+                f"Spearman rho {rho:.4f} fell below {SPEARMAN_FLOOR} "
+                "(paper ranking no longer reproduced)"
+            )
+    elif not fresh.get("quick", False):
+        failures.append("full run is missing sweep.spearman_rho")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

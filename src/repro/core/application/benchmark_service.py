@@ -63,16 +63,35 @@ class BenchmarkService:
         )
 
     def run_one(self, configuration: Configuration, *, clock: Callable[[], float]) -> Run:
-        """Execute one configuration and return the sampled Run."""
+        """Execute one configuration and return the sampled Run.
+
+        Sampling runs on *absolute* deadlines: each iteration advances to
+        ``start + k * sample_interval_s`` rather than sleeping a fixed
+        interval past wherever the previous sample finished.  A slow system
+        service (e.g. an IPMI read that takes a second) therefore no longer
+        stretches the effective cadence — the next deadline absorbs the
+        read time instead of drifting by it.
+        """
         wall_started = time.perf_counter()
         power_samples = telemetry.counter("power_samples_total")
+        deadline_misses = telemetry.counter("bench_sample_deadline_misses_total")
         handle = self.runner.submit(configuration)
         start = clock()
+        deadline = start + self.sample_interval_s
         samples = []
         while not self.runner.is_done(handle):
-            self.runner.advance(self.sample_interval_s)
+            remaining = deadline - clock()
+            if remaining > 0:
+                self.runner.advance(remaining)
             samples.append(self.system_service.sample())
             power_samples.inc()
+            deadline += self.sample_interval_s
+            if deadline <= clock():
+                # the sample itself overran one or more whole intervals;
+                # skip the missed deadlines rather than bunching samples
+                missed = int((clock() - deadline) // self.sample_interval_s) + 1
+                deadline_misses.inc(missed)
+                deadline += missed * self.sample_interval_s
             if len(samples) > MAX_SAMPLES_PER_RUN:
                 raise ChronusError(
                     f"run at {configuration} exceeded {MAX_SAMPLES_PER_RUN} samples; "

@@ -57,6 +57,15 @@ class RepositoryInterface(abc.ABC):
     def save_benchmark(self, result: BenchmarkResult) -> int:
         """Persist one benchmark row; returns its id."""
 
+    def save_benchmarks(self, results: Sequence[BenchmarkResult]) -> list[int]:
+        """Persist a batch of rows; returns their ids in order.
+
+        Default implementation inserts row by row; backends with cheaper
+        bulk paths (one transaction, ``executemany``) override it.  The
+        sweep executor flushes through this method.
+        """
+        return [self.save_benchmark(r) for r in results]
+
     @abc.abstractmethod
     def benchmarks_for_system(
         self, system_id: int, application: Optional[str] = None

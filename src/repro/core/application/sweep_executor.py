@@ -1,0 +1,195 @@
+"""Parallel configuration-sweep execution.
+
+The paper's evaluation sweeps HPCG over 138 configurations (23 core counts
+× 3 frequencies × HT on/off).  Every point is independent once it has a
+deterministic seed, so the sweep fans out over a ``concurrent.futures``
+process pool:
+
+* **Deterministic:** each point's seed depends only on ``(base_seed,
+  configuration)`` (see :mod:`repro.core.runners.sweep_worker`), so the
+  parallel and serial paths produce identical result sequences.
+* **Ordered:** results are collected in submission order regardless of
+  worker completion order.
+* **Resilient:** a point whose worker raises is retried serially in the
+  parent; if the pool itself cannot be created (sandboxes without fork,
+  ``CHRONUS_SWEEP_WORKERS=1``, single-core hosts) the whole sweep degrades
+  gracefully to the serial path.
+* **Batched:** rows are persisted through ``repository.save_benchmarks``
+  in batches instead of one round-trip per point.
+
+Worker-count resolution: explicit ``workers`` argument, else the
+``CHRONUS_SWEEP_WORKERS`` environment variable, else ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from typing import Callable, Optional, Sequence
+
+from repro import telemetry
+from repro.core.application.interfaces import (
+    RepositoryInterface,
+    SystemInfoInterface,
+)
+from repro.core.domain.benchmark import BenchmarkResult
+from repro.core.domain.errors import ChronusError
+from repro.core.domain.run import Run
+
+__all__ = ["SweepExecutor", "resolve_worker_count"]
+
+#: environment knob for the pool size (0/unset -> os.cpu_count())
+WORKERS_ENV = "CHRONUS_SWEEP_WORKERS"
+
+#: default number of rows per repository flush
+DEFAULT_BATCH_SIZE = 16
+
+
+def resolve_worker_count(workers: Optional[int] = None) -> int:
+    """Explicit argument > ``CHRONUS_SWEEP_WORKERS`` > ``os.cpu_count()``."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ChronusError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+class SweepExecutor:
+    """Runs a configuration sweep across a process pool and persists it."""
+
+    def __init__(
+        self,
+        repository: RepositoryInterface,
+        system_info: SystemInfoInterface,
+        point_runner: Callable[[object], Run],
+        *,
+        application: str = "hpcg",
+        workers: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.repository = repository
+        self.system_info = system_info
+        self.point_runner = point_runner
+        self.application = application
+        self.workers = resolve_worker_count(workers)
+        self.batch_size = batch_size
+        self._log = log or (lambda msg: None)
+
+    # ------------------------------------------------------------------
+    # execution strategies
+    # ------------------------------------------------------------------
+    def _run_serial(self, points: Sequence[object]) -> list[Optional[Run]]:
+        point_hist = telemetry.histogram("sweep_point_seconds")
+        runs: list[Optional[Run]] = []
+        for point in points:
+            started = time.perf_counter()
+            runs.append(self.point_runner(point))
+            point_hist.observe(time.perf_counter() - started)
+        return runs
+
+    def _run_parallel(self, points: Sequence[object]) -> list[Optional[Run]]:
+        """Fan points over the pool; collect in submission order.
+
+        A worker failure retries that point serially in the parent (the
+        seeds make the retry equivalent); a pool that cannot even be
+        created falls back to the fully serial path.
+        """
+        point_hist = telemetry.histogram("sweep_point_seconds")
+        retries = telemetry.counter("sweep_point_retries_total")
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+        except (OSError, NotImplementedError, PermissionError) as exc:
+            telemetry.counter("sweep_serial_fallbacks_total").inc()
+            self._log(f"sweep: process pool unavailable ({exc}); running serially")
+            return self._run_serial(points)
+        busy_seconds = 0.0
+        wall_started = time.perf_counter()
+        try:
+            submitted = [(point, pool.submit(self.point_runner, point)) for point in points]
+            runs: list[Optional[Run]] = []
+            for point, future in submitted:
+                started = time.perf_counter()
+                try:
+                    run = future.result()
+                except Exception as exc:  # worker died or raised: retry here
+                    retries.inc()
+                    self._log(f"sweep: worker failed on {point} ({exc}); retrying serially")
+                    run = self.point_runner(point)
+                elapsed = time.perf_counter() - started
+                point_hist.observe(elapsed)
+                busy_seconds += elapsed
+                runs.append(run)
+            return runs
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+            wall = time.perf_counter() - wall_started
+            if wall > 0:
+                # rough pool utilization: parent-observed busy time over
+                # workers * wall (1.0 == every worker busy the whole sweep)
+                telemetry.gauge("sweep_worker_utilization").set(
+                    min(1.0, busy_seconds / (self.workers * wall))
+                )
+
+    # ------------------------------------------------------------------
+    # the use case
+    # ------------------------------------------------------------------
+    def run_sweep(self, points: Sequence[object]) -> list[BenchmarkResult]:
+        """Execute every point, persist batched, return rows in point order.
+
+        Points carry their own configuration and seed (see
+        :func:`repro.core.runners.sweep_worker.build_sweep_points`); failed
+        runs are skipped exactly like the serial benchmark service does.
+        """
+        points = list(points)
+        if not points:
+            raise ChronusError("no sweep points to execute")
+        info = self.system_info.fetch()
+        system_id = self.repository.save_system(info)
+        parallel = self.workers > 1
+        self._log(
+            f"Sweep starting: {len(points)} points, "
+            f"{self.workers} worker(s) ({'parallel' if parallel else 'serial'})"
+        )
+        telemetry.gauge("sweep_workers").set(self.workers)
+        with telemetry.span("sweep", points=len(points), workers=self.workers):
+            wall_started = time.perf_counter()
+            runs = self._run_parallel(points) if parallel else self._run_serial(points)
+            wall = time.perf_counter() - wall_started
+
+        flush_hist = telemetry.histogram("sweep_batch_flush_size")
+        results: list[BenchmarkResult] = []
+        pending: list[BenchmarkResult] = []
+        skipped = 0
+        for point, run in zip(points, runs):
+            telemetry.counter("sweep_points_total").inc()
+            if run is None or not run.success:
+                skipped += 1
+                config = getattr(point, "configuration", point)
+                self._log(f"sweep: point {config} FAILED; skipping")
+                continue
+            pending.append(BenchmarkResult.from_run(system_id, self.application, run))
+            if len(pending) >= self.batch_size:
+                self.repository.save_benchmarks(pending)
+                flush_hist.observe(len(pending))
+                results.extend(pending)
+                pending = []
+        if pending:
+            self.repository.save_benchmarks(pending)
+            flush_hist.observe(len(pending))
+            results.extend(pending)
+        self._log(
+            f"Sweep complete: {len(results)} rows saved, {skipped} skipped, "
+            f"{wall:.2f}s wall"
+        )
+        return results

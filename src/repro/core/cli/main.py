@@ -31,6 +31,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro import telemetry
+from repro.core.application.sweep_executor import WORKERS_ENV, resolve_worker_count
 from repro.core.domain.configuration import Configuration
 from repro.core.domain.errors import ChronusError
 from repro.core.factory import ChronusApp, ModelFactory
@@ -75,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--sample-interval", type=float, default=3.0, help="IPMI sampling cadence"
+    )
+    p_bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker processes: 1 runs the classic serial sweep on one "
+        "shared cluster; >1 fans points over a process pool with "
+        "deterministic per-configuration seeding; unset honours "
+        "CHRONUS_SWEEP_WORKERS and otherwise stays serial",
     )
 
     p_init = sub.add_parser("init-model", help="initialize the prediction model")
@@ -194,7 +204,20 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
     if args.configurations:
         with open(args.configurations) as fh:
             configs = Configuration.list_from_json(fh.read())
-    results = app.benchmark_service.run_benchmarks(configs, clock=app.clock)
+    if args.workers is not None:
+        workers = max(1, args.workers)
+    elif os.environ.get(WORKERS_ENV, "").strip():
+        workers = resolve_worker_count(None)
+    else:
+        workers = 1
+    if workers > 1:
+        executor = app.make_sweep_executor(workers=workers)
+        if configs is None:
+            configs = app.benchmark_service.default_configurations()
+        points = app.sweep_points(configs, duration_s=args.duration)
+        results = executor.run_sweep(points)
+    else:
+        results = app.benchmark_service.run_benchmarks(configs, clock=app.clock)
     for row in results:
         print(render_benchmark_row(row))
     print(f"Run data has been saved to the repository ({len(results)} rows).")

@@ -19,6 +19,7 @@ from repro.core.application.interfaces import OptimizerInterface, RepositoryInte
 from repro.core.application.load_model_service import LoadModelService
 from repro.core.application.settings_service import SettingsService
 from repro.core.application.slurm_config_service import SlurmConfigService
+from repro.core.application.sweep_executor import SweepExecutor
 from repro.core.optimizers.base import (
     OPTIMIZER_TYPES,
     deserialize_optimizer,
@@ -153,6 +154,44 @@ class ChronusApp:
     def _read_file(path: str) -> bytes:
         with open(path, "rb") as fh:
             return fh.read()
+
+    # ------------------------------------------------------------------
+    def make_sweep_executor(
+        self,
+        *,
+        workers: Optional[int] = None,
+        batch_size: int = 16,
+    ) -> SweepExecutor:
+        """A parallel sweep executor persisting into this app's repository.
+
+        Workers run each sweep point on a fresh deterministically-seeded
+        cluster (not this app's live one), so the sweep parallelizes
+        without sharing simulator state; see
+        :mod:`repro.core.runners.sweep_worker`.
+        """
+        from repro.core.runners.sweep_worker import run_sweep_point
+
+        return SweepExecutor(
+            self.repository,
+            self.system_info,
+            run_sweep_point,
+            application=self.runner.application,
+            workers=workers,
+            batch_size=batch_size,
+            log=self._log,
+        )
+
+    def sweep_points(self, configurations, *, duration_s: Optional[float] = 1200.0):
+        """Seeded sweep points for this deployment's cluster seed/paths."""
+        from repro.core.runners.sweep_worker import build_sweep_points
+
+        return build_sweep_points(
+            configurations,
+            base_seed=self.cluster.streams.root_seed,
+            duration_s=duration_s,
+            sample_interval_s=self.benchmark_service.sample_interval_s,
+            hpcg_path=self.runner.hpcg_path,
+        )
 
     # ------------------------------------------------------------------
     def register_binary(self, path: str, application: str) -> None:

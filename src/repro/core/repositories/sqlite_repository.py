@@ -145,6 +145,50 @@ class SqliteRepository(RepositoryInterface):
             )
             return int(cur.lastrowid)
 
+    def save_benchmarks(self, results) -> list[int]:
+        """Bulk insert in one connection/transaction (sweep batch flushes)."""
+        results = list(results)
+        if not results:
+            return []
+        ids: list[int] = []
+        with self._connect() as conn:
+            known: set[int] = set()
+            for result in results:
+                if result.system_id not in known:
+                    exists = conn.execute(
+                        "SELECT 1 FROM systems WHERE id = ?", (result.system_id,)
+                    ).fetchone()
+                    if exists is None:
+                        raise SystemNotFoundError(
+                            f"benchmark references unknown system {result.system_id}"
+                        )
+                    known.add(result.system_id)
+                cur = conn.execute(
+                    """
+                    INSERT INTO benchmarks (
+                        system_id, application, cores, threads_per_core, frequency,
+                        gflops, avg_system_w, avg_cpu_w, avg_cpu_temp_c,
+                        system_energy_j, cpu_energy_j, runtime_s
+                    ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    """,
+                    (
+                        result.system_id,
+                        result.application,
+                        result.configuration.cores,
+                        result.configuration.threads_per_core,
+                        result.configuration.frequency,
+                        result.gflops,
+                        result.avg_system_w,
+                        result.avg_cpu_w,
+                        result.avg_cpu_temp_c,
+                        result.system_energy_j,
+                        result.cpu_energy_j,
+                        result.runtime_s,
+                    ),
+                )
+                ids.append(int(cur.lastrowid))
+        return ids
+
     def benchmarks_for_system(
         self, system_id: int, application: Optional[str] = None
     ) -> list[BenchmarkResult]:

@@ -1,0 +1,84 @@
+"""Self-contained sweep-point execution for the parallel sweep executor.
+
+A sweep point must be runnable in a worker *process*, so everything it
+needs travels in one picklable :class:`SweepPoint` and the runner builds a
+fresh, deterministically-seeded :class:`~repro.slurm.cluster.SimCluster`
+per point.  The per-point seed is derived from ``(base_seed, configuration
+JSON)`` with the project's SHA-256 scheme, so a point's result depends only
+on its own configuration — never on which worker ran it, in what order, or
+whether it ran in a pool at all.  That is what makes the parallel and
+serial paths of :class:`~repro.core.application.sweep_executor.SweepExecutor`
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.application.benchmark_service import BenchmarkService
+from repro.core.domain.configuration import Configuration
+from repro.core.domain.run import Run
+from repro.core.repositories.memory_repository import MemoryRepository
+from repro.core.runners.hpcg_runner import HpcgRunner
+from repro.core.services.ipmi_service import IpmiSystemService
+from repro.core.services.lscpu_info import LscpuSystemInfo
+from repro.simkernel.random import derive_seed
+from repro.slurm.cluster import HPCG_BINARY, SimCluster
+
+__all__ = ["SweepPoint", "build_sweep_points", "run_sweep_point"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of the sweep plus everything needed to run it."""
+
+    configuration: Configuration
+    seed: int
+    duration_s: Optional[float] = 1200.0
+    sample_interval_s: float = 3.0
+    hpcg_path: str = HPCG_BINARY
+
+
+def point_seed(base_seed: int, configuration: Configuration) -> int:
+    """The deterministic per-configuration seed of a sweep point."""
+    return derive_seed(base_seed, f"sweep:{configuration.to_json()}")
+
+
+def build_sweep_points(
+    configurations: Sequence[Configuration],
+    *,
+    base_seed: int = 0,
+    duration_s: Optional[float] = 1200.0,
+    sample_interval_s: float = 3.0,
+    hpcg_path: str = HPCG_BINARY,
+) -> list[SweepPoint]:
+    """Expand configurations into seeded, self-contained sweep points."""
+    return [
+        SweepPoint(
+            configuration=config,
+            seed=point_seed(base_seed, config),
+            duration_s=duration_s,
+            sample_interval_s=sample_interval_s,
+            hpcg_path=hpcg_path,
+        )
+        for config in configurations
+    ]
+
+
+def run_sweep_point(point: SweepPoint) -> Run:
+    """Execute one sweep point on a fresh cluster; returns the sampled Run.
+
+    Top-level function (picklable) so ``ProcessPoolExecutor`` can ship it
+    to workers; equally callable in-process for the serial path.
+    """
+    cluster = SimCluster(seed=point.seed, hpcg_duration_s=point.duration_s)
+    clock = lambda: cluster.sim.now  # noqa: E731 - tiny closure over the sim
+    service = BenchmarkService(
+        MemoryRepository(),
+        HpcgRunner(cluster, point.hpcg_path),
+        IpmiSystemService(cluster.ipmi, clock=clock),
+        LscpuSystemInfo(cluster.node),
+        sample_interval_s=point.sample_interval_s,
+    )
+    return service.run_one(point.configuration, clock=clock)

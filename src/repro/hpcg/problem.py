@@ -37,6 +37,9 @@ class HpcgProblem:
     x_exact: np.ndarray
     #: 8-coloring of grid points by coordinate parity (for multicolor GS)
     colors: np.ndarray = field(repr=False)
+    _color_rows: "list[np.ndarray] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def nrows(self) -> int:
@@ -47,8 +50,32 @@ class HpcgProblem:
         return self.matrix.nnz
 
     def color_rows(self, color: int) -> np.ndarray:
-        """Row indices belonging to one of the 8 parity colors."""
-        return np.flatnonzero(self.colors == color)
+        """Row indices belonging to one of the 8 parity colors (cached)."""
+        if self._color_rows is None:
+            order = np.argsort(self.colors, kind="stable")
+            bounds = np.searchsorted(self.colors[order], np.arange(9))
+            self._color_rows = [
+                np.ascontiguousarray(order[bounds[c]:bounds[c + 1]])
+                for c in range(8)
+            ]
+        return self._color_rows[color]
+
+    def color_partitions(
+        self,
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-color ``(rows, sub_indptr, sub_indices, sub_data)`` partitions.
+
+        The sub-CSR gathers are memoised on the matrix (see
+        :meth:`CsrMatrix.subset_structure`), so every
+        :class:`~repro.hpcg.symgs.MulticolorSymgs` built on this problem —
+        one per multigrid level per sweep point — shares one precomputation.
+        """
+        return [
+            (self.color_rows(c), *self.matrix.subset_structure(
+                self.color_rows(c), cache_key=("color", c)
+            ))
+            for c in range(8)
+        ]
 
 
 def grid_coloring(nx: int, ny: int, nz: int) -> np.ndarray:

@@ -65,7 +65,15 @@ class CsrMatrix:
         self.data = np.ascontiguousarray(data, dtype=np.float64)
         self.shape = (int(shape[0]), int(shape[1]))
         self._validate()
+        # Derived-structure caches.  All of them treat the matrix as
+        # immutable after construction (nothing in the repo mutates
+        # indptr/indices/data in place).
         self._diag: Optional[np.ndarray] = None
+        self._row_index_cache: Optional[np.ndarray] = None
+        self._row_slices_cache: Optional[list[tuple[np.ndarray, np.ndarray]]] = None
+        self._lower: Optional["CsrMatrix"] = None
+        self._upper: Optional["CsrMatrix"] = None
+        self._subset_cache: dict[object, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     def _validate(self) -> None:
         nrows, ncols = self.shape
@@ -135,22 +143,95 @@ class CsrMatrix:
     def ncols(self) -> int:
         return self.shape[1]
 
+    def row_index(self) -> np.ndarray:
+        """Row id of every stored nonzero, CSR order (cached, O(nnz))."""
+        if self._row_index_cache is None:
+            self._row_index_cache = np.repeat(
+                np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._row_index_cache
+
     def diagonal(self) -> np.ndarray:
         """The main diagonal (cached). Missing diagonal entries read as 0."""
         if self._diag is None:
             diag = np.zeros(self.nrows, dtype=np.float64)
-            for i in range(self.nrows):
-                lo, hi = self.indptr[i], self.indptr[i + 1]
-                cols = self.indices[lo:hi]
-                hit = np.searchsorted(cols, i)
-                if hit < cols.size and cols[hit] == i:
-                    diag[i] = self.data[lo + hit]
+            if self.nnz:
+                row_of = self.row_index()
+                on_diag = self.indices == row_of
+                diag[row_of[on_diag]] = self.data[on_diag]
             self._diag = diag
         return self._diag
 
     def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
         lo, hi = self.indptr[i], self.indptr[i + 1]
         return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_slices(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-row ``(cols, vals)`` views, built once and cached.
+
+        The sequential Gauss–Seidel oracle walks every row twice per sweep;
+        handing it this cached list avoids re-slicing ``indptr`` on every
+        visit of every row of every sweep.
+        """
+        if self._row_slices_cache is None:
+            indptr, indices, data = self.indptr, self.indices, self.data
+            self._row_slices_cache = [
+                (indices[indptr[i]:indptr[i + 1]], data[indptr[i]:indptr[i + 1]])
+                for i in range(self.nrows)
+            ]
+        return self._row_slices_cache
+
+    # ------------------------------------------------------------------
+    # cached structural splits
+    # ------------------------------------------------------------------
+    def _triangle(self, *, lower: bool) -> "CsrMatrix":
+        row_of = self.row_index()
+        keep = self.indices < row_of if lower else self.indices > row_of
+        counts = np.bincount(row_of[keep], minlength=self.nrows)
+        indptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CsrMatrix(indptr, self.indices[keep], self.data[keep], self.shape)
+
+    def lower_triangle(self) -> "CsrMatrix":
+        """Strictly-lower-triangular part as a CSR matrix (cached)."""
+        if self._lower is None:
+            self._lower = self._triangle(lower=True)
+        return self._lower
+
+    def upper_triangle(self) -> "CsrMatrix":
+        """Strictly-upper-triangular part as a CSR matrix (cached)."""
+        if self._upper is None:
+            self._upper = self._triangle(lower=False)
+        return self._upper
+
+    def subset_structure(
+        self,
+        rows: np.ndarray,
+        cache_key: Optional[object] = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The sub-CSR ``(indptr, indices, data)`` of a row subset.
+
+        Fully vectorized gather (no per-row Python loop).  With a
+        ``cache_key`` the result is memoised on the matrix, which is how the
+        multicolor Gauss–Seidel partitions are computed once per matrix and
+        reused across every CG iteration and sweep point.
+        """
+        if cache_key is not None:
+            cached = self._subset_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = self.indptr[rows]
+        lengths = self.indptr[rows + 1] - starts
+        sub_indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=sub_indptr[1:])
+        nnz = int(sub_indptr[-1])
+        # flat positions of every nonzero of every requested row
+        pos = np.repeat(starts - sub_indptr[:-1], lengths) + np.arange(nnz, dtype=np.int64)
+        result = (sub_indptr, self.indices[pos], self.data[pos])
+        if cache_key is not None:
+            self._subset_cache[cache_key] = result
+        return result
 
     # ------------------------------------------------------------------
     # kernels
@@ -178,17 +259,22 @@ class CsrMatrix:
         x: np.ndarray,
         flops: Optional[FlopCounter] = None,
     ) -> np.ndarray:
-        """(A @ x) restricted to ``rows`` without computing other rows."""
+        """(A @ x) restricted to ``rows`` without computing other rows.
+
+        Same segmented-``reduceat`` structure as :meth:`matvec`, applied to
+        the gathered sub-CSR of the requested rows (duplicates allowed).
+        """
         x = np.asarray(x, dtype=np.float64)
         rows = np.asarray(rows, dtype=np.int64)
-        out = np.empty(rows.size, dtype=np.float64)
-        nnz_touched = 0
-        for k, i in enumerate(rows):
-            lo, hi = self.indptr[i], self.indptr[i + 1]
-            out[k] = np.dot(self.data[lo:hi], x[self.indices[lo:hi]])
-            nnz_touched += hi - lo
+        sub_indptr, sub_indices, sub_data = self.subset_structure(rows)
+        out = np.zeros(rows.size, dtype=np.float64)
+        products = sub_data * x[sub_indices]
+        if products.size:
+            row_has = np.diff(sub_indptr) > 0
+            starts = sub_indptr[:-1][row_has]
+            out[row_has] = np.add.reduceat(products, starts)
         if flops is not None:
-            flops.add("spmv", 2 * int(nnz_touched))
+            flops.add("spmv", 2 * int(sub_indptr[-1]))
         return out
 
     # ------------------------------------------------------------------
@@ -196,9 +282,8 @@ class CsrMatrix:
     # ------------------------------------------------------------------
     def todense(self) -> np.ndarray:
         dense = np.zeros(self.shape, dtype=np.float64)
-        for i in range(self.nrows):
-            lo, hi = self.indptr[i], self.indptr[i + 1]
-            dense[i, self.indices[lo:hi]] = self.data[lo:hi]
+        if self.nnz:
+            dense[self.row_index(), self.indices] = self.data
         return dense
 
     def is_symmetric(self, tol: float = 1e-12) -> bool:

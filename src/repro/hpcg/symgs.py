@@ -42,12 +42,13 @@ def symgs_reference(
     diag = matrix.diagonal()
     if np.any(diag == 0):
         raise ValueError("Gauss-Seidel requires a nonzero diagonal")
+    rows = matrix.row_slices()
     for i in range(n):
-        cols, vals = matrix.row(i)
+        cols, vals = rows[i]
         s = np.dot(vals, x[cols])
         x[i] += (b[i] - s) / diag[i]
     for i in range(n - 1, -1, -1):
-        cols, vals = matrix.row(i)
+        cols, vals = rows[i]
         s = np.dot(vals, x[cols])
         x[i] += (b[i] - s) / diag[i]
     if flops is not None:
@@ -64,29 +65,13 @@ class MulticolorSymgs:
         self.diag = self.matrix.diagonal()
         if np.any(self.diag == 0):
             raise ValueError("Gauss-Seidel requires a nonzero diagonal")
-        self.color_rows: list[np.ndarray] = [
-            problem.color_rows(c) for c in range(8)
+        # Per-color CSR sub-structure, gathered vectorized and memoised on
+        # the matrix — shared across every smoother built on this problem.
+        partitions = problem.color_partitions()
+        self.color_rows: list[np.ndarray] = [rows for rows, _, _, _ in partitions]
+        self._per_color: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+            (indptr, idx, dat) for _, indptr, idx, dat in partitions
         ]
-        # Pre-slice CSR structure per color for vectorized gather
-        self._per_color: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-        m = self.matrix
-        for rows in self.color_rows:
-            if rows.size == 0:
-                self._per_color.append(
-                    (np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64), np.zeros(0))
-                )
-                continue
-            lengths = (m.indptr[rows + 1] - m.indptr[rows]).astype(np.int64)
-            indptr = np.zeros(rows.size + 1, dtype=np.int64)
-            np.cumsum(lengths, out=indptr[1:])
-            nnz = int(indptr[-1])
-            idx = np.empty(nnz, dtype=np.int64)
-            dat = np.empty(nnz, dtype=np.float64)
-            for k, r in enumerate(rows):
-                lo, hi = m.indptr[r], m.indptr[r + 1]
-                idx[indptr[k]:indptr[k + 1]] = m.indices[lo:hi]
-                dat[indptr[k]:indptr[k + 1]] = m.data[lo:hi]
-            self._per_color.append((indptr, idx, dat))
 
     def _color_residual(self, color: int, b: np.ndarray, x: np.ndarray) -> np.ndarray:
         indptr, idx, dat = self._per_color[color]

@@ -1,0 +1,183 @@
+"""Fast-path equivalence tests: vectorized kernels vs straightforward oracles.
+
+The PR-2 fast path vectorized ``diagonal``/``subset_matvec``/``todense``,
+added cached triangular splits and memoised the multicolor Gauss–Seidel
+partitions.  These tests pin the contract: identical numerics, identical
+flop accounting, and genuinely shared caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hpcg.problem import generate_problem
+from repro.hpcg.sparse import CsrMatrix, FlopCounter
+from repro.hpcg.symgs import MulticolorSymgs, symgs_multicolor, symgs_reference
+
+
+def random_csr(seed: int, n: int, density: float = 0.3) -> CsrMatrix:
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    rows, cols = np.nonzero(mask)
+    vals = rng.normal(size=rows.size)
+    return CsrMatrix.from_coo(rows, cols, vals, (n, n))
+
+
+class TestVectorizedKernels:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 14))
+    def test_diagonal_matches_dense(self, seed, n):
+        m = random_csr(seed, n)
+        np.testing.assert_array_equal(m.diagonal(), np.diag(m.todense()))
+
+    def test_diagonal_with_missing_entries(self):
+        # rows 0 and 2 have no diagonal entry at all
+        m = CsrMatrix.from_coo(
+            np.array([0, 1, 2]), np.array([1, 1, 0]), np.array([7.0, 3.0, 5.0]), (3, 3)
+        )
+        np.testing.assert_array_equal(m.diagonal(), [0.0, 3.0, 0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 14))
+    def test_subset_matvec_matches_full_matvec(self, seed, n):
+        m = random_csr(seed, n)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.normal(size=n)
+        rows = rng.integers(0, n, size=rng.integers(0, 2 * n))  # duplicates allowed
+        full = m.matvec(x)
+        np.testing.assert_allclose(m.subset_matvec(rows, x), full[rows], atol=1e-12)
+
+    def test_subset_matvec_flops_count_only_touched_rows(self):
+        m = random_csr(3, 10)
+        rows = np.array([0, 3, 3, 7])
+        nnz_touched = sum(int(m.indptr[i + 1] - m.indptr[i]) for i in rows)
+        flops = FlopCounter()
+        m.subset_matvec(rows, np.ones(10), flops)
+        assert flops.by_kernel == {"spmv": 2 * nnz_touched}
+
+    def test_subset_matvec_empty_rows(self):
+        m = random_csr(4, 8)
+        out = m.subset_matvec(np.array([], dtype=np.int64), np.ones(8))
+        assert out.shape == (0,)
+
+
+class TestTriangularSplits:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 14))
+    def test_strict_triangles_partition_the_matrix(self, seed, n):
+        m = random_csr(seed, n)
+        dense = m.todense()
+        lower = m.lower_triangle()
+        upper = m.upper_triangle()
+        np.testing.assert_array_equal(lower.todense(), np.tril(dense, k=-1))
+        np.testing.assert_array_equal(upper.todense(), np.triu(dense, k=1))
+        recombined = lower.todense() + upper.todense() + np.diag(m.diagonal())
+        np.testing.assert_array_equal(recombined, dense)
+
+    def test_splits_are_cached(self):
+        m = random_csr(5, 6)
+        assert m.lower_triangle() is m.lower_triangle()
+        assert m.upper_triangle() is m.upper_triangle()
+
+
+class TestMulticolorPartitionCache:
+    def test_partitions_shared_across_smoothers(self):
+        p = generate_problem(4)
+        first = MulticolorSymgs(p)
+        second = MulticolorSymgs(p)
+        for (ia, xa, da), (ib, xb, db) in zip(first._per_color, second._per_color):
+            assert ia is ib and xa is xb and da is db
+        for ra, rb in zip(first.color_rows, second.color_rows):
+            assert ra is rb
+
+    def test_partitions_cover_all_rows_once(self):
+        p = generate_problem(3, 5, 7)
+        rows = np.concatenate([p.color_rows(c) for c in range(8)])
+        assert rows.size == p.nrows
+        assert np.array_equal(np.sort(rows), np.arange(p.nrows))
+
+
+class TestSymgsFixedPoint:
+    """Reference and multicolor sweeps share the fixed point x* = A^-1 b."""
+
+    @pytest.mark.parametrize("dims", [(3, 5, 7), (4, 3, 6), (2, 2, 9)])
+    def test_identical_fixed_points_on_asymmetric_grids(self, dims):
+        p = generate_problem(*dims)
+        x_ref = np.zeros(p.nrows)
+        x_mc = np.zeros(p.nrows)
+        for _ in range(200):
+            x_ref = symgs_reference(p.matrix, p.b, x_ref)
+            x_mc = symgs_multicolor(p, p.b, x_mc)
+        # both converged to the system's solution (the all-ones vector)
+        np.testing.assert_allclose(x_ref, p.x_exact, atol=1e-8)
+        np.testing.assert_allclose(x_mc, p.x_exact, atol=1e-8)
+        np.testing.assert_allclose(x_ref, x_mc, atol=1e-8)
+
+    def test_reference_single_sweep_unchanged_by_row_cache(self):
+        """One sweep must equal the textbook per-row recurrence exactly."""
+        p = generate_problem(3, 4, 5)
+        m, b = p.matrix, p.b
+        x = np.linspace(-1.0, 1.0, p.nrows)
+        expected = x.copy()
+        diag = np.diag(m.todense())
+        for i in range(p.nrows):
+            cols, vals = m.row(i)
+            expected[i] += (b[i] - np.dot(vals, expected[cols])) / diag[i]
+        for i in range(p.nrows - 1, -1, -1):
+            cols, vals = m.row(i)
+            expected[i] += (b[i] - np.dot(vals, expected[cols])) / diag[i]
+        np.testing.assert_array_equal(symgs_reference(m, b, x), expected)
+
+
+class TestFlopAccounting:
+    """Flop totals are analytic; the fast path must not move them a byte."""
+
+    def test_kernel_counts_match_textbook_formulas(self):
+        p = generate_problem(3, 5, 7)
+        m = p.matrix
+        n, nnz = p.nrows, p.nnz
+        x = np.ones(n)
+
+        flops = FlopCounter()
+        m.matvec(x, flops)
+        assert flops.by_kernel == {"spmv": 2 * nnz}
+
+        flops = FlopCounter()
+        symgs_reference(m, p.b, x, flops)
+        assert flops.by_kernel == {"symgs": 4 * nnz}
+
+        flops = FlopCounter()
+        symgs_multicolor(p, p.b, x, flops)
+        assert flops.by_kernel == {"symgs": 4 * nnz}
+
+    def test_pcg_flop_totals_are_analytic_and_cache_invariant(self):
+        """The CG driver's accounted totals are a pure function of the
+        iteration count (HPCG's official accounting) — so warm caches and
+        vectorized kernels cannot move them a byte.  A repeated solve on
+        the same problem (every partition/diagonal cache hot) must report
+        byte-identical counts, and both must equal the textbook formula."""
+        from repro.hpcg.cg import pcg
+
+        p = generate_problem(3, 5, 7)
+        n, nnz = p.nrows, p.nnz
+
+        def mc_precond(r, flops):
+            return symgs_multicolor(p, r, np.zeros_like(r), flops)
+
+        cold = pcg(p.matrix, p.b, preconditioner=mc_precond, tol=1e-10)
+        warm = pcg(p.matrix, p.b, preconditioner=mc_precond, tol=1e-10)
+        assert cold.iterations == warm.iterations
+        assert cold.flops.by_kernel == warm.flops.by_kernel
+
+        it = cold.iterations
+        # per solve: 1+it SpMVs, it SymGS sweeps (initial + it-1 in-loop),
+        # 3+2·it+(it-1) dots, 1+2·it+(it-1) WAXPBYs
+        expected = {
+            "spmv": 2 * nnz * (1 + it),
+            "symgs": 4 * nnz * it,
+            "dot": 2 * n * (3 + 2 * it + (it - 1)),
+            "waxpby": 2 * n * (1 + 2 * it + (it - 1)),
+        }
+        assert cold.flops.by_kernel == expected
