@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Gate on the chaos-smoke outcome (see run_chaos_smoke.py).
+
+Asserted invariants, per ISSUE/README "Resilience & failure policy":
+
+* no drill saw an unhandled exception;
+* every sweep point is measured or explicitly quarantined (accounted);
+* the flaky-ipmi drill actually exercised the retry path
+  (``ipmi_retries_total`` > 0) — a gate that passes because faults never
+  fired proves nothing;
+* the chronus-timeout storm submitted every job, fell back on each
+  (``eco_fallback_total`` == jobs), and the breaker opened: provider
+  timeouts are bounded by the failure threshold, the rest short-circuit.
+
+Usage::
+
+    python scripts/check_chaos_gate.py chaos-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"CHAOS GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument(
+        "--max-provider-calls",
+        type=int,
+        default=6,
+        help="ceiling on storm provider calls once the breaker opens "
+        "(threshold + probe headroom) [default: 6]",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        payload = json.load(fh)
+    by_scenario = {(r["scenario"], r["profile"]): r for r in payload.get("results", [])}
+
+    sweep = by_scenario.get(("sweep", "flaky-ipmi"))
+    storm = by_scenario.get(("storm", "chronus-timeout"))
+    if sweep is None or storm is None:
+        fail("report is missing the flaky-ipmi sweep or chronus-timeout storm")
+
+    for r in (sweep, storm):
+        label = f"{r['scenario']}[{r['profile']}]"
+        if r.get("unhandled_error"):
+            fail(f"{label}: unhandled exception: {r['unhandled_error']}")
+        accounted = r["completed"] + r["quarantined"] + r["skipped"]
+        if accounted != r["total"]:
+            fail(
+                f"{label}: only {accounted}/{r['total']} points accounted for "
+                "(silent drop)"
+            )
+
+    if not sweep["faults_fired"].get("ipmi.read"):
+        fail("flaky-ipmi drill injected no ipmi.read faults; gate is vacuous")
+    if sweep["metrics"].get("ipmi_retries_total", 0) <= 0:
+        fail("flaky-ipmi drill never exercised the IPMI retry path")
+
+    jobs = storm["total"]
+    if storm["completed"] != jobs:
+        fail(f"storm submitted {storm['completed']}/{jobs} jobs")
+    if storm["modified_jobs"] != 0:
+        fail(
+            f"storm modified {storm['modified_jobs']} jobs despite a dead "
+            "Chronus; fallback must leave jobs untouched"
+        )
+    if storm["metrics"].get("eco_fallback_total", 0) != jobs:
+        fail(
+            f"storm eco_fallback_total={storm['metrics'].get('eco_fallback_total')} "
+            f"!= {jobs}; every submission must take the fallback path"
+        )
+    if storm["metrics"].get("eco_short_circuits_total", 0) <= 0:
+        fail("storm breaker never opened; a dead Chronus must short-circuit")
+    calls = storm["metrics"].get("provider_calls", 0) + storm["faults_fired"].get("predict.timeout", 0)
+    if calls > args.max_provider_calls:
+        fail(
+            f"storm made {calls:g} prediction attempts for {jobs} jobs; breaker "
+            f"is not bounding overhead (ceiling {args.max_provider_calls})"
+        )
+
+    print(
+        "CHAOS GATE OK: "
+        f"sweep {sweep['completed']} measured / {sweep['quarantined']} quarantined "
+        f"(retries={sweep['metrics'].get('ipmi_retries_total'):g}); "
+        f"storm {storm['completed']}/{jobs} submitted unchanged, "
+        f"{calls:g} prediction attempts, "
+        f"{storm['metrics'].get('eco_short_circuits_total'):g} short-circuits"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

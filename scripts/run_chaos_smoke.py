@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Run the CI chaos drills and write their outcome as JSON.
+
+Two drills (see ``repro.faults.scenarios``):
+
+* ``flaky-ipmi`` mini-sweep — 20% of IPMI sensor reads fail transiently;
+  every sweep point must end up measured or explicitly quarantined.
+* ``chronus-timeout`` submit storm — every prediction times out; all 50
+  jobs must still submit (unchanged) with the circuit breaker limiting
+  the damage to a handful of provider timeouts.
+
+The companion ``check_chaos_gate.py`` asserts the invariants; this script
+only runs and records, so a failing drill still leaves an artifact to
+inspect.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_chaos_smoke.py --output chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+
+from repro.faults.scenarios import run_storm_scenario, run_sweep_scenario
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="chaos-smoke.json")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--points", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=50)
+    args = parser.parse_args(argv)
+
+    results = [
+        run_sweep_scenario("flaky-ipmi", points=args.points, seed=args.seed),
+        run_storm_scenario("chronus-timeout", jobs=args.jobs, seed=args.seed),
+    ]
+    for result in results:
+        print(result.render())
+
+    payload = {"seed": args.seed, "results": [dataclasses.asdict(r) for r in results]}
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

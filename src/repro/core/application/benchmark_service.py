@@ -21,7 +21,7 @@ from repro.core.application.interfaces import (
 )
 from repro.core.domain.benchmark import BenchmarkResult
 from repro.core.domain.configuration import Configuration
-from repro.core.domain.errors import ChronusError
+from repro.core.domain.errors import ChronusError, TransientSamplingError
 from repro.core.domain.run import Run
 
 __all__ = ["BenchmarkService"]
@@ -71,20 +71,34 @@ class BenchmarkService:
         service (e.g. an IPMI read that takes a second) therefore no longer
         stretches the effective cadence — the next deadline absorbs the
         read time instead of drifting by it.
+
+        A :class:`TransientSamplingError` (a flaky BMC that stayed flaky
+        through the service's retries) records a *missed* interval and the
+        run carries on; only permanent failures abort the benchmark.
         """
         wall_started = time.perf_counter()
         power_samples = telemetry.counter("power_samples_total")
+        missed_counter = telemetry.counter("bench_samples_missed_total")
         deadline_misses = telemetry.counter("bench_sample_deadline_misses_total")
         handle = self.runner.submit(configuration)
         start = clock()
         deadline = start + self.sample_interval_s
         samples = []
+        missed = 0
         while not self.runner.is_done(handle):
             remaining = deadline - clock()
             if remaining > 0:
                 self.runner.advance(remaining)
-            samples.append(self.system_service.sample())
-            power_samples.inc()
+            try:
+                samples.append(self.system_service.sample())
+                power_samples.inc()
+            except TransientSamplingError as exc:
+                missed += 1
+                missed_counter.inc()
+                self._log(
+                    f"benchmark: missed sample at t={clock():.1f}s ({exc}); "
+                    "continuing"
+                )
             deadline += self.sample_interval_s
             if deadline <= clock():
                 # the sample itself overran one or more whole intervals;
@@ -92,17 +106,30 @@ class BenchmarkService:
                 missed = int((clock() - deadline) // self.sample_interval_s) + 1
                 deadline_misses.inc(missed)
                 deadline += missed * self.sample_interval_s
-            if len(samples) > MAX_SAMPLES_PER_RUN:
+            if len(samples) + missed > MAX_SAMPLES_PER_RUN:
                 raise ChronusError(
                     f"run at {configuration} exceeded {MAX_SAMPLES_PER_RUN} samples; "
                     "is the job wedged?"
                 )
         result = self.runner.result(handle)
         end = clock()
+        success = result.success
         if not samples:
-            # ultra-short run: take one sample post-hoc so aggregates exist
-            samples.append(self.system_service.sample())
-            power_samples.inc()
+            # ultra-short run (or a total sampling outage): take one sample
+            # post-hoc so aggregates exist
+            try:
+                samples.append(self.system_service.sample())
+                power_samples.inc()
+            except TransientSamplingError as exc:
+                missed += 1
+                missed_counter.inc()
+                # no telemetry at all: the run cannot be aggregated — fail
+                # this point explicitly rather than fabricate numbers
+                success = False
+                self._log(
+                    f"benchmark: no usable samples for {configuration.to_json()} "
+                    f"({exc}); marking run failed"
+                )
         telemetry.histogram("bench_sweep_point_seconds").observe(
             time.perf_counter() - wall_started
         )
@@ -113,7 +140,8 @@ class BenchmarkService:
             end_time=end,
             gflops=result.gflops,
             samples=samples,
-            success=result.success,
+            success=success,
+            missed_samples=missed,
         )
 
     def run_benchmarks(

@@ -9,6 +9,7 @@ The paper's section 3.3 surface plus one reporting addition::
     chronus set {database,blob-storage,state,telemetry} VALUE
     chronus report --system [SYSTEM_ID]      (ours: projected savings)
     chronus metrics [--format json|prometheus|summary]  (ours: telemetry)
+    chronus faults {list,run ..}             (ours: chaos drills)
 
 Every command leaves a telemetry snapshot at ``<workspace>/telemetry.json``
 (unless telemetry is disabled); ``chronus metrics`` either re-reads that
@@ -129,6 +130,32 @@ def build_parser() -> argparse.ArgumentParser:
         "telemetry", help="enable or disable the metrics/tracing layer"
     )
     s_tele.add_argument("value", choices=["on", "off"])
+
+    p_faults = sub.add_parser(
+        "faults", help="fault injection: list sites/profiles, run chaos drills"
+    )
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    faults_sub.add_parser("list", help="show fault sites and named profiles")
+    f_run = faults_sub.add_parser(
+        "run", help="run a chaos drill under a fault profile/spec"
+    )
+    f_run.add_argument(
+        "profile",
+        help="named profile (see `chronus faults list`) or raw spec like "
+        "'ipmi.read=0.2,seed=42'",
+    )
+    f_run.add_argument(
+        "--scenario",
+        choices=["sweep", "storm"],
+        default="sweep",
+        help="sweep: mini benchmark sweep; storm: eco-plugin submit burst",
+    )
+    f_run.add_argument(
+        "--points", type=int, default=8, help="sweep points [default: 8]"
+    )
+    f_run.add_argument(
+        "--jobs", type=int, default=50, help="storm submissions [default: 50]"
+    )
 
     p_metrics = sub.add_parser(
         "metrics", help="dump a telemetry snapshot (metrics + latency quantiles)"
@@ -273,8 +300,10 @@ def _run_metrics_demo(args: argparse.Namespace) -> None:
     """A compact end-to-end run exercising every instrumented layer.
 
     Quickstart in miniature: a small benchmark sweep (IPMI sampling), model
-    training + pre-loading, then eco-plugin submissions through sbatch so
-    the predict path, the scheduler and the simulator all record metrics.
+    training + pre-loading, eco-plugin submissions through sbatch so the
+    predict path, the scheduler and the simulator all record metrics, and
+    two short chaos drills so the resilience counters (retry_attempts_total,
+    breaker_state, ipmi_degraded_samples_total, ...) show up too.
     """
     from repro.slurm.batch_script import build_script
     from repro.slurm.commands import parse_sbatch_output
@@ -304,6 +333,10 @@ def _run_metrics_demo(args: argparse.Namespace) -> None:
         )
         job_id = parse_sbatch_output(cluster.commands.sbatch(script))
         cluster.ctld.wait_for_job(job_id)
+    from repro.faults.scenarios import run_storm_scenario, run_sweep_scenario
+
+    run_sweep_scenario("flaky-ipmi", points=2, seed=args.seed, duration_s=30.0)
+    run_storm_scenario("chronus-timeout", jobs=5, seed=args.seed)
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -343,6 +376,27 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro import faults
+    from repro.faults.scenarios import run_storm_scenario, run_sweep_scenario
+
+    if args.faults_command == "list":
+        print("Fault sites:")
+        for site, what in sorted(faults.SITES.items()):
+            print(f"  {site:<18} {what}")
+        print("\nProfiles (chronus faults run <profile> / CHRONUS_FAULTS=<profile>):")
+        for name in sorted(faults.PROFILES):
+            desc = faults.PROFILE_DESCRIPTIONS.get(name, "")
+            print(f"  {name:<18} {faults.PROFILES[name]:<32} {desc}")
+        return 0
+    if args.scenario == "storm":
+        result = run_storm_scenario(args.profile, jobs=args.jobs, seed=args.seed)
+    else:
+        result = run_sweep_scenario(args.profile, points=args.points, seed=args.seed)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import SavingsReport
 
@@ -369,6 +423,7 @@ _COMMANDS = {
     "slurm-config": _cmd_slurm_config,
     "set": _cmd_set,
     "metrics": _cmd_metrics,
+    "faults": _cmd_faults,
 }
 
 

@@ -1,4 +1,10 @@
-"""Chronus error hierarchy."""
+"""Chronus error hierarchy.
+
+The resilience layer needs to tell *transient* failures (worth retrying,
+counted against circuit breakers) from *permanent* ones (configuration or
+permission problems a retry cannot fix), so the hierarchy carries that
+classification: anything under :class:`TransientError` is retry-safe.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +15,15 @@ __all__ = [
     "NoBenchmarksError",
     "OptimizerError",
     "SettingsError",
+    "TransientError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "PredictTimeoutError",
+    "SamplingError",
+    "TransientSamplingError",
+    "PermanentSamplingError",
+    "ConfigValidationError",
+    "FaultSpecError",
 ]
 
 
@@ -34,3 +49,40 @@ class OptimizerError(ChronusError):
 
 class SettingsError(ChronusError):
     """Settings file missing, malformed, or write-protected."""
+
+
+class TransientError(ChronusError):
+    """A failure expected to clear on its own — safe to retry."""
+
+
+class DeadlineExceededError(TransientError):
+    """An operation did not complete within its time budget."""
+
+
+class CircuitOpenError(TransientError):
+    """A call was short-circuited because its circuit breaker is open."""
+
+
+class PredictTimeoutError(TransientError):
+    """The Chronus predict (slurm-config) call timed out."""
+
+
+class SamplingError(ChronusError):
+    """A power-telemetry sample could not be obtained."""
+
+
+class TransientSamplingError(SamplingError, TransientError):
+    """A sample failed for a transient reason (flaky BMC read, glitched
+    reading); the caller should record a missed sample and carry on."""
+
+
+class PermanentSamplingError(SamplingError):
+    """Sampling is impossible until an operator intervenes (permissions)."""
+
+
+class ConfigValidationError(ChronusError):
+    """A Chronus reply parsed as JSON but failed schema/bounds validation."""
+
+
+class FaultSpecError(ChronusError):
+    """A CHRONUS_FAULTS spec or profile name could not be parsed."""

@@ -19,12 +19,18 @@ __all__ = ["EnergySample", "Run"]
 
 @dataclass(frozen=True)
 class EnergySample:
-    """One telemetry sample (system watts, CPU watts, CPU temperature)."""
+    """One telemetry sample (system watts, CPU watts, CPU temperature).
+
+    ``degraded`` marks a sample obtained only after transient read
+    failures were retried — usable for aggregation, but flagged so
+    reports can show how clean the measurement window was.
+    """
 
     time: float
     system_w: float
     cpu_w: float
     cpu_temp_c: float
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.system_w < 0 or self.cpu_w < 0:
@@ -33,7 +39,12 @@ class EnergySample:
 
 @dataclass
 class Run:
-    """One application execution at one configuration."""
+    """One application execution at one configuration.
+
+    ``missed_samples`` counts sampling intervals where telemetry could
+    not be obtained even after retries (the benchmark carried on without
+    them); ``degraded_samples`` counts the samples that needed retries.
+    """
 
     configuration: Configuration
     start_time: float
@@ -41,6 +52,11 @@ class Run:
     gflops: float
     samples: list[EnergySample] = field(default_factory=list)
     success: bool = True
+    missed_samples: int = 0
+
+    @property
+    def degraded_samples(self) -> int:
+        return sum(1 for s in self.samples if s.degraded)
 
     def __post_init__(self) -> None:
         if self.end_time < self.start_time:

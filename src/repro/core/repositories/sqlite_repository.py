@@ -4,6 +4,15 @@ Three tables (systems, benchmarks, models) with JSON columns for nested
 structures.  Connections are short-lived per operation so concurrent CLI
 invocations (benchmark in tmux + slurm-config from the plugin) do not hold
 locks, mirroring how the original uses SQLite.
+
+Write resilience: every write runs inside one transaction, so an error
+mid-batch rolls the whole flush back; transient ``database is locked`` /
+``busy`` / I/O errors are then retried by re-running the *entire*
+operation under a seeded backoff policy.  Rollback-then-retry is the
+single-flush guarantee — after any number of mid-batch failures the batch
+lands exactly once or not at all, never duplicated and never half-written.
+The ``sqlite.busy`` fault site injects a lock error just before commit to
+prove it.
 """
 
 from __future__ import annotations
@@ -11,15 +20,34 @@ from __future__ import annotations
 import json
 import sqlite3
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional, TypeVar
 
+from repro import faults, telemetry
 from repro.core.application.interfaces import RepositoryInterface
 from repro.core.domain.benchmark import BenchmarkResult
 from repro.core.domain.errors import ModelNotFoundError, SystemNotFoundError
 from repro.core.domain.model import ModelMetadata
 from repro.core.domain.system_info import SystemInfo
+from repro.resilience import RetryPolicy
 
 __all__ = ["SqliteRepository"]
+
+T = TypeVar("T")
+
+#: SQLite raises OperationalError for both transient contention and
+#: permanent problems; only these message fragments are retry-safe
+_TRANSIENT_SQLITE_MARKERS = ("locked", "busy", "disk i/o error")
+
+#: a handful of quick attempts rides out a concurrent CLI holding the file
+DEFAULT_WRITE_RETRY = RetryPolicy(
+    max_attempts=4, base_delay_s=0.002, max_delay_s=0.05, seed=0
+)
+
+
+def _is_transient_sqlite_error(exc: BaseException) -> bool:
+    return isinstance(exc, sqlite3.OperationalError) and any(
+        marker in str(exc).lower() for marker in _TRANSIENT_SQLITE_MARKERS
+    )
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS systems (
@@ -59,10 +87,13 @@ CREATE INDEX IF NOT EXISTS idx_benchmarks_system
 class SqliteRepository(RepositoryInterface):
     """Repository over one SQLite database file."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self, path: str, *, retry_policy: Optional[RetryPolicy] = None
+    ) -> None:
         if not path:
             raise ValueError("database path cannot be empty")
         self.path = path
+        self.retry_policy = retry_policy or DEFAULT_WRITE_RETRY
         with self._connect() as conn:
             conn.executescript(_SCHEMA)
 
@@ -70,14 +101,42 @@ class SqliteRepository(RepositoryInterface):
     def _connect(self) -> Iterator[sqlite3.Connection]:
         conn = sqlite3.connect(self.path)
         conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA busy_timeout = 2000")
         try:
             yield conn
             conn.commit()
         finally:
+            # on an exception the commit is skipped and close() discards
+            # the open transaction — a failed write leaves no partial rows
             conn.close()
+
+    def _write(self, op_name: str, op: Callable[[], T]) -> T:
+        """Run a write op, retrying the whole transaction on contention."""
+
+        def on_retry(exc: BaseException, attempt: int) -> None:
+            telemetry.counter("sqlite_write_retries_total").inc()
+
+        return self.retry_policy.call(
+            op,
+            op=op_name,
+            retry_on=(sqlite3.OperationalError,),
+            should_retry=_is_transient_sqlite_error,
+            sleep=None,
+            on_retry=on_retry,
+        )
+
+    @staticmethod
+    def _maybe_inject_busy(conn: sqlite3.Connection) -> None:
+        """The ``sqlite.busy`` fault site: lose the transaction pre-commit."""
+        if faults.fire("sqlite.busy"):
+            conn.rollback()
+            raise sqlite3.OperationalError("database is locked (injected fault)")
 
     # --- systems -------------------------------------------------------
     def save_system(self, info: SystemInfo) -> int:
+        return self._write("sqlite.save_system", lambda: self._save_system(info))
+
+    def _save_system(self, info: SystemInfo) -> int:
         fp = str(info.fingerprint())
         with self._connect() as conn:
             row = conn.execute(
@@ -89,6 +148,7 @@ class SqliteRepository(RepositoryInterface):
                 "INSERT INTO systems (fingerprint, info_json) VALUES (?, ?)",
                 (fp, json.dumps(info.to_dict())),
             )
+            self._maybe_inject_busy(conn)
             return int(cur.lastrowid)
 
     def get_system(self, system_id: int) -> SystemInfo:
@@ -112,6 +172,11 @@ class SqliteRepository(RepositoryInterface):
 
     # --- benchmarks ----------------------------------------------------
     def save_benchmark(self, result: BenchmarkResult) -> int:
+        return self._write(
+            "sqlite.save_benchmark", lambda: self._save_benchmark(result)
+        )
+
+    def _save_benchmark(self, result: BenchmarkResult) -> int:
         with self._connect() as conn:
             exists = conn.execute(
                 "SELECT 1 FROM systems WHERE id = ?", (result.system_id,)
@@ -143,6 +208,7 @@ class SqliteRepository(RepositoryInterface):
                     result.runtime_s,
                 ),
             )
+            self._maybe_inject_busy(conn)
             return int(cur.lastrowid)
 
     def save_benchmarks(self, results) -> list[int]:
@@ -150,6 +216,11 @@ class SqliteRepository(RepositoryInterface):
         results = list(results)
         if not results:
             return []
+        return self._write(
+            "sqlite.save_benchmarks", lambda: self._save_benchmarks(results)
+        )
+
+    def _save_benchmarks(self, results: list[BenchmarkResult]) -> list[int]:
         ids: list[int] = []
         with self._connect() as conn:
             known: set[int] = set()
@@ -187,6 +258,7 @@ class SqliteRepository(RepositoryInterface):
                     ),
                 )
                 ids.append(int(cur.lastrowid))
+            self._maybe_inject_busy(conn)
         return ids
 
     def benchmarks_for_system(
@@ -204,6 +276,12 @@ class SqliteRepository(RepositoryInterface):
 
     # --- models --------------------------------------------------------
     def save_model_metadata(self, metadata: ModelMetadata) -> int:
+        return self._write(
+            "sqlite.save_model_metadata",
+            lambda: self._save_model_metadata(metadata),
+        )
+
+    def _save_model_metadata(self, metadata: ModelMetadata) -> int:
         with self._connect() as conn:
             conn.execute(
                 """

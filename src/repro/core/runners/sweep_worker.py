@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro import faults
 from repro.core.application.benchmark_service import BenchmarkService
 from repro.core.domain.configuration import Configuration
 from repro.core.domain.run import Run
@@ -70,8 +71,15 @@ def run_sweep_point(point: SweepPoint) -> Run:
     """Execute one sweep point on a fresh cluster; returns the sampled Run.
 
     Top-level function (picklable) so ``ProcessPoolExecutor`` can ship it
-    to workers; equally callable in-process for the serial path.
+    to workers; equally callable in-process for the serial path.  The
+    ``sweep.crash`` fault site simulates a worker dying mid-point — the
+    executor's retry/quarantine path is what keeps the sweep alive.
     """
+    if faults.fire("sweep.crash"):
+        raise RuntimeError(
+            f"sweep worker crashed on {point.configuration.to_json()} "
+            "(injected fault)"
+        )
     cluster = SimCluster(seed=point.seed, hpcg_duration_s=point.duration_s)
     clock = lambda: cluster.sim.now  # noqa: E731 - tiny closure over the sim
     service = BenchmarkService(

@@ -18,9 +18,12 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.core.application.interfaces import SystemServiceInterface
-from repro.core.domain.errors import ChronusError
+from repro.core.domain.errors import (
+    PermanentSamplingError,
+    TransientSamplingError,
+)
 from repro.core.domain.run import EnergySample
-from repro.hardware.ipmi import IpmiPermissionError, IpmiTool
+from repro.hardware.ipmi import IpmiError, IpmiPermissionError, IpmiTool
 
 __all__ = ["ClusterPowerService"]
 
@@ -48,8 +51,14 @@ class ClusterPowerService(SystemServiceInterface):
                 cpu_w += ipmi.read_sensor("CPU_Power").value
                 max_temp = max(max_temp, ipmi.read_sensor("CPU_Temp").value)
             except IpmiPermissionError as exc:
-                raise ChronusError(
+                raise PermanentSamplingError(
                     f"IPMI access denied on {ipmi.bmc.node.hostname}: {exc}"
+                ) from exc
+            except (IpmiError, OSError) as exc:
+                # one node's flaky BMC poisons the cluster-wide sum for
+                # this instant; report the interval as missed instead
+                raise TransientSamplingError(
+                    f"IPMI read failed on {ipmi.bmc.node.hostname}: {exc}"
                 ) from exc
         return EnergySample(
             time=self._clock(),

@@ -5,43 +5,128 @@ Wraps the ``ipmitool`` facade: one :meth:`sample` reads ``Total_Power``,
 :class:`~repro.core.domain.run.EnergySample` rows that benchmark runs
 accumulate.  Access control mirrors the paper's section 3.4.2 (readable
 ``/dev/ipmi0`` or BMC credentials).
+
+Failure policy: transient BMC failures (dropped reads, NaN/spiked values)
+are retried under a seeded :class:`~repro.resilience.RetryPolicy`; a
+sample that succeeds only after retries is tagged ``degraded``.  If every
+attempt fails the service raises
+:class:`~repro.core.domain.errors.TransientSamplingError` so the caller
+records a *missed* sample and the benchmark carries on — one flaky BMC
+read must not abort a 138-point sweep.  Permission failures are permanent:
+they surface immediately as
+:class:`~repro.core.domain.errors.PermanentSamplingError` (retrying cannot
+chmod ``/dev/ipmi0``).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import math
+from typing import Callable, Optional
 
 from repro import telemetry
 from repro.core.application.interfaces import SystemServiceInterface
-from repro.core.domain.errors import ChronusError
+from repro.core.domain.errors import (
+    PermanentSamplingError,
+    TransientSamplingError,
+)
 from repro.core.domain.run import EnergySample
-from repro.hardware.ipmi import IpmiPermissionError, IpmiTool
+from repro.hardware.ipmi import IpmiError, IpmiPermissionError, IpmiReadError, IpmiTool
+from repro.resilience import RetryPolicy
 
-__all__ = ["IpmiSystemService"]
+__all__ = ["IpmiSystemService", "DEFAULT_SAMPLE_RETRY"]
+
+#: sampling happens every 2-3 s; three quick attempts with millisecond
+#: backoff ride out a flaky read without disturbing the cadence
+DEFAULT_SAMPLE_RETRY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.001, max_delay_s=0.01, seed=0
+)
+
+#: plausibility bounds — a single node cannot draw 100 kW or run at 500 C
+MAX_PLAUSIBLE_POWER_W = 100_000.0
+MAX_PLAUSIBLE_TEMP_C = 150.0
+MIN_PLAUSIBLE_TEMP_C = -50.0
+
+
+def _validate_reading(total: float, cpu: float, temp: float) -> None:
+    """Reject glitched sensor values (NaN, spikes) as transient faults."""
+    for label, value in (("Total_Power", total), ("CPU_Power", cpu)):
+        if not math.isfinite(value) or not 0.0 <= value <= MAX_PLAUSIBLE_POWER_W:
+            raise IpmiReadError(f"implausible {label} reading {value!r}")
+    if not math.isfinite(temp) or not MIN_PLAUSIBLE_TEMP_C <= temp <= MAX_PLAUSIBLE_TEMP_C:
+        raise IpmiReadError(f"implausible CPU_Temp reading {temp!r}")
 
 
 class IpmiSystemService(SystemServiceInterface):
-    """Samples the BMC through IPMI."""
+    """Samples the BMC through IPMI, riding out transient read faults."""
 
-    def __init__(self, ipmi: IpmiTool, clock: Callable[[], float]) -> None:
+    def __init__(
+        self,
+        ipmi: IpmiTool,
+        clock: Callable[[], float],
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
         self.ipmi = ipmi
         self._clock = clock
+        self.retry_policy = retry_policy or DEFAULT_SAMPLE_RETRY
+        #: None means retry immediately — the simulated BMC has no real
+        #: recovery time, and wall-sleeping would distort the sim cadence
+        self._sleep = sleep
 
-    def sample(self) -> EnergySample:
-        try:
-            total = self.ipmi.read_sensor("Total_Power").value
-            cpu = self.ipmi.read_sensor("CPU_Power").value
-            temp = self.ipmi.read_sensor("CPU_Temp").value
-            telemetry.counter("ipmi_samples_total").inc()
-        except IpmiPermissionError as exc:
-            telemetry.counter("ipmi_errors_total").inc()
-            raise ChronusError(
-                f"IPMI access denied: {exc}. See installation notes "
-                "(chmod o+r /dev/ipmi0 or configure BMC credentials)."
-            ) from exc
+    # ------------------------------------------------------------------
+    def _read_once(self) -> EnergySample:
+        total = self.ipmi.read_sensor("Total_Power").value
+        cpu = self.ipmi.read_sensor("CPU_Power").value
+        temp = self.ipmi.read_sensor("CPU_Temp").value
+        _validate_reading(total, cpu, temp)
         return EnergySample(
             time=self._clock(),
             system_w=float(total),
             cpu_w=float(cpu),
             cpu_temp_c=float(temp),
         )
+
+    def sample(self) -> EnergySample:
+        retried = 0
+
+        def on_retry(exc: BaseException, attempt: int) -> None:
+            nonlocal retried
+            retried += 1
+            telemetry.counter("ipmi_retries_total").inc()
+            telemetry.counter("ipmi_errors_total", {"kind": "transient"}).inc()
+
+        try:
+            sample = self.retry_policy.call(
+                self._read_once,
+                op="ipmi.sample",
+                retry_on=(IpmiError, OSError),
+                permanent=(IpmiPermissionError,),
+                sleep=self._sleep,
+                on_retry=on_retry,
+            )
+        except IpmiPermissionError as exc:
+            telemetry.counter("ipmi_errors_total", {"kind": "permanent"}).inc()
+            raise PermanentSamplingError(
+                f"IPMI access denied: {exc}. See installation notes "
+                "(chmod o+r /dev/ipmi0 or configure BMC credentials)."
+            ) from exc
+        except (IpmiError, OSError) as exc:
+            # the last attempt also failed transiently
+            telemetry.counter("ipmi_errors_total", {"kind": "transient"}).inc()
+            telemetry.counter("ipmi_degraded_samples_total").inc()
+            raise TransientSamplingError(
+                f"IPMI sample unavailable after "
+                f"{self.retry_policy.max_attempts} attempts: {exc}"
+            ) from exc
+        telemetry.counter("ipmi_samples_total").inc()
+        if retried:
+            telemetry.counter("ipmi_degraded_samples_total").inc()
+            return EnergySample(
+                time=sample.time,
+                system_w=sample.system_w,
+                cpu_w=sample.cpu_w,
+                cpu_temp_c=sample.cpu_temp_c,
+                degraded=True,
+            )
+        return sample

@@ -1,0 +1,33 @@
+"""Named fault profiles — the chaos suite's standard weather conditions.
+
+Each profile is a spec string (see :mod:`repro.faults.injector`); pass the
+name to ``chronus faults run --profile`` or put it in ``CHRONUS_FAULTS``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PROFILES", "PROFILE_DESCRIPTIONS"]
+
+PROFILES = {
+    # the acceptance profile: 20% transient BMC read failures
+    "flaky-ipmi": "ipmi.read=0.2",
+    # corrupted sensor values: NaNs and 100x spikes
+    "ipmi-noise": "ipmi.nan=0.1,ipmi.spike=0.1",
+    # Chronus predict never answers inside the window
+    "chronus-timeout": "predict.timeout=1",
+    # Chronus answers with truncated/garbage JSON
+    "chronus-garbage": "predict.garbage=1",
+    # the database is locked by a concurrent writer for a few attempts
+    "sqlite-busy": "sqlite.busy=1:2",
+    # sweep workers crash on ~30% of points
+    "worker-crash": "sweep.crash=0.3",
+}
+
+PROFILE_DESCRIPTIONS = {
+    "flaky-ipmi": "20% of IPMI sensor reads fail transiently",
+    "ipmi-noise": "10% NaN + 10% spiked power readings",
+    "chronus-timeout": "every chronus predict call times out",
+    "chronus-garbage": "every chronus predict reply is garbage JSON",
+    "sqlite-busy": "first two repository writes hit a locked database",
+    "worker-crash": "30% of sweep points crash their worker",
+}

@@ -5,17 +5,37 @@ reads ``/dev/ipmi0``) on the real system; here it talks to this facade.  A
 simple permission model reproduces the paper's §3.4.2 requirement that
 ``/dev/ipmi0`` be made readable (``chmod o+r /dev/ipmi0``) before Chronus
 can sample power.
+
+Failure classification: every IPMI failure derives from :class:`IpmiError`.
+:class:`IpmiPermissionError` is *permanent* (an operator must chmod the
+device or fix credentials); :class:`IpmiReadError` is *transient* (a flaky
+BMC dropped one read — real ipmitool does this under load) and is what the
+fault injector's ``ipmi.read`` site raises.  The ``ipmi.nan``/``ipmi.spike``
+sites corrupt the returned value instead, modelling the glitched readings
+BMCs occasionally report.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
+
+from repro import faults
 from repro.hardware.bmc import BoardManagementController, SensorReading
 
-__all__ = ["IpmiPermissionError", "IpmiTool"]
+__all__ = ["IpmiError", "IpmiPermissionError", "IpmiReadError", "IpmiTool"]
 
 
-class IpmiPermissionError(PermissionError):
-    """Raised when /dev/ipmi0 is not readable by the caller."""
+class IpmiError(Exception):
+    """Base class for every IPMI-level failure."""
+
+
+class IpmiPermissionError(IpmiError, PermissionError):
+    """Raised when /dev/ipmi0 is not readable by the caller (permanent)."""
+
+
+class IpmiReadError(IpmiError, OSError):
+    """A sensor read failed transiently (flaky BMC, bus timeout)."""
 
 
 class IpmiTool:
@@ -47,7 +67,17 @@ class IpmiTool:
 
     def read_sensor(self, name: str) -> SensorReading:
         self._check_access()
-        return self.bmc.read_sensor(name)
+        if faults.fire("ipmi.read"):
+            raise IpmiReadError(
+                f"BMC read of {name} failed (injected transient fault)"
+            )
+        reading = self.bmc.read_sensor(name)
+        if reading.unit == "Watts":
+            if faults.fire("ipmi.nan"):
+                reading = dataclasses.replace(reading, value=math.nan)
+            elif faults.fire("ipmi.spike"):
+                reading = dataclasses.replace(reading, value=reading.value * 100.0)
+        return reading
 
     def total_power_watts(self) -> float:
         """Convenience: the ``Total_Power`` sensor value in watts."""

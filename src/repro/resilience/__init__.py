@@ -1,0 +1,46 @@
+"""``repro.resilience`` — retries, deadlines and circuit breakers.
+
+The paper's operational contract is that the eco plugin must *never take
+the cluster down*: predictions return within Slurm's plugin window and a
+failing dependency degrades the service instead of crashing it.  This
+package holds the three primitives that contract is built from:
+
+* :class:`RetryPolicy` — bounded exponential backoff with deterministic
+  seeded jitter, so chaos tests replay bit-identically.
+* :class:`Deadline` — a time budget an operation must fit inside; a
+  too-late result is treated as a failure (the caller has already moved
+  on), which is exactly Slurm's view of a stalled job-submit plugin.
+* :class:`CircuitBreaker` — closed/open/half-open state machine so a down
+  dependency costs one timeout per recovery window, not one per call.
+
+All three emit telemetry through the PR-1 registry
+(``retry_attempts_total``, ``breaker_state``, ``deadline_exceeded_total``)
+and accept injectable clocks/sleepers so the simulation never has to
+wall-sleep.
+"""
+
+from repro.core.domain.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    TransientError,
+)
+from repro.resilience.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "TransientError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+]

@@ -1,0 +1,164 @@
+"""Circuit breaker: a down dependency costs one probe, not one per call.
+
+Classic three-state machine:
+
+* **closed** — calls flow; ``failure_threshold`` consecutive failures
+  trip the breaker open.
+* **open** — calls are refused outright (:meth:`allow` returns False)
+  until ``recovery_timeout_s`` has elapsed on the injected clock.
+* **half-open** — after the timeout, up to ``half_open_max_probes``
+  probe calls are let through; one success closes the breaker, one
+  failure re-opens it and restarts the timer.
+
+The eco plugin consults this before every predict, so a dead Chronus
+costs the submit storm at most ``failure_threshold`` timeouts plus one
+probe per recovery window — bounded per-submit overhead, which is the
+acceptance bar of the chaos storm test.
+
+State is exported through the ``breaker_state`` gauge (0 closed,
+1 half-open, 2 open) and ``breaker_transitions_total{name,to}``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, TypeVar
+
+from repro import telemetry
+from repro.core.domain.errors import CircuitOpenError
+
+__all__ = [
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_HALF_OPEN = "half_open"
+BREAKER_OPEN = "open"
+
+#: gauge encoding, ordered by severity
+_STATE_VALUE = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+T = TypeVar("T")
+
+
+class CircuitBreaker:
+    """Thread-safe circuit breaker with half-open probing."""
+
+    def __init__(
+        self,
+        name: str = "default",
+        *,
+        failure_threshold: int = 3,
+        recovery_timeout_s: float = 30.0,
+        half_open_max_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_timeout_s <= 0:
+            raise ValueError("recovery_timeout_s must be positive")
+        if half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout_s = recovery_timeout_s
+        self.half_open_max_probes = half_open_max_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._publish(BREAKER_CLOSED, transition=False)
+
+    # ------------------------------------------------------------------
+    def _publish(self, state: str, *, transition: bool = True) -> None:
+        telemetry.gauge("breaker_state", {"name": self.name}).set(
+            _STATE_VALUE[state]
+        )
+        if transition:
+            telemetry.counter(
+                "breaker_transitions_total", {"name": self.name, "to": state}
+            ).inc()
+
+    def _set_state(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self._publish(state)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open(self) -> None:
+        # caller holds the lock
+        if (
+            self._state == BREAKER_OPEN
+            and self._clock() - self._opened_at >= self.recovery_timeout_s
+        ):
+            self._set_state(BREAKER_HALF_OPEN)
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (may start a probe)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_HALF_OPEN:
+                if self._probes_in_flight < self.half_open_max_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            telemetry.counter(
+                "breaker_short_circuits_total", {"name": self.name}
+            ).inc()
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probes_in_flight = 0
+            self._set_state(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == BREAKER_HALF_OPEN:
+                # the probe failed: back to open, timer restarted
+                self._opened_at = self._clock()
+                self._probes_in_flight = 0
+                self._set_state(BREAKER_OPEN)
+            elif (
+                self._state == BREAKER_CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._set_state(BREAKER_OPEN)
+
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable[[], T]) -> T:
+        """Guarded invocation: refuse when open, record the outcome."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open "
+                f"({self._failures} consecutive failures)"
+            )
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -1,0 +1,74 @@
+"""Time budgets for operations that block something important.
+
+``slurmctld`` is blocked while a job-submit plugin runs, so the eco
+plugin's predict path gets a hard budget: a result that arrives after the
+budget is *discarded and counted as a failure*, because the real plugin
+would already have fallen back to a no-op submission.  The check is
+cooperative (this is a single-process simulation — there is nothing to
+preempt), which is exactly the contract the paper's pre-load-model
+function exists to satisfy: keep the in-window path short.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from repro import telemetry
+from repro.core.domain.errors import DeadlineExceededError
+
+__all__ = ["Deadline"]
+
+T = TypeVar("T")
+
+
+class Deadline:
+    """A wall-clock budget started at construction time."""
+
+    __slots__ = ("budget_s", "_clock", "_started")
+
+    def __init__(
+        self,
+        budget_s: float,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if budget_s <= 0:
+            raise ValueError("budget_s must be positive")
+        self.budget_s = budget_s
+        self._clock = clock
+        self._started = clock()
+
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        return max(0.0, self.budget_s - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, op: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        elapsed = self.elapsed()
+        if elapsed > self.budget_s:
+            telemetry.counter(
+                "deadline_exceeded_total", {"op": op} if op else None
+            ).inc()
+            raise DeadlineExceededError(
+                f"{op or 'operation'} exceeded its {self.budget_s * 1000:.0f} ms "
+                f"budget ({elapsed * 1000:.1f} ms elapsed)"
+            )
+
+    def run(self, fn: Callable[[], T], op: str = "") -> T:
+        """Run ``fn`` inside the budget; a too-late result is a failure.
+
+        Checks before calling (no point starting with the budget spent)
+        and after returning (the result arrived too late to use).
+        """
+        self.check(op)
+        result = fn()
+        self.check(op)
+        return result

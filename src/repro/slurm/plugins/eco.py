@@ -18,23 +18,46 @@ Responsibilities (paper sections 3.1.1, 4.2):
    ``--cpu-freq`` window.
 
 Failure policy matches production common sense (and the plugin's default
-no-op behaviour): if Chronus is unreachable or returns garbage, the job is
-submitted *unchanged* — an energy optimizer must never take the cluster
-down.
+no-op behaviour): if Chronus is unreachable, too slow, or returns garbage,
+the job is submitted *unchanged* — an energy optimizer must never take the
+cluster down.  Two resilience layers enforce that at scale:
+
+* a :class:`~repro.resilience.Deadline` caps every prediction call —
+  slurmctld's submit path cannot afford an unbounded RPC, and a result
+  that arrives after the budget is discarded (slurmctld has moved on);
+* a :class:`~repro.resilience.CircuitBreaker` opens after consecutive
+  failures so a down Chronus costs one cheap state check per submission
+  instead of a full timeout each — a submit storm during an outage stays
+  fast.  Half-open probing re-admits Chronus once it recovers.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from typing import Callable, Optional, Protocol
 
-from repro import telemetry
+from repro import faults, telemetry
+from repro.core.domain.errors import ConfigValidationError, PredictTimeoutError
 from repro.hardware.node import SimulatedNode
+from repro.resilience import CircuitBreaker, CircuitOpenError, Deadline
 from repro.slurm.job import JobDescriptor
 from repro.slurm.plugins.base import SLURM_SUCCESS, JobSubmitPlugin
 from repro.slurm.plugins.chash import simple_hash
 
-__all__ = ["PluginState", "ChronusConfigProvider", "JobSubmitEco", "system_hash_from_node", "parse_chronus_comment"]
+__all__ = [
+    "PluginState",
+    "ChronusConfigProvider",
+    "JobSubmitEco",
+    "system_hash_from_node",
+    "parse_chronus_comment",
+    "validate_chronus_config",
+]
+
+#: default wall-clock budget for one prediction call (seconds).  slurmctld
+#: holds locks during job_submit; the real plugin must answer in far less
+#: than a scheduling cycle.
+DEFAULT_PREDICT_BUDGET_S = 0.1
 
 
 class ChronusConfigProvider(Protocol):
@@ -71,20 +94,79 @@ def parse_chronus_comment(comment: str) -> "tuple[bool, float | None]":
     return True, min_perf
 
 
+def validate_chronus_config(raw: str, node: SimulatedNode) -> "tuple[int, int, int]":
+    """Parse and validate a ``chronus slurm-config`` JSON answer.
+
+    Returns ``(cores, threads_per_core, frequency)`` or raises
+    :class:`ConfigValidationError` describing exactly what is wrong — a
+    garbage answer must never reach the job descriptor.  Bounds come from
+    the node itself: requested cores cannot exceed the node's, SMT depth
+    cannot exceed the CPU's, and the frequency must sit inside the
+    cpufreq window the hardware advertises.
+    """
+    try:
+        config = json.loads(raw)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise ConfigValidationError(f"config is not valid JSON: {exc}") from exc
+    if not isinstance(config, dict):
+        raise ConfigValidationError(
+            f"config must be a JSON object, got {type(config).__name__}"
+        )
+    values = {}
+    for key in ("cores", "threads_per_core", "frequency"):
+        if key not in config:
+            raise ConfigValidationError(f"config is missing required key {key!r}")
+        value = config[key]
+        # bool is an int subclass; "cores": true must not pass as 1
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigValidationError(
+                f"config key {key!r} must be a number, got {value!r}"
+            )
+        if isinstance(value, float) and not value.is_integer():
+            raise ConfigValidationError(
+                f"config key {key!r} must be an integer, got {value!r}"
+            )
+        values[key] = int(value)
+    cores, tpc, freq = values["cores"], values["threads_per_core"], values["frequency"]
+    if not 1 <= cores <= node.total_cores:
+        raise ConfigValidationError(
+            f"cores={cores} outside this node's range [1, {node.total_cores}]"
+        )
+    if tpc < 1 or tpc > node.spec.threads_per_core:
+        raise ConfigValidationError(
+            f"threads_per_core={tpc} outside this CPU's range "
+            f"[1, {node.spec.threads_per_core}]"
+        )
+    freqs = node.spec.frequencies_khz
+    if not freqs[0] <= freq <= freqs[-1]:
+        raise ConfigValidationError(
+            f"frequency={freq} outside the cpufreq window "
+            f"[{freqs[0]}, {freqs[-1]}] kHz"
+        )
+    return cores, tpc, freq
+
+
 #: valid plugin states (``chronus set state <..>``)
 PLUGIN_STATES = ("deactivated", "user", "activated")
 
 
 class PluginState:
-    """Shared mutable plugin state (admin-controlled via the Chronus CLI)."""
+    """Shared mutable plugin state (admin-controlled via the Chronus CLI).
+
+    ``set`` is guarded by a lock: slurmctld's submit threads read the
+    state concurrently with ``chronus set state``, and a reader must see
+    either the old or the new valid value — never an intermediate.
+    """
 
     def __init__(self, state: str = "user") -> None:
+        self._lock = threading.Lock()
         self.set(state)
 
     def set(self, state: str) -> None:
         if state not in PLUGIN_STATES:
             raise ValueError(f"unknown plugin state {state!r}; valid: {PLUGIN_STATES}")
-        self.state = state
+        with self._lock:
+            self.state = state
 
 
 def system_hash_from_node(node: SimulatedNode) -> int:
@@ -114,11 +196,19 @@ class JobSubmitEco(JobSubmitPlugin):
         state: Optional[PluginState] = None,
         *,
         log: Optional[Callable[[str], None]] = None,
+        predict_budget_s: float = DEFAULT_PREDICT_BUDGET_S,
+        breaker: Optional[CircuitBreaker] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.node = node
         self.provider = provider
         self.state = state or PluginState()
         self._log = log or (lambda msg: None)
+        self.predict_budget_s = predict_budget_s
+        self.breaker = breaker or CircuitBreaker(
+            "eco_predict", failure_threshold=3, recovery_timeout_s=30.0
+        )
+        self._clock = clock
         #: cached system hash — /proc contents are stable for a node's
         #: lifetime, and slurmctld cannot afford re-reading them per job
         self._system_hash: Optional[int] = None
@@ -145,6 +235,44 @@ class JobSubmitEco(JobSubmitPlugin):
         # user mode: opt-in through the job comment
         return opted_in, min_perf
 
+    def _call_provider(
+        self, system_id: int, binary_hash: int, min_perf: "float | None"
+    ) -> str:
+        """One prediction RPC, with the chaos hooks for a sick Chronus."""
+        if faults.fire("predict.timeout"):
+            raise PredictTimeoutError(
+                f"chronus slurm-config timed out after {self.predict_budget_s}s "
+                "(injected fault)"
+            )
+        raw = self.provider.slurm_config(system_id, binary_hash, min_perf)
+        if faults.fire("predict.garbage"):
+            return '{"cores": "all of them"'
+        return raw
+
+    def _predict(self, job_desc: JobDescriptor, min_perf: "float | None") -> "tuple[int, int, int]":
+        """Breaker-guarded, deadline-bounded prediction + validation."""
+        if not self.breaker.allow():
+            raise CircuitOpenError(
+                f"eco_predict breaker open; submitting {job_desc.name!r} unmodified"
+            )
+        deadline_kwargs = {"clock": self._clock} if self._clock else {}
+        deadline = Deadline(self.predict_budget_s, **deadline_kwargs)
+        try:
+            with telemetry.span("eco.predict", job=job_desc.name) as sp:
+                raw = deadline.run(
+                    lambda: self._call_provider(
+                        self.system_hash(), self.binary_hash(job_desc.binary), min_perf
+                    ),
+                    op="eco.predict",
+                )
+                config = validate_chronus_config(raw, self.node)
+            telemetry.histogram("eco_predict_seconds").observe(sp.duration_s)
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return config
+
     # ------------------------------------------------------------------
     def job_submit(self, job_desc: JobDescriptor, submit_uid: int) -> int:
         applies, min_perf = self._applies(job_desc)
@@ -152,15 +280,12 @@ class JobSubmitEco(JobSubmitPlugin):
             telemetry.counter("eco_skipped_total").inc()
             return SLURM_SUCCESS
         try:
-            with telemetry.span("eco.predict", job=job_desc.name) as sp:
-                raw = self.provider.slurm_config(
-                    self.system_hash(), self.binary_hash(job_desc.binary), min_perf
-                )
-                config = json.loads(raw)
-                cores = int(config["cores"])
-                tpc = int(config["threads_per_core"])
-                freq = int(config["frequency"])
-            telemetry.histogram("eco_predict_seconds").observe(sp.duration_s)
+            cores, tpc, freq = self._predict(job_desc, min_perf)
+        except CircuitOpenError as exc:
+            telemetry.counter("eco_short_circuits_total").inc()
+            telemetry.counter("eco_fallback_total").inc()
+            self._log(f"job_submit/eco: {exc}")
+            return SLURM_SUCCESS
         except Exception as exc:
             telemetry.counter("eco_fallback_total").inc()
             telemetry.log_event(
@@ -170,13 +295,6 @@ class JobSubmitEco(JobSubmitPlugin):
             self._log(
                 f"job_submit/eco: could not obtain configuration "
                 f"({type(exc).__name__}: {exc}); submitting job unmodified"
-            )
-            return SLURM_SUCCESS
-        if cores < 1 or tpc not in (1, 2) or freq <= 0:
-            telemetry.counter("eco_fallback_total").inc()
-            self._log(
-                f"job_submit/eco: implausible configuration {config!r}; "
-                "submitting job unmodified"
             )
             return SLURM_SUCCESS
         telemetry.counter("eco_applied_total").inc()

@@ -1,0 +1,215 @@
+"""Tests for repro.faults: spec parsing, profiles, injector behaviour."""
+
+import math
+
+import pytest
+
+from repro import faults
+from repro.core.domain.errors import FaultSpecError
+from repro.faults.injector import FaultInjector, FaultRule, NullInjector, parse_spec
+from repro.faults.profiles import PROFILE_DESCRIPTIONS, PROFILES
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestParseSpec:
+    def test_single_site(self):
+        rules, seed = parse_spec("ipmi.read=0.2")
+        assert len(rules) == 1
+        assert rules[0].site == "ipmi.read"
+        assert rules[0].probability == 0.2
+        assert rules[0].limit is None
+        assert seed == 0
+
+    def test_limit_and_seed(self):
+        rules, seed = parse_spec("sqlite.busy=1:2,seed=42")
+        assert rules[0].limit == 2
+        assert seed == 42
+
+    def test_profile_name_expands(self):
+        rules, _ = parse_spec("flaky-ipmi")
+        assert [(r.site, r.probability) for r in rules] == [("ipmi.read", 0.2)]
+
+    def test_profile_mixed_with_entries(self):
+        rules, seed = parse_spec("flaky-ipmi,seed=7")
+        assert rules[0].site == "ipmi.read"
+        assert seed == 7
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault site"):
+            parse_spec("warp.core=0.5")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(FaultSpecError):
+            parse_spec("ipmi.read=1.5")
+        with pytest.raises(FaultSpecError):
+            parse_spec("ipmi.read=lots")
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(FaultSpecError):
+            parse_spec("ipmi.read=0.5:0")
+        with pytest.raises(FaultSpecError):
+            parse_spec("ipmi.read=0.5:many")
+
+    def test_garbage_entry_rejected(self):
+        with pytest.raises(FaultSpecError, match="cannot parse"):
+            parse_spec("chaos please")
+
+    def test_every_profile_parses(self):
+        for name, spec in PROFILES.items():
+            rules, _ = parse_spec(spec)
+            assert rules, name
+            assert name in PROFILE_DESCRIPTIONS
+
+
+class TestFaultInjector:
+    def test_certain_fault_always_fires(self):
+        injector = FaultInjector([FaultRule("ipmi.read", 1.0)])
+        assert all(injector.fire("ipmi.read") for _ in range(5))
+
+    def test_unconfigured_site_never_fires_and_draws_no_rng(self):
+        injector = FaultInjector([FaultRule("ipmi.read", 0.5)], seed=1)
+        state = injector._rng.getstate()
+        assert not injector.fire("predict.timeout")
+        assert injector._rng.getstate() == state
+
+    def test_limit_caps_firings(self):
+        injector = FaultInjector([FaultRule("sqlite.busy", 1.0, limit=2)])
+        fires = [injector.fire("sqlite.busy") for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+        assert injector.fired_counts() == {"sqlite.busy": 2}
+
+    def test_seeded_sequences_reproduce(self):
+        a = FaultInjector([FaultRule("ipmi.read", 0.3)], seed=9)
+        b = FaultInjector([FaultRule("ipmi.read", 0.3)], seed=9)
+        seq_a = [a.fire("ipmi.read") for _ in range(50)]
+        seq_b = [b.fire("ipmi.read") for _ in range(50)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_spec_round_trips(self):
+        injector = FaultInjector.from_spec("ipmi.read=0.2,sqlite.busy=1:2,seed=3")
+        again = FaultInjector.from_spec(injector.spec())
+        assert again.spec() == injector.spec()
+
+
+class TestModuleState:
+    def test_default_is_null(self):
+        assert isinstance(faults.active(), NullInjector)
+        assert not faults.enabled()
+        assert not faults.fire("ipmi.read")
+
+    def test_configure_and_reset(self):
+        faults.configure("ipmi.read=1")
+        assert faults.enabled()
+        assert faults.fire("ipmi.read")
+        faults.reset()
+        assert not faults.enabled()
+
+    def test_configure_empty_disables(self):
+        faults.configure("ipmi.read=1")
+        faults.configure(None)
+        assert not faults.enabled()
+        faults.configure("   ")
+        assert not faults.enabled()
+
+    def test_seed_override(self):
+        faults.configure("ipmi.read=0.5,seed=1", seed=99)
+        assert faults.active().seed == 99
+
+    def test_env_var_configures_at_import(self, monkeypatch):
+        # simulate what a forked sweep worker does at import time
+        import importlib
+
+        monkeypatch.setenv(faults.ENV_VAR, "flaky-ipmi,seed=5")
+        importlib.reload(faults)
+        try:
+            assert faults.enabled()
+            assert faults.active().seed == 5
+        finally:
+            monkeypatch.delenv(faults.ENV_VAR)
+            importlib.reload(faults)
+
+
+class TestFaultHooks:
+    """The production hooks actually obey the injector."""
+
+    def test_ipmi_read_fault_raises(self, cluster):
+        from repro.hardware.ipmi import IpmiReadError
+
+        faults.configure("ipmi.read=1")
+        with pytest.raises(IpmiReadError):
+            cluster.ipmi.read_sensor("Total_Power")
+
+    def test_ipmi_nan_fault_poisons_reading(self, cluster):
+        faults.configure("ipmi.nan=1")
+        reading = cluster.ipmi.read_sensor("Total_Power")
+        assert math.isnan(reading.value)
+
+    def test_ipmi_spike_fault_inflates_reading(self, cluster):
+        clean = cluster.ipmi.read_sensor("Total_Power").value
+        faults.configure("ipmi.spike=1")
+        spiked = cluster.ipmi.read_sensor("Total_Power").value
+        assert spiked == pytest.approx(clean * 100.0, rel=0.5)
+
+    def test_sweep_crash_fault_raises_in_worker(self, cluster):
+        from repro.core.runners.sweep_worker import SweepPoint, run_sweep_point
+        from repro.core.domain.configuration import Configuration
+
+        faults.configure("sweep.crash=1")
+        point = SweepPoint(Configuration(1, 1, 2_500_000), seed=0, duration_s=10.0)
+        with pytest.raises(RuntimeError, match="injected fault"):
+            run_sweep_point(point)
+
+    def test_sqlite_busy_fault_retried_transparently(self, tmp_path):
+        import sqlite3
+
+        from repro.core.repositories.sqlite_repository import SqliteRepository
+        from repro.core.services.lscpu_info import LscpuSystemInfo
+
+        repo = SqliteRepository(str(tmp_path / "test.db"))
+        info = LscpuSystemInfo(_node()).fetch()
+        faults.configure("sqlite.busy=1:2")  # two injected lock errors
+        system_id = repo.save_system(info)
+        assert repo.get_system(system_id).cores == info.cores
+        # the retries re-ran the whole transaction: exactly one row
+        assert len(repo.list_systems()) == 1
+        faults.configure("sqlite.busy=1")  # unlimited: retries exhaust
+        row = _benchmark_row(system_id)
+        with pytest.raises(sqlite3.OperationalError):
+            repo.save_benchmark(row)
+        # the failed flush left no partial rows behind
+        assert repo.benchmarks_for_system(system_id) == []
+        faults.reset()
+        repo.save_benchmark(row)
+        assert len(repo.benchmarks_for_system(system_id)) == 1
+
+
+def _node():
+    from repro.hardware.node import SimulatedNode
+    from repro.simkernel.engine import Simulator
+
+    return SimulatedNode(Simulator())
+
+
+def _benchmark_row(system_id):
+    from repro.core.domain.benchmark import BenchmarkResult
+    from repro.core.domain.configuration import Configuration
+
+    return BenchmarkResult(
+        system_id=system_id,
+        application="hpcg",
+        configuration=Configuration(4, 1, 2_500_000),
+        gflops=10.0,
+        avg_system_w=200.0,
+        avg_cpu_w=120.0,
+        avg_cpu_temp_c=55.0,
+        system_energy_j=1000.0,
+        cpu_energy_j=600.0,
+        runtime_s=5.0,
+    )

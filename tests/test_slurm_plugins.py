@@ -173,6 +173,26 @@ class TestParseChronusComment:
     def test_unknown_tokens_ignored(self):
         assert self.parse("chronus deadline=soon perf=0.9") == (True, 0.9)
 
+    def test_perf_zero_opts_in_without_floor(self):
+        # perf=0 would mean "no performance at all"; treat as absent
+        assert self.parse("chronus perf=0") == (True, None)
+
+    def test_perf_above_one_rejected_as_floor(self):
+        assert self.parse("chronus perf=1.5") == (True, None)
+
+    def test_perf_exactly_one_accepted(self):
+        assert self.parse("chronus perf=1.0") == (True, 1.0)
+
+    def test_mixed_case_tokens(self):
+        assert self.parse("ChRoNuS PeRf=0.9") == (True, 0.9)
+
+    def test_duplicate_perf_tokens_last_wins(self):
+        assert self.parse("chronus perf=0.8 perf=0.9") == (True, 0.9)
+
+    def test_duplicate_with_trailing_malformed_keeps_valid(self):
+        # a later malformed token must not wipe an earlier valid floor
+        assert self.parse("chronus perf=0.8 perf=oops") == (True, 0.8)
+
 
 class TestJobSubmitEco:
     def test_opt_in_via_comment(self, node):
@@ -257,3 +277,175 @@ class TestJobSubmitEco:
         assert system_id == system_hash_from_node(node)
         assert binary_hash == simple_hash("/opt/hpcg/xhpcg")
         assert min_perf is None
+
+
+class TestValidateChronusConfig:
+    """Schema validation of the slurm-config JSON answer."""
+
+    @staticmethod
+    def validate(raw, node):
+        from repro.slurm.plugins.eco import validate_chronus_config
+
+        return validate_chronus_config(raw, node)
+
+    def errors(self):
+        from repro.core.domain.errors import ConfigValidationError
+
+        return ConfigValidationError
+
+    def test_good_config_passes(self, node):
+        assert self.validate(GOOD, node) == (32, 1, 2_200_000)
+
+    def test_negative_cores_rejected(self, node):
+        bad = json.dumps({"cores": -1, "threads_per_core": 1, "frequency": 2_200_000})
+        with pytest.raises(self.errors(), match="cores=-1"):
+            self.validate(bad, node)
+
+    def test_cores_above_node_rejected(self, node):
+        bad = json.dumps({"cores": 64, "threads_per_core": 1, "frequency": 2_200_000})
+        with pytest.raises(self.errors(), match="cores=64"):
+            self.validate(bad, node)
+
+    @pytest.mark.parametrize("missing", ["cores", "threads_per_core", "frequency"])
+    def test_missing_key_rejected(self, node, missing):
+        config = {"cores": 32, "threads_per_core": 1, "frequency": 2_200_000}
+        del config[missing]
+        with pytest.raises(self.errors(), match=missing):
+            self.validate(json.dumps(config), node)
+
+    def test_non_dict_json_rejected(self, node):
+        with pytest.raises(self.errors(), match="JSON object"):
+            self.validate(json.dumps([32, 1, 2_200_000]), node)
+
+    def test_invalid_json_rejected(self, node):
+        with pytest.raises(self.errors(), match="not valid JSON"):
+            self.validate('{"cores": "all of them"', node)
+
+    def test_boolean_value_rejected(self, node):
+        bad = json.dumps({"cores": True, "threads_per_core": 1, "frequency": 2_200_000})
+        with pytest.raises(self.errors(), match="must be a number"):
+            self.validate(bad, node)
+
+    def test_fractional_value_rejected(self, node):
+        bad = json.dumps(
+            {"cores": 1.5, "threads_per_core": 1, "frequency": 2_200_000}
+        )
+        with pytest.raises(self.errors(), match="integer"):
+            self.validate(bad, node)
+
+    def test_string_value_rejected(self, node):
+        bad = json.dumps(
+            {"cores": "32", "threads_per_core": 1, "frequency": 2_200_000}
+        )
+        with pytest.raises(self.errors(), match="number"):
+            self.validate(bad, node)
+
+    def test_smt_depth_beyond_cpu_rejected(self, node):
+        bad = json.dumps({"cores": 32, "threads_per_core": 4, "frequency": 2_200_000})
+        with pytest.raises(self.errors(), match="threads_per_core=4"):
+            self.validate(bad, node)
+
+    def test_frequency_outside_window_rejected(self, node):
+        for freq in (999, 9_999_999):
+            bad = json.dumps({"cores": 32, "threads_per_core": 1, "frequency": freq})
+            with pytest.raises(self.errors(), match="frequency"):
+                self.validate(bad, node)
+
+    def test_negative_cores_leaves_job_unmodified(self, node):
+        bad = json.dumps({"cores": -1, "threads_per_core": 1, "frequency": 2_200_000})
+        plugin = JobSubmitEco(node, _StubProvider(bad))
+        desc = JobDescriptor(num_tasks=4, comment="chronus", binary="/x")
+        assert plugin.job_submit(desc, 1000) == SLURM_SUCCESS
+        assert desc.num_tasks == 4
+
+
+class TestEcoResilience:
+    """Deadline + breaker wiring on the predict path."""
+
+    def test_slow_provider_hits_deadline_and_falls_back(self, node):
+        clock = {"now": 0.0}
+
+        class _SlowProvider:
+            def slurm_config(self, system_id, binary_hash, min_perf=None):
+                clock["now"] += 1.0  # predict takes 1s of plugin time
+                return GOOD
+
+        plugin = JobSubmitEco(
+            node, _SlowProvider(), predict_budget_s=0.1,
+            clock=lambda: clock["now"],
+        )
+        desc = JobDescriptor(num_tasks=4, comment="chronus", binary="/x")
+        assert plugin.job_submit(desc, 1000) == SLURM_SUCCESS
+        assert desc.num_tasks == 4  # too-late answer discarded
+
+    def test_breaker_opens_after_consecutive_failures(self, node):
+        provider = _StubProvider(RuntimeError("chronus down"))
+        plugin = JobSubmitEco(node, provider)
+        for i in range(10):
+            desc = JobDescriptor(num_tasks=4, comment="chronus", binary="/x")
+            assert plugin.job_submit(desc, 1000) == SLURM_SUCCESS
+            assert desc.num_tasks == 4
+        # threshold is 3: later submissions stop calling the provider
+        assert len(provider.calls) == 3
+
+    def test_breaker_recovers_after_timeout(self, node):
+        from repro.resilience import CircuitBreaker
+
+        now = {"t": 0.0}
+        breaker = CircuitBreaker(
+            "eco_predict", failure_threshold=1, recovery_timeout_s=5.0,
+            clock=lambda: now["t"],
+        )
+        provider = _StubProvider(RuntimeError("down"))
+        plugin = JobSubmitEco(node, provider, breaker=breaker)
+        desc = JobDescriptor(num_tasks=4, comment="chronus", binary="/x")
+        plugin.job_submit(desc, 1000)  # fails, breaker opens
+        plugin.job_submit(desc, 1000)  # short-circuit
+        assert len(provider.calls) == 1
+        provider.payload = GOOD  # chronus comes back
+        now["t"] = 6.0  # past recovery timeout: half-open probe
+        desc2 = JobDescriptor(num_tasks=4, comment="chronus", binary="/x")
+        plugin.job_submit(desc2, 1000)
+        assert desc2.num_tasks == 32
+        assert len(provider.calls) == 2
+
+
+class TestPluginStateConcurrency:
+    def test_concurrent_set_state_always_valid(self, node):
+        import threading
+
+        state = PluginState("user")
+        plugin = JobSubmitEco(node, _StubProvider(GOOD), state)
+        stop = threading.Event()
+        seen = []
+        errors = []
+
+        def flipper(value):
+            while not stop.is_set():
+                state.set(value)
+
+        def submitter():
+            try:
+                for i in range(200):
+                    desc = JobDescriptor(
+                        num_tasks=4, comment="chronus", binary="/x"
+                    )
+                    rc = plugin.job_submit(desc, 1000)
+                    assert rc == SLURM_SUCCESS
+                    seen.append(state.state)
+            except Exception as exc:  # pragma: no cover - the failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=flipper, args=("activated",)),
+            threading.Thread(target=flipper, args=("deactivated",)),
+            threading.Thread(target=submitter),
+        ]
+        for t in threads:
+            t.start()
+        threads[2].join()
+        stop.set()
+        for t in threads[:2]:
+            t.join()
+        assert not errors
+        assert set(seen) <= {"user", "activated", "deactivated"}
