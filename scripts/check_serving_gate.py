@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Gate on the serving-storm report (see benchmarks/bench_serving.py).
+
+Asserted invariants, per the serving redesign's acceptance criteria:
+
+* **parity** — every storm answer equals the serial oracle's (batching is
+  a latency optimisation, never an accuracy trade), and every request got
+  *some* answer;
+* **latency** — per-request p95 under load stays inside the plugin
+  budget (Slurm's job_submit window, default 0.1 s);
+* **batching happened** — at least one dispatched batch held more than
+  one request; a gate that passes with batch size forever 1 proves the
+  queue does nothing;
+* **no silent sheds** — the ``serve_shed_total`` counter equals the SHED
+  responses clients actually received: an admission rejection the caller
+  never saw is a silently dropped request, the one failure mode the
+  protocol forbids.
+
+Usage::
+
+    python scripts/check_serving_gate.py serving-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"SERVING GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument(
+        "--predict-p95-budget",
+        type=float,
+        default=0.1,
+        help="per-request p95 latency ceiling in seconds (the Slurm "
+        "plugin window) [default: 0.1]",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+
+    jobs = report["jobs"]
+    metrics = report["metrics"]
+
+    if report["unanswered"]:
+        fail(f"{report['unanswered']}/{jobs} requests got no answer at all")
+    if report["mismatches"]:
+        fail(
+            f"{report['mismatches']}/{jobs} storm answers differ from the "
+            "serial oracle; batching must not change predictions"
+        )
+    if report["error_responses_seen"]:
+        fail(
+            f"{report['error_responses_seen']} non-SHED error responses in "
+            "a healthy storm"
+        )
+    if metrics.get("serve_handler_errors_total", 0):
+        fail("batch handler raised during the storm")
+
+    p95 = report["latency_s"]["p95"]
+    if p95 > args.predict_p95_budget:
+        fail(
+            f"predict p95 {p95 * 1e3:.1f}ms exceeds the "
+            f"{args.predict_p95_budget * 1e3:.0f}ms plugin budget"
+        )
+
+    if report["batches"].get("max", 0) <= 1:
+        fail(
+            "no batch held more than one request; the micro-batcher never "
+            "coalesced (vacuous storm)"
+        )
+    if metrics.get("serve_requests_total", 0) != jobs:
+        fail(
+            f"serve_requests_total={metrics.get('serve_requests_total')} "
+            f"!= {jobs}; requests bypassed admission control"
+        )
+
+    counted = metrics.get("serve_shed_total", 0)
+    seen = report["shed_responses_seen"]
+    if counted != seen:
+        fail(
+            f"serve_shed_total={counted:.0f} but clients saw {seen} SHED "
+            "answers; every shed must reach its caller explicitly"
+        )
+
+    print(
+        f"SERVING GATE PASS: {jobs} jobs, parity exact, "
+        f"p95 {p95 * 1e3:.2f}ms <= {args.predict_p95_budget * 1e3:.0f}ms, "
+        f"max batch {report['batches']['max']:.0f}, "
+        f"sheds {seen} (all explicit)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Protocol, Sequence, Union, runtime_checkable
 
 from repro.core.domain.benchmark import BenchmarkResult
 from repro.core.domain.configuration import Configuration
@@ -23,6 +23,7 @@ from repro.core.domain.model import ModelMetadata
 from repro.core.domain.run import EnergySample
 from repro.core.domain.settings import ChronusSettings
 from repro.core.domain.system_info import SystemInfo
+from repro.serving.protocol import ErrorResponse, PredictRequest, PredictResponse
 
 __all__ = [
     "RepositoryInterface",
@@ -33,7 +34,27 @@ __all__ = [
     "SystemInfoInterface",
     "LocalStorageInterface",
     "FileRepositoryInterface",
+    "PredictionProvider",
 ]
+
+
+@runtime_checkable
+class PredictionProvider(Protocol):
+    """The typed prediction port (wire protocol ``chronus/2``).
+
+    Everything that answers the eco plugin implements this one method:
+    the in-process :class:`~repro.serving.transport.LocalTransport`, the
+    Unix-socket client, the application itself, and the legacy adapter
+    wrapping pre-protocol ``slurm_config`` providers.  An unanswerable
+    request is an explicit :class:`~repro.serving.protocol.ErrorResponse`
+    — implementations raise only for transport-level failures.
+    """
+
+    def predict(
+        self, request: PredictRequest
+    ) -> Union[PredictResponse, ErrorResponse]:
+        """Answer one prediction request."""
+        ...
 
 
 class RepositoryInterface(abc.ABC):

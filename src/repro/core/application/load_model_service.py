@@ -4,10 +4,19 @@ Downloads a model artifact from blob storage to local disk on the head
 node and records it in the local settings, "to speed up the prediction
 process, as Slurm has a very short time to make a decision when a job is
 submitted" (the plugin time-budget constraint).
+
+The local write is atomic: the artifact lands in a sibling temp file
+first and only an ``os.replace`` makes it visible under its final name.
+Without that, a crash mid-write leaves a truncated ``model-<id>.json``
+that the settings file proudly points at — and a truncated artifact does
+not fail loudly at load time, it parses as garbage inside Slurm's plugin
+window.  Readers therefore only ever see the old artifact or the
+complete new one.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Optional
 
 from repro.core.application.interfaces import (
@@ -34,12 +43,16 @@ class LoadModelService:
         local_storage: LocalStorageInterface,
         *,
         write_local: Callable[[str, bytes], None],
+        replace: Optional[Callable[[str, str], None]] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.repository = repository
         self.file_repository = file_repository
         self.local_storage = local_storage
         self._write_local = write_local
+        #: injectable for fake filesystems in tests; os.replace is atomic
+        #: on POSIX, which is the whole point
+        self._replace = replace if replace is not None else os.replace
         self._log = log or (lambda msg: None)
 
     def run(self, model_id: int) -> tuple[ModelMetadata, str]:
@@ -47,13 +60,18 @@ class LoadModelService:
 
         Steps match the paper's red arrows: (1) metadata from the database,
         (2) artifact from blob storage, (3) write to local disk + record in
-        settings so ``slurm-config`` finds it without remote access.
+        settings so ``slurm-config`` finds it without remote access.  The
+        write goes to ``<path>.tmp`` and is published by an atomic rename;
+        a crash between the two leaves the previous artifact (or nothing)
+        under the final name — never a truncated file.
         """
         metadata = self.repository.get_model_metadata(model_id)
         artifact = self.file_repository.load(metadata.blob_path)
         local_rel = f"{LOCAL_OPTIMIZER_DIR}/model-{metadata.model_id}.json"
         local_path = self.local_storage.resolve_path(local_rel)
-        self._write_local(local_path, artifact)
+        tmp_path = self.local_storage.resolve_path(local_rel + ".tmp")
+        self._write_local(tmp_path, artifact)
+        self._replace(tmp_path, local_path)
         settings = self.local_storage.load()
         settings = settings.with_loaded_model(
             metadata.system_id, local_path, metadata.model_type,

@@ -11,16 +11,28 @@ integer ids.  The settings file maps whatever id ``load-model`` recorded;
 when the incoming identifier is unknown but exactly one model is loaded,
 that model is used — the paper targets single-node clusters (section 6.1.1)
 and its own plugin hard-codes parts of this mapping (limitation 6.1.2).
+
+Serving: fitted optimizers live in a :class:`~repro.serving.ModelCache`
+keyed by ``(system_id, application)`` — unbounded for the classic
+one-process CLI, bounded + pinnable when a
+:class:`~repro.serving.ChronusServer` owns the service.  The typed entry
+points (:meth:`predict`, :meth:`predict_batch`) speak the ``chronus/2``
+protocol; :meth:`predict_batch` additionally coalesces duplicate requests
+so a submit storm costs one optimizer evaluation per *distinct* query,
+not per job.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from dataclasses import replace
+from typing import Callable, Optional, Sequence
 
 from repro import telemetry
 from repro.core.application.interfaces import LocalStorageInterface, OptimizerInterface
 from repro.core.domain.configuration import Configuration
-from repro.core.domain.errors import ModelNotFoundError
+from repro.core.domain.errors import ChronusError, ModelNotFoundError
+from repro.serving.cache import ModelCache
+from repro.serving.protocol import ErrorResponse, PredictRequest, PredictResponse
 
 __all__ = ["SlurmConfigService"]
 
@@ -34,41 +46,57 @@ class SlurmConfigService:
         optimizer_loader: Callable[[str, bytes], OptimizerInterface],
         *,
         read_local: Callable[[str], bytes],
+        cache: Optional[ModelCache] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.local_storage = local_storage
         self.optimizer_loader = optimizer_loader
         self._read_local = read_local
         self._log = log or (lambda msg: None)
-        #: in-process cache: local path -> fitted optimizer (the plugin may
-        #: fire for every submission; deserializing each time wastes budget)
-        self._cache: dict[str, OptimizerInterface] = {}
+        #: (system_id, application) -> fitted optimizer.  The plugin may
+        #: fire for every submission; deserializing each time wastes
+        #: budget.  Unbounded by default; the serving daemon injects a
+        #: bounded LRU with pinning instead.
+        self.cache = cache if cache is not None else ModelCache(
+            None, metric_prefix="chronus_model_cache"
+        )
 
     # ------------------------------------------------------------------
     def _resolve_model(
-        self, system_id: int | str, binary_hash: int | str = ""
-    ) -> tuple[str, str]:
+        self, system_id: "int | str", binary_hash: "int | str" = ""
+    ) -> tuple[str, str, tuple[str, str]]:
+        """Resolve (system, binary) to ``(path, model_type, cache_key)``.
+
+        The cache key is the *canonical* ``(system_id, application)``
+        identity of the settings entry that matched — so a plugin-side
+        system hash and the repository id it aliases share one cached
+        optimizer (and one ``chronus serve --preload`` pin).
+        """
         settings = self.local_storage.load()
         application = (
             settings.application_for_binary(binary_hash) if binary_hash != "" else None
         )
         entry = None
+        matched_key: "str | None" = None
         # per-application dispatch (fixes paper limitation 6.1.2/6.1.3):
         # the binary hash names the application, which selects the model
         if application is not None:
-            entry = settings.loaded_models.get(f"{system_id}:{application}")
+            matched_key = f"{system_id}:{application}"
+            entry = settings.loaded_models.get(matched_key)
             if entry is None:
                 # unknown plugin-side system hash: match by application only
                 matches = [
-                    v for k, v in settings.loaded_models.items()
+                    (k, v) for k, v in settings.loaded_models.items()
                     if k.endswith(f":{application}")
                 ]
                 if len(matches) == 1:
-                    entry = matches[0]
+                    matched_key, entry = matches[0]
         if entry is None and str(system_id).isdigit():
             entry = settings.loaded_model_for(int(system_id))
+            matched_key = str(system_id) if entry is not None else None
         if entry is None:
             entry = settings.loaded_models.get(str(system_id))
+            matched_key = str(system_id) if entry is not None else None
         if entry is None and settings.loaded_models:
             # single-model deployment: the legacy and per-application keys
             # may both point at it — fall back when only one distinct
@@ -76,30 +104,85 @@ class SlurmConfigService:
             distinct = {v["path"]: v for v in settings.loaded_models.values()}
             if len(distinct) == 1:
                 entry = next(iter(distinct.values()))
+                # prefer the qualified settings key as the canonical name
+                matched_key = next(
+                    (k for k, v in settings.loaded_models.items()
+                     if v["path"] == entry["path"] and ":" in k),
+                    next(k for k, v in settings.loaded_models.items()
+                         if v["path"] == entry["path"]),
+                )
         if entry is None:
             raise ModelNotFoundError(
                 f"no pre-loaded model for system {system_id!r}; "
                 "run `chronus load-model` first"
             )
-        return entry["path"], entry["type"]
+        if matched_key is not None and ":" not in matched_key:
+            # a bare-id match may alias a qualified ``sys:app`` entry
+            # (``load-model`` records both); canonicalize to the
+            # qualified name so bare-id callers, binary-hash callers and
+            # ``serve --preload`` pins all share one cached optimizer
+            qualified = next(
+                (
+                    k for k, v in settings.loaded_models.items()
+                    if ":" in k
+                    and v["path"] == entry["path"]
+                    and k.split(":", 1)[0] == matched_key
+                ),
+                None,
+            )
+            if qualified is not None:
+                matched_key = qualified
+        if matched_key is not None and ":" in matched_key:
+            sys_part, app_part = matched_key.split(":", 1)
+            cache_key = (sys_part, app_part)
+        else:
+            cache_key = (matched_key or str(system_id), application or "")
+        return entry["path"], entry["type"], cache_key
 
-    def _load_optimizer(self, path: str, model_type: str) -> OptimizerInterface:
-        cached = self._cache.get(path)
-        if cached is not None:
-            telemetry.counter("chronus_model_cache_hits_total").inc()
-            return cached
-        telemetry.counter("chronus_model_cache_misses_total").inc()
-        with telemetry.span("chronus.load_model", path=path, type=model_type):
-            data = self._read_local(path)
-            optimizer = self.optimizer_loader(model_type, data)
-        self._cache[path] = optimizer
-        return optimizer
+    def _load_optimizer(
+        self, key: tuple[str, str], path: str, model_type: str
+    ) -> OptimizerInterface:
+        def loader() -> OptimizerInterface:
+            with telemetry.span("chronus.load_model", path=path, type=model_type):
+                data = self._read_local(path)
+                return self.optimizer_loader(model_type, data)
+
+        return self.cache.get_or_load(key, loader)
+
+    def _candidates(
+        self, optimizer: OptimizerInterface, min_perf: Optional[float]
+    ) -> Optional[list[Configuration]]:
+        """The candidate set under a performance floor (None = all)."""
+        if min_perf is None:
+            return None
+        if not 0.0 < min_perf <= 1.0:
+            raise ValueError(f"min_perf must be in (0, 1], got {min_perf}")
+        rated = [
+            (cfg, optimizer.candidate_gflops(cfg))
+            for cfg in optimizer.training_configurations()
+        ]
+        rated = [(cfg, g) for cfg, g in rated if g is not None]
+        if not rated:
+            return None
+        fastest = max(g for _, g in rated)
+        return [cfg for cfg, g in rated if g >= min_perf * fastest] or None
+
+    def _evaluate(
+        self,
+        system_id: "int | str",
+        binary_hash: "int | str",
+        min_perf: Optional[float],
+    ) -> tuple[Configuration, str]:
+        path, model_type, cache_key = self._resolve_model(system_id, binary_hash)
+        optimizer = self._load_optimizer(cache_key, path, model_type)
+        best = optimizer.best_configuration(self._candidates(optimizer, min_perf))
+        return best, model_type
 
     # ------------------------------------------------------------------
     def run(
         self,
-        system_id: int | str,
-        binary_hash: int | str = "",
+        system_id: "int | str",
+        binary_hash: "int | str" = "",
         *,
         min_perf: Optional[float] = None,
     ) -> Configuration:
@@ -112,23 +195,7 @@ class SlurmConfigService:
                 user's ``--comment "chronus perf=0.95"``).  Candidates
                 without a stored rating are excluded when a floor is set.
         """
-        path, model_type = self._resolve_model(system_id, binary_hash)
-        optimizer = self._load_optimizer(path, model_type)
-        candidates = None
-        if min_perf is not None:
-            if not 0.0 < min_perf <= 1.0:
-                raise ValueError(f"min_perf must be in (0, 1], got {min_perf}")
-            rated = [
-                (cfg, optimizer.candidate_gflops(cfg))
-                for cfg in optimizer.training_configurations()
-            ]
-            rated = [(cfg, g) for cfg, g in rated if g is not None]
-            if rated:
-                fastest = max(g for _, g in rated)
-                candidates = [
-                    cfg for cfg, g in rated if g >= min_perf * fastest
-                ] or None
-        best = optimizer.best_configuration(candidates)
+        best, _ = self._evaluate(system_id, binary_hash, min_perf)
         self._log(
             f"slurm-config: system={system_id} binary={binary_hash} "
             f"min_perf={min_perf} -> {best.to_json()}"
@@ -137,10 +204,60 @@ class SlurmConfigService:
 
     def run_json(
         self,
-        system_id: int | str,
-        binary_hash: int | str = "",
+        system_id: "int | str",
+        binary_hash: "int | str" = "",
         *,
         min_perf: Optional[float] = None,
     ) -> str:
-        """The plugin-facing entry point: JSON text out."""
+        """The legacy plugin-facing entry point: JSON text out."""
         return self.run(system_id, binary_hash, min_perf=min_perf).to_json()
+
+    # ------------------------------------------------------------------
+    def predict(self, request: PredictRequest) -> PredictResponse:
+        """The typed (chronus/2) entry point for one request."""
+        best, model_type = self._evaluate(
+            request.system_id, request.binary_hash, request.min_perf
+        )
+        return PredictResponse(
+            cores=best.cores,
+            threads_per_core=best.threads_per_core,
+            frequency=best.frequency,
+            model_type=model_type,
+        )
+
+    def predict_batch(
+        self, requests: Sequence[PredictRequest]
+    ) -> "list[PredictResponse | ErrorResponse]":
+        """Answer a micro-batch, one evaluation per *distinct* request.
+
+        Requests sharing a coalescing key (same system, binary and
+        performance floor) get the same answer from a single optimizer
+        evaluation — this is what turns a 200-job submit storm into a
+        handful of model calls.  Failures are per-key and explicit: a
+        request whose model is missing gets a ``MODEL_NOT_FOUND``
+        :class:`ErrorResponse` while its batch-mates still succeed.
+        """
+        answers: dict[tuple, "PredictResponse | ErrorResponse"] = {}
+        out: "list[PredictResponse | ErrorResponse]" = []
+        for request in requests:
+            key = request.key()
+            if key not in answers:
+                try:
+                    answers[key] = self.predict(request)
+                except ModelNotFoundError as exc:
+                    answers[key] = ErrorResponse(
+                        code="MODEL_NOT_FOUND", message=str(exc), retryable=False
+                    )
+                except (ChronusError, ValueError) as exc:
+                    answers[key] = ErrorResponse(
+                        code="INTERNAL",
+                        message=f"{type(exc).__name__}: {exc}",
+                        retryable=True,
+                    )
+            else:
+                telemetry.counter("serve_coalesced_total").inc()
+            answer = answers[key]
+            if isinstance(answer, PredictResponse):
+                answer = replace(answer, batch_size=len(requests))
+            out.append(answer)
+        return out

@@ -10,6 +10,8 @@ The paper's section 3.3 surface plus one reporting addition::
     chronus report --system [SYSTEM_ID]      (ours: projected savings)
     chronus metrics [--format json|prometheus|summary]  (ours: telemetry)
     chronus faults {list,run ..}             (ours: chaos drills)
+    chronus serve [--socket PATH] [--preload MODEL_ID]  (ours: prediction daemon)
+    chronus shutdown [--socket PATH]         (ours: stop the daemon)
 
 Every command leaves a telemetry snapshot at ``<workspace>/telemetry.json``
 (unless telemetry is disabled); ``chronus metrics`` either re-reads that
@@ -157,6 +159,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=50, help="storm submissions [default: 50]"
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the prediction daemon (chronus/2 JSON lines over a unix socket)",
+    )
+    p_serve.add_argument(
+        "--socket", help="unix socket path [default: <workspace>/chronus.sock]"
+    )
+    p_serve.add_argument(
+        "--preload",
+        type=int,
+        action="append",
+        metavar="MODEL_ID",
+        help="pre-load + pin this model in the serving cache (repeatable)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="largest micro-batch one optimizer evaluation serves [default: 16]",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="how long a batch stays open for company [default: 2.0]",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=128,
+        help="admission bound; beyond it requests get explicit SHED answers",
+    )
+    p_serve.add_argument(
+        "--cache-capacity", type=int, default=8,
+        help="models held in memory (LRU; pinned models never evict)",
+    )
+    p_serve.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after serving N requests (smoke tests)",
+    )
+
+    p_shutdown = sub.add_parser(
+        "shutdown", help="ask a running prediction daemon to exit"
+    )
+    p_shutdown.add_argument(
+        "--socket", help="unix socket path [default: <workspace>/chronus.sock]"
+    )
+
     p_metrics = sub.add_parser(
         "metrics", help="dump a telemetry snapshot (metrics + latency quantiles)"
     )
@@ -296,6 +340,58 @@ def _cmd_set(args: argparse.Namespace) -> int:
     return 0
 
 
+def _socket_path(args: argparse.Namespace) -> str:
+    return args.socket or os.path.join(args.workspace, "chronus.sock")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.transport import UnixSocketServer
+
+    app = _make_app(args)
+    server = app.make_server(
+        cache_capacity=args.cache_capacity,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+    )
+    for model_id in args.preload or []:
+        key = server.preload(model_id)
+        print(f"preloaded model {model_id}: pinned {key[0]}:{key[1] or '*'}")
+    socket_path = _socket_path(args)
+    daemon = UnixSocketServer(
+        server, socket_path,
+        log=_Tee(os.path.join(args.workspace, "chronus.log")),
+        max_requests=args.max_requests,
+    )
+    server.start()
+    print(
+        f"chronus serve: listening on {socket_path} "
+        f"(chronus/2 + legacy plain-dict; batch<= {args.max_batch}, "
+        f"wait {args.max_wait_ms} ms, queue {args.queue_limit})"
+    )
+    try:
+        served = daemon.serve_forever()
+    finally:
+        server.stop()
+    print(f"chronus serve: exiting after {served} requests")
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    from repro.core.domain.errors import ProtocolError
+    from repro.serving.transport import UnixSocketTransport
+
+    socket_path = _socket_path(args)
+    try:
+        UnixSocketTransport(socket_path).shutdown()
+    except (OSError, ProtocolError) as exc:
+        raise ChronusError(
+            f"no prediction daemon reachable at {socket_path} ({exc})"
+        ) from exc
+    print(f"daemon at {socket_path} acknowledged shutdown")
+    return 0
+
+
 def _run_metrics_demo(args: argparse.Namespace) -> None:
     """A compact end-to-end run exercising every instrumented layer.
 
@@ -424,6 +520,8 @@ _COMMANDS = {
     "set": _cmd_set,
     "metrics": _cmd_metrics,
     "faults": _cmd_faults,
+    "serve": _cmd_serve,
+    "shutdown": _cmd_shutdown,
 }
 
 

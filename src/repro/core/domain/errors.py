@@ -19,6 +19,8 @@ __all__ = [
     "DeadlineExceededError",
     "CircuitOpenError",
     "PredictTimeoutError",
+    "ServeShedError",
+    "ProtocolError",
     "SamplingError",
     "TransientSamplingError",
     "PermanentSamplingError",
@@ -65,6 +67,17 @@ class CircuitOpenError(TransientError):
 
 class PredictTimeoutError(TransientError):
     """The Chronus predict (slurm-config) call timed out."""
+
+
+class ServeShedError(TransientError):
+    """The prediction server shed the request at admission (queue full).
+
+    Explicitly retryable: the server answered ``SHED`` instead of timing
+    out, so the caller's breaker/fallback can engage immediately."""
+
+
+class ProtocolError(ChronusError):
+    """A wire message violated the chronus/2 protocol."""
 
 
 class SamplingError(ChronusError):

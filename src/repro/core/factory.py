@@ -134,6 +134,7 @@ class ChronusApp:
         )
         self.settings_service = SettingsService(self.local_storage, log=self._log)
         self.plugin_state = PluginState(settings.plugin_state)
+        self._server = None
         # binary-hash -> application mapping for per-binary model dispatch;
         # the configured HPCG path is registered out of the box
         self.register_binary(hpcg_path, "hpcg")
@@ -149,6 +150,10 @@ class ChronusApp:
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         with open(path, "wb") as fh:
             fh.write(data)
+            fh.flush()
+            # the artifact must be durable before load-model's atomic
+            # rename publishes it; a crash may not replay the page cache
+            os.fsync(fh.fileno())
 
     @staticmethod
     def _read_file(path: str) -> bytes:
@@ -203,6 +208,40 @@ class ChronusApp:
         settings = settings.with_binary_alias(simple_hash(path), application)
         self.local_storage.save(settings)
 
+    # ------------------------------------------------------------------
+    def make_server(
+        self,
+        *,
+        cache_capacity: Optional[int] = 8,
+        max_batch: int = 16,
+        max_wait_ms: float = 2.0,
+        queue_limit: int = 128,
+    ):
+        """A :class:`~repro.serving.ChronusServer` over this deployment.
+
+        The server owns the bounded model cache and the micro-batching
+        queue; it serves predictions inline until ``start()`` is called
+        (so building one spawns no threads).
+        """
+        from repro.serving.server import ChronusServer
+
+        return ChronusServer(
+            self.slurm_config_service,
+            load_model_service=self.load_model_service,
+            cache_capacity=cache_capacity,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            queue_limit=queue_limit,
+            log=self._log,
+        )
+
+    @property
+    def server(self):
+        """This deployment's prediction server (built lazily, not started)."""
+        if self._server is None:
+            self._server = self.make_server()
+        return self._server
+
     @property
     def clock(self) -> Callable[[], float]:
         return lambda: self.cluster.sim.now
@@ -213,21 +252,30 @@ class ChronusApp:
         binary_hash: int | str,
         min_perf: float | None = None,
     ) -> str:
-        """The provider surface ``job_submit_eco`` calls (JSON out)."""
+        """The legacy provider surface (JSON out); kept for v1 callers."""
         return self.slurm_config_service.run_json(
             system_id, binary_hash, min_perf=min_perf
         )
+
+    def predict(self, request):
+        """The typed prediction port, served through the ChronusServer."""
+        return self.server.predict(request)
 
     def enable_eco_plugin(self) -> JobSubmitEco:
         """Install ``job_submit_eco`` into the cluster's controller.
 
         Requires ``JobSubmitPlugins=eco`` in the cluster's slurm.conf, the
-        paper's installation step (section 3.4.1).
+        paper's installation step (section 3.4.1).  The plugin talks to
+        the deployment's prediction server through an in-process
+        :class:`~repro.serving.LocalTransport` — the same admission,
+        batching and protocol path the socket daemon serves.
         """
+        from repro.serving.transport import LocalTransport
+
         self.plugin_state.set(self.local_storage.load().plugin_state)
         plugin = JobSubmitEco(
             self.cluster.node,
-            provider=self,
+            provider=LocalTransport(self.server),
             state=self.plugin_state,
             log=self._log,
         )

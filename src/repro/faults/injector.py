@@ -49,6 +49,8 @@ SITES: Mapping[str, str] = {
     "ipmi.spike": "IPMI power sensor returns a 100x spike",
     "predict.timeout": "chronus predict (slurm-config) raises PredictTimeoutError",
     "predict.garbage": "chronus predict returns a garbage JSON reply",
+    "serve.shed": "prediction server admission control sheds the request (SHED)",
+    "serve.slow": "prediction server stalls one batch past the plugin budget",
     "sqlite.busy": "repository write raises sqlite3.OperationalError (locked)",
     "sweep.crash": "sweep worker raises mid-point (simulated crash)",
 }

@@ -21,6 +21,8 @@ PROFILES = {
     "sqlite-busy": "sqlite.busy=1:2",
     # sweep workers crash on ~30% of points
     "worker-crash": "sweep.crash=0.3",
+    # serving daemon under pressure: sheds some requests, stalls some batches
+    "serve-pressure": "serve.shed=0.2,serve.slow=0.1",
 }
 
 PROFILE_DESCRIPTIONS = {
@@ -30,4 +32,5 @@ PROFILE_DESCRIPTIONS = {
     "chronus-garbage": "every chronus predict reply is garbage JSON",
     "sqlite-busy": "first two repository writes hit a locked database",
     "worker-crash": "30% of sweep points crash their worker",
+    "serve-pressure": "20% of predicts shed + 10% of batches stalled",
 }

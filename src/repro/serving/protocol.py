@@ -1,0 +1,387 @@
+"""The Chronus prediction wire protocol, version ``chronus/2``.
+
+The plugin deadline is the whole reason a wire format exists: slurmctld
+holds locks while ``job_submit_eco`` waits for an answer, so every byte
+the plugin and the prediction server exchange must parse in one pass with
+no negotiation round-trips.  Version 2 makes the contract explicit —
+every message is a JSON object carrying a ``proto`` field, requests and
+responses are frozen dataclasses, and an error is always an explicit
+:class:`ErrorResponse` (a shed request is a ``SHED`` answer, never a
+silently dropped connection).
+
+Compatibility: version 1 "clients" are the pre-server callers that sent a
+plain ``{"system_id": .., "binary_hash": ..}`` dict and expected the bare
+configuration object back.  :func:`decode_request` still accepts that
+shape (emitting a :class:`DeprecationWarning`) and tags it ``chronus/1``
+so :func:`encode_response` can answer in the legacy shape — one handler
+serves both generations.
+
+Forward compatibility: ``from_dict`` tolerates unknown fields (a newer
+client may send more than we know about) but is strict about the types of
+the fields it does understand — a garbage value must fail here, not
+deep inside an optimizer.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+__all__ = [
+    "PROTO_V1",
+    "PROTO_V2",
+    "SHED",
+    "ERROR_CODES",
+    "PredictRequest",
+    "PredictResponse",
+    "ErrorResponse",
+    "parse_config_fields",
+    "parse_config_payload",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+]
+
+def _protocol_error(message: str) -> Exception:
+    # lazy: repro.core's package init transitively imports this module
+    # (through the eco plugin), so a module-level import of the domain
+    # errors would be circular whenever repro.serving is imported first
+    from repro.core.domain.errors import ProtocolError
+
+    return ProtocolError(message)
+
+
+def _validation_error(message: str) -> Exception:
+    from repro.core.domain.errors import ConfigValidationError
+
+    return ConfigValidationError(message)
+
+
+#: the implicit pre-protocol generation (plain dicts, no ``proto`` field)
+PROTO_V1 = "chronus/1"
+#: the current protocol generation
+PROTO_V2 = "chronus/2"
+
+#: admission control rejected the request (queue full / shed fault);
+#: retryable by contract — the plugin's breaker/fallback handles it
+SHED = "SHED"
+
+#: every error code a server may answer with
+ERROR_CODES = (
+    SHED,
+    "INVALID",  # request failed protocol validation
+    "MODEL_NOT_FOUND",  # no pre-loaded model answers this (system, binary)
+    "INTERNAL",  # handler raised something unexpected
+)
+
+
+def _require_str(data: Mapping[str, Any], key: str, default: str = "") -> str:
+    value = data.get(key, default)
+    if not isinstance(value, str):
+        raise _protocol_error(f"field {key!r} must be a string, got {value!r}")
+    return value
+
+
+def _require_id(data: Mapping[str, Any], key: str, *, required: bool) -> "int | str":
+    if key not in data:
+        if required:
+            raise _protocol_error(f"request is missing required field {key!r}")
+        return ""
+    value = data[key]
+    # bool is an int subclass; "system_id": true must not pass as 1
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise _protocol_error(
+            f"field {key!r} must be an integer or string, got {value!r}"
+        )
+    return value
+
+
+def parse_config_fields(data: Mapping[str, Any]) -> "tuple[int, int, int]":
+    """Validate the ``(cores, threads_per_core, frequency)`` triple.
+
+    This is the single schema check for the configuration payload — the
+    eco plugin, the server and the transports all point here instead of
+    keeping their own copies.  Raises :class:`ConfigValidationError`
+    naming exactly what is wrong.
+    """
+    if not isinstance(data, Mapping):
+        raise _validation_error(
+            f"config must be a JSON object, got {type(data).__name__}"
+        )
+    values = {}
+    for key in ("cores", "threads_per_core", "frequency"):
+        if key not in data:
+            raise _validation_error(f"config is missing required key {key!r}")
+        value = data[key]
+        # bool is an int subclass; "cores": true must not pass as 1
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _validation_error(
+                f"config key {key!r} must be a number, got {value!r}"
+            )
+        if isinstance(value, float) and not value.is_integer():
+            raise _validation_error(
+                f"config key {key!r} must be an integer, got {value!r}"
+            )
+        values[key] = int(value)
+    return values["cores"], values["threads_per_core"], values["frequency"]
+
+
+def parse_config_payload(raw: "str | bytes") -> "tuple[int, int, int]":
+    """Parse + validate a raw JSON configuration payload (the v1 answer)."""
+    try:
+        data = json.loads(raw)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise _validation_error(f"config is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise _validation_error(
+            f"config must be a JSON object, got {type(data).__name__}"
+        )
+    return parse_config_fields(data)
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One prediction query: which configuration should this job run at?
+
+    ``system_id`` / ``binary_hash`` keep whatever integer-or-string shape
+    the caller produced (the plugin sends ``simple_hash`` integers, the
+    CLI sends strings); the coalescing :meth:`key` normalises them.
+    """
+
+    system_id: "int | str"
+    binary_hash: "int | str" = ""
+    min_perf: Optional[float] = None
+    job_name: str = ""
+    proto: str = PROTO_V2
+
+    def __post_init__(self) -> None:
+        if self.min_perf is not None and not 0.0 < self.min_perf <= 1.0:
+            raise _protocol_error(
+                f"min_perf must be in (0, 1], got {self.min_perf!r}"
+            )
+
+    def key(self) -> "tuple[str, str, float | None]":
+        """Identical-answer equivalence class (micro-batch coalescing)."""
+        return (str(self.system_id), str(self.binary_hash), self.min_perf)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "proto": self.proto,
+            "system_id": self.system_id,
+            "binary_hash": self.binary_hash,
+        }
+        if self.min_perf is not None:
+            data["min_perf"] = self.min_perf
+        if self.job_name:
+            data["job_name"] = self.job_name
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PredictRequest":
+        if not isinstance(data, Mapping):
+            raise _protocol_error(
+                f"request must be a JSON object, got {type(data).__name__}"
+            )
+        min_perf = data.get("min_perf")
+        if min_perf is not None:
+            if isinstance(min_perf, bool) or not isinstance(min_perf, (int, float)):
+                raise _protocol_error(
+                    f"field 'min_perf' must be a number, got {min_perf!r}"
+                )
+            min_perf = float(min_perf)
+        return cls(
+            system_id=_require_id(data, "system_id", required=True),
+            binary_hash=_require_id(data, "binary_hash", required=False),
+            min_perf=min_perf,
+            job_name=_require_str(data, "job_name"),
+            proto=_require_str(data, "proto", PROTO_V2),
+        )
+
+    @classmethod
+    def from_json(cls, text: "str | bytes") -> "PredictRequest":
+        return cls.from_dict(_loads_object(text, "request"))
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    """A successful prediction: the configuration the job should run at."""
+
+    cores: int
+    threads_per_core: int
+    frequency: int
+    model_type: str = ""
+    batch_size: int = 1
+    proto: str = PROTO_V2
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "proto": self.proto,
+            "cores": self.cores,
+            "threads_per_core": self.threads_per_core,
+            "frequency": self.frequency,
+            "model_type": self.model_type,
+            "batch_size": self.batch_size,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    def to_legacy_dict(self) -> dict[str, int]:
+        """The v1 answer shape (exactly ``Configuration.to_dict``)."""
+        return {
+            "cores": self.cores,
+            "threads_per_core": self.threads_per_core,
+            "frequency": self.frequency,
+        }
+
+    def to_legacy_json(self) -> str:
+        return json.dumps(self.to_legacy_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PredictResponse":
+        cores, tpc, freq = parse_config_fields(data)
+        batch_size = data.get("batch_size", 1)
+        if isinstance(batch_size, bool) or not isinstance(batch_size, int):
+            raise _protocol_error(
+                f"field 'batch_size' must be an integer, got {batch_size!r}"
+            )
+        return cls(
+            cores=cores,
+            threads_per_core=tpc,
+            frequency=freq,
+            model_type=_require_str(data, "model_type"),
+            batch_size=batch_size,
+            proto=_require_str(data, "proto", PROTO_V2),
+        )
+
+    @classmethod
+    def from_json(cls, text: "str | bytes") -> "PredictResponse":
+        return cls.from_dict(_loads_object(text, "response"))
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """An explicit failure answer — the protocol has no silent drops."""
+
+    code: str
+    message: str = ""
+    retryable: bool = False
+    proto: str = PROTO_V2
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "proto": self.proto,
+            "error": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    def to_error(self) -> Exception:
+        """The exception a caller should raise on this answer."""
+        from repro.core.domain.errors import (
+            ChronusError,
+            ModelNotFoundError,
+            ServeShedError,
+        )
+
+        detail = f"{self.code}: {self.message or 'prediction server error'}"
+        if self.code == SHED:
+            return ServeShedError(detail)
+        if self.code == "MODEL_NOT_FOUND":
+            return ModelNotFoundError(detail)
+        return ChronusError(detail)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorResponse":
+        code = _require_str(data, "error")
+        if not code:
+            raise _protocol_error("error response is missing its 'error' code")
+        retryable = data.get("retryable", False)
+        if not isinstance(retryable, bool):
+            raise _protocol_error(
+                f"field 'retryable' must be a boolean, got {retryable!r}"
+            )
+        return cls(
+            code=code,
+            message=_require_str(data, "message"),
+            retryable=retryable,
+            proto=_require_str(data, "proto", PROTO_V2),
+        )
+
+    @classmethod
+    def from_json(cls, text: "str | bytes") -> "ErrorResponse":
+        return cls.from_dict(_loads_object(text, "response"))
+
+
+# ---------------------------------------------------------------------------
+# wire negotiation: one handler, both client generations
+# ---------------------------------------------------------------------------
+def _loads_object(text: "str | bytes", what: str) -> dict:
+    try:
+        data = json.loads(text)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise _protocol_error(f"{what} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise _protocol_error(
+            f"{what} must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def decode_request(text: "str | bytes") -> "tuple[PredictRequest, str]":
+    """Decode one wire request; returns ``(request, client_proto)``.
+
+    A dict without a ``proto`` field is a v1 plain-dict client: accepted,
+    tagged ``chronus/1``, and flagged with a :class:`DeprecationWarning`.
+    An unknown ``proto`` value is refused outright — failing loudly beats
+    guessing what a future protocol means.
+    """
+    data = _loads_object(text, "request")
+    proto = data.get("proto")
+    if proto is None:
+        warnings.warn(
+            "plain-dict chronus/1 predict requests are deprecated; "
+            "send {'proto': 'chronus/2', ...} (see repro.serving.protocol)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return PredictRequest.from_dict({**data, "proto": PROTO_V1}), PROTO_V1
+    if proto != PROTO_V2:
+        raise _protocol_error(
+            f"unsupported protocol {proto!r}; this server speaks {PROTO_V2} "
+            f"(and legacy plain-dict {PROTO_V1})"
+        )
+    return PredictRequest.from_dict(data), PROTO_V2
+
+
+def encode_response(
+    result: "PredictResponse | ErrorResponse", client_proto: str
+) -> str:
+    """Encode an answer in the shape the client's generation expects.
+
+    v2 clients get the full typed object.  v1 clients get what they always
+    got: the bare configuration dict on success, ``{"error": ...}`` on
+    failure (the legacy callers treated any non-config answer as garbage
+    and fell back, which is still the correct contract).
+    """
+    if client_proto == PROTO_V1:
+        if isinstance(result, PredictResponse):
+            return result.to_legacy_json()
+        return json.dumps({"error": result.code, "message": result.message})
+    return result.to_json()
+
+
+def decode_response(text: "str | bytes") -> "PredictResponse | ErrorResponse":
+    """Decode a v2 wire answer into its typed form."""
+    data = _loads_object(text, "response")
+    if "error" in data:
+        return ErrorResponse.from_dict(data)
+    return PredictResponse.from_dict(data)

@@ -1,0 +1,220 @@
+"""Transports: how callers reach a :class:`ChronusServer`.
+
+Two implementations behind the same handler:
+
+* :class:`LocalTransport` — an in-process
+  :class:`~repro.core.application.interfaces.PredictionProvider` that
+  calls the server directly.  This is what ``job_submit_eco`` uses by
+  default: tier-1 tests stay hermetic (no sockets, no daemon, and —
+  until ``server.start()`` — no threads), yet exercise the exact
+  admission/batching/protocol path production traffic takes.
+* :class:`UnixSocketTransport` / :class:`UnixSocketServer` — a JSON-lines
+  protocol over a Unix domain socket, one request per line, one answer
+  per line.  ``chronus serve`` runs the daemon side; the client side is
+  what a real C plugin (or a remote head node) would link against.
+
+A transport never interprets predictions; it moves lines.  All protocol
+negotiation happens in :meth:`ChronusServer.handle_wire`, so a v1 client
+over the socket gets the same compatibility answer as one in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+from repro import telemetry
+from repro.core.domain.errors import ProtocolError
+from repro.serving.protocol import (
+    ErrorResponse,
+    PredictRequest,
+    PredictResponse,
+    decode_response,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.server import ChronusServer
+
+__all__ = ["LocalTransport", "UnixSocketServer", "UnixSocketTransport"]
+
+Answer = Union[PredictResponse, ErrorResponse]
+
+
+class LocalTransport:
+    """In-process provider: the eco plugin's default path to the server."""
+
+    def __init__(self, server: "ChronusServer") -> None:
+        self.server = server
+
+    def predict(self, request: PredictRequest) -> Answer:
+        return self.server.predict(request)
+
+
+class UnixSocketServer:
+    """JSON-lines daemon over a Unix domain socket.
+
+    One thread per connection, one request per line.  The accept loop
+    runs until :meth:`stop` or until a client sends ``{"op": "shutdown"}``
+    (which trips the server's ``shutdown_requested`` event).
+    """
+
+    def __init__(
+        self,
+        server: "ChronusServer",
+        socket_path: str,
+        *,
+        log: Optional[Callable[[str], None]] = None,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        self.server = server
+        self.socket_path = socket_path
+        self._log = log or (lambda msg: None)
+        #: optional hard stop after N served requests (smoke tests)
+        self.max_requests = max_requests
+        self.requests_served = 0
+        self._sock: "socket.socket | None" = None
+        self._accept_thread: "threading.Thread | None" = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    def _bind(self) -> socket.socket:
+        # a stale socket file from a crashed daemon must not block restart
+        try:
+            os.unlink(self.socket_path)
+        except FileNotFoundError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(self.socket_path)
+        sock.listen(64)
+        sock.settimeout(0.2)  # so the accept loop can notice stop/shutdown
+        return sock
+
+    def serve_forever(self) -> int:
+        """Blocking accept loop; returns the number of requests served."""
+        self._sock = self._bind()
+        self._log(f"serve: listening on {self.socket_path}")
+        try:
+            while not self._should_stop():
+                try:
+                    conn, _ = self._sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                thread.start()
+        finally:
+            self._close()
+        return self.requests_served
+
+    def start(self) -> "UnixSocketServer":
+        """Run :meth:`serve_forever` on a background thread (tests)."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, name="chronus-uds-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def _should_stop(self) -> bool:
+        return (
+            self._stopping.is_set()
+            or self.server.shutdown_requested.is_set()
+            or (
+                self.max_requests is not None
+                and self.requests_served >= self.max_requests
+            )
+        )
+
+    def _close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        telemetry.counter("serve_connections_total").inc()
+        try:
+            with conn, conn.makefile("rwb") as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    answer = self.server.handle_wire(line)
+                    self.requests_served += 1
+                    stream.write(answer.encode("utf-8") + b"\n")
+                    stream.flush()
+                    if self.server.shutdown_requested.is_set():
+                        return
+                    if (
+                        self.max_requests is not None
+                        and self.requests_served >= self.max_requests
+                    ):
+                        return
+        except (OSError, ValueError):
+            # a client hanging up mid-line is its problem, not the daemon's
+            telemetry.counter("serve_connection_errors_total").inc()
+
+
+class UnixSocketTransport:
+    """Client side of the JSON-lines socket; a ``PredictionProvider``.
+
+    Opens one connection per call — the plugin's calls are rare compared
+    to the daemon's capacity, and a connection-per-predict client is what
+    the C plugin would realistically be.
+    """
+
+    def __init__(self, socket_path: str, *, timeout_s: float = 5.0) -> None:
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, line: str) -> str:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout_s)
+        try:
+            sock.connect(self.socket_path)
+            with sock.makefile("rwb") as stream:
+                stream.write(line.encode("utf-8") + b"\n")
+                stream.flush()
+                answer = stream.readline()
+            if not answer:
+                raise ProtocolError(
+                    f"server at {self.socket_path} closed without answering"
+                )
+            return answer.decode("utf-8").strip()
+        finally:
+            sock.close()
+
+    # ------------------------------------------------------------------
+    def predict(self, request: PredictRequest) -> Answer:
+        return decode_response(self._roundtrip(request.to_json()))
+
+    def request_raw(self, line: str) -> str:
+        """Send a raw wire line (legacy-client tests, control ops)."""
+        return self._roundtrip(line)
+
+    def ping(self) -> dict:
+        import json
+
+        return json.loads(self._roundtrip('{"op": "ping"}'))
+
+    def shutdown(self) -> dict:
+        import json
+
+        return json.loads(self._roundtrip('{"op": "shutdown"}'))

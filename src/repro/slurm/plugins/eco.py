@@ -11,9 +11,12 @@ Responsibilities (paper sections 3.1.1, 4.2):
 3. Identify the application: hash the executable.  The paper's
    implementation hard-codes the binary path (limitation 6.1.2); we hash
    the descriptor's binary string, preserving the same contract.
-4. Ask Chronus (``chronus slurm-config <system> <binary>``) for the
-   energy-efficient configuration, which returns JSON
-   ``{"cores": .., "threads_per_core": .., "frequency": ..}``.
+4. Ask Chronus for the energy-efficient configuration through the typed
+   prediction port (the ``PredictionProvider`` protocol: a frozen
+   ``PredictRequest`` in, a ``PredictResponse`` or explicit
+   ``ErrorResponse`` out); pre-protocol providers that still speak the
+   ``chronus slurm-config`` JSON surface are wrapped by
+   :class:`LegacyProviderAdapter`.
 5. Rewrite the job descriptor: ``num_tasks``, ``threads_per_core`` and the
    ``--cpu-freq`` window.
 
@@ -33,14 +36,23 @@ cluster down.  Two resilience layers enforce that at scale:
 
 from __future__ import annotations
 
-import json
 import threading
-from typing import Callable, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.application.interfaces import PredictionProvider
 
 from repro import faults, telemetry
 from repro.core.domain.errors import ConfigValidationError, PredictTimeoutError
 from repro.hardware.node import SimulatedNode
 from repro.resilience import CircuitBreaker, CircuitOpenError, Deadline
+from repro.serving.protocol import (
+    ErrorResponse,
+    PredictRequest,
+    PredictResponse,
+    parse_config_fields,
+    parse_config_payload,
+)
 from repro.slurm.job import JobDescriptor
 from repro.slurm.plugins.base import SLURM_SUCCESS, JobSubmitPlugin
 from repro.slurm.plugins.chash import simple_hash
@@ -48,6 +60,7 @@ from repro.slurm.plugins.chash import simple_hash
 __all__ = [
     "PluginState",
     "ChronusConfigProvider",
+    "LegacyProviderAdapter",
     "JobSubmitEco",
     "system_hash_from_node",
     "parse_chronus_comment",
@@ -61,13 +74,35 @@ DEFAULT_PREDICT_BUDGET_S = 0.1
 
 
 class ChronusConfigProvider(Protocol):
-    """The ``chronus slurm-config`` call, as the plugin sees it."""
+    """The legacy (pre-protocol) ``chronus slurm-config`` call."""
 
     def slurm_config(
         self, system_id: int, binary_hash: int, min_perf: "float | None" = None
     ) -> str:
         """Return the energy-efficient configuration as a JSON string."""
         ...
+
+
+class LegacyProviderAdapter:
+    """Adapts a v1 ``slurm_config`` provider to the typed prediction port.
+
+    The plugin itself now speaks :class:`PredictRequest` /
+    :class:`PredictResponse` (the ``chronus/2`` port declared in
+    :class:`repro.core.application.interfaces.PredictionProvider`); this
+    adapter keeps every pre-protocol provider — and every existing test
+    stub — working unchanged by parsing its raw JSON answer through the
+    protocol's validator.
+    """
+
+    def __init__(self, provider: ChronusConfigProvider) -> None:
+        self.legacy = provider
+
+    def predict(self, request: PredictRequest) -> PredictResponse:
+        raw = self.legacy.slurm_config(
+            request.system_id, request.binary_hash, request.min_perf
+        )
+        cores, tpc, freq = parse_config_payload(raw)
+        return PredictResponse(cores=cores, threads_per_core=tpc, frequency=freq)
 
 
 def parse_chronus_comment(comment: str) -> "tuple[bool, float | None]":
@@ -94,40 +129,28 @@ def parse_chronus_comment(comment: str) -> "tuple[bool, float | None]":
     return True, min_perf
 
 
-def validate_chronus_config(raw: str, node: SimulatedNode) -> "tuple[int, int, int]":
-    """Parse and validate a ``chronus slurm-config`` JSON answer.
+def validate_chronus_config(
+    raw: "str | bytes | Mapping | PredictResponse", node: SimulatedNode
+) -> "tuple[int, int, int]":
+    """Validate a prediction answer against this node's hardware.
 
     Returns ``(cores, threads_per_core, frequency)`` or raises
     :class:`ConfigValidationError` describing exactly what is wrong — a
-    garbage answer must never reach the job descriptor.  Bounds come from
-    the node itself: requested cores cannot exceed the node's, SMT depth
-    cannot exceed the CPU's, and the frequency must sit inside the
-    cpufreq window the hardware advertises.
+    garbage answer must never reach the job descriptor.  The *schema*
+    half (keys present, numbers integral) is the protocol's own validator
+    (:func:`repro.serving.protocol.parse_config_payload`); this function
+    adds the half only the plugin can check — bounds come from the node
+    itself: requested cores cannot exceed the node's, SMT depth cannot
+    exceed the CPU's, and the frequency must sit inside the cpufreq
+    window the hardware advertises.  Accepts the raw v1 JSON string, a
+    decoded mapping, or a typed :class:`PredictResponse`.
     """
-    try:
-        config = json.loads(raw)
-    except (json.JSONDecodeError, TypeError) as exc:
-        raise ConfigValidationError(f"config is not valid JSON: {exc}") from exc
-    if not isinstance(config, dict):
-        raise ConfigValidationError(
-            f"config must be a JSON object, got {type(config).__name__}"
-        )
-    values = {}
-    for key in ("cores", "threads_per_core", "frequency"):
-        if key not in config:
-            raise ConfigValidationError(f"config is missing required key {key!r}")
-        value = config[key]
-        # bool is an int subclass; "cores": true must not pass as 1
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise ConfigValidationError(
-                f"config key {key!r} must be a number, got {value!r}"
-            )
-        if isinstance(value, float) and not value.is_integer():
-            raise ConfigValidationError(
-                f"config key {key!r} must be an integer, got {value!r}"
-            )
-        values[key] = int(value)
-    cores, tpc, freq = values["cores"], values["threads_per_core"], values["frequency"]
+    if isinstance(raw, PredictResponse):
+        cores, tpc, freq = raw.cores, raw.threads_per_core, raw.frequency
+    elif isinstance(raw, Mapping):
+        cores, tpc, freq = parse_config_fields(raw)
+    else:
+        cores, tpc, freq = parse_config_payload(raw)
     if not 1 <= cores <= node.total_cores:
         raise ConfigValidationError(
             f"cores={cores} outside this node's range [1, {node.total_cores}]"
@@ -192,7 +215,7 @@ class JobSubmitEco(JobSubmitPlugin):
     def __init__(
         self,
         node: SimulatedNode,
-        provider: ChronusConfigProvider,
+        provider: "PredictionProvider | ChronusConfigProvider",
         state: Optional[PluginState] = None,
         *,
         log: Optional[Callable[[str], None]] = None,
@@ -201,7 +224,11 @@ class JobSubmitEco(JobSubmitPlugin):
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.node = node
-        self.provider = provider
+        # typed port with a compatibility on-ramp: anything without
+        # ``predict`` but with the old ``slurm_config`` surface is wrapped
+        if not hasattr(provider, "predict") and hasattr(provider, "slurm_config"):
+            provider = LegacyProviderAdapter(provider)
+        self.provider: "PredictionProvider" = provider
         self.state = state or PluginState()
         self._log = log or (lambda msg: None)
         self.predict_budget_s = predict_budget_s
@@ -236,18 +263,22 @@ class JobSubmitEco(JobSubmitPlugin):
         return opted_in, min_perf
 
     def _call_provider(
-        self, system_id: int, binary_hash: int, min_perf: "float | None"
-    ) -> str:
+        self, request: PredictRequest
+    ) -> "PredictResponse | str":
         """One prediction RPC, with the chaos hooks for a sick Chronus."""
         if faults.fire("predict.timeout"):
             raise PredictTimeoutError(
-                f"chronus slurm-config timed out after {self.predict_budget_s}s "
+                f"chronus predict timed out after {self.predict_budget_s}s "
                 "(injected fault)"
             )
-        raw = self.provider.slurm_config(system_id, binary_hash, min_perf)
+        response = self.provider.predict(request)
         if faults.fire("predict.garbage"):
             return '{"cores": "all of them"'
-        return raw
+        if isinstance(response, ErrorResponse):
+            # SHED and friends: an explicit refusal, never a silent drop —
+            # raise so the breaker counts it and the no-op fallback runs
+            raise response.to_error()
+        return response
 
     def _predict(self, job_desc: JobDescriptor, min_perf: "float | None") -> "tuple[int, int, int]":
         """Breaker-guarded, deadline-bounded prediction + validation."""
@@ -259,10 +290,14 @@ class JobSubmitEco(JobSubmitPlugin):
         deadline = Deadline(self.predict_budget_s, **deadline_kwargs)
         try:
             with telemetry.span("eco.predict", job=job_desc.name) as sp:
+                request = PredictRequest(
+                    system_id=self.system_hash(),
+                    binary_hash=self.binary_hash(job_desc.binary),
+                    min_perf=min_perf,
+                    job_name=job_desc.name,
+                )
                 raw = deadline.run(
-                    lambda: self._call_provider(
-                        self.system_hash(), self.binary_hash(job_desc.binary), min_perf
-                    ),
+                    lambda: self._call_provider(request),
                     op="eco.predict",
                 )
                 config = validate_chronus_config(raw, self.node)

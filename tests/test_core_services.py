@@ -226,7 +226,9 @@ class TestLoadModelService:
         local = DictLocalStorage()
         written = {}
         load = LoadModelService(
-            populated_repo, blobs, local, write_local=lambda p, d: written.update({p: d})
+            populated_repo, blobs, local,
+            write_local=lambda p, d: written.update({p: d}),
+            replace=lambda src, dst: written.update({dst: written.pop(src)}),
         )
         metadata, path = load.run(meta.model_id)
         assert metadata == meta
@@ -236,7 +238,8 @@ class TestLoadModelService:
 
     def test_unknown_model(self, populated_repo):
         load = LoadModelService(
-            populated_repo, DictBlobStore(), DictLocalStorage(), write_local=lambda p, d: None
+            populated_repo, DictBlobStore(), DictLocalStorage(),
+            write_local=lambda p, d: None, replace=lambda src, dst: None,
         )
         with pytest.raises(ModelNotFoundError):
             load.run(404)
@@ -250,7 +253,9 @@ class TestSlurmConfigService:
         local = DictLocalStorage()
         files = {}
         load = LoadModelService(
-            populated_repo, blobs, local, write_local=lambda p, d: files.update({p: d})
+            populated_repo, blobs, local,
+            write_local=lambda p, d: files.update({p: d}),
+            replace=lambda src, dst: files.update({dst: files.pop(src)}),
         )
         load.run(meta.model_id)
         return local, files
