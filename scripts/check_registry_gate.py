@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Gate on the registry-smoke outcome (see run_registry_smoke.py).
+
+Asserted invariants, per ISSUE/README "Model lifecycle & registry":
+
+* every storm request was answered — zero errors, zero SHED — while a
+  promotion landed mid-storm;
+* the daemon was started exactly once and was still alive at the end:
+  the version switch happened with zero restarts;
+* only the two registry versions ever answered, each worker saw versions
+  flip old -> new at most once (never backwards), and the first request
+  after the promotion already carried v2;
+* the rollback restored v1 for subsequent answers;
+* the lifecycle was really exercised end to end: promotions, a rollback,
+  a stale-tag cache reload and at least one shadow check are all on the
+  counters — a gate that passes because the registry never moved proves
+  nothing.
+
+Usage::
+
+    python scripts/check_registry_gate.py registry-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"REGISTRY GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        payload = json.load(fh)
+
+    storm = payload["storm"]
+    counters = payload["counters"]
+
+    if storm["errors"]:
+        fail(f"{len(storm['errors'])} storm requests failed: {storm['errors'][:3]}")
+    if storm["shed_total"] != 0:
+        fail(f"admission control shed {storm['shed_total']:.0f} storm requests")
+    if storm["requests"] != storm["expected_requests"]:
+        fail(
+            f"only {storm['requests']}/{storm['expected_requests']} storm "
+            "requests were answered"
+        )
+    if not storm["promoted_mid_storm"]:
+        fail("the promotion never happened during the storm")
+
+    daemon = payload["daemon"]
+    if daemon["starts"] != 1 or not daemon["alive_at_end"]:
+        fail(f"daemon restarted or died: {daemon}")
+
+    versions = set(storm["versions_seen"])
+    if not versions <= {1, 2}:
+        fail(f"storm answers carried unexpected versions: {sorted(versions)}")
+    if 2 not in versions:
+        fail("no storm answer ever carried the promoted version")
+    if not storm["per_worker_monotonic"]:
+        fail("a worker saw the version flip backwards mid-storm")
+
+    if payload["after_promote"].get("model_version") != 2:
+        fail(f"post-promotion answer is not v2: {payload['after_promote']}")
+    if payload["after_rollback"].get("model_version") != 1:
+        fail(f"post-rollback answer is not v1: {payload['after_rollback']}")
+
+    for name, minimum in (
+        ("model_promotions_total", 2),
+        ("model_rollbacks_total", 1),
+        ("model_cache_stale_total", 1),
+        ("model_shadow_checks_total", 1),
+    ):
+        if counters.get(name, 0) < minimum:
+            fail(f"{name} = {counters.get(name, 0)} (expected >= {minimum})")
+
+    print(
+        "REGISTRY GATE OK: "
+        f"{storm['requests']} answers, 0 errors/shed, versions {sorted(versions)}, "
+        f"promote -> v2, rollback -> v1, 1 daemon start, "
+        f"{counters['model_shadow_checks_total']:.0f} shadow checks"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

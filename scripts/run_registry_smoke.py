@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Drive the model registry end-to-end against a live serve daemon.
+
+The CI registry smoke: in a throwaway workspace, benchmark a simulated
+node, train two model versions, promote v1 and start ``chronus serve``
+(the real :class:`UnixSocketServer`, socket and all).  Then, while a
+multi-threaded submit storm hammers the socket, a *second* process-like
+stack (its own :class:`ChronusApp` over the same workspace) shadows and
+promotes v2 — and finally rolls back.  The daemon is started exactly
+once; version changes must reach it purely through the settings
+projection the serving path re-reads per request.
+
+The companion ``check_registry_gate.py`` asserts the invariants; this
+script only runs and records, so a failing drill still leaves an
+artifact to inspect.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_registry_smoke.py --output registry.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+
+from repro import telemetry
+from repro.core.domain.configuration import Configuration
+from repro.core.factory import ChronusApp
+from repro.serving.protocol import ErrorResponse, PredictRequest
+from repro.serving.transport import UnixSocketServer, UnixSocketTransport
+from repro.slurm.cluster import SimCluster
+
+STORM_WORKERS = 4
+STORM_REQUESTS = 30  # per worker
+SHADOW_AT = 5  # worker 0 shadows v2 before its Nth request...
+PROMOTE_AT = 20  # ...and promotes it here, while traffic keeps flowing
+
+
+def _make_app(workspace: str, seed: int) -> ChronusApp:
+    return ChronusApp(SimCluster(seed=seed, hpcg_duration_s=60.0), workspace)
+
+
+def _counter(name: str) -> float:
+    entry = telemetry.find_metric(telemetry.snapshot(), "counters", name)
+    return entry["value"] if entry else 0.0
+
+
+def _answer_record(answer) -> dict:
+    if isinstance(answer, ErrorResponse):
+        return {"error": answer.code, "message": answer.message}
+    return {
+        "model_id": answer.model_id,
+        "model_version": answer.model_version,
+        "cores": answer.cores,
+    }
+
+
+def run_smoke(workspace: str, seed: int) -> dict:
+    app = _make_app(workspace, seed)
+
+    # a compact sweep is enough food for both optimizer types
+    configs = Configuration.sweep(
+        core_counts=[4, 16, 32], frequencies=[1_500_000, 2_500_000]
+    )
+    rows = app.benchmark_service.run_benchmarks(configs, clock=app.clock)
+    v1 = app.init_model_service.run("brute-force", 1, created_at=app.clock())
+    v2 = app.init_model_service.run(
+        "linear-regression", 1, created_at=app.clock()
+    )
+    app.model_registry_service.promote(v1.model_id)
+
+    server = app.make_server(queue_limit=512, max_batch=16)
+    socket_path = os.path.join(workspace, "chronus.sock")
+    daemon = UnixSocketServer(server, socket_path)
+    server.start()
+    daemon.start()
+
+    # "another process": its own repository handle + settings stack over
+    # the same workspace — promotion must reach the daemon via disk alone
+    operator = _make_app(workspace, seed + 1)
+
+    answers: "dict[int, list]" = {}
+    promoted = threading.Event()
+
+    def storm(worker: int) -> None:
+        transport = UnixSocketTransport(socket_path, timeout_s=30.0)
+        out = []
+        for i in range(STORM_REQUESTS):
+            if worker == 0 and i == SHADOW_AT:
+                operator.model_registry_service.shadow(v2.model_id)
+            if worker == 0 and i == PROMOTE_AT:
+                operator.model_registry_service.promote(v2.model_id)
+                promoted.set()
+            out.append(transport.predict(PredictRequest(system_id=1)))
+        answers[worker] = out
+
+    threads = [
+        threading.Thread(target=storm, args=(w,)) for w in range(STORM_WORKERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    client = UnixSocketTransport(socket_path, timeout_s=30.0)
+    after_promote = client.predict(PredictRequest(system_id=1))
+    operator.model_registry_service.rollback(1, "hpcg")
+    after_rollback = client.predict(PredictRequest(system_id=1))
+    ping = client.ping()
+    client.shutdown()
+    daemon.stop()
+    server.stop()
+
+    flat = [a for out in answers.values() for a in out]
+    errors = [a for a in flat if isinstance(a, ErrorResponse)]
+    versions = sorted(
+        {a.model_version for a in flat if not isinstance(a, ErrorResponse)}
+    )
+    monotonic = all(
+        [a.model_version for a in out if not isinstance(a, ErrorResponse)]
+        == sorted(
+            a.model_version for a in out if not isinstance(a, ErrorResponse)
+        )
+        for out in answers.values()
+    )
+    return {
+        "seed": seed,
+        "benchmark_rows": len(rows),
+        "models": {
+            "v1": {"model_id": v1.model_id, "type": v1.model_type},
+            "v2": {"model_id": v2.model_id, "type": v2.model_type},
+        },
+        "storm": {
+            "workers": STORM_WORKERS,
+            "requests": len(flat),
+            "expected_requests": STORM_WORKERS * STORM_REQUESTS,
+            "errors": [_answer_record(e) for e in errors],
+            "shed_total": _counter("serve_shed_total"),
+            "versions_seen": versions,
+            "per_worker_monotonic": monotonic,
+            "promoted_mid_storm": promoted.is_set(),
+        },
+        "after_promote": _answer_record(after_promote),
+        "after_rollback": _answer_record(after_rollback),
+        "daemon": {"starts": 1, "alive_at_end": bool(ping.get("ok"))},
+        "counters": {
+            name: _counter(name)
+            for name in (
+                "model_promotions_total",
+                "model_rollbacks_total",
+                "model_cache_stale_total",
+                "model_shadow_checks_total",
+                "serve_shed_total",
+            )
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="registry-smoke.json")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workspace",
+        default=None,
+        help="workspace directory [default: a fresh temp dir]",
+    )
+    args = parser.parse_args(argv)
+
+    if args.workspace:
+        os.makedirs(args.workspace, exist_ok=True)
+        report = run_smoke(args.workspace, args.seed)
+    else:
+        with tempfile.TemporaryDirectory(prefix="chronus-registry-") as ws:
+            report = run_smoke(ws, args.seed)
+
+    storm = report["storm"]
+    print(
+        f"registry smoke: {storm['requests']} answers, "
+        f"{len(storm['errors'])} errors, shed={storm['shed_total']:.0f}, "
+        f"versions={storm['versions_seen']}, "
+        f"after promote v{report['after_promote'].get('model_version')}, "
+        f"after rollback v{report['after_rollback'].get('model_version')}"
+    )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ from repro.core.application.interfaces import (
 from repro.core.application.benchmark_service import BenchmarkService
 from repro.core.application.init_model_service import InitModelService
 from repro.core.application.load_model_service import LoadModelService
+from repro.core.application.model_registry_service import ModelRegistryService
 from repro.core.application.slurm_config_service import SlurmConfigService
 from repro.core.application.settings_service import SettingsService
 
@@ -28,6 +29,7 @@ __all__ = [
     "BenchmarkService",
     "InitModelService",
     "LoadModelService",
+    "ModelRegistryService",
     "SlurmConfigService",
     "SettingsService",
 ]

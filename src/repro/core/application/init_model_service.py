@@ -2,11 +2,15 @@
 
 Loads all benchmarks for one (system, application), fits the requested
 optimizer, uploads the artifact to blob storage and records metadata in
-the repository.
+the repository.  New models enter the registry as ``candidate`` with a
+version one past the highest in their (system, application) scope and
+their parent set to the currently active model, so lineage is a chain
+the ``models`` CLI can walk.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.core.application.interfaces import (
@@ -15,7 +19,12 @@ from repro.core.application.interfaces import (
     RepositoryInterface,
 )
 from repro.core.domain.errors import NoBenchmarksError
-from repro.core.domain.model import ModelMetadata
+from repro.core.domain.model import (
+    STAGE_ACTIVE,
+    STAGE_CANDIDATE,
+    ModelMetadata,
+    artifact_digest,
+)
 
 __all__ = ["InitModelService"]
 
@@ -63,18 +72,41 @@ class InitModelService:
         self._log("training model")
         optimizer.fit(benchmarks)
         artifact = optimizer.serialize()
-        model_id = self.repository.next_model_id()
-        blob_name = f"model-{model_id}-{optimizer.name()}-sys{system_id}.json"
+        digest = artifact_digest(artifact)
+        # digest-named blob: no id needed before the save, so the id can
+        # be assigned atomically inside save_model_metadata (model_id=0)
+        blob_name = (
+            f"model-{digest[:12]}-{optimizer.name()}-sys{system_id}.json"
+        )
         blob_path = self.file_repository.save(blob_name, artifact)
+        scope = [
+            m
+            for m in self.repository.list_models()
+            if m.scope() == (system_id, application)
+        ]
+        version = max((m.version for m in scope), default=0) + 1
+        active = [m for m in scope if m.stage == STAGE_ACTIVE]
+        parent_id = active[-1].model_id if active else None
         metadata = ModelMetadata(
-            model_id=model_id,
+            model_id=0,
             model_type=optimizer.name(),
             system_id=system_id,
             application=application,
             blob_path=blob_path,
             created_at=created_at,
             training_points=len(benchmarks),
+            stage=STAGE_CANDIDATE,
+            version=version,
+            parent_id=parent_id,
+            digest=digest,
+            provenance=(
+                f"fit on {len(benchmarks)} {application} benchmark rows "
+                f"of system {system_id}"
+            ),
         )
-        self.repository.save_model_metadata(metadata)
-        self._log(f"model {model_id} saved to {blob_path}")
+        model_id = self.repository.save_model_metadata(metadata)
+        metadata = replace(metadata, model_id=model_id)
+        self._log(
+            f"model {model_id} (v{version} candidate) saved to {blob_path}"
+        )
         return metadata

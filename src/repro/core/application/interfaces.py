@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence, Union, runtime_checkable
+from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from repro.core.domain.benchmark import BenchmarkResult
 from repro.core.domain.configuration import Configuration
@@ -96,7 +96,24 @@ class RepositoryInterface(abc.ABC):
     # --- models --------------------------------------------------------
     @abc.abstractmethod
     def save_model_metadata(self, metadata: ModelMetadata) -> int:
-        """Persist model metadata; returns the model id."""
+        """Persist one model record; returns its id.
+
+        ``metadata.model_id == 0`` asks the repository to assign the next
+        free id *inside* the save (one transaction for SQLite) — callers
+        must use the returned id, never a prior ``next_model_id`` read,
+        so two concurrent saves can never race onto the same id.  A
+        non-zero id upserts that exact row (lifecycle stage changes).
+        """
+
+    def save_model_records(self, records: Sequence[ModelMetadata]) -> list[int]:
+        """Upsert a batch of records; returns their ids in order.
+
+        Lifecycle operations (promote archives the old active and
+        activates the new one) flush through this method so backends with
+        transactions can make the stage flip atomic.  Default
+        implementation saves row by row.
+        """
+        return [self.save_model_metadata(r) for r in records]
 
     @abc.abstractmethod
     def get_model_metadata(self, model_id: int) -> ModelMetadata:
@@ -104,11 +121,16 @@ class RepositoryInterface(abc.ABC):
 
     @abc.abstractmethod
     def list_models(self) -> list[ModelMetadata]:
-        """All model metadata rows."""
+        """All model records, ordered by id."""
 
     @abc.abstractmethod
     def next_model_id(self) -> int:
-        """The id the next save_model_metadata call will receive."""
+        """.. deprecated:: read-only *hint* of the next id.
+
+        Kept for introspection/display only.  The value is stale the
+        moment it is returned; id assignment happens inside
+        :meth:`save_model_metadata` (pass ``model_id=0``).
+        """
 
 
 class OptimizerInterface(abc.ABC):
@@ -216,6 +238,23 @@ class LocalStorageInterface(abc.ABC):
     @abc.abstractmethod
     def save(self, settings: ChronusSettings) -> None:
         """Persist settings."""
+
+    def mutate(
+        self, fn: Callable[[ChronusSettings], ChronusSettings]
+    ) -> ChronusSettings:
+        """Apply ``fn`` to the current settings and persist the result.
+
+        This is the *only* correct way to read-modify-write settings:
+        implementations serialize concurrent mutations (EtcStorage holds
+        a lock across load -> fn -> save), so two updaters — say
+        ``register_binary`` and a model promotion — can never overwrite
+        each other's fields with a stale snapshot.  The default
+        implementation is the unserialized legacy behaviour for simple
+        single-threaded storages.
+        """
+        settings = fn(self.load())
+        self.save(settings)
+        return settings
 
     @abc.abstractmethod
     def resolve_path(self, relative: str) -> str:

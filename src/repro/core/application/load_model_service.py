@@ -33,6 +33,25 @@ __all__ = ["LoadModelService"]
 LOCAL_OPTIMIZER_DIR = "optimizer"
 
 
+def _fsync_dir(path: str) -> None:
+    """Flush a directory's metadata so a completed rename survives power loss.
+
+    Best-effort: some filesystems (and fake in-memory ones in tests) cannot
+    open a directory read-only, and durability is not worth crashing a load
+    that already succeeded.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class LoadModelService:
     """Pre-loads a model to the head node's local disk."""
 
@@ -44,6 +63,7 @@ class LoadModelService:
         *,
         write_local: Callable[[str, bytes], None],
         replace: Optional[Callable[[str, str], None]] = None,
+        fsync_dir: Optional[Callable[[str], None]] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.repository = repository
@@ -53,17 +73,29 @@ class LoadModelService:
         #: injectable for fake filesystems in tests; os.replace is atomic
         #: on POSIX, which is the whole point
         self._replace = replace if replace is not None else os.replace
+        #: injectable for fake filesystems; see _fsync_dir
+        self._fsync_dir = fsync_dir if fsync_dir is not None else _fsync_dir
         self._log = log or (lambda msg: None)
 
-    def run(self, model_id: int) -> tuple[ModelMetadata, str]:
+    def run(
+        self, model_id: int, *, as_shadow: bool = False
+    ) -> tuple[ModelMetadata, str]:
         """Load model ``model_id``; returns (metadata, local path).
 
         Steps match the paper's red arrows: (1) metadata from the database,
         (2) artifact from blob storage, (3) write to local disk + record in
         settings so ``slurm-config`` finds it without remote access.  The
-        write goes to ``<path>.tmp`` and is published by an atomic rename;
-        a crash between the two leaves the previous artifact (or nothing)
-        under the final name — never a truncated file.
+        write goes to ``<path>.tmp`` and is published by an atomic rename,
+        then the destination *directory* is fsynced: ``os.replace`` alone
+        leaves the rename sitting in the directory's dirty page cache, so
+        a power cut after "loaded" could still roll the file back — fatal
+        for a registry whose settings file now points at the new name.
+        Readers only ever see the old artifact or the complete new one.
+
+        ``as_shadow=True`` records the artifact in the settings *shadow*
+        projection for its (system, application) instead of replacing the
+        serving entry — the serving layer then mirrors a sample of live
+        requests onto it without affecting answers.
         """
         metadata = self.repository.get_model_metadata(model_id)
         artifact = self.file_repository.load(metadata.blob_path)
@@ -72,13 +104,24 @@ class LoadModelService:
         tmp_path = self.local_storage.resolve_path(local_rel + ".tmp")
         self._write_local(tmp_path, artifact)
         self._replace(tmp_path, local_path)
-        settings = self.local_storage.load()
-        settings = settings.with_loaded_model(
-            metadata.system_id, local_path, metadata.model_type,
-            application=metadata.application,
-        )
-        self.local_storage.save(settings)
+        self._fsync_dir(os.path.dirname(local_path))
+        if as_shadow:
+            def update(settings):
+                return settings.with_shadow_model(
+                    metadata.system_id, metadata.application,
+                    local_path, metadata.model_type,
+                    model_id=metadata.model_id, version=metadata.version,
+                )
+        else:
+            def update(settings):
+                return settings.with_loaded_model(
+                    metadata.system_id, local_path, metadata.model_type,
+                    application=metadata.application,
+                    model_id=metadata.model_id, version=metadata.version,
+                )
+        self.local_storage.mutate(update)
+        role = "shadow-loaded" if as_shadow else "loaded"
         self._log(
-            f"model {model_id} ({metadata.model_type}) loaded to {local_path}"
+            f"model {model_id} ({metadata.model_type}) {role} to {local_path}"
         )
         return metadata, local_path

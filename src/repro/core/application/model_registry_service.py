@@ -1,0 +1,203 @@
+"""Model registry lifecycle use cases: promote, rollback, shadow.
+
+The paper stops at "load the model and point the settings file at it";
+this service turns that pointer into a *registry-driven* deployment.
+Every model lives in exactly one lifecycle stage (see
+:mod:`repro.core.domain.model`) and only one model per
+``(system, application)`` scope may be ``active``.  Stage flips are
+flushed through :meth:`RepositoryInterface.save_model_records` so
+transactional backends make the promote (archive old + activate new)
+one atomic write — a crash can never leave a scope with two active
+models or none where it had one.
+
+Promotion and rollback *materialize* the winning model through
+:class:`LoadModelService`, which rewrites the settings projection that
+``slurm-config`` resolves on every request — that is what makes a
+promotion take effect in a running ``chronus serve`` daemon without a
+restart (the serving cache notices the changed identity tag and
+reloads).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import telemetry
+from repro.core.application.interfaces import (
+    LocalStorageInterface,
+    RepositoryInterface,
+)
+from repro.core.application.load_model_service import LoadModelService
+from repro.core.domain.errors import StageTransitionError
+from repro.core.domain.model import (
+    STAGE_ACTIVE,
+    STAGE_ARCHIVED,
+    STAGE_CANDIDATE,
+    STAGE_SHADOW,
+    ModelRecord,
+    can_transition,
+)
+
+__all__ = ["ModelRegistryService"]
+
+
+class ModelRegistryService:
+    """Lifecycle operations over the versioned model registry."""
+
+    def __init__(
+        self,
+        repository: RepositoryInterface,
+        load_model_service: LoadModelService,
+        local_storage: LocalStorageInterface,
+        *,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.repository = repository
+        self.load_model_service = load_model_service
+        self.local_storage = local_storage
+        self._log = log or (lambda msg: None)
+
+    # ------------------------------------------------------------------
+    def list(self, stage: Optional[str] = None) -> list[ModelRecord]:
+        """All registry records, optionally filtered to one stage."""
+        models = self.repository.list_models()
+        if stage is None:
+            return models
+        return [m for m in models if m.stage == stage]
+
+    def active_for(
+        self, system_id: int, application: str
+    ) -> Optional[ModelRecord]:
+        """The active record for a scope, or None."""
+        for record in self.repository.list_models():
+            if record.scope() == (system_id, application) and (
+                record.stage == STAGE_ACTIVE
+            ):
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    def promote(self, model_id: int) -> ModelRecord:
+        """Make ``model_id`` the active model of its scope.
+
+        The previously active model (if any) is archived in the same
+        repository write, then the new active is materialized to local
+        disk and the settings projection.  If the promoted model was the
+        scope's shadow, the shadow projection is cleared — it graduated.
+        """
+        record = self.repository.get_model_metadata(model_id)
+        self._check(record, STAGE_ACTIVE)
+        was_shadow = record.stage == STAGE_SHADOW
+        previous = self.active_for(record.system_id, record.application)
+        flips = []
+        if previous is not None and previous.model_id != record.model_id:
+            flips.append(previous.with_stage(STAGE_ARCHIVED))
+        record = record.with_stage(STAGE_ACTIVE)
+        flips.append(record)
+        self.repository.save_model_records(flips)
+        self.load_model_service.run(record.model_id)
+        if was_shadow:
+            self.local_storage.mutate(
+                lambda s: s.without_shadow_model(
+                    record.system_id, record.application
+                )
+            )
+        telemetry.counter("model_promotions_total").inc()
+        prev_txt = f" (archived model {previous.model_id})" if previous else ""
+        self._log(
+            f"promoted model {record.model_id} "
+            f"(v{record.version}) to active{prev_txt}"
+        )
+        return record
+
+    def rollback(self, system_id: int, application: str) -> ModelRecord:
+        """Restore the previously active model of a scope.
+
+        The current active is archived and its predecessor — its
+        ``parent_id`` when that record is archived, else the most recent
+        archived model in the scope — comes back as active and is
+        re-materialized.  Raises when there is nothing to roll back to.
+        """
+        current = self.active_for(system_id, application)
+        if current is None:
+            raise StageTransitionError(
+                f"no active model for system {system_id} "
+                f"application {application!r}; nothing to roll back"
+            )
+        target = self._rollback_target(current)
+        if target is None:
+            raise StageTransitionError(
+                f"model {current.model_id} has no archived predecessor "
+                "to roll back to"
+            )
+        self._check(target, STAGE_ACTIVE)
+        restored = target.with_stage(STAGE_ACTIVE)
+        self.repository.save_model_records(
+            [current.with_stage(STAGE_ARCHIVED), restored]
+        )
+        self.load_model_service.run(restored.model_id)
+        telemetry.counter("model_rollbacks_total").inc()
+        self._log(
+            f"rolled back to model {restored.model_id} "
+            f"(v{restored.version}); archived model {current.model_id}"
+        )
+        return restored
+
+    def shadow(self, model_id: int) -> ModelRecord:
+        """Run ``model_id`` as its scope's shadow.
+
+        The shadow gets a sampled mirror of live requests; its answers
+        are recorded as divergence metrics but never served.  A previous
+        shadow in the scope steps back to candidate.
+        """
+        record = self.repository.get_model_metadata(model_id)
+        self._check(record, STAGE_SHADOW)
+        flips = []
+        for other in self.repository.list_models():
+            if (
+                other.scope() == record.scope()
+                and other.stage == STAGE_SHADOW
+                and other.model_id != record.model_id
+            ):
+                flips.append(other.with_stage(STAGE_CANDIDATE))
+        record = record.with_stage(STAGE_SHADOW)
+        flips.append(record)
+        self.repository.save_model_records(flips)
+        self.load_model_service.run(record.model_id, as_shadow=True)
+        self._log(
+            f"model {record.model_id} (v{record.version}) now shadowing "
+            f"system {record.system_id} {record.application!r}"
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check(record: ModelRecord, to_stage: str) -> None:
+        if record.stage == to_stage:
+            raise StageTransitionError(
+                f"model {record.model_id} is already {to_stage}"
+            )
+        if not can_transition(record.stage, to_stage):
+            raise StageTransitionError(
+                f"model {record.model_id} cannot move "
+                f"{record.stage} -> {to_stage}"
+            )
+
+    def _rollback_target(self, current: ModelRecord) -> Optional[ModelRecord]:
+        if current.parent_id is not None:
+            try:
+                parent = self.repository.get_model_metadata(current.parent_id)
+            except Exception:
+                parent = None
+            if parent is not None and parent.stage == STAGE_ARCHIVED:
+                return parent
+        archived = [
+            m
+            for m in self.repository.list_models()
+            if m.scope() == current.scope()
+            and m.stage == STAGE_ARCHIVED
+            and m.model_id != current.model_id
+        ]
+        if not archived:
+            return None
+        return max(archived, key=lambda m: (m.version, m.model_id))

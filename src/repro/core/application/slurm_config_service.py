@@ -47,11 +47,22 @@ class SlurmConfigService:
         *,
         read_local: Callable[[str], bytes],
         cache: Optional[ModelCache] = None,
+        shadow_sample_rate: float = 0.25,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
+        if not 0.0 <= shadow_sample_rate <= 1.0:
+            raise ValueError(
+                f"shadow_sample_rate must be in [0, 1], got {shadow_sample_rate}"
+            )
         self.local_storage = local_storage
         self.optimizer_loader = optimizer_loader
         self._read_local = read_local
+        #: fraction of typed predicts mirrored onto the scope's shadow
+        #: model (0 disables shadowing)
+        self.shadow_sample_rate = shadow_sample_rate
+        self._shadow_tick = 0
+        self._shadow_checks = 0
+        self._shadow_diverged = 0
         self._log = log or (lambda msg: None)
         #: (system_id, application) -> fitted optimizer.  The plugin may
         #: fire for every submission; deserializing each time wastes
@@ -64,13 +75,22 @@ class SlurmConfigService:
     # ------------------------------------------------------------------
     def _resolve_model(
         self, system_id: "int | str", binary_hash: "int | str" = ""
-    ) -> tuple[str, str, tuple[str, str]]:
-        """Resolve (system, binary) to ``(path, model_type, cache_key)``.
+    ) -> "tuple[dict, tuple[str, str], dict | None]":
+        """Resolve (system, binary) to ``(entry, cache_key, shadow_entry)``.
 
+        ``entry`` is the settings projection of the active model — path,
+        type and registry identity (``model_id``/``version``/``stage``).
         The cache key is the *canonical* ``(system_id, application)``
         identity of the settings entry that matched — so a plugin-side
         system hash and the repository id it aliases share one cached
         optimizer (and one ``chronus serve --preload`` pin).
+        ``shadow_entry`` is the scope's shadow projection when one is
+        recorded (None otherwise).
+
+        Settings are re-read from local storage on *every* call: this is
+        what makes a promotion in another process visible to a running
+        daemon — the next request sees the new entry, its identity tag no
+        longer matches the cached optimizer, and the cache reloads.
         """
         settings = self.local_storage.load()
         application = (
@@ -137,17 +157,50 @@ class SlurmConfigService:
             cache_key = (sys_part, app_part)
         else:
             cache_key = (matched_key or str(system_id), application or "")
-        return entry["path"], entry["type"], cache_key
+        shadow = settings.shadow_models.get(f"{cache_key[0]}:{cache_key[1]}")
+        return entry, cache_key, shadow
 
-    def _load_optimizer(
-        self, key: tuple[str, str], path: str, model_type: str
-    ) -> OptimizerInterface:
-        def loader() -> OptimizerInterface:
-            with telemetry.span("chronus.load_model", path=path, type=model_type):
-                data = self._read_local(path)
-                return self.optimizer_loader(model_type, data)
+    @staticmethod
+    def _entry_tag(entry: dict) -> tuple:
+        """The identity a cached optimizer is bound to.
 
-        return self.cache.get_or_load(key, loader)
+        Any component changing — a promotion bumps id+version, a
+        re-load-in-place changes the path — makes the cached value stale.
+        """
+        return (
+            entry.get("model_id", 0),
+            entry.get("version", 0),
+            entry["path"],
+        )
+
+    def _load_optimizer(self, key, entry: dict) -> OptimizerInterface:
+        """Cached optimizer for ``entry``, reloading when the tag moved.
+
+        Cache values are ``(tag, optimizer)`` pairs.  A hit whose tag no
+        longer matches the settings entry means the registry moved on
+        (promotion/rollback) while this process kept serving: the entry
+        is invalidated — pins survive and re-attach — and the new
+        artifact loads in its place.  This is the zero-restart half of
+        promotion; no signal to the daemon is needed.
+        """
+        path, model_type = entry["path"], entry["type"]
+        tag = self._entry_tag(entry)
+        cached = self.cache.get(key)
+        if cached is not None:
+            cached_tag, optimizer = cached
+            if cached_tag == tag:
+                return optimizer
+            telemetry.counter("model_cache_stale_total").inc()
+            self.cache.invalidate(key)
+            self._log(
+                f"slurm-config: cached model for {key} is stale "
+                f"({cached_tag} -> {tag}); reloading"
+            )
+        with telemetry.span("chronus.load_model", path=path, type=model_type):
+            data = self._read_local(path)
+            optimizer = self.optimizer_loader(model_type, data)
+        self.cache.put(key, (tag, optimizer))
+        return optimizer
 
     def _candidates(
         self, optimizer: OptimizerInterface, min_perf: Optional[float]
@@ -172,11 +225,56 @@ class SlurmConfigService:
         system_id: "int | str",
         binary_hash: "int | str",
         min_perf: Optional[float],
-    ) -> tuple[Configuration, str]:
-        path, model_type, cache_key = self._resolve_model(system_id, binary_hash)
-        optimizer = self._load_optimizer(cache_key, path, model_type)
+    ) -> "tuple[Configuration, dict, tuple[str, str], dict | None]":
+        entry, cache_key, shadow = self._resolve_model(system_id, binary_hash)
+        optimizer = self._load_optimizer(cache_key, entry)
         best = optimizer.best_configuration(self._candidates(optimizer, min_perf))
-        return best, model_type
+        return best, entry, cache_key, shadow
+
+    # ------------------------------------------------------------------
+    def _maybe_shadow(
+        self,
+        shadow: "dict | None",
+        cache_key: tuple[str, str],
+        best: Configuration,
+        min_perf: Optional[float],
+    ) -> None:
+        """Mirror a sampled request onto the scope's shadow model.
+
+        The shadow's answer is compared against the served one and
+        recorded as divergence metrics — it never reaches the caller.
+        Shadow failures are counted, not raised: an unproven model must
+        not be able to break serving.
+        """
+        if shadow is None or self.shadow_sample_rate <= 0.0:
+            return
+        # deterministic counter-based sampling (no RNG in the plugin path)
+        period = max(1, round(1.0 / self.shadow_sample_rate))
+        self._shadow_tick += 1
+        if self._shadow_tick % period != 0:
+            return
+        labels = {
+            "system": cache_key[0],
+            "application": cache_key[1],
+            "shadow_model": f"{shadow.get('model_id', 0)}"
+            f":{shadow.get('version', 0)}",
+        }
+        try:
+            optimizer = self._load_optimizer(cache_key + ("shadow",), shadow)
+            answer = optimizer.best_configuration(
+                self._candidates(optimizer, min_perf)
+            )
+            telemetry.counter("model_shadow_checks_total", labels).inc()
+            self._shadow_checks += 1
+            if answer != best:
+                telemetry.counter("model_shadow_diverged_total", labels).inc()
+                self._shadow_diverged += 1
+            telemetry.gauge("model_shadow_divergence", labels).set(
+                self._shadow_diverged / self._shadow_checks
+            )
+        except Exception as exc:  # noqa: BLE001 - shadow must never break serving
+            telemetry.counter("model_shadow_errors_total", labels).inc()
+            self._log(f"slurm-config: shadow evaluation failed: {exc}")
 
     # ------------------------------------------------------------------
     def run(
@@ -195,7 +293,7 @@ class SlurmConfigService:
                 user's ``--comment "chronus perf=0.95"``).  Candidates
                 without a stored rating are excluded when a floor is set.
         """
-        best, _ = self._evaluate(system_id, binary_hash, min_perf)
+        best, _, _, _ = self._evaluate(system_id, binary_hash, min_perf)
         self._log(
             f"slurm-config: system={system_id} binary={binary_hash} "
             f"min_perf={min_perf} -> {best.to_json()}"
@@ -214,15 +312,23 @@ class SlurmConfigService:
 
     # ------------------------------------------------------------------
     def predict(self, request: PredictRequest) -> PredictResponse:
-        """The typed (chronus/2) entry point for one request."""
-        best, model_type = self._evaluate(
+        """The typed (chronus/2) entry point for one request.
+
+        Only the *active* model's answer is returned; when the scope has
+        a shadow model, a sampled fraction of requests is additionally
+        mirrored onto it for divergence metrics (see :meth:`_maybe_shadow`).
+        """
+        best, entry, cache_key, shadow = self._evaluate(
             request.system_id, request.binary_hash, request.min_perf
         )
+        self._maybe_shadow(shadow, cache_key, best, request.min_perf)
         return PredictResponse(
             cores=best.cores,
             threads_per_core=best.threads_per_core,
             frequency=best.frequency,
-            model_type=model_type,
+            model_type=entry["type"],
+            model_id=int(entry.get("model_id", 0) or 0),
+            model_version=int(entry.get("version", 0) or 0),
         )
 
     def predict_batch(

@@ -5,6 +5,7 @@ The paper's section 3.3 surface plus one reporting addition::
     chronus benchmark [HPCG_PATH] --configurations [CONFIG_FILE]
     chronus init-model --model [MODEL_TYPE] --system [SYSTEM_ID]
     chronus load-model --model [MODEL_ID]
+    chronus models {list,promote,rollback,shadow}  (ours: registry lifecycle)
     chronus slurm-config [SYSTEM_IDENTIFIER] [BINARY_HASH]
     chronus set {database,blob-storage,state,telemetry} VALUE
     chronus report --system [SYSTEM_ID]      (ours: projected savings)
@@ -37,6 +38,7 @@ from repro import telemetry
 from repro.core.application.sweep_executor import WORKERS_ENV, resolve_worker_count
 from repro.core.domain.configuration import Configuration
 from repro.core.domain.errors import ChronusError
+from repro.core.domain.model import MODEL_STAGES
 from repro.core.factory import ChronusApp, ModelFactory
 from repro.core.presenter.views import (
     TelemetryView,
@@ -103,6 +105,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_load = sub.add_parser("load-model", help="load a pre-trained model")
     p_load.add_argument("--model", type=int, default=-1, help="the id of the model to load")
+
+    p_models = sub.add_parser(
+        "models",
+        help="registry lifecycle: list models, promote/rollback/shadow",
+    )
+    models_sub = p_models.add_subparsers(dest="models_command", required=True)
+    m_list = models_sub.add_parser("list", help="list registry records")
+    m_list.add_argument(
+        "--stage",
+        choices=list(MODEL_STAGES),
+        help="only records in this lifecycle stage",
+    )
+    m_promote = models_sub.add_parser(
+        "promote",
+        help="make a model active for its (system, application); the "
+        "previous active is archived; a running daemon picks it up "
+        "without a restart",
+    )
+    m_promote.add_argument("--model", type=int, required=True, help="model id")
+    m_rollback = models_sub.add_parser(
+        "rollback", help="restore the previously active model of a scope"
+    )
+    m_rollback.add_argument("--system", type=int, required=True)
+    m_rollback.add_argument("--application", default="hpcg")
+    m_shadow = models_sub.add_parser(
+        "shadow",
+        help="mirror sampled live traffic onto a model; divergence is "
+        "recorded, answers are never served",
+    )
+    m_shadow.add_argument("--model", type=int, required=True, help="model id")
 
     p_cfg = sub.add_parser("slurm-config", help="predict the energy-efficient configuration")
     p_cfg.add_argument("system_identifier")
@@ -320,6 +352,36 @@ def _cmd_load_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_models(args: argparse.Namespace) -> int:
+    app = _make_app(args)
+    registry = app.model_registry_service
+    if args.models_command == "list":
+        print(render_models_table(registry.list(stage=args.stage)))
+        return 0
+    if args.models_command == "promote":
+        record = registry.promote(args.model)
+        print(
+            f"Model {record.model_id} (v{record.version}, "
+            f"{record.model_type}) is now active for system "
+            f"{record.system_id} {record.application!r}"
+        )
+        return 0
+    if args.models_command == "rollback":
+        record = registry.rollback(args.system, args.application)
+        print(
+            f"Rolled back: model {record.model_id} (v{record.version}, "
+            f"{record.model_type}) is active again for system "
+            f"{record.system_id} {record.application!r}"
+        )
+        return 0
+    record = registry.shadow(args.model)
+    print(
+        f"Model {record.model_id} (v{record.version}, {record.model_type}) "
+        f"now shadows system {record.system_id} {record.application!r}"
+    )
+    return 0
+
+
 def _cmd_slurm_config(args: argparse.Namespace) -> int:
     app = _make_app(args)
     print(app.slurm_config_service.run_json(args.system_identifier, args.binary_hash))
@@ -516,6 +578,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "init-model": _cmd_init_model,
     "load-model": _cmd_load_model,
+    "models": _cmd_models,
     "slurm-config": _cmd_slurm_config,
     "set": _cmd_set,
     "metrics": _cmd_metrics,

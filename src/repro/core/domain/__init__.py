@@ -4,7 +4,7 @@ from repro.core.domain.configuration import Configuration
 from repro.core.domain.system_info import SystemInfo
 from repro.core.domain.run import EnergySample, Run
 from repro.core.domain.benchmark import BenchmarkResult
-from repro.core.domain.model import ModelMetadata
+from repro.core.domain.model import MODEL_STAGES, ModelMetadata, ModelRecord
 from repro.core.domain.settings import ChronusSettings
 from repro.core.domain.errors import (
     ChronusError,
@@ -20,6 +20,8 @@ __all__ = [
     "Run",
     "BenchmarkResult",
     "ModelMetadata",
+    "ModelRecord",
+    "MODEL_STAGES",
     "ChronusSettings",
     "ChronusError",
     "ModelNotFoundError",

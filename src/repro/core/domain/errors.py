@@ -26,6 +26,7 @@ __all__ = [
     "PermanentSamplingError",
     "ConfigValidationError",
     "FaultSpecError",
+    "StageTransitionError",
 ]
 
 
@@ -99,3 +100,8 @@ class ConfigValidationError(ChronusError):
 
 class FaultSpecError(ChronusError):
     """A CHRONUS_FAULTS spec or profile name could not be parsed."""
+
+
+class StageTransitionError(ChronusError):
+    """A model-lifecycle transition the registry refuses (e.g. promoting
+    an archived model over a live shadow, re-promoting the active one)."""

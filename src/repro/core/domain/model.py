@@ -1,23 +1,82 @@
-"""Model metadata: what the Repository stores about a built optimizer.
+"""Model records: what the Repository stores about a built optimizer.
 
-Matches the paper's model-building step 3: "Saves metadata for the model to
-the database. Metadata is path in blob storage, time on creation, etc."
-The model *artifact* lives in blob storage; the metadata row carries the
-pointer plus the ``type`` string the ModelFactory dispatches on
-(Listing 2).
+Matches the paper's model-building step 3 ("Saves metadata for the model to
+the database. Metadata is path in blob storage, time on creation, etc.")
+and extends it into a *versioned registry with an explicit lifecycle* —
+the paper's write-once model path (build, copy to the head node, point the
+settings file at it) has no story for retraining, comparing or retiring
+models, which the paper itself flags as future work.
+
+Every record carries lineage on top of the paper's metadata:
+
+* ``stage`` — where the model sits in its lifecycle::
+
+      candidate ──> shadow ──> active ──> archived
+          │                      ^  │         ^
+          └──────────────────────┘  └─────────┘  (archived ──> active = rollback)
+
+  A *candidate* is freshly trained and unproven; a *shadow* runs next to
+  the active model on sampled traffic, its answers recorded but never
+  served; *active* is the one model whose answers reach the eco plugin
+  for its ``(system, application)``; *archived* models are retired but
+  recoverable by rollback.
+* ``version`` — monotonically increasing per ``(system, application)``.
+* ``parent_id`` — the model that was active when this one was trained
+  (the lineage pointer rollback follows).
+* ``digest`` — sha256 of the serialized artifact, so a record is bound to
+  the exact bytes it was trained into (cache invalidation and audit).
+* ``provenance`` — free-form training provenance ("who/what/when").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Mapping
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
 
-__all__ = ["ModelMetadata"]
+__all__ = [
+    "MODEL_STAGES",
+    "STAGE_CANDIDATE",
+    "STAGE_SHADOW",
+    "STAGE_ACTIVE",
+    "STAGE_ARCHIVED",
+    "VALID_STAGE_TRANSITIONS",
+    "can_transition",
+    "artifact_digest",
+    "ModelRecord",
+    "ModelMetadata",
+]
+
+STAGE_CANDIDATE = "candidate"
+STAGE_SHADOW = "shadow"
+STAGE_ACTIVE = "active"
+STAGE_ARCHIVED = "archived"
+
+#: lifecycle order; legacy (pre-registry) rows migrate in as ``active``
+MODEL_STAGES = (STAGE_CANDIDATE, STAGE_SHADOW, STAGE_ACTIVE, STAGE_ARCHIVED)
+
+#: stage -> stages it may move to; anything else is a refused transition
+VALID_STAGE_TRANSITIONS: dict[str, tuple[str, ...]] = {
+    STAGE_CANDIDATE: (STAGE_SHADOW, STAGE_ACTIVE, STAGE_ARCHIVED),
+    STAGE_SHADOW: (STAGE_CANDIDATE, STAGE_ACTIVE, STAGE_ARCHIVED),
+    STAGE_ACTIVE: (STAGE_ARCHIVED,),
+    STAGE_ARCHIVED: (STAGE_ACTIVE,),  # rollback
+}
+
+
+def can_transition(from_stage: str, to_stage: str) -> bool:
+    """Whether the lifecycle allows moving ``from_stage`` -> ``to_stage``."""
+    return to_stage in VALID_STAGE_TRANSITIONS.get(from_stage, ())
+
+
+def artifact_digest(artifact: bytes) -> str:
+    """Content digest binding a record to its exact artifact bytes."""
+    return hashlib.sha256(artifact).hexdigest()
 
 
 @dataclass(frozen=True)
-class ModelMetadata:
-    """One built model's repository row."""
+class ModelRecord:
+    """One built model's registry row (metadata + lifecycle lineage)."""
 
     model_id: int
     model_type: str
@@ -26,6 +85,16 @@ class ModelMetadata:
     blob_path: str
     created_at: float
     training_points: int
+    #: lifecycle stage; new records are born unproven
+    stage: str = STAGE_CANDIDATE
+    #: monotonically increasing per (system, application)
+    version: int = 1
+    #: the model that was active when this one was trained (lineage)
+    parent_id: Optional[int] = None
+    #: sha256 of the serialized artifact
+    digest: str = ""
+    #: free-form training provenance
+    provenance: str = ""
 
     def __post_init__(self) -> None:
         if not self.model_type:
@@ -34,7 +103,27 @@ class ModelMetadata:
             raise ValueError("blob_path cannot be empty")
         if self.training_points < 0:
             raise ValueError("training_points cannot be negative")
+        if self.stage not in MODEL_STAGES:
+            raise ValueError(
+                f"stage must be one of {MODEL_STAGES}, got {self.stage!r}"
+            )
+        if self.version < 1:
+            raise ValueError(f"version must be >= 1, got {self.version}")
 
+    # ------------------------------------------------------------------
+    def scope(self) -> tuple[int, str]:
+        """The registry partition this record versions within."""
+        return (self.system_id, self.application)
+
+    def with_stage(self, stage: str) -> "ModelRecord":
+        """A copy at ``stage``; the caller validates the transition."""
+        return replace(self, stage=stage)
+
+    def short_digest(self) -> str:
+        """Human-width digest prefix (tables, blob names)."""
+        return self.digest[:12] if self.digest else "-"
+
+    # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         return {
             "model_id": self.model_id,
@@ -44,10 +133,28 @@ class ModelMetadata:
             "blob_path": self.blob_path,
             "created_at": self.created_at,
             "training_points": self.training_points,
+            "stage": self.stage,
+            "version": self.version,
+            "parent_id": self.parent_id,
+            "digest": self.digest,
+            "provenance": self.provenance,
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ModelMetadata":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModelRecord":
+        """Rebuild a record; rows without lifecycle fields are legacy.
+
+        A dict missing ``stage``/``version`` is by definition a
+        pre-registry row (old CSV headers, old SQLite columns, old JSON):
+        it was the one-and-only model of its deployment, so it migrates
+        in as ``active`` version 1 — *not* the constructor's fresh-record
+        ``candidate`` default.
+        """
+        parent = data.get("parent_id")
+        if parent in (None, "", "None"):
+            parent_id = None
+        else:
+            parent_id = int(parent)
         return cls(
             model_id=int(data["model_id"]),
             model_type=str(data["model_type"]),
@@ -56,4 +163,13 @@ class ModelMetadata:
             blob_path=str(data["blob_path"]),
             created_at=float(data["created_at"]),
             training_points=int(data["training_points"]),
+            stage=str(data.get("stage") or STAGE_ACTIVE),
+            version=int(data.get("version") or 1),
+            parent_id=parent_id,
+            digest=str(data.get("digest") or ""),
+            provenance=str(data.get("provenance") or ""),
         )
+
+
+#: the pre-registry name; old call sites and tests keep working unchanged
+ModelMetadata = ModelRecord

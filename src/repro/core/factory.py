@@ -17,6 +17,7 @@ from repro.core.application.benchmark_service import BenchmarkService
 from repro.core.application.init_model_service import InitModelService
 from repro.core.application.interfaces import OptimizerInterface, RepositoryInterface
 from repro.core.application.load_model_service import LoadModelService
+from repro.core.application.model_registry_service import ModelRegistryService
 from repro.core.application.settings_service import SettingsService
 from repro.core.application.slurm_config_service import SlurmConfigService
 from repro.core.application.sweep_executor import SweepExecutor
@@ -126,6 +127,12 @@ class ChronusApp:
             write_local=self._write_file,
             log=self._log,
         )
+        self.model_registry_service = ModelRegistryService(
+            self.repository,
+            self.load_model_service,
+            self.local_storage,
+            log=self._log,
+        )
         self.slurm_config_service = SlurmConfigService(
             self.local_storage,
             ModelFactory.load_optimizer,
@@ -204,9 +211,12 @@ class ChronusApp:
         hard-coded-binary limitation 6.1.2): the eco plugin sends
         ``simple_hash(binary)``, which slurm-config resolves to the
         application whose model should answer."""
-        settings = self.local_storage.load()
-        settings = settings.with_binary_alias(simple_hash(path), application)
-        self.local_storage.save(settings)
+        # mutate serializes against concurrent settings writers (model
+        # loads, lifecycle flips) — a plain load/save here could publish
+        # a stale snapshot and silently drop their fields
+        self.local_storage.mutate(
+            lambda s: s.with_binary_alias(simple_hash(path), application)
+        )
 
     # ------------------------------------------------------------------
     def make_server(
@@ -216,6 +226,7 @@ class ChronusApp:
         max_batch: int = 16,
         max_wait_ms: float = 2.0,
         queue_limit: int = 128,
+        shadow_sample_rate: Optional[float] = None,
     ):
         """A :class:`~repro.serving.ChronusServer` over this deployment.
 
@@ -232,6 +243,7 @@ class ChronusApp:
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
             queue_limit=queue_limit,
+            shadow_sample_rate=shadow_sample_rate,
             log=self._log,
         )
 

@@ -42,15 +42,18 @@ def render_systems_table(systems: Sequence[tuple[int, SystemInfo]]) -> str:
 
 
 def render_models_table(models: Sequence[ModelMetadata]) -> str:
-    """The "Available Models" listing (paper Figure 9)."""
+    """The "Available Models" listing (paper Figure 9) + registry columns."""
     table = TextTable(
-        ["Id", "Type", "System", "Application", "Points", "Blob path"],
+        ["Id", "Ver", "Stage", "Type", "System", "Application", "Points",
+         "Parent", "Digest", "Blob path"],
         title="Available Models",
     )
     for m in models:
         table.add_row(
-            m.model_id, m.model_type, m.system_id, m.application,
-            m.training_points, m.blob_path,
+            m.model_id, m.version, m.stage, m.model_type, m.system_id,
+            m.application, m.training_points,
+            "-" if m.parent_id is None else m.parent_id,
+            m.short_digest(), m.blob_path,
         )
     if not models:
         return "Available Models\n(none — run `chronus init-model` first)"

@@ -11,6 +11,8 @@ from __future__ import annotations
 import csv
 import json
 import os
+import threading
+from dataclasses import replace
 from typing import Optional
 
 from repro.core.application.interfaces import RepositoryInterface
@@ -26,9 +28,13 @@ _BENCH_FIELDS = [
     "gflops", "avg_system_w", "avg_cpu_w", "avg_cpu_temp_c",
     "system_energy_j", "cpu_energy_j", "runtime_s",
 ]
-_MODEL_FIELDS = [
+#: pre-registry header (kept to recognise legacy files for migration)
+_LEGACY_MODEL_FIELDS = [
     "model_id", "model_type", "system_id", "application", "blob_path",
     "created_at", "training_points",
+]
+_MODEL_FIELDS = _LEGACY_MODEL_FIELDS + [
+    "stage", "version", "parent_id", "digest", "provenance",
 ]
 
 
@@ -40,6 +46,30 @@ class CsvRepository(RepositoryInterface):
             raise ValueError("directory cannot be empty")
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        #: serializes model-id assignment + rewrite within this process
+        self._model_lock = threading.Lock()
+        self._migrate_models_file()
+
+    def _migrate_models_file(self) -> None:
+        """Rewrite a pre-registry ``models.csv`` in place.
+
+        Legacy rows have no lifecycle columns; each was the one deployed
+        model of its day, so they migrate as ``stage=active`` version 1
+        (exactly what :meth:`ModelMetadata.from_dict` does for a row
+        missing those keys).  A current-schema file is left untouched.
+        """
+        path = self._path("models.csv")
+        if not os.path.exists(path):
+            return
+        with open(path, newline="") as fh:
+            reader = csv.DictReader(fh)
+            header = reader.fieldnames or []
+            if set(_MODEL_FIELDS) <= set(header):
+                return
+            rows = list(reader)
+        migrated = [ModelMetadata.from_dict(r) for r in rows]
+        with self._model_lock:
+            self._rewrite_models(migrated)
 
     # ------------------------------------------------------------------
     def _path(self, name: str) -> str:
@@ -109,16 +139,39 @@ class CsvRepository(RepositoryInterface):
         return out
 
     # --- models --------------------------------------------------------
-    def save_model_metadata(self, metadata: ModelMetadata) -> int:
-        rows = [r for r in self._read_rows("models.csv")
-                if int(r["model_id"]) != metadata.model_id]
-        rows.append({k: str(v) for k, v in metadata.to_dict().items()})
-        with open(self._path("models.csv"), "w", newline="") as fh:
+    def _rewrite_models(self, records: list[ModelMetadata]) -> None:
+        """Whole-file rewrite published by an atomic rename."""
+        path = self._path("models.csv")
+        tmp = path + ".tmp"
+        with open(tmp, "w", newline="") as fh:
             writer = csv.DictWriter(fh, fieldnames=_MODEL_FIELDS)
             writer.writeheader()
-            for row in sorted(rows, key=lambda r: int(r["model_id"])):
+            for record in sorted(records, key=lambda m: m.model_id):
+                row = {
+                    k: ("" if v is None else str(v))
+                    for k, v in record.to_dict().items()
+                }
                 writer.writerow(row)
-        return metadata.model_id
+        os.replace(tmp, path)
+
+    def save_model_metadata(self, metadata: ModelMetadata) -> int:
+        return self.save_model_records([metadata])[0]
+
+    def save_model_records(self, records) -> list[int]:
+        # one lock spans read-assign-rewrite, so id assignment and the
+        # file rewrite are a single step within this process
+        with self._model_lock:
+            existing = {m.model_id: m for m in self.list_models()}
+            next_id = max(existing, default=0) + 1
+            ids: list[int] = []
+            for record in records:
+                if record.model_id == 0:
+                    record = replace(record, model_id=next_id)
+                existing[record.model_id] = record
+                next_id = max(next_id, record.model_id + 1)
+                ids.append(record.model_id)
+            self._rewrite_models(list(existing.values()))
+            return ids
 
     def get_model_metadata(self, model_id: int) -> ModelMetadata:
         for row in self._read_rows("models.csv"):
@@ -133,5 +186,6 @@ class CsvRepository(RepositoryInterface):
         )
 
     def next_model_id(self) -> int:
+        """Deprecated read-only hint; see RepositoryInterface."""
         rows = self._read_rows("models.csv")
         return max((int(r["model_id"]) for r in rows), default=0) + 1

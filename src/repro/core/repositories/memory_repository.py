@@ -6,6 +6,8 @@ repository contract tests run the same suite against all three.
 
 from __future__ import annotations
 
+import threading
+from dataclasses import replace
 from typing import Optional
 
 from repro.core.application.interfaces import RepositoryInterface
@@ -26,6 +28,7 @@ class MemoryRepository(RepositoryInterface):
         self._models: dict[int, ModelMetadata] = {}
         self._next_system_id = 1
         self._next_model_id = 1
+        self._model_lock = threading.Lock()
 
     # --- systems -------------------------------------------------------
     def save_system(self, info: SystemInfo) -> int:
@@ -66,9 +69,18 @@ class MemoryRepository(RepositoryInterface):
 
     # --- models --------------------------------------------------------
     def save_model_metadata(self, metadata: ModelMetadata) -> int:
-        self._models[metadata.model_id] = metadata
-        self._next_model_id = max(self._next_model_id, metadata.model_id + 1)
-        return metadata.model_id
+        # id assignment happens inside the save, under one lock, so two
+        # concurrent saves can never be handed the same id (the
+        # next_model_id -> save TOCTOU the old flow had)
+        with self._model_lock:
+            if metadata.model_id == 0:
+                metadata = replace(metadata, model_id=self._next_model_id)
+            self._models[metadata.model_id] = metadata
+            self._next_model_id = max(self._next_model_id, metadata.model_id + 1)
+            return metadata.model_id
+
+    def save_model_records(self, records) -> list[int]:
+        return [self.save_model_metadata(r) for r in records]
 
     def get_model_metadata(self, model_id: int) -> ModelMetadata:
         if model_id not in self._models:
@@ -79,4 +91,5 @@ class MemoryRepository(RepositoryInterface):
         return [self._models[k] for k in sorted(self._models)]
 
     def next_model_id(self) -> int:
+        """Deprecated read-only hint; see RepositoryInterface."""
         return self._next_model_id

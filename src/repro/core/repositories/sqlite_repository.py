@@ -77,11 +77,28 @@ CREATE TABLE IF NOT EXISTS models (
     application TEXT NOT NULL,
     blob_path TEXT NOT NULL,
     created_at REAL NOT NULL,
-    training_points INTEGER NOT NULL
+    training_points INTEGER NOT NULL,
+    stage TEXT NOT NULL DEFAULT 'active',
+    version INTEGER NOT NULL DEFAULT 1,
+    parent_id INTEGER,
+    digest TEXT NOT NULL DEFAULT '',
+    provenance TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS idx_benchmarks_system
     ON benchmarks(system_id, application);
 """
+
+#: lifecycle columns a pre-registry ``models`` table lacks; added in place
+#: on open.  The ALTER defaults are the legacy migration policy: every
+#: pre-registry row was its deployment's one deployed model, so it
+#: becomes ``active`` version 1.
+_MODEL_LIFECYCLE_COLUMNS = (
+    ("stage", "TEXT NOT NULL DEFAULT 'active'"),
+    ("version", "INTEGER NOT NULL DEFAULT 1"),
+    ("parent_id", "INTEGER"),
+    ("digest", "TEXT NOT NULL DEFAULT ''"),
+    ("provenance", "TEXT NOT NULL DEFAULT ''"),
+)
 
 
 class SqliteRepository(RepositoryInterface):
@@ -96,6 +113,22 @@ class SqliteRepository(RepositoryInterface):
         self.retry_policy = retry_policy or DEFAULT_WRITE_RETRY
         with self._connect() as conn:
             conn.executescript(_SCHEMA)
+            self._migrate_models_table(conn)
+
+    @staticmethod
+    def _migrate_models_table(conn: sqlite3.Connection) -> None:
+        """Add lifecycle columns to a pre-registry ``models`` table.
+
+        ``ALTER TABLE .. ADD COLUMN`` with a DEFAULT back-fills existing
+        rows, so a legacy database opens with every model ``active`` at
+        version 1 — the in-place migration the registry requires.
+        """
+        have = {
+            row["name"] for row in conn.execute("PRAGMA table_info(models)")
+        }
+        for name, decl in _MODEL_LIFECYCLE_COLUMNS:
+            if name not in have:
+                conn.execute(f"ALTER TABLE models ADD COLUMN {name} {decl}")
 
     @contextmanager
     def _connect(self) -> Iterator[sqlite3.Connection]:
@@ -278,37 +311,73 @@ class SqliteRepository(RepositoryInterface):
     def save_model_metadata(self, metadata: ModelMetadata) -> int:
         return self._write(
             "sqlite.save_model_metadata",
-            lambda: self._save_model_metadata(metadata),
+            lambda: self._save_model_records([metadata]),
+        )[0]
+
+    def save_model_records(self, records) -> list[int]:
+        """Upsert a batch of records in one connection/transaction.
+
+        This is what makes a lifecycle flip (old active -> archived, new
+        model -> active) atomic: either both rows land or neither does.
+        """
+        records = list(records)
+        if not records:
+            return []
+        return self._write(
+            "sqlite.save_model_records",
+            lambda: self._save_model_records(records),
         )
 
-    def _save_model_metadata(self, metadata: ModelMetadata) -> int:
+    def _save_model_records(self, records: list[ModelMetadata]) -> list[int]:
+        ids: list[int] = []
         with self._connect() as conn:
-            conn.execute(
-                """
-                INSERT OR REPLACE INTO models (
-                    id, model_type, system_id, application, blob_path,
-                    created_at, training_points
-                ) VALUES (?, ?, ?, ?, ?, ?, ?)
-                """,
-                (
-                    metadata.model_id,
+            for metadata in records:
+                row = (
                     metadata.model_type,
                     metadata.system_id,
                     metadata.application,
                     metadata.blob_path,
                     metadata.created_at,
                     metadata.training_points,
-                ),
-            )
-        return metadata.model_id
+                    metadata.stage,
+                    metadata.version,
+                    metadata.parent_id,
+                    metadata.digest,
+                    metadata.provenance,
+                )
+                if metadata.model_id == 0:
+                    # id 0 = "assign for me": a NULL primary key picks the
+                    # next rowid inside this same transaction, so two
+                    # concurrent saves serialize on the database instead
+                    # of racing a next_model_id() read (the old TOCTOU)
+                    cur = conn.execute(
+                        """
+                        INSERT INTO models (
+                            id, model_type, system_id, application, blob_path,
+                            created_at, training_points, stage, version,
+                            parent_id, digest, provenance
+                        ) VALUES (NULL, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                        """,
+                        row,
+                    )
+                    ids.append(int(cur.lastrowid))
+                else:
+                    conn.execute(
+                        """
+                        INSERT OR REPLACE INTO models (
+                            id, model_type, system_id, application, blob_path,
+                            created_at, training_points, stage, version,
+                            parent_id, digest, provenance
+                        ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                        """,
+                        (metadata.model_id, *row),
+                    )
+                    ids.append(metadata.model_id)
+            self._maybe_inject_busy(conn)
+        return ids
 
-    def get_model_metadata(self, model_id: int) -> ModelMetadata:
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT * FROM models WHERE id = ?", (model_id,)
-            ).fetchone()
-        if row is None:
-            raise ModelNotFoundError(f"no model with id {model_id}")
+    @staticmethod
+    def _record_from_row(row: sqlite3.Row) -> ModelMetadata:
         return ModelMetadata(
             model_id=int(row["id"]),
             model_type=row["model_type"],
@@ -317,14 +386,31 @@ class SqliteRepository(RepositoryInterface):
             blob_path=row["blob_path"],
             created_at=float(row["created_at"]),
             training_points=int(row["training_points"]),
+            stage=row["stage"],
+            version=int(row["version"]),
+            parent_id=(
+                None if row["parent_id"] is None else int(row["parent_id"])
+            ),
+            digest=row["digest"],
+            provenance=row["provenance"],
         )
+
+    def get_model_metadata(self, model_id: int) -> ModelMetadata:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM models WHERE id = ?", (model_id,)
+            ).fetchone()
+        if row is None:
+            raise ModelNotFoundError(f"no model with id {model_id}")
+        return self._record_from_row(row)
 
     def list_models(self) -> list[ModelMetadata]:
         with self._connect() as conn:
-            rows = conn.execute("SELECT id FROM models ORDER BY id").fetchall()
-        return [self.get_model_metadata(int(r["id"])) for r in rows]
+            rows = conn.execute("SELECT * FROM models ORDER BY id").fetchall()
+        return [self._record_from_row(r) for r in rows]
 
     def next_model_id(self) -> int:
+        """Deprecated read-only hint; see RepositoryInterface."""
         with self._connect() as conn:
             row = conn.execute("SELECT MAX(id) AS m FROM models").fetchone()
         return int(row["m"] or 0) + 1

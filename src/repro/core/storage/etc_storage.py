@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+from typing import Callable
 
 from repro.core.application.interfaces import LocalStorageInterface
 from repro.core.domain.errors import SettingsError
@@ -27,6 +29,9 @@ class EtcStorage(LocalStorageInterface):
             raise ValueError("root directory cannot be empty")
         self.root = root
         os.makedirs(root, exist_ok=True)
+        #: spans load -> fn -> save inside :meth:`mutate`; without it two
+        #: threads updating different fields lose one of the updates
+        self._mutate_lock = threading.Lock()
 
     @property
     def settings_path(self) -> str:
@@ -53,6 +58,15 @@ class EtcStorage(LocalStorageInterface):
             raise SettingsError(
                 f"cannot write {self.settings_path}: {exc}"
             ) from exc
+
+    def mutate(
+        self, fn: Callable[[ChronusSettings], ChronusSettings]
+    ) -> ChronusSettings:
+        """Serialized read-modify-write (see LocalStorageInterface)."""
+        with self._mutate_lock:
+            settings = fn(self.load())
+            self.save(settings)
+            return settings
 
     def resolve_path(self, relative: str) -> str:
         """Settings-relative path -> absolute path under the root."""

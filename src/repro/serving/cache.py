@@ -91,6 +91,21 @@ class ModelCache:
             del self._data[victim]
             telemetry.counter(f"{self.metric_prefix}_evictions_total").inc()
 
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key`` (even when pinned) so the next lookup reloads.
+
+        Promotion path: the entry under a key is *stale* — same identity,
+        new artifact — so eviction rules don't apply; the pin survives
+        and re-attaches to the reloaded value.  Returns whether the key
+        was present.
+        """
+        if key not in self._data:
+            return False
+        del self._data[key]
+        telemetry.counter(f"{self.metric_prefix}_invalidations_total").inc()
+        telemetry.gauge(f"{self.metric_prefix}_size").set(len(self._data))
+        return True
+
     # ------------------------------------------------------------------
     def pin(self, key: Hashable) -> None:
         """Exempt ``key`` from eviction (it may be loaded later)."""

@@ -216,6 +216,10 @@ class PredictResponse:
     frequency: int
     model_type: str = ""
     batch_size: int = 1
+    #: registry identity of the model that answered (0 = pre-registry
+    #: entry); lets the plugin and its telemetry attribute every decision
+    model_id: int = 0
+    model_version: int = 0
     proto: str = PROTO_V2
 
     def to_dict(self) -> dict[str, Any]:
@@ -226,6 +230,8 @@ class PredictResponse:
             "frequency": self.frequency,
             "model_type": self.model_type,
             "batch_size": self.batch_size,
+            "model_id": self.model_id,
+            "model_version": self.model_version,
         }
 
     def to_json(self) -> str:
@@ -245,17 +251,24 @@ class PredictResponse:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PredictResponse":
         cores, tpc, freq = parse_config_fields(data)
-        batch_size = data.get("batch_size", 1)
-        if isinstance(batch_size, bool) or not isinstance(batch_size, int):
-            raise _protocol_error(
-                f"field 'batch_size' must be an integer, got {batch_size!r}"
-            )
+        ints = {}
+        for key, default in (
+            ("batch_size", 1), ("model_id", 0), ("model_version", 0),
+        ):
+            value = data.get(key, default)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise _protocol_error(
+                    f"field {key!r} must be an integer, got {value!r}"
+                )
+            ints[key] = value
         return cls(
             cores=cores,
             threads_per_core=tpc,
             frequency=freq,
             model_type=_require_str(data, "model_type"),
-            batch_size=batch_size,
+            batch_size=ints["batch_size"],
+            model_id=ints["model_id"],
+            model_version=ints["model_version"],
             proto=_require_str(data, "proto", PROTO_V2),
         )
 

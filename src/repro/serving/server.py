@@ -67,6 +67,7 @@ class ChronusServer:
         max_batch: int = 16,
         max_wait_ms: float = 2.0,
         queue_limit: int = 128,
+        shadow_sample_rate: Optional[float] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.config_service = config_service
@@ -76,6 +77,8 @@ class ChronusServer:
         #: cache pressure (and pinning) is observable and bounded
         self.model_cache = ModelCache(cache_capacity, metric_prefix="model_cache")
         config_service.cache = self.model_cache
+        if shadow_sample_rate is not None:
+            config_service.shadow_sample_rate = shadow_sample_rate
         self.batcher = MicroBatcher(
             self._handle_batch,
             max_batch=max_batch,
@@ -120,15 +123,13 @@ class ChronusServer:
         if self.load_model_service is None:
             raise ProtocolError("this server was built without a LoadModelService")
         metadata, _ = self.load_model_service.run(model_id)
-        path, model_type, key = self.config_service._resolve_model(
-            metadata.system_id, ""
-        )
+        entry, key, _ = self.config_service._resolve_model(metadata.system_id, "")
         if metadata.application:
             key = (str(metadata.system_id), metadata.application)
         self.model_cache.pin(key)
-        self.config_service._load_optimizer(key, path, model_type)
+        self.config_service._load_optimizer(key, entry)
         self._log(
-            f"serve: model {model_id} pinned as {key} ({model_type})"
+            f"serve: model {model_id} pinned as {key} ({entry['type']})"
         )
         return key
 
@@ -192,6 +193,18 @@ class ChronusServer:
                     "models_cached": len(self.model_cache),
                     "batching": self.running,
                 }
+            )
+        if op == "reload":
+            # promotion already takes effect lazily through identity-tag
+            # invalidation; reload is the operator's big hammer — drop
+            # every cached optimizer (pins survive and re-attach on the
+            # next request) so the registry state is re-read immediately
+            dropped = len(self.model_cache)
+            self.model_cache.clear()
+            self._log(f"serve: reload requested; dropped {dropped} cached models")
+            return json.dumps(
+                {"proto": "chronus/2", "ok": True, "op": "reload",
+                 "dropped": dropped}
             )
         return ErrorResponse(
             code="INVALID", message=f"unknown op {op!r}"

@@ -280,8 +280,16 @@ class JobSubmitEco(JobSubmitPlugin):
             raise response.to_error()
         return response
 
-    def _predict(self, job_desc: JobDescriptor, min_perf: "float | None") -> "tuple[int, int, int]":
-        """Breaker-guarded, deadline-bounded prediction + validation."""
+    def _predict(
+        self, job_desc: JobDescriptor, min_perf: "float | None"
+    ) -> "tuple[tuple[int, int, int], PredictResponse | None]":
+        """Breaker-guarded, deadline-bounded prediction + validation.
+
+        Returns the validated configuration plus the typed response that
+        carried it (None when the provider answered in the legacy raw
+        shape), so callers can attribute the decision to the serving
+        model's registry identity.
+        """
         if not self.breaker.allow():
             raise CircuitOpenError(
                 f"eco_predict breaker open; submitting {job_desc.name!r} unmodified"
@@ -306,7 +314,8 @@ class JobSubmitEco(JobSubmitPlugin):
             self.breaker.record_failure()
             raise
         self.breaker.record_success()
-        return config
+        served = raw if isinstance(raw, PredictResponse) else None
+        return config, served
 
     # ------------------------------------------------------------------
     def job_submit(self, job_desc: JobDescriptor, submit_uid: int) -> int:
@@ -315,7 +324,7 @@ class JobSubmitEco(JobSubmitPlugin):
             telemetry.counter("eco_skipped_total").inc()
             return SLURM_SUCCESS
         try:
-            cores, tpc, freq = self._predict(job_desc, min_perf)
+            (cores, tpc, freq), served = self._predict(job_desc, min_perf)
         except CircuitOpenError as exc:
             telemetry.counter("eco_short_circuits_total").inc()
             telemetry.counter("eco_fallback_total").inc()
@@ -333,12 +342,26 @@ class JobSubmitEco(JobSubmitPlugin):
             )
             return SLURM_SUCCESS
         telemetry.counter("eco_applied_total").inc()
+        # attribute the decision to the registry identity that served it
+        # (0:v0 = legacy/pre-registry provider); the labeled counter lets
+        # an operator split applied decisions per model across a promotion
+        model_label = "0:v0"
+        if served is not None:
+            model_label = f"{served.model_id}:v{served.model_version}"
+            telemetry.log_event(
+                "eco.applied",
+                job=job_desc.name,
+                model_id=served.model_id,
+                model_version=served.model_version,
+                model_type=served.model_type,
+            )
+        telemetry.counter("eco_model_served_total", {"model": model_label}).inc()
         job_desc.num_tasks = cores
         job_desc.threads_per_core = tpc
         job_desc.cpu_freq_min = freq
         job_desc.cpu_freq_max = freq
         self._log(
             f"job_submit/eco: set job {job_desc.name!r} to cores={cores} "
-            f"threads_per_core={tpc} frequency={freq}"
+            f"threads_per_core={tpc} frequency={freq} (model {model_label})"
         )
         return SLURM_SUCCESS

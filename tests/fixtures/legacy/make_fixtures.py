@@ -1,0 +1,110 @@
+"""Regenerate the checked-in pre-registry workspace fixtures.
+
+These fixtures freeze the on-disk formats Chronus wrote *before* the
+versioned model registry existed (no ``stage``/``version``/``parent_id``/
+``digest``/``provenance`` columns), so the migration tests exercise real
+legacy artifacts rather than ones synthesized from current code — which
+would silently track schema drift.
+
+Run from the repository root to refresh them (only needed if the
+pre-registry format description itself is ever corrected)::
+
+    python tests/fixtures/legacy/make_fixtures.py
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import sqlite3
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: the pre-registry models schema, verbatim from the seed repository
+LEGACY_SCHEMA = """
+CREATE TABLE IF NOT EXISTS systems (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    fingerprint TEXT NOT NULL UNIQUE,
+    info_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS benchmarks (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    system_id INTEGER NOT NULL REFERENCES systems(id),
+    application TEXT NOT NULL,
+    cores INTEGER NOT NULL,
+    threads_per_core INTEGER NOT NULL,
+    frequency INTEGER NOT NULL,
+    gflops REAL NOT NULL,
+    avg_system_w REAL NOT NULL,
+    avg_cpu_w REAL NOT NULL,
+    avg_cpu_temp_c REAL NOT NULL,
+    system_energy_j REAL NOT NULL,
+    cpu_energy_j REAL NOT NULL,
+    runtime_s REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS models (
+    id INTEGER PRIMARY KEY,
+    model_type TEXT NOT NULL,
+    system_id INTEGER NOT NULL REFERENCES systems(id),
+    application TEXT NOT NULL,
+    blob_path TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    training_points INTEGER NOT NULL
+);
+"""
+
+SYSTEM_INFO = {
+    "cpu_name": "AMD EPYC 7502P 32-Core Processor",
+    "cores": 32,
+    "threads_per_core": 2,
+    "frequencies": [1500000.0, 2200000.0, 2500000.0],
+    "ram_kb": 268435456,
+}
+
+MODELS = [
+    (1, "linear-regression", 1, "hpcg", "/blobs/model-1.json", 100.0, 138),
+    (2, "brute-force", 1, "hpl", "/blobs/model-2.json", 200.0, 24),
+]
+
+
+def make_sqlite() -> None:
+    path = os.path.join(HERE, "data.db")
+    if os.path.exists(path):
+        os.remove(path)
+    conn = sqlite3.connect(path)
+    conn.executescript(LEGACY_SCHEMA)
+    conn.execute(
+        "INSERT INTO systems (id, fingerprint, info_json) VALUES (?, ?, ?)",
+        (1, "12345", json.dumps(SYSTEM_INFO)),
+    )
+    conn.executemany(
+        "INSERT INTO models (id, model_type, system_id, application, "
+        "blob_path, created_at, training_points) VALUES (?, ?, ?, ?, ?, ?, ?)",
+        MODELS,
+    )
+    conn.commit()
+    conn.close()
+
+
+def make_csv() -> None:
+    directory = os.path.join(HERE, "csv")
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "systems.csv"), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["id", "fingerprint", "info_json"])
+        writer.writerow([1, "12345", json.dumps(SYSTEM_INFO)])
+    with open(os.path.join(directory, "models.csv"), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "model_id", "model_type", "system_id", "application",
+            "blob_path", "created_at", "training_points",
+        ])
+        for row in MODELS:
+            writer.writerow(row)
+
+
+if __name__ == "__main__":
+    make_sqlite()
+    make_csv()
+    print(f"legacy fixtures regenerated under {HERE}")

@@ -215,10 +215,30 @@ class TestChronusSettings:
         )
         again = ChronusSettings.from_json(s.to_json())
         assert again == s
-        assert again.loaded_model_for(1) == {
-            "path": "/opt/chronus/optimizer/m.json",
-            "type": "brute-force",
-        }
+        entry = again.loaded_model_for(1)
+        assert entry["path"] == "/opt/chronus/optimizer/m.json"
+        assert entry["type"] == "brute-force"
+
+    def test_legacy_entries_parse_with_unknown_identity(self):
+        # settings written before the registry carry bare {path, type}
+        text = json.dumps({
+            "loaded_models": {"1": {"path": "/opt/m.json", "type": "brute-force"}},
+        })
+        entry = ChronusSettings.from_json(text).loaded_model_for(1)
+        assert entry["model_id"] == 0 and entry["stage"] == "active"
+
+    def test_shadow_projection_roundtrip(self):
+        s = ChronusSettings().with_shadow_model(
+            1, "hpcg", "/opt/m2.json", "linear-regression",
+            model_id=2, version=2,
+        )
+        again = ChronusSettings.from_json(s.to_json())
+        assert again == s
+        entry = again.shadow_model_for(1, "hpcg")
+        assert entry["model_id"] == 2 and entry["stage"] == "shadow"
+        cleared = again.without_shadow_model(1, "hpcg")
+        assert cleared.shadow_model_for(1, "hpcg") is None
+        assert again.shadow_model_for(1, "hpcg") is not None  # copies
 
     def test_invalid_state(self):
         with pytest.raises(ValueError):

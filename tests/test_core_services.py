@@ -234,7 +234,12 @@ class TestLoadModelService:
         assert metadata == meta
         assert path in written
         entry = local.load().loaded_model_for(1)
-        assert entry == {"path": path, "type": "brute-force"}
+        assert entry["path"] == path
+        assert entry["type"] == "brute-force"
+        # the settings projection carries the registry identity the
+        # serving cache tags loaded optimizers with
+        assert entry["model_id"] == meta.model_id
+        assert entry["version"] == meta.version
 
     def test_unknown_model(self, populated_repo):
         load = LoadModelService(
