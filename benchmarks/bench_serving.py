@@ -18,9 +18,26 @@ one request at a time on a second, cache-cold service).  Records, as JSON:
 The companion ``scripts/check_serving_gate.py`` asserts the invariants;
 this script only runs and records.
 
+``--throughput`` additionally measures the PR6 batched prediction hot
+path and emits the ``BENCH_PR6.json`` trajectory:
+
+* **throughput** — requests/sec and p95 of the scalar ``predict`` loop
+  vs ``predict_batch`` at several batch sizes, with every batched answer
+  compared field-for-field against its scalar twin (must be
+  bit-identical: batching is a throughput optimisation, never a
+  semantic one);
+* **warm** — first-request latency on a cold service vs one warmed by
+  the ``chronus load-model`` ahead-of-time step;
+* **sweep** — the ``SweepExecutor`` serial-vs-pool re-benchmark with the
+  per-worker memoised voltage cache (PR6 satellite fix).
+
+The companion ``scripts/check_predict_throughput_gate.py`` gates the
+throughput report in CI.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke --output serving-smoke.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --throughput --output BENCH_PR6.json
 """
 
 from __future__ import annotations
@@ -218,6 +235,168 @@ def run_storm(jobs: int, *, max_batch: int, max_wait_ms: float, queue_limit: int
     return report
 
 
+def _response_fields(answer: PredictResponse) -> tuple:
+    """Every answer field except batch_size (which encodes batch shape)."""
+    return (
+        answer.cores,
+        answer.threads_per_core,
+        answer.frequency,
+        answer.model_type,
+        answer.model_id,
+        answer.model_version,
+        answer.proto,
+    )
+
+
+def run_throughput(jobs: int, batch_sizes=(4, 16, 64)) -> dict:
+    """Scalar vs batched requests/sec on one service; parity per answer."""
+    rows = analytic_rows([4, 8, 16, 24, 28, 32], [1_500_000, 2_200_000, 2_500_000])
+    requests = build_requests(jobs)
+
+    service = make_service(rows)
+    service.warm(1, 777)
+
+    # scalar baseline: one predict() per request
+    latencies = []
+    t0 = time.perf_counter()
+    scalar_answers = []
+    for request in requests:
+        s0 = time.perf_counter()
+        scalar_answers.append(service.predict(request))
+        latencies.append(time.perf_counter() - s0)
+    scalar_wall = time.perf_counter() - t0
+    ordered = sorted(latencies)
+    scalar = {
+        "rps": jobs / scalar_wall,
+        "wall_s": scalar_wall,
+        "p50_ms": ordered[jobs // 2] * 1e3,
+        "p95_ms": ordered[int(jobs * 0.95)] * 1e3,
+    }
+    scalar_keys = [_response_fields(a) for a in scalar_answers]
+
+    # batched: the same requests in predict_batch slices
+    batched = []
+    for size in batch_sizes:
+        chunks = [requests[i : i + size] for i in range(0, jobs, size)]
+        batch_lat = []
+        mismatches = 0
+        t0 = time.perf_counter()
+        for chunk, offset in zip(chunks, range(0, jobs, size)):
+            b0 = time.perf_counter()
+            answers = service.predict_batch(chunk)
+            batch_lat.append(time.perf_counter() - b0)
+            for j, answer in enumerate(answers):
+                if not isinstance(answer, PredictResponse) or _response_fields(
+                    answer
+                ) != scalar_keys[offset + j]:
+                    mismatches += 1
+        wall = time.perf_counter() - t0
+        ordered = sorted(batch_lat)
+        batched.append(
+            {
+                "batch_size": size,
+                "rps": jobs / wall,
+                "wall_s": wall,
+                "batch_p50_ms": ordered[len(ordered) // 2] * 1e3,
+                "batch_p95_ms": ordered[int(len(ordered) * 0.95)] * 1e3,
+                "mismatches": mismatches,
+            }
+        )
+    return {"jobs": jobs, "scalar": scalar, "batched": batched}
+
+
+def run_warm_comparison() -> dict:
+    """First-request latency: cold service vs load-model's warm step."""
+    rows = analytic_rows([4, 8, 16, 24, 28, 32], [1_500_000, 2_200_000, 2_500_000])
+    request = PredictRequest(system_id=1, binary_hash=777)
+
+    cold_service = make_service(rows)
+    t0 = time.perf_counter()
+    cold_service.predict(request)
+    cold_ms = (time.perf_counter() - t0) * 1e3
+
+    warm_service = make_service(rows)
+    warm_service.warm(1, 777)
+    t0 = time.perf_counter()
+    warm_service.predict(request)
+    warm_ms = (time.perf_counter() - t0) * 1e3
+    return {
+        "cold_first_request_ms": cold_ms,
+        "warmed_first_request_ms": warm_ms,
+        "speedup": cold_ms / warm_ms if warm_ms > 0 else float("inf"),
+    }
+
+
+def run_sweep_rebench(quick: bool) -> dict:
+    """SweepExecutor serial vs pool with the memoised per-worker caches."""
+    from repro.core.application.sweep_executor import (
+        SweepExecutor,
+        resolve_worker_count,
+    )
+    from repro.core.repositories.memory_repository import MemoryRepository
+    from repro.core.runners.sweep_worker import build_sweep_points, run_sweep_point
+    from repro.core.services.lscpu_info import LscpuSystemInfo
+    from repro.slurm.cluster import SimCluster
+
+    core_counts = [4, 16, 32] if quick else [4, 8, 16, 24, 28, 32]
+    configs = Configuration.sweep(
+        core_counts=core_counts, frequencies=[1_500_000, 2_200_000, 2_500_000]
+    )
+    points = build_sweep_points(configs, base_seed=33)
+    workers = min(4, resolve_worker_count(None))
+
+    def run_with(n: int):
+        cluster = SimCluster(seed=33)
+        executor = SweepExecutor(
+            MemoryRepository(),
+            LscpuSystemInfo(cluster.node),
+            run_sweep_point,
+            workers=n,
+        )
+        t0 = time.perf_counter()
+        result_rows = executor.run_sweep(points)
+        return result_rows, time.perf_counter() - t0
+
+    serial_rows, serial_wall = run_with(1)
+    parallel_rows, parallel_wall = run_with(workers)
+    return {
+        "points": len(points),
+        "workers": workers,
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall > 0 else float("inf"),
+        "identical_results": serial_rows == parallel_rows,
+    }
+
+
+def render_throughput(doc: dict) -> str:
+    tp = doc["throughput"]
+    lines = [
+        f"predict throughput: {tp['jobs']} requests | scalar "
+        f"{tp['scalar']['rps']:.0f} rps (p95 {tp['scalar']['p95_ms']:.3f}ms)"
+    ]
+    for row in tp["batched"]:
+        lines.append(
+            f"  batch={row['batch_size']:<3d} {row['rps']:8.0f} rps  "
+            f"batch-p95 {row['batch_p95_ms']:.3f}ms  "
+            f"mismatches={row['mismatches']}"
+        )
+    warm = doc["warm"]
+    lines.append(
+        f"  first request: cold {warm['cold_first_request_ms']:.2f}ms, "
+        f"warmed {warm['warmed_first_request_ms']:.2f}ms "
+        f"({warm['speedup']:.1f}x)"
+    )
+    sweep = doc["sweep"]
+    lines.append(
+        f"  sweep rebench: {sweep['points']} points serial "
+        f"{sweep['serial_wall_s']:.2f}s, pool({sweep['workers']}) "
+        f"{sweep['parallel_wall_s']:.2f}s ({sweep['speedup']:.2f}x), "
+        f"identical={sweep['identical_results']}"
+    )
+    return "\n".join(lines)
+
+
 def render(report: dict) -> str:
     lat = report["latency_s"]
     batches = report["batches"]
@@ -247,11 +426,19 @@ def main(argv=None) -> int:
         help="admission bound [default: jobs + 8, so the parity storm "
         "is never shed; pass a smaller value to exercise shedding]",
     )
-    parser.add_argument("--output", default="serving-smoke.json")
+    parser.add_argument(
+        "--throughput", action="store_true",
+        help="measure the batched prediction hot path too and emit the "
+        "BENCH_PR6 trajectory (storm + throughput + warm + sweep)",
+    )
+    parser.add_argument("--output", default=None)
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs is not None else (200 if args.smoke else 1000)
     queue_limit = args.queue_limit if args.queue_limit is not None else jobs + 8
+    output = args.output or (
+        "BENCH_PR6.json" if args.throughput else "serving-smoke.json"
+    )
     report = run_storm(
         jobs,
         max_batch=args.max_batch,
@@ -259,9 +446,32 @@ def main(argv=None) -> int:
         queue_limit=queue_limit,
     )
     print(render(report))
-    with open(args.output, "w") as fh:
+    if args.throughput:
+        import os
+        import platform
+
+        doc = {
+            "schema": "chronus-bench-pr6/1",
+            "smoke": bool(args.smoke),
+            "host": {
+                "cpu_count": os.cpu_count(),
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            },
+            "storm": report,
+            "throughput": run_throughput(jobs),
+            "warm": run_warm_comparison(),
+            "sweep": run_sweep_rebench(quick=args.smoke),
+        }
+        print(render_throughput(doc))
+        with open(output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {output}")
+        return 0
+    with open(output, "w") as fh:
         json.dump(report, fh, indent=2)
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
     return 0
 
 

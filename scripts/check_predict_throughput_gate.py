@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Gate on the batched-prediction report (see ``bench_serving.py --throughput``).
+
+The PR6 hot path promises three things, and this gate holds it to all of
+them on every CI run:
+
+* **throughput** — dispatching one vectorized batch must beat N scalar
+  predicts: the best batched requests/sec must be >= the scalar
+  requests/sec measured *in the same run* (same machine, same load, so
+  the comparison is machine-independent);
+* **bit-identity** — every batched answer must equal the scalar answer
+  field-for-field (``mismatches == 0`` at every batch size, and in the
+  storm section).  Batching is a scheduling optimisation, never an
+  accuracy trade;
+* **no sheds at smoke size** — the storm at the smoke job count must
+  finish with zero SHED responses and zero unanswered requests; a
+  batcher that sheds under its own smoke load has no headroom.
+
+Usage::
+
+    python scripts/check_predict_throughput_gate.py BENCH_PR6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"THROUGHPUT GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", default="BENCH_PR6.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="best batched rps must be >= this multiple of scalar rps "
+        "[default: 1.0]",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+
+    if report.get("schema") != "chronus-bench-pr6/1":
+        fail(f"unexpected report schema {report.get('schema')!r}")
+
+    throughput = report["throughput"]
+    scalar_rps = throughput["scalar"]["rps"]
+    batched = throughput["batched"]
+    if not batched:
+        fail("report contains no batched measurements")
+
+    for row in batched:
+        if row["mismatches"]:
+            fail(
+                f"batch_size={row['batch_size']}: {row['mismatches']} "
+                "batched answers differ from scalar; batched predictions "
+                "must be bit-identical"
+            )
+
+    best = max(batched, key=lambda row: row["rps"])
+    if best["rps"] < scalar_rps * args.min_speedup:
+        fail(
+            f"best batched throughput {best['rps']:.0f} rps "
+            f"(batch_size={best['batch_size']}) is below "
+            f"{args.min_speedup:g}x scalar ({scalar_rps:.0f} rps); the "
+            "batch fast path regressed"
+        )
+
+    storm = report["storm"]
+    if storm["shed_responses_seen"]:
+        fail(
+            f"{storm['shed_responses_seen']} SHED responses at smoke storm "
+            f"size ({storm['jobs']} jobs); the batcher must absorb its own "
+            "smoke load"
+        )
+    if storm["metrics"].get("serve_shed_total", 0):
+        fail(
+            "serve_shed_total counted sheds during the smoke storm "
+            "(admission control rejected in-budget load)"
+        )
+    if storm["unanswered"]:
+        fail(f"{storm['unanswered']}/{storm['jobs']} storm requests unanswered")
+    if storm["mismatches"]:
+        fail(
+            f"{storm['mismatches']}/{storm['jobs']} storm answers differ "
+            "from the serial oracle"
+        )
+
+    warm = report.get("warm", {})
+    warm_note = ""
+    if warm:
+        warm_note = (
+            f", warm first-request {warm['warmed_first_request_ms']:.2f}ms "
+            f"(cold {warm['cold_first_request_ms']:.2f}ms)"
+        )
+
+    print(
+        f"THROUGHPUT GATE PASS: batched {best['rps']:.0f} rps "
+        f"(batch_size={best['batch_size']}) >= scalar {scalar_rps:.0f} rps "
+        f"({best['rps'] / scalar_rps:.2f}x), bit-identical at all batch "
+        f"sizes, 0 sheds at {storm['jobs']} jobs{warm_note}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

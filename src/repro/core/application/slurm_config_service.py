@@ -74,7 +74,11 @@ class SlurmConfigService:
 
     # ------------------------------------------------------------------
     def _resolve_model(
-        self, system_id: "int | str", binary_hash: "int | str" = ""
+        self,
+        system_id: "int | str",
+        binary_hash: "int | str" = "",
+        *,
+        settings=None,
     ) -> "tuple[dict, tuple[str, str], dict | None]":
         """Resolve (system, binary) to ``(entry, cache_key, shadow_entry)``.
 
@@ -91,8 +95,12 @@ class SlurmConfigService:
         what makes a promotion in another process visible to a running
         daemon — the next request sees the new entry, its identity tag no
         longer matches the cached optimizer, and the cache reloads.
+        Batch callers pass one pre-loaded ``settings`` snapshot so a
+        micro-batch costs one storage read, not one per distinct key —
+        and every member of the batch sees one consistent registry state.
         """
-        settings = self.local_storage.load()
+        if settings is None:
+            settings = self.local_storage.load()
         application = (
             settings.application_for_binary(binary_hash) if binary_hash != "" else None
         )
@@ -334,36 +342,129 @@ class SlurmConfigService:
     def predict_batch(
         self, requests: Sequence[PredictRequest]
     ) -> "list[PredictResponse | ErrorResponse]":
-        """Answer a micro-batch, one evaluation per *distinct* request.
+        """Answer a micro-batch with one vectorized call per model.
 
-        Requests sharing a coalescing key (same system, binary and
-        performance floor) get the same answer from a single optimizer
-        evaluation — this is what turns a 200-job submit storm into a
-        handful of model calls.  Failures are per-key and explicit: a
-        request whose model is missing gets a ``MODEL_NOT_FOUND``
-        :class:`ErrorResponse` while its batch-mates still succeed.
+        Three collapse steps turn a 200-job submit storm into a couple of
+        numpy evaluations:
+
+        1. duplicate coalescing keys (same system, binary and performance
+           floor) share one answer (``serve_coalesced_total``);
+        2. distinct keys are resolved against *one* settings read and
+           grouped by the ``(model_id, version, path)`` identity that
+           will answer them;
+        3. each group is answered by a single
+           :meth:`~OptimizerInterface.best_configurations` call — the
+           optimizer scores its candidate grid once and every member's
+           performance-floor pool is an argmax over that shared vector,
+           so batched answers are bit-identical to scalar ones.
+
+        Failures stay per-key and explicit: a request whose model is
+        missing gets a ``MODEL_NOT_FOUND`` :class:`ErrorResponse` while
+        its batch-mates still succeed.
         """
-        answers: dict[tuple, "PredictResponse | ErrorResponse"] = {}
-        out: "list[PredictResponse | ErrorResponse]" = []
+        requests = list(requests)
+        distinct: "dict[tuple, PredictRequest]" = {}
         for request in requests:
             key = request.key()
-            if key not in answers:
-                try:
-                    answers[key] = self.predict(request)
-                except ModelNotFoundError as exc:
-                    answers[key] = ErrorResponse(
-                        code="MODEL_NOT_FOUND", message=str(exc), retryable=False
-                    )
-                except (ChronusError, ValueError) as exc:
-                    answers[key] = ErrorResponse(
-                        code="INTERNAL",
-                        message=f"{type(exc).__name__}: {exc}",
-                        retryable=True,
-                    )
-            else:
+            if key in distinct:
                 telemetry.counter("serve_coalesced_total").inc()
-            answer = answers[key]
+            else:
+                distinct[key] = request
+        answers: "dict[tuple, PredictResponse | ErrorResponse]" = {}
+        # one settings read for the whole batch: every member resolves
+        # against the same registry snapshot
+        settings = None
+        if distinct:
+            try:
+                settings = self.local_storage.load()
+            except Exception:  # noqa: BLE001 - surface per-key below
+                settings = None
+        # group the distinct keys by the optimizer that answers them
+        groups: "dict[tuple, dict]" = {}
+        for key, request in distinct.items():
+            try:
+                entry, cache_key, shadow = self._resolve_model(
+                    request.system_id, request.binary_hash, settings=settings
+                )
+            except ModelNotFoundError as exc:
+                answers[key] = ErrorResponse(
+                    code="MODEL_NOT_FOUND", message=str(exc), retryable=False
+                )
+                continue
+            except (ChronusError, ValueError) as exc:
+                answers[key] = ErrorResponse(
+                    code="INTERNAL",
+                    message=f"{type(exc).__name__}: {exc}",
+                    retryable=True,
+                )
+                continue
+            group = groups.setdefault(
+                (cache_key, self._entry_tag(entry)),
+                {"entry": entry, "cache_key": cache_key, "members": []},
+            )
+            group["members"].append((key, request, shadow))
+        if groups:
+            telemetry.histogram("serve_batch_groups").observe(len(groups))
+            telemetry.histogram("serve_batch_distinct_keys").observe(len(distinct))
+        for group in groups.values():
+            entry, cache_key = group["entry"], group["cache_key"]
+            members = group["members"]
+            try:
+                optimizer = self._load_optimizer(cache_key, entry)
+                pools = [
+                    self._candidates(optimizer, request.min_perf)
+                    for _, request, _ in members
+                ]
+                bests = optimizer.best_configurations(pools)
+            except (ChronusError, ValueError) as exc:
+                error = ErrorResponse(
+                    code="INTERNAL",
+                    message=f"{type(exc).__name__}: {exc}",
+                    retryable=True,
+                )
+                for key, _, _ in members:
+                    answers[key] = error
+                continue
+            telemetry.counter("serve_batch_vectorized_total").inc(len(members))
+            for (key, request, shadow), best in zip(members, bests):
+                self._maybe_shadow(shadow, cache_key, best, request.min_perf)
+                answers[key] = PredictResponse(
+                    cores=best.cores,
+                    threads_per_core=best.threads_per_core,
+                    frequency=best.frequency,
+                    model_type=entry["type"],
+                    model_id=int(entry.get("model_id", 0) or 0),
+                    model_version=int(entry.get("version", 0) or 0),
+                )
+        out: "list[PredictResponse | ErrorResponse]" = []
+        for request in requests:
+            answer = answers[request.key()]
             if isinstance(answer, PredictResponse):
                 answer = replace(answer, batch_size=len(requests))
             out.append(answer)
         return out
+
+    # ------------------------------------------------------------------
+    def warm(
+        self, system_id: "int | str", binary_hash: "int | str" = ""
+    ) -> tuple[str, str]:
+        """Ahead-of-time warm step: load the model *and* its score cache.
+
+        ``chronus load-model`` and ``chronus serve --preload`` call this
+        so the first real request pays neither the artifact deserialize
+        nor the candidate-grid scoring pass — first-request latency is
+        flat.  Returns the cache key that was warmed.
+        """
+        entry, cache_key, _ = self._resolve_model(system_id, binary_hash)
+        optimizer = self._load_optimizer(cache_key, entry)
+        with telemetry.span(
+            "chronus.warm", system=cache_key[0], application=cache_key[1]
+        ):
+            warm = getattr(optimizer, "warm", None)
+            if callable(warm):
+                warm()
+            else:  # pre-batch optimizer implementations
+                optimizer.best_configuration(None)
+        telemetry.counter("model_warm_total").inc()
+        self._log(f"slurm-config: warmed {cache_key} ({entry['type']})")
+        return cache_key

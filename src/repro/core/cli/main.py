@@ -348,7 +348,12 @@ def _cmd_load_model(args: argparse.Namespace) -> int:
         print(render_models_table(app.repository.list_models()))
         return 0
     metadata, local_path = app.load_model_service.run(args.model)
+    # warm ahead of time: deserialize the artifact and score its candidate
+    # grid now, so the plugin's first prediction is an index lookup
+    # instead of eating the cold-start cost inside slurmctld's window
+    warmed = app.slurm_config_service.warm(metadata.system_id)
     print(f"Model {metadata.model_id} ({metadata.model_type}) loaded to {local_path}")
+    print(f"Warmed {warmed[0]}:{warmed[1]} (score cache ready)")
     return 0
 
 

@@ -19,6 +19,8 @@ import json
 import time
 from typing import Any, Optional, Sequence
 
+import numpy as np
+
 from repro import telemetry
 from repro.core.application.interfaces import OptimizerInterface
 from repro.core.domain.benchmark import BenchmarkResult
@@ -83,6 +85,14 @@ class BaseOptimizer(OptimizerInterface):
         #: the artifact so slurm-config can honour performance floors
         #: without repository access
         self._candidate_gflops: dict[Configuration, float] = {}
+        #: lazily computed scores over ``_candidates`` plus their index.
+        #: Every pool — scalar or batched — selects from this one vector:
+        #: BLAS kernels round differently for different batch shapes, so
+        #: re-scoring a subset could disagree with the batch path in ulps
+        #: and flip an argmax tie.  One shared vector makes batch answers
+        #: bit-identical to scalar answers by construction.
+        self._candidate_scores_cache: "np.ndarray | None" = None
+        self._candidate_index_cache: "dict[Configuration, int] | None" = None
 
     # ------------------------------------------------------------------
     # template methods for subclasses
@@ -94,6 +104,17 @@ class BaseOptimizer(OptimizerInterface):
     @abc.abstractmethod
     def _predict(self, configuration: Configuration) -> float:
         """Subclass prediction (called only when fitted)."""
+
+    def _predict_batch(
+        self, configurations: Sequence[Configuration]
+    ) -> "np.ndarray | None":
+        """Vectorized prediction hook; ``None`` = no fast path.
+
+        Subclasses with a vectorizable surface return the scores for all
+        ``configurations`` from one numpy evaluation.  Returning ``None``
+        falls back to a scalar ``_predict`` loop.
+        """
+        return None
 
     @abc.abstractmethod
     def _payload(self) -> dict[str, Any]:
@@ -119,6 +140,8 @@ class BaseOptimizer(OptimizerInterface):
         }
         self._fit(benchmarks)
         self._fitted = True
+        self._candidate_scores_cache = None
+        self._candidate_index_cache = None
         telemetry.histogram(
             "optimizer_fit_seconds", {"type": self.name()}
         ).observe(time.perf_counter() - started)
@@ -142,6 +165,60 @@ class BaseOptimizer(OptimizerInterface):
         self._require_fitted()
         return self._candidate_gflops.get(configuration)
 
+    def predict_efficiency_batch(
+        self, configurations: Sequence[Configuration]
+    ) -> np.ndarray:
+        self._require_fitted()
+        configurations = list(configurations)
+        if not configurations:
+            return np.empty(0, dtype=float)
+        scores = self._predict_batch(configurations)
+        if scores is None:
+            scores = np.array(
+                [float(self._predict(c)) for c in configurations], dtype=float
+            )
+        else:
+            scores = np.asarray(scores, dtype=float)
+        if scores.shape != (len(configurations),):
+            raise OptimizerError(
+                f"{self.name()}: _predict_batch returned shape {scores.shape} "
+                f"for {len(configurations)} configurations"
+            )
+        return scores
+
+    def _candidate_scores(self) -> "tuple[np.ndarray, dict[Configuration, int]]":
+        """The shared score vector over the training configurations."""
+        if self._candidate_scores_cache is None:
+            self._candidate_scores_cache = self.predict_efficiency_batch(
+                self._candidates
+            )
+            self._candidate_index_cache = {
+                cfg: i for i, cfg in enumerate(self._candidates)
+            }
+        assert self._candidate_index_cache is not None
+        return self._candidate_scores_cache, self._candidate_index_cache
+
+    def _pool_scores(self, pool: Sequence[Configuration]) -> np.ndarray:
+        """Scores for one candidate pool, selected from the shared vector.
+
+        A pool containing configurations outside the training set (an
+        explicit ``candidates`` argument) is scored directly — those never
+        reach the serving batch path, which only builds pools from
+        :meth:`training_configurations`.
+        """
+        scores, index = self._candidate_scores()
+        try:
+            rows = [index[cfg] for cfg in pool]
+        except KeyError:
+            return self.predict_efficiency_batch(pool)
+        return scores[rows]
+
+    def warm(self) -> int:
+        """Populate the candidate score cache ahead of the first request."""
+        self._require_fitted()
+        scores, _ = self._candidate_scores()
+        return int(scores.size)
+
     def best_configuration(
         self, candidates: Optional[Sequence[Configuration]] = None
     ) -> Configuration:
@@ -150,11 +227,39 @@ class BaseOptimizer(OptimizerInterface):
         if not pool:
             raise OptimizerError(f"{self.name()}: no candidate configurations")
         started = time.perf_counter()
-        best = max(pool, key=self.predict_efficiency)
+        # np.argmax takes the first maximum — the same winner the old
+        # max(pool, key=...) scan picked
+        best = pool[int(np.argmax(self._pool_scores(pool)))]
         telemetry.histogram(
             "optimizer_predict_seconds", {"type": self.name()}
         ).observe(time.perf_counter() - started)
         return best
+
+    def best_configurations(
+        self, pools: Sequence[Optional[Sequence[Configuration]]]
+    ) -> list[Configuration]:
+        """Answer many pools from one shared scoring pass.
+
+        The expensive part (scoring the training configurations) runs at
+        most once per fitted optimizer; each pool then costs an index
+        lookup and an argmax.  Answers are bit-identical to per-pool
+        :meth:`best_configuration` calls because both select from the
+        same cached score vector.
+        """
+        self._require_fitted()
+        started = time.perf_counter()
+        out: list[Configuration] = []
+        for candidates in pools:
+            pool = (
+                list(candidates) if candidates is not None else list(self._candidates)
+            )
+            if not pool:
+                raise OptimizerError(f"{self.name()}: no candidate configurations")
+            out.append(pool[int(np.argmax(self._pool_scores(pool)))])
+        telemetry.histogram(
+            "optimizer_predict_seconds", {"type": self.name()}
+        ).observe(time.perf_counter() - started)
+        return out
 
     # ------------------------------------------------------------------
     # serialization

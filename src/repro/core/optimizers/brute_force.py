@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.core.domain.benchmark import BenchmarkResult
 from repro.core.domain.configuration import Configuration
 from repro.core.domain.errors import OptimizerError
@@ -44,6 +46,11 @@ class BruteForceOptimizer(BaseOptimizer):
                 "it cannot extrapolate"
             )
         return self._table[configuration]
+
+    def _predict_batch(self, configurations: Sequence[Configuration]) -> np.ndarray:
+        return np.array(
+            [self._predict(cfg) for cfg in configurations], dtype=float
+        )
 
     # ------------------------------------------------------------------
     def _payload(self) -> dict[str, Any]:

@@ -125,6 +125,9 @@ class GeneticOptimizer(BaseOptimizer):
     def _predict(self, configuration: Configuration) -> float:
         return self._surrogate.predict_efficiency(configuration)
 
+    def _predict_batch(self, configurations: Sequence[Configuration]) -> np.ndarray:
+        return self._surrogate.predict_efficiency_batch(configurations)
+
     def best_configuration(
         self, candidates: Sequence[Configuration] | None = None
     ) -> Configuration:
@@ -133,6 +136,25 @@ class GeneticOptimizer(BaseOptimizer):
             return super().best_configuration(candidates)
         assert self._best is not None
         return self._best
+
+    def best_configurations(
+        self, pools: Sequence[Sequence[Configuration] | None]
+    ) -> list[Configuration]:
+        # a None pool means "the GA's answer", not an argmax over the
+        # training set — mirror the best_configuration override per pool
+        self._require_fitted()
+        pools = list(pools)
+        out: "list[Configuration | None]" = [None] * len(pools)
+        explicit = [i for i, pool in enumerate(pools) if pool is not None]
+        for i, pool in enumerate(pools):
+            if pool is None:
+                assert self._best is not None
+                out[i] = self._best
+        if explicit:
+            answered = super().best_configurations([pools[i] for i in explicit])
+            for i, answer in zip(explicit, answered):
+                out[i] = answer
+        return [cfg for cfg in out if cfg is not None]
 
     # ------------------------------------------------------------------
     def _payload(self) -> dict[str, Any]:

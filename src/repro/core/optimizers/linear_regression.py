@@ -22,6 +22,31 @@ from repro.core.optimizers.base import BaseOptimizer, register_optimizer
 __all__ = ["LinearRegressionOptimizer"]
 
 
+def _feature_matrix(configs: Sequence[Configuration]) -> np.ndarray:
+    """The (N, 13) design matrix for a batch, built column-wise in numpy."""
+    c = np.array([float(cfg.cores) for cfg in configs])
+    f = np.array([cfg.frequency_ghz for cfg in configs])
+    ht = np.array([1.0 if cfg.hyperthread else 0.0 for cfg in configs])
+    sqrt_c = np.sqrt(c)
+    return np.column_stack(
+        [
+            np.ones_like(c),
+            c,
+            c * c,
+            sqrt_c,
+            f,
+            f * f,
+            c * f,
+            sqrt_c * f,
+            ht,
+            ht * c,
+            ht * f,
+            c * f * f,
+            sqrt_c * f * f,
+        ]
+    )
+
+
 def _features(cfg: Configuration) -> np.ndarray:
     c = float(cfg.cores)
     f = cfg.frequency_ghz
@@ -75,6 +100,10 @@ class LinearRegressionOptimizer(BaseOptimizer):
     def _predict(self, configuration: Configuration) -> float:
         assert self._coef is not None
         return float(_features(configuration) @ self._coef)
+
+    def _predict_batch(self, configurations: Sequence[Configuration]) -> np.ndarray:
+        assert self._coef is not None
+        return _feature_matrix(configurations) @ self._coef
 
     def r_squared(self, benchmarks: Sequence[BenchmarkResult]) -> float:
         """Coefficient of determination on a benchmark set."""

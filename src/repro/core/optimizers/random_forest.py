@@ -145,6 +145,36 @@ class DecisionTree:
         assert node.value is not None
         return node.value
 
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Leaf values for every row of ``X`` via masked descent.
+
+        Rows are routed through the tree in groups, so the work per level
+        is a few vectorized comparisons instead of N python traversals.
+        Leaf values are copied, never combined — each output element is
+        exactly what :meth:`predict_one` returns for that row.
+        """
+        if self.root is None:
+            raise OptimizerError("decision tree not fitted")
+        out = np.empty(X.shape[0], dtype=float)
+        stack: "list[tuple[_Node, np.ndarray]]" = [
+            (self.root, np.arange(X.shape[0]))
+        ]
+        while stack:
+            node, rows = stack.pop()
+            if node.is_leaf:
+                assert node.value is not None
+                out[rows] = node.value
+                continue
+            assert node.left is not None and node.right is not None
+            mask = X[rows, node.feature] <= node.threshold
+            left_rows = rows[mask]
+            right_rows = rows[~mask]
+            if left_rows.size:
+                stack.append((node.left, left_rows))
+            if right_rows.size:
+                stack.append((node.right, right_rows))
+        return out
+
     def depth(self) -> int:
         def d(node: Optional[_Node]) -> int:
             if node is None or node.is_leaf:
@@ -197,6 +227,16 @@ class RandomForestOptimizer(BaseOptimizer):
     def _predict(self, configuration: Configuration) -> float:
         x = _config_vector(configuration)
         return float(np.mean([t.predict_one(x) for t in self._trees]))
+
+    def _predict_batch(self, configurations: Sequence[Configuration]) -> np.ndarray:
+        X = np.stack([_config_vector(cfg) for cfg in configurations])
+        # (N, T) with rows contiguous: the per-row mean then reduces the
+        # same T values in the same pairwise order as the scalar
+        # np.mean([...]) in _predict, keeping batch == scalar bit-exact
+        votes = np.empty((X.shape[0], len(self._trees)), dtype=float)
+        for j, tree in enumerate(self._trees):
+            votes[:, j] = tree.predict_batch(X)
+        return votes.mean(axis=1)
 
     # ------------------------------------------------------------------
     def _payload(self) -> dict[str, Any]:

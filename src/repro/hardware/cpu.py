@@ -8,10 +8,28 @@ everywhere a configuration is exchanged (the paper's JSON configurations use
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 __all__ = ["VoltageCurve", "CpuSpec", "AMD_EPYC_7502P", "khz_to_ghz", "ghz_to_khz"]
+
+
+@lru_cache(maxsize=4096)
+def _interp_voltage(
+    curve: "VoltageCurve", freq_khz: float
+) -> float:
+    """Memoised V(f) interpolation, shared across every user of a curve.
+
+    The simulator samples power at the IPMI cadence, so one sweep point
+    evaluates V(f) tens of thousands of times at a handful of distinct
+    frequencies.  ``VoltageCurve`` is frozen (hashable) and cluster specs
+    are shared module constants, so the cache keyed on ``(curve, f)``
+    persists across sweep points — including inside forked
+    ``SweepExecutor`` pool workers, which inherit and then keep growing
+    one warm cache per worker instead of re-interpolating per point.
+    """
+    return float(np.interp(freq_khz, curve.freqs_khz, curve.volts))
 
 
 def khz_to_ghz(freq_khz: float) -> float:
@@ -48,9 +66,7 @@ class VoltageCurve:
 
     def voltage(self, freq_khz: float) -> float:
         """Interpolated core voltage (volts) at ``freq_khz``."""
-        return float(
-            np.interp(freq_khz, self.freqs_khz, self.volts)
-        )
+        return _interp_voltage(self, float(freq_khz))
 
 
 @dataclass(frozen=True)

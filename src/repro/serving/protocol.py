@@ -40,6 +40,7 @@ __all__ = [
     "parse_config_fields",
     "parse_config_payload",
     "decode_request",
+    "decode_request_dict",
     "encode_response",
     "decode_response",
 ]
@@ -357,7 +358,20 @@ def decode_request(text: "str | bytes") -> "tuple[PredictRequest, str]":
     An unknown ``proto`` value is refused outright — failing loudly beats
     guessing what a future protocol means.
     """
-    data = _loads_object(text, "request")
+    return decode_request_dict(_loads_object(text, "request"))
+
+
+def decode_request_dict(data: Any) -> "tuple[PredictRequest, str]":
+    """:func:`decode_request` for an already-parsed payload.
+
+    The socket server parses each wire message exactly once (control-op
+    probe and request decode share the parse); this is the entry point
+    that keeps it a single pass.
+    """
+    if not isinstance(data, Mapping):
+        raise _protocol_error(
+            f"request must be a JSON object, got {type(data).__name__}"
+        )
     proto = data.get("proto")
     if proto is None:
         warnings.warn(

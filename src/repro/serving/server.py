@@ -42,7 +42,7 @@ from repro.serving.protocol import (
     ErrorResponse,
     PredictRequest,
     PredictResponse,
-    decode_request,
+    decode_request_dict,
     encode_response,
 )
 
@@ -127,9 +127,14 @@ class ChronusServer:
         if metadata.application:
             key = (str(metadata.system_id), metadata.application)
         self.model_cache.pin(key)
-        self.config_service._load_optimizer(key, entry)
+        optimizer = self.config_service._load_optimizer(key, entry)
+        # warm ahead of time: score the candidate grid now so the first
+        # request after startup is an index lookup, not a numpy pass
+        warm = getattr(optimizer, "warm", None)
+        if callable(warm):
+            warm()
         self._log(
-            f"serve: model {model_id} pinned as {key} ({entry['type']})"
+            f"serve: model {model_id} pinned as {key} ({entry['type']}, warmed)"
         )
         return key
 
@@ -164,15 +169,19 @@ class ChronusServer:
         protocol negotiation and served, with every failure an explicit
         :class:`ErrorResponse` in the client's own dialect.
         """
-        client_proto = "chronus/2"
         try:
-            probe = json.loads(line)
-        except (json.JSONDecodeError, TypeError):
-            probe = None
-        if isinstance(probe, dict) and "op" in probe:
-            return self._handle_op(probe)
+            data = json.loads(line)
+        except (json.JSONDecodeError, TypeError) as exc:
+            telemetry.counter("serve_protocol_errors_total").inc()
+            return ErrorResponse(
+                code="INVALID", message=f"request is not valid JSON: {exc}"
+            ).to_json()
+        if isinstance(data, dict) and "op" in data:
+            return self._handle_op(data)
         try:
-            request, client_proto = decode_request(line)
+            # the probe above is the only parse: control dispatch and
+            # request decode share it (no bytes -> str -> dict round-trip)
+            request, client_proto = decode_request_dict(data)
         except ProtocolError as exc:
             telemetry.counter("serve_protocol_errors_total").inc()
             return ErrorResponse(code="INVALID", message=str(exc)).to_json()

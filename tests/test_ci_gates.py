@@ -1,0 +1,268 @@
+"""The check_* CI gate scripts, run against pass/fail report fixtures.
+
+Each gate script is a standalone argparse program (no package import), so
+these tests load them by file path and call ``main(argv)`` directly —
+the same entry point CI exercises — and assert on the exit status.
+A gate that cannot tell a healthy report from a broken one is worse than
+no gate: the fail fixtures each flip exactly one invariant.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def load_script(name: str):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_gate(module, argv) -> int:
+    """main(argv) exit status, whether the script returns or sys.exit()s."""
+    try:
+        return int(module.main(argv) or 0)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+
+def write_json(path: Path, doc: dict) -> str:
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# report fixtures: one healthy document per gate, mutated per test
+# ----------------------------------------------------------------------
+
+def healthy_storm() -> dict:
+    return {
+        "jobs": 200,
+        "unanswered": 0,
+        "mismatches": 0,
+        "error_responses_seen": 0,
+        "shed_responses_seen": 0,
+        "latency_s": {"p50": 0.02, "p95": 0.05, "max": 0.09},
+        "batches": {"dispatched": 7, "mean": 28.6, "max": 32},
+        "metrics": {
+            "serve_requests_total": 200,
+            "serve_shed_total": 0,
+            "serve_handler_errors_total": 0,
+        },
+    }
+
+
+def healthy_pr6() -> dict:
+    return {
+        "schema": "chronus-bench-pr6/1",
+        "smoke": True,
+        "storm": healthy_storm(),
+        "throughput": {
+            "jobs": 200,
+            "scalar": {"rps": 20000.0, "p50_ms": 0.04, "p95_ms": 0.09},
+            "batched": [
+                {"batch_size": 4, "rps": 18000.0, "mismatches": 0},
+                {"batch_size": 16, "rps": 50000.0, "mismatches": 0},
+                {"batch_size": 64, "rps": 95000.0, "mismatches": 0},
+            ],
+        },
+        "warm": {
+            "cold_first_request_ms": 0.5,
+            "warmed_first_request_ms": 0.05,
+            "speedup": 10.0,
+        },
+        "sweep": {"identical_results": True, "speedup": 1.2},
+    }
+
+
+def healthy_bench(speedup: float = 10.0) -> dict:
+    return {
+        "schema": "chronus-bench-pr2/1",
+        "quick": True,
+        "kernels": {
+            "diagonal": {"loop_s": 0.04, "fast_s": 0.004, "speedup": speedup},
+        },
+        "hpcg": {"nx": 24, "total_flops": 85184912, "converged": True},
+        "sweep": {"identical_results": True, "spearman_rho": 0.958},
+    }
+
+
+class TestServingGate:
+    @pytest.fixture()
+    def gate(self):
+        return load_script("check_serving_gate")
+
+    def test_healthy_report_passes(self, gate, tmp_path):
+        report = write_json(tmp_path / "ok.json", healthy_storm())
+        assert run_gate(gate, [report]) == 0
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(mismatches=3),
+            lambda d: d.update(unanswered=1),
+            lambda d: d.update(error_responses_seen=2),
+            lambda d: d["latency_s"].update(p95=0.5),
+            lambda d: d["batches"].update(max=1),
+            lambda d: d["metrics"].update(serve_handler_errors_total=1),
+            lambda d: d["metrics"].update(serve_requests_total=150),
+            # a shed counted but never answered = silently dropped request
+            lambda d: d["metrics"].update(serve_shed_total=1),
+        ],
+        ids=[
+            "mismatches",
+            "unanswered",
+            "error-responses",
+            "p95-over-budget",
+            "no-batching",
+            "handler-errors",
+            "requests-bypassed-admission",
+            "silent-shed",
+        ],
+    )
+    def test_broken_report_fails(self, gate, tmp_path, mutate):
+        doc = healthy_storm()
+        mutate(doc)
+        report = write_json(tmp_path / "bad.json", doc)
+        assert run_gate(gate, [report]) != 0
+
+    def test_explicit_sheds_are_allowed(self, gate, tmp_path):
+        doc = healthy_storm()
+        doc["shed_responses_seen"] = 5
+        doc["metrics"]["serve_shed_total"] = 5
+        report = write_json(tmp_path / "shed.json", doc)
+        assert run_gate(gate, [report]) == 0
+
+
+class TestPredictThroughputGate:
+    @pytest.fixture()
+    def gate(self):
+        return load_script("check_predict_throughput_gate")
+
+    def test_healthy_report_passes(self, gate, tmp_path):
+        report = write_json(tmp_path / "ok.json", healthy_pr6())
+        assert run_gate(gate, [report]) == 0
+
+    def test_batched_slower_than_scalar_fails(self, gate, tmp_path):
+        doc = healthy_pr6()
+        for row in doc["throughput"]["batched"]:
+            row["rps"] = doc["throughput"]["scalar"]["rps"] * 0.5
+        report = write_json(tmp_path / "slow.json", doc)
+        assert run_gate(gate, [report]) != 0
+
+    def test_one_slow_batch_size_is_fine(self, gate, tmp_path):
+        # only the *best* batched rps is gated: tiny batches may lose to
+        # scalar on dispatch overhead, the knee of the curve must not
+        doc = healthy_pr6()
+        doc["throughput"]["batched"][0]["rps"] = 1000.0
+        report = write_json(tmp_path / "knee.json", doc)
+        assert run_gate(gate, [report]) == 0
+
+    def test_batched_mismatch_fails(self, gate, tmp_path):
+        doc = healthy_pr6()
+        doc["throughput"]["batched"][1]["mismatches"] = 1
+        report = write_json(tmp_path / "mismatch.json", doc)
+        assert run_gate(gate, [report]) != 0
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d["storm"].update(shed_responses_seen=1),
+            lambda d: d["storm"]["metrics"].update(serve_shed_total=2),
+            lambda d: d["storm"].update(unanswered=1),
+            lambda d: d["storm"].update(mismatches=1),
+        ],
+        ids=["shed-seen", "shed-counted", "unanswered", "storm-mismatch"],
+    )
+    def test_storm_violations_fail(self, gate, tmp_path, mutate):
+        doc = healthy_pr6()
+        mutate(doc)
+        report = write_json(tmp_path / "storm.json", doc)
+        assert run_gate(gate, [report]) != 0
+
+    def test_wrong_schema_fails(self, gate, tmp_path):
+        doc = healthy_pr6()
+        doc["schema"] = "chronus-bench-pr2/1"
+        report = write_json(tmp_path / "schema.json", doc)
+        assert run_gate(gate, [report]) != 0
+
+    def test_min_speedup_flag_raises_the_bar(self, gate, tmp_path):
+        report = write_json(tmp_path / "ok.json", healthy_pr6())
+        assert run_gate(gate, [report, "--min-speedup", "2.0"]) == 0
+        assert run_gate(gate, [report, "--min-speedup", "10.0"]) != 0
+
+    def test_committed_baseline_satisfies_the_gate(self, gate):
+        committed = SCRIPTS.parent / "BENCH_PR6.json"
+        assert run_gate(gate, [str(committed)]) == 0
+
+
+class TestBenchRegressionGate:
+    @pytest.fixture()
+    def gate(self):
+        return load_script("check_bench_regression")
+
+    def test_identical_runs_pass(self, gate, tmp_path):
+        fresh = write_json(tmp_path / "fresh.json", healthy_bench())
+        base = write_json(tmp_path / "base.json", healthy_bench())
+        assert run_gate(gate, [fresh, "--baseline", base]) == 0
+
+    def test_speedup_regression_fails(self, gate, tmp_path):
+        fresh = write_json(tmp_path / "fresh.json", healthy_bench(speedup=5.0))
+        base = write_json(tmp_path / "base.json", healthy_bench(speedup=10.0))
+        assert run_gate(gate, [fresh, "--baseline", base, "--tolerance", "0.20"]) != 0
+
+    def test_tolerance_absorbs_small_drift(self, gate, tmp_path):
+        fresh = write_json(tmp_path / "fresh.json", healthy_bench(speedup=9.0))
+        base = write_json(tmp_path / "base.json", healthy_bench(speedup=10.0))
+        assert run_gate(gate, [fresh, "--baseline", base, "--tolerance", "0.20"]) == 0
+
+    def test_flop_total_drift_fails(self, gate, tmp_path):
+        doc = healthy_bench()
+        doc["hpcg"]["total_flops"] += 1
+        fresh = write_json(tmp_path / "fresh.json", doc)
+        base = write_json(tmp_path / "base.json", healthy_bench())
+        assert run_gate(gate, [fresh, "--baseline", base]) != 0
+
+    def test_sweep_divergence_fails(self, gate, tmp_path):
+        doc = healthy_bench()
+        doc["sweep"]["identical_results"] = False
+        fresh = write_json(tmp_path / "fresh.json", doc)
+        base = write_json(tmp_path / "base.json", healthy_bench())
+        assert run_gate(gate, [fresh, "--baseline", base]) != 0
+
+    def test_missing_kernel_fails(self, gate, tmp_path):
+        doc = healthy_bench()
+        del doc["kernels"]["diagonal"]
+        fresh = write_json(tmp_path / "fresh.json", doc)
+        base = write_json(tmp_path / "base.json", healthy_bench())
+        assert run_gate(gate, [fresh, "--baseline", base]) != 0
+
+
+class TestCommittedArtifacts:
+    """The baselines CI gates against must stay loadable and well-formed."""
+
+    def test_bench_pr6_schema(self):
+        doc = json.loads((SCRIPTS.parent / "BENCH_PR6.json").read_text())
+        assert doc["schema"] == "chronus-bench-pr6/1"
+        assert doc["throughput"]["scalar"]["rps"] > 0
+        batch_sizes = [row["batch_size"] for row in doc["throughput"]["batched"]]
+        assert batch_sizes == sorted(batch_sizes)
+        assert all(row["mismatches"] == 0 for row in doc["throughput"]["batched"])
+        assert doc["storm"]["shed_responses_seen"] == 0
+        assert doc["sweep"]["identical_results"] is True
+
+    def test_fixture_mutations_are_isolated(self):
+        # paranoia: healthy_* builders must return fresh documents, or one
+        # test's mutation would leak into the next
+        a, b = healthy_pr6(), healthy_pr6()
+        a["storm"]["mismatches"] = 99
+        assert b["storm"]["mismatches"] == 0
+        assert copy.deepcopy(a) == a

@@ -280,3 +280,73 @@ class TestGenetic:
             GeneticOptimizer(mutation_rate=2.0)
         with pytest.raises(ValueError):
             GeneticOptimizer(population=8, elite=8)
+
+
+class TestBatchParity:
+    """The vectorized hot path must agree with the scalar path.
+
+    ``best_configurations`` answers must be *bit-identical* to the scalar
+    ``best_configuration`` — both select by argmax over one shared score
+    vector, so equality here holds by construction and this test is the
+    tripwire for anyone re-deriving scores per call.  Raw batch *values*
+    may differ from scalar ones in final-ulp rounding (BLAS matmul), so
+    they are compared with approx.
+    """
+
+    def test_batch_values_match_scalar(self, fitted, paper_rows):
+        configs = [r.configuration for r in paper_rows[:25]]
+        batch = fitted.predict_efficiency_batch(configs)
+        assert batch.shape == (len(configs),)
+        for got, cfg in zip(batch, configs):
+            assert got == pytest.approx(fitted.predict_efficiency(cfg))
+
+    def test_batch_of_empty(self, fitted):
+        assert fitted.predict_efficiency_batch([]).shape == (0,)
+
+    def test_array_api(self, fitted):
+        import numpy as np
+
+        freqs = [2_200_000, 2_500_000, 1_500_000]
+        cores = [32, 16, 8]
+        out = fitted.predict_batch(freqs, cores)
+        configs = [Configuration(c, 1, f) for f, c in zip(freqs, cores)]
+        assert np.array_equal(out, fitted.predict_efficiency_batch(configs))
+
+    def test_array_api_length_mismatch(self, fitted):
+        with pytest.raises(ValueError, match="equal-length"):
+            fitted.predict_batch([2_200_000], [32, 16])
+
+    def test_best_configurations_bit_identical(self, fitted):
+        universe = fitted.training_configurations()
+        pools = [
+            None,
+            universe,
+            universe[::2],
+            universe[::-1],
+            [STANDARD, Configuration(16, 1, 1_500_000)],
+            universe[:1],
+        ]
+        batched = fitted.best_configurations(pools)
+        scalar = [fitted.best_configuration(pool) for pool in pools]
+        assert batched == scalar
+
+    def test_best_configurations_after_roundtrip(self, fitted):
+        again = type(fitted).deserialize(fitted.serialize())
+        pools = [None, fitted.training_configurations()[::3]]
+        assert again.best_configurations(pools) == fitted.best_configurations(pools)
+
+    def test_warm_covers_candidates_and_preserves_answer(self, fitted):
+        before = fitted.best_configuration()
+        clone = type(fitted).deserialize(fitted.serialize())
+        covered = clone.warm()
+        assert covered == len(clone.training_configurations())
+        assert clone.best_configuration() == before
+
+    def test_novel_pool_not_in_cache(self, fitted):
+        """Pools containing configurations never seen at fit time must
+        still be answered (cache-miss fallback scores them directly)."""
+        novel = Configuration(2, 1, 1_500_000)
+        pool = [STANDARD, novel]
+        assert fitted.best_configurations([pool]) == [
+            fitted.best_configuration(pool)
+        ]

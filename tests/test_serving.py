@@ -939,3 +939,176 @@ class TestAtomicModelPublication:
         assert open(path, "rb").read() == good
         # and the optimizer still deserializes
         ModelFactory.load_optimizer(meta.model_type, open(path, "rb").read())
+
+
+# ---------------------------------------------------------------------------
+# PR6: batched hot path parity + framed wire + warm step
+# ---------------------------------------------------------------------------
+class TestBatchBitIdentity:
+    """predict_batch answers must equal per-request predict answers
+    field-for-field (bar batch_size, which records the dispatch width)."""
+
+    @staticmethod
+    def _fields(answer):
+        return (
+            answer.cores, answer.threads_per_core, answer.frequency,
+            answer.model_type, answer.model_id, answer.model_version,
+            answer.proto,
+        )
+
+    def test_mixed_floors_bit_identical(self, loaded_stack):
+        svc, _ = loaded_stack
+        floors = [None, 0.5, 0.8, 0.9, 0.95, 1.0]
+        requests = [
+            PredictRequest(
+                system_id=1, binary_hash=777,
+                min_perf=floors[i % len(floors)], job_name=f"j{i}",
+            )
+            for i in range(24)
+        ]
+        scalar = [svc.predict(r) for r in requests]
+        batched = svc.predict_batch(requests)
+        assert all(isinstance(a, PredictResponse) for a in batched)
+        for got, want in zip(batched, scalar):
+            assert self._fields(got) == self._fields(want)
+        assert all(a.batch_size == len(requests) for a in batched)
+
+    def test_batch_groups_by_model_and_records_metrics(self, steady_rows):
+        blob = fitted_blob(steady_rows)
+        files = {"/p1": blob, "/p2": blob}
+        local = MemoryLocalStorage()
+        local.save(ChronusSettings(loaded_models={
+            "1": {"path": "/p1", "type": "brute-force"},
+            "2": {"path": "/p2", "type": "brute-force"},
+        }))
+        svc = SlurmConfigService(
+            local, ModelFactory.load_optimizer, read_local=files.__getitem__
+        )
+        requests = [
+            PredictRequest(system_id=1 + (i % 2), job_name=f"j{i}")
+            for i in range(8)
+        ]
+        scalar = [svc.predict(r) for r in requests]
+        batched = svc.predict_batch(requests)
+        for got, want in zip(batched, scalar):
+            assert self._fields(got) == self._fields(want)
+        # 8 requests coalesce to 2 distinct keys; each representative is
+        # answered off the vectorized path, the rest share its answer
+        assert counter_value("serve_batch_vectorized_total") == 2
+        assert counter_value("serve_coalesced_total") == 6
+
+    def test_single_request_batch(self, loaded_stack):
+        svc, _ = loaded_stack
+        request = PredictRequest(system_id=1, binary_hash=777)
+        (batched,) = svc.predict_batch([request])
+        assert self._fields(batched) == self._fields(svc.predict(request))
+
+
+class TestServiceWarm:
+    def test_warm_primes_the_cache(self, loaded_stack):
+        svc, reads = loaded_stack
+        key = svc.warm(1, 777)
+        assert key == ("1", "hpcg")
+        assert len(reads) == 1
+        assert counter_value("model_warm_total") == 1
+        # the warmed optimizer serves predicts without another load
+        svc.predict(PredictRequest(system_id=1, binary_hash=777))
+        assert len(reads) == 1
+
+    def test_warm_unknown_model_raises(self, steady_rows):
+        # two distinct models loaded: the single-model fallback cannot
+        # mask a genuinely unknown system id
+        blob = fitted_blob(steady_rows)
+        files = {"/p1": blob, "/p2": blob}
+        local = MemoryLocalStorage()
+        local.save(ChronusSettings(loaded_models={
+            "1": {"path": "/p1", "type": "brute-force"},
+            "2": {"path": "/p2", "type": "brute-force"},
+        }))
+        svc = SlurmConfigService(
+            local, ModelFactory.load_optimizer, read_local=files.__getitem__
+        )
+        from repro.core.domain.errors import ModelNotFoundError
+
+        with pytest.raises(ModelNotFoundError):
+            svc.warm(404)
+
+
+class TestFramedWire:
+    @pytest.fixture
+    def daemon(self, loaded_stack, tmp_path):
+        svc, _ = loaded_stack
+        server = ChronusServer(svc)
+        socket_path = str(tmp_path / "chronus-framed.sock")
+        uds = UnixSocketServer(server, socket_path).start()
+        probe = UnixSocketTransport(socket_path, timeout_s=5.0)
+        for _ in range(100):
+            try:
+                probe.ping()
+                break
+            except OSError:
+                threading.Event().wait(0.02)
+        yield socket_path
+        server.shutdown_requested.set()
+        uds.stop()
+
+    def test_framed_predict_matches_line_predict(self, daemon):
+        line_client = UnixSocketTransport(daemon, timeout_s=5.0)
+        framed_client = UnixSocketTransport(daemon, timeout_s=5.0, framed=True)
+        request = PredictRequest(system_id=1, binary_hash=777)
+        a = line_client.predict(request)
+        b = framed_client.predict(request)
+        assert isinstance(b, PredictResponse)
+        assert (a.cores, a.threads_per_core, a.frequency) == (
+            b.cores, b.threads_per_core, b.frequency
+        )
+
+    def test_framings_mix_on_one_connection(self, daemon):
+        import socket as socketlib
+
+        from repro.serving.transport import encode_frame
+
+        sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        sock.settimeout(5.0)
+        try:
+            sock.connect(daemon)
+            # framed request first ...
+            sock.sendall(encode_frame('{"op": "ping"}'))
+            header = b""
+            while len(header) < 4:
+                header += sock.recv(4 - len(header))
+            length = int.from_bytes(header, "big")
+            payload = b""
+            while len(payload) < length:
+                payload += sock.recv(length - len(payload))
+            assert json.loads(payload)["ok"]
+            # ... then a JSON line on the same connection
+            sock.sendall(b'{"op": "ping"}\n')
+            answer = b""
+            while not answer.endswith(b"\n"):
+                answer += sock.recv(4096)
+            assert json.loads(answer)["ok"]
+        finally:
+            sock.close()
+
+    def test_cap_preserves_the_framing_discriminant(self):
+        """Every legal frame length must encode with a 0x00 first byte —
+        that byte is what lets the server tell frames from JSON lines."""
+        from repro.core.domain.errors import ProtocolError
+        from repro.serving.transport import MAX_FRAME_BYTES, encode_frame
+
+        assert MAX_FRAME_BYTES < (1 << 24)
+        header = encode_frame(b"x" * 1024)[:4]
+        assert header[0] == 0x00
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_large_frame_grows_the_buffer(self, daemon):
+        """A request bigger than the reader's initial 64 KiB buffer must
+        still parse (buffer doubles, then keeps serving)."""
+        framed_client = UnixSocketTransport(daemon, timeout_s=5.0, framed=True)
+        request = PredictRequest(
+            system_id=1, binary_hash=777, job_name="j" * (128 * 1024)
+        )
+        answer = framed_client.predict(request)
+        assert isinstance(answer, PredictResponse)
