@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Gate on the fleet-scale storm report (see ``bench_storm.py``).
+
+The PR7 hot path makes four promises, and this gate holds it to all of
+them on every CI run:
+
+* **scheduler** — the incremental free-core index must place every job
+  exactly where the reference ``O(queue x nodes)`` scheduler would
+  (``mismatches == 0``), be measurably faster at the 1,000-node /
+  1,000-job-queue scale, and keep a single pass inside the head node's
+  time budget;
+* **engine** — the DES submit storm must drain completely (no stranded
+  jobs), keep event throughput near-linear as the storm quadruples, and
+  actually exercise the tombstone compactor (a storm whose kill timers
+  never amount to a compaction isn't testing the lazy-cancel path);
+* **serving** — >= 10k concurrent client requests through the shard
+  router must come back complete (zero SHED, zero unanswered, zero
+  oracle mismatches) with every shard healthy and carrying traffic, and
+  p95 latency inside budget;
+* **sweep** — the pool run with the per-worker kernel caches must
+  reproduce the serial rows bit-identically on a >= 2-worker pool, and
+  the shared-problem cache must actually be shared.
+
+Thresholds are machine-independent where possible (identity counts,
+same-run speedups); the two wall-clock budgets default loose enough for
+a one-core CI runner and can be tightened per-host.
+
+Usage::
+
+    python scripts/check_storm_gate.py storm-smoke.json
+    python scripts/check_storm_gate.py BENCH_PR7.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"STORM GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", default="BENCH_PR7.json")
+    parser.add_argument(
+        "--min-sched-speedup",
+        type=float,
+        default=1.5,
+        help="incremental scheduler pass must be >= this multiple faster "
+        "than the reference pass in the same run [default: 1.5]",
+    )
+    parser.add_argument(
+        "--max-pass-p95-ms",
+        type=float,
+        default=200.0,
+        help="p95 budget for one incremental pass at 1,000 nodes "
+        "[default: 200ms]",
+    )
+    parser.add_argument(
+        "--min-throughput-ratio",
+        type=float,
+        default=0.6,
+        help="events/sec at 4x storm size must stay >= this fraction of "
+        "the small-storm throughput [default: 0.6]",
+    )
+    parser.add_argument(
+        "--min-clients",
+        type=int,
+        default=10_000,
+        help="serving storm must have driven at least this many client "
+        "requests [default: 10000]",
+    )
+    parser.add_argument(
+        "--max-predict-p95-s",
+        type=float,
+        default=0.5,
+        help="p95 budget for one routed predict under the storm "
+        "[default: 0.5s]",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+
+    if report.get("schema") != "chronus-bench-pr7/1":
+        fail(f"unexpected report schema {report.get('schema')!r}")
+
+    # -- scheduler ------------------------------------------------------
+    sched = report["scheduler"]
+    if sched["mismatches"]:
+        fail(
+            f"incremental scheduler placed jobs differently from the "
+            f"reference in {sched['mismatches']}/{sched['passes']} passes; "
+            "the fast path must be placement-identical"
+        )
+    if sched["n_nodes"] < 1000:
+        fail(f"scheduler section ran at {sched['n_nodes']} nodes (< 1000)")
+    if sched["speedup"] < args.min_sched_speedup:
+        fail(
+            f"incremental scheduler speedup {sched['speedup']:.2f}x is "
+            f"below {args.min_sched_speedup:g}x at {sched['n_nodes']} "
+            f"nodes; the index stopped paying for itself"
+        )
+    if sched["incremental"]["p95_ms"] > args.max_pass_p95_ms:
+        fail(
+            f"incremental pass p95 {sched['incremental']['p95_ms']:.1f}ms "
+            f"exceeds the {args.max_pass_p95_ms:g}ms budget at "
+            f"{sched['n_nodes']} nodes"
+        )
+
+    # -- DES storm ------------------------------------------------------
+    des = report["des_storm"]
+    for size in ("small", "large"):
+        storm = des[size]
+        if storm["unfinished_jobs"]:
+            fail(
+                f"{size} storm stranded {storm['unfinished_jobs']} jobs "
+                "(pending or still running at drain)"
+            )
+        if storm["jobs_started"] != storm["n_jobs"]:
+            fail(
+                f"{size} storm started {storm['jobs_started']}/"
+                f"{storm['n_jobs']} jobs"
+            )
+    if des["large"]["compactions"] < 1:
+        fail(
+            "the large storm never compacted the event heap; kill-timer "
+            "tombstones should force at least one compaction"
+        )
+    if des["throughput_ratio"] < args.min_throughput_ratio:
+        fail(
+            f"event throughput ratio {des['throughput_ratio']:.2f} at 4x "
+            f"storm size is below {args.min_throughput_ratio:g}; per-event "
+            "cost is growing with scale"
+        )
+
+    # -- serving storm --------------------------------------------------
+    serve = report["serving_storm"]
+    if serve["clients"] < args.min_clients:
+        fail(
+            f"serving storm drove {serve['clients']} clients "
+            f"(< {args.min_clients})"
+        )
+    if serve["shed_responses_seen"]:
+        fail(
+            f"{serve['shed_responses_seen']} SHED responses at "
+            f"{serve['clients']} clients; the fleet must absorb the storm"
+        )
+    if serve["unanswered"]:
+        fail(f"{serve['unanswered']}/{serve['clients']} requests unanswered")
+    if serve["error_responses_seen"]:
+        fail(
+            f"{serve['error_responses_seen']} error responses during the "
+            "serving storm"
+        )
+    if serve["mismatches"]:
+        fail(
+            f"{serve['mismatches']}/{serve['clients']} routed answers "
+            "differ from the serial oracle"
+        )
+    fleet = serve["fleet"]
+    if fleet["healthy_count"] != serve["shards"]:
+        fail(
+            f"only {fleet['healthy_count']}/{serve['shards']} shards "
+            "healthy after the storm"
+        )
+    idle = [
+        name for name, n in fleet["per_shard_requests"].items() if n == 0
+    ]
+    if idle:
+        fail(
+            f"shards {idle} served zero requests; rendezvous routing is "
+            "not spreading the keyspace"
+        )
+    if serve["latency_s"]["p95"] > args.max_predict_p95_s:
+        fail(
+            f"routed predict p95 {serve['latency_s']['p95'] * 1e3:.1f}ms "
+            f"exceeds the {args.max_predict_p95_s * 1e3:g}ms budget"
+        )
+
+    # -- sweep ----------------------------------------------------------
+    sweep = report["sweep"]
+    if sweep["workers"] < 2:
+        fail(f"sweep section ran with {sweep['workers']} workers (< 2)")
+    if not sweep["identical_results"]:
+        fail(
+            "pool sweep rows differ from the serial rows; per-worker "
+            "kernel caches must not change results"
+        )
+    cache = sweep["kernel_cache"]
+    if not cache["problem_shared"]:
+        fail(
+            "two reuse_problem builds returned distinct problem objects; "
+            "the shared-problem cache is not sharing"
+        )
+
+    print(
+        f"STORM GATE PASS: scheduler {sched['speedup']:.1f}x at "
+        f"{sched['n_nodes']} nodes (identical placements, p95 "
+        f"{sched['incremental']['p95_ms']:.1f}ms), des storm "
+        f"{des['large']['n_jobs']} jobs at "
+        f"{des['large']['events_per_sec']:,.0f} events/s (ratio "
+        f"{des['throughput_ratio']:.2f}, "
+        f"{des['large']['compactions']} compactions), serving "
+        f"{serve['clients']} clients p95 "
+        f"{serve['latency_s']['p95'] * 1e3:.1f}ms with 0 sheds across "
+        f"{serve['shards']} shards, sweep identical on "
+        f"pool({sweep['workers']}) with kernel-cache reuse "
+        f"{cache['reuse_speedup']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Run the fleet-scale storm benchmark (CI wrapper).
+
+Thin entry point around ``benchmarks/bench_storm.py`` that fixes up
+``sys.path`` so CI does not need ``PYTHONPATH`` plumbing, then emits the
+``chronus-bench-pr7/1`` report for ``scripts/check_storm_gate.py``.
+
+Usage:
+    python scripts/run_storm_bench.py --smoke --output storm-smoke.json
+    python scripts/run_storm_bench.py --output BENCH_PR7.json
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    from bench_storm import main as bench_main
+
+    return bench_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,10 +24,25 @@ from repro.core.repositories.memory_repository import MemoryRepository
 from repro.core.runners.hpcg_runner import HpcgRunner
 from repro.core.services.ipmi_service import IpmiSystemService
 from repro.core.services.lscpu_info import LscpuSystemInfo
+from repro.hpcg.performance_model import HpcgPerformanceModel
 from repro.simkernel.random import derive_seed
 from repro.slurm.cluster import HPCG_BINARY, SimCluster
 
 __all__ = ["SweepPoint", "build_sweep_points", "run_sweep_point"]
+
+#: per-worker-process shared roofline model.  The model is stateless and
+#: deterministic, so sharing it across the points one worker runs cannot
+#: change any result — it only keeps whatever the model precomputes warm
+#: instead of rebuilding it per point (the same worker-local reuse the
+#: kernel caches get through :func:`repro.hpcg.problem.shared_problem`).
+_SHARED_MODEL: "HpcgPerformanceModel | None" = None
+
+
+def _shared_model() -> HpcgPerformanceModel:
+    global _SHARED_MODEL
+    if _SHARED_MODEL is None:
+        _SHARED_MODEL = HpcgPerformanceModel()
+    return _SHARED_MODEL
 
 
 @dataclass(frozen=True)
@@ -80,7 +95,11 @@ def run_sweep_point(point: SweepPoint) -> Run:
             f"sweep worker crashed on {point.configuration.to_json()} "
             "(injected fault)"
         )
-    cluster = SimCluster(seed=point.seed, hpcg_duration_s=point.duration_s)
+    cluster = SimCluster(
+        seed=point.seed,
+        hpcg_duration_s=point.duration_s,
+        performance_model=_shared_model(),
+    )
     clock = lambda: cluster.sim.now  # noqa: E731 - tiny closure over the sim
     service = BenchmarkService(
         MemoryRepository(),

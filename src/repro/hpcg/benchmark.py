@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.hpcg.cg import CgResult, pcg
 from repro.hpcg.multigrid import MultigridPreconditioner
-from repro.hpcg.problem import HpcgProblem, generate_problem
+from repro.hpcg.problem import HpcgProblem, generate_problem, shared_problem
 
 __all__ = ["HpcgRating", "HpcgBenchmark"]
 
@@ -46,8 +46,20 @@ class HpcgRating:
 class HpcgBenchmark:
     """Reusable benchmark fixture for one problem size."""
 
-    def __init__(self, nx: int, ny: int | None = None, nz: int | None = None, levels: int = 4) -> None:
-        self.problem: HpcgProblem = generate_problem(nx, ny, nz)
+    def __init__(
+        self,
+        nx: int,
+        ny: int | None = None,
+        nz: int | None = None,
+        levels: int = 4,
+        *,
+        reuse_problem: bool = False,
+    ) -> None:
+        # reuse_problem shares the generated operator (and its memoised
+        # multicolor partitions) process-wide — what a sweep worker wants
+        # when it rates many configurations at one problem size
+        build = shared_problem if reuse_problem else generate_problem
+        self.problem: HpcgProblem = build(nx, ny, nz)
         self.preconditioner = MultigridPreconditioner(self.problem, levels=levels)
 
     def run(self, *, tol: float = 1e-8, max_iter: int = 50) -> HpcgRating:

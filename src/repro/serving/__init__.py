@@ -50,6 +50,7 @@ __all__ = [
     "MicroBatcher",
     "ChronusServer",
     "LocalTransport",
+    "ShardRouter",
     "UnixSocketServer",
     "UnixSocketTransport",
 ]
@@ -57,6 +58,7 @@ __all__ = [
 _LAZY = {
     "ChronusServer": ("repro.serving.server", "ChronusServer"),
     "LocalTransport": ("repro.serving.transport", "LocalTransport"),
+    "ShardRouter": ("repro.serving.router", "ShardRouter"),
     "UnixSocketServer": ("repro.serving.transport", "UnixSocketServer"),
     "UnixSocketTransport": ("repro.serving.transport", "UnixSocketTransport"),
 }

@@ -35,6 +35,17 @@ class SlurmConfig:
     plugin_time_budget_s: float = 2.0
     #: default partition wall-clock limit (seconds)
     default_time_limit_s: int = 24 * 3600
+    #: ``SchedulerParameters=defer`` — do not run a scheduling pass inside
+    #: every submit; coalesce into one deferred pass per simulated instant
+    #: (what real slurmctld's ``defer`` does for submit storms)
+    sched_defer: bool = False
+    #: ``SchedulerParameters=default_queue_depth=N`` — max pending jobs one
+    #: pass examines (0 = unlimited, the historical behaviour)
+    sched_queue_depth: int = 0
+    #: ``SchedulerParameters=reference`` — use the O(queue × nodes)
+    #: reference schedulers instead of the incremental index (benchmarks,
+    #: parity checks)
+    sched_incremental: bool = True
     extra: dict[str, str] = field(default_factory=dict)
 
     @classmethod
@@ -93,6 +104,30 @@ class SlurmConfig:
                     raise ConfigError(
                         f"line {lineno}: DefaultTime expects minutes, got {value!r}"
                     ) from None
+            elif lower == "schedulerparameters":
+                for param in (p.strip() for p in value.split(",") if p.strip()):
+                    if param == "defer":
+                        cfg.sched_defer = True
+                    elif param == "reference":
+                        cfg.sched_incremental = False
+                    elif param.startswith("default_queue_depth="):
+                        depth = param.split("=", 1)[1]
+                        try:
+                            cfg.sched_queue_depth = int(depth)
+                        except ValueError:
+                            raise ConfigError(
+                                f"line {lineno}: default_queue_depth expects an "
+                                f"integer, got {depth!r}"
+                            ) from None
+                        if cfg.sched_queue_depth < 0:
+                            raise ConfigError(
+                                f"line {lineno}: default_queue_depth must be >= 0"
+                            )
+                    else:
+                        raise ConfigError(
+                            f"line {lineno}: unknown SchedulerParameters "
+                            f"entry {param!r}"
+                        )
             else:
                 cfg.extra[key] = value
         return cfg
@@ -108,6 +143,15 @@ class SlurmConfig:
         ]
         if self.job_submit_plugins:
             lines.append("JobSubmitPlugins=" + ",".join(self.job_submit_plugins))
+        params = []
+        if self.sched_defer:
+            params.append("defer")
+        if not self.sched_incremental:
+            params.append("reference")
+        if self.sched_queue_depth:
+            params.append(f"default_queue_depth={self.sched_queue_depth}")
+        if params:
+            lines.append("SchedulerParameters=" + ",".join(params))
         for k, v in sorted(self.extra.items()):
             lines.append(f"{k}={v}")
         return "\n".join(lines) + "\n"

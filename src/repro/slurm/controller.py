@@ -20,6 +20,7 @@ from repro.slurm.job import Job, JobDescriptor, JobState
 from repro.slurm.nodemgr import Slurmd, UnknownBinaryError
 from repro.slurm.plugins.base import SLURM_SUCCESS, JobSubmitPlugin, PluginChain
 from repro.slurm.priority import PriorityWeights, order_by_priority
+from repro.slurm.sched_index import ClusterState
 from repro.slurm.scheduler import NodeView, backfill_schedule, fifo_schedule
 
 __all__ = ["SubmitError", "Slurmctld"]
@@ -53,6 +54,14 @@ class Slurmctld:
         self._next_job_id = 1
         self.log: list[str] = []
         self._completion_events: dict[int, object] = {}
+        #: incremental scheduler state, maintained across passes on job
+        #: start/finish/cancel and drain/resume (see repro.slurm.sched_index)
+        self.cluster_state = ClusterState(
+            (n.hostname, n.node.total_cores, n.node.free_cores()) for n in nodes
+        )
+        self._drained: set[str] = set()
+        #: pending deferred-pass event (SchedulerParameters=defer coalescing)
+        self._sched_event: "object | None" = None
 
     # ------------------------------------------------------------------
     # plugins
@@ -92,7 +101,7 @@ class Slurmctld:
         self.jobs[job.job_id] = job
         self._pending.append(job.job_id)
         self.log.append(f"[{self.sim.now:.1f}] submitted job {job.job_id} ({descriptor.name})")
-        self._schedule_pass()
+        self._request_schedule()
         return job.job_id
 
     def _submit_array(self, descriptor: JobDescriptor) -> int:
@@ -120,7 +129,7 @@ class Slurmctld:
             f"[{self.sim.now:.1f}] submitted array job {master_id} "
             f"({descriptor.name}, {len(descriptor.array)} tasks)"
         )
-        self._schedule_pass()
+        self._request_schedule()
         return master_id
 
     def array_tasks(self, master_id: int) -> list[Job]:
@@ -146,6 +155,8 @@ class Slurmctld:
     def _node_views(self) -> list[NodeView]:
         views = []
         for slurmd in self.nodes:
+            if slurmd.hostname in self._drained:
+                continue
             running = []
             for jid in self._running:
                 job = self.jobs[jid]
@@ -154,6 +165,25 @@ class Slurmctld:
                     running.append((expected_end, job.descriptor.tasks_per_node))
             views.append(slurmd.view(running))
         return views
+
+    def _request_schedule(self) -> None:
+        """Run a scheduling pass now, or coalesce under ``defer``.
+
+        With ``SchedulerParameters=defer`` every trigger inside one
+        simulated instant collapses into a single pass event — a
+        million-job submit burst costs one pass, not a million.
+        """
+        if not self.config.sched_defer:
+            self._schedule_pass()
+            return
+        if self._sched_event is not None:
+            return
+
+        def fire() -> None:
+            self._sched_event = None
+            self._schedule_pass()
+
+        self._sched_event = self.sim.call_at(self.sim.now, fire, name="sched-pass")
 
     def _schedule_pass(self) -> None:
         telemetry.gauge("sched_queue_depth").set(len(self._pending))
@@ -174,16 +204,30 @@ class Slurmctld:
                 usage_by_uid=self.accounting.usage_by_uid(),
                 weights=weights,
             )
-        views = self._node_views()
-        if self.config.scheduler_type == "sched/backfill":
-            placements = backfill_schedule(
-                pending_jobs,
-                views,
-                self.sim.now,
-                default_limit_s=self.config.default_time_limit_s,
-            )
+        depth = self.config.sched_queue_depth
+        if depth:
+            pending_jobs = pending_jobs[:depth]
+        backfill = self.config.scheduler_type == "sched/backfill"
+        if self.config.sched_incremental:
+            if backfill:
+                placements = self.cluster_state.backfill_pass(
+                    pending_jobs,
+                    self.sim.now,
+                    default_limit_s=self.config.default_time_limit_s,
+                )
+            else:
+                placements = self.cluster_state.fifo_pass(pending_jobs)
         else:
-            placements = fifo_schedule(pending_jobs, views)
+            views = self._node_views()
+            if backfill:
+                placements = backfill_schedule(
+                    pending_jobs,
+                    views,
+                    self.sim.now,
+                    default_limit_s=self.config.default_time_limit_s,
+                )
+            else:
+                placements = fifo_schedule(pending_jobs, views)
         for placement in placements:
             self._start_job(placement.job, placement.node_names)
         telemetry.histogram("sched_cycle_seconds").observe(
@@ -228,6 +272,11 @@ class Slurmctld:
         )
         self._pending.remove(job.job_id)
         self._running.append(job.job_id)
+        self.cluster_state.on_job_start(
+            node_names,
+            job.descriptor.tasks_per_node,
+            self.sim.now + job.descriptor.time_limit_s,
+        )
         step_runtime = max(step.runtime_s for _, step in steps)
         runtime = min(step_runtime, job.descriptor.time_limit_s)
         timed_out = step_runtime > job.descriptor.time_limit_s
@@ -264,6 +313,12 @@ class Slurmctld:
         job.end_time = self.sim.now
         job.energy_end_j = energy_end
         self._running.remove(job_id)
+        assert job.start_time is not None
+        self.cluster_state.on_job_finish(
+            job.node_list,
+            job.descriptor.tasks_per_node,
+            job.start_time + job.descriptor.time_limit_s,
+        )
         self._completion_events.pop(job_id, None)
         if timed_out:
             job.state = JobState.TIMEOUT
@@ -280,11 +335,30 @@ class Slurmctld:
         self.log.append(
             f"[{self.sim.now:.1f}] job {job_id} {'timed out' if timed_out else 'completed'}"
         )
-        self._schedule_pass()
+        self._request_schedule()
 
     # ------------------------------------------------------------------
     # control operations
     # ------------------------------------------------------------------
+    def drain_node(self, hostname: str) -> None:
+        """Take a node out of scheduling (running jobs keep their cores)."""
+        self._slurmd(hostname)  # KeyError on unknown node
+        if hostname in self._drained:
+            return
+        self._drained.add(hostname)
+        self.cluster_state.drain(hostname)
+        self.log.append(f"[{self.sim.now:.1f}] node {hostname} drained")
+
+    def resume_node(self, hostname: str) -> None:
+        """Return a drained node to service and re-run the scheduler."""
+        self._slurmd(hostname)  # KeyError on unknown node
+        if hostname not in self._drained:
+            return
+        self._drained.discard(hostname)
+        self.cluster_state.resume(hostname)
+        self.log.append(f"[{self.sim.now:.1f}] node {hostname} resumed")
+        self._request_schedule()
+
     def cancel(self, job_id: int) -> None:
         """scancel: cancel a pending or running job."""
         job = self.jobs.get(job_id)
@@ -302,6 +376,12 @@ class Slurmctld:
                 energy_end += slurmd.node.true_energy_joules
             job.energy_end_j = energy_end
             self._running.remove(job_id)
+            assert job.start_time is not None
+            self.cluster_state.on_job_finish(
+                job.node_list,
+                job.descriptor.tasks_per_node,
+                job.start_time + job.descriptor.time_limit_s,
+            )
             ev = self._completion_events.pop(job_id, None)
             if ev is not None:
                 ev.cancel()  # type: ignore[attr-defined]
@@ -309,7 +389,7 @@ class Slurmctld:
         job.end_time = self.sim.now
         self.accounting.upsert(job)
         self.log.append(f"[{self.sim.now:.1f}] job {job_id} cancelled")
-        self._schedule_pass()
+        self._request_schedule()
 
     def get_job(self, job_id: int) -> Job:
         if job_id not in self.jobs:

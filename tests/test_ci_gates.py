@@ -95,6 +95,82 @@ def healthy_bench(speedup: float = 10.0) -> dict:
     }
 
 
+def healthy_pr7() -> dict:
+    def des(n_jobs: int, eps: float) -> dict:
+        return {
+            "n_nodes": 1000,
+            "n_jobs": n_jobs,
+            "queue_depth": 256,
+            "wall_s": 10.0,
+            "events": n_jobs * 3,
+            "events_per_sec": eps,
+            "jobs_started": n_jobs,
+            "jobs_finished": n_jobs,
+            "jobs_killed_at_limit": 0,
+            "kill_timer_tombstones": n_jobs,
+            "compactions": 5,
+            "passes": n_jobs // 2,
+            "pass_ms": {"p50": 1.0, "p95": 2.0, "max": 9.0},
+            "unfinished_jobs": 0,
+        }
+
+    return {
+        "schema": "chronus-bench-pr7/1",
+        "smoke": True,
+        "scheduler": {
+            "n_nodes": 1000,
+            "queue_depth": 1000,
+            "passes": 5,
+            "mismatches": 0,
+            "reference": {"p50_ms": 60.0, "p95_ms": 80.0, "mean_ms": 62.0},
+            "incremental": {"p50_ms": 14.0, "p95_ms": 20.0, "mean_ms": 15.0},
+            "speedup": 4.1,
+        },
+        "des_storm": {
+            "small": des(2000, 4000.0),
+            "large": des(8000, 3500.0),
+            "throughput_ratio": 0.875,
+        },
+        "serving_storm": {
+            "clients": 10_000,
+            "shards": 4,
+            "worker_threads": 64,
+            "wall_s": 1.5,
+            "rps": 6600.0,
+            "unanswered": 0,
+            "shed_responses_seen": 0,
+            "error_responses_seen": 0,
+            "mismatches": 0,
+            "latency_s": {"p50": 0.008, "p95": 0.02, "max": 0.2},
+            "fleet": {
+                "healthy_count": 4,
+                "requests_total": 10_000,
+                "failures_total": 0,
+                "per_shard_requests": {
+                    "shard0": 2400, "shard1": 2700,
+                    "shard2": 2300, "shard3": 2600,
+                },
+                "models_cached_total": 4,
+            },
+        },
+        "sweep": {
+            "points": 18,
+            "workers": 2,
+            "serial_wall_s": 40.0,
+            "parallel_wall_s": 38.0,
+            "speedup": 1.05,
+            "identical_results": True,
+            "kernel_cache": {
+                "nx": 20,
+                "first_build_s": 0.8,
+                "second_build_s": 0.05,
+                "problem_shared": True,
+                "reuse_speedup": 16.0,
+            },
+        },
+    }
+
+
 class TestServingGate:
     @pytest.fixture()
     def gate(self):
@@ -204,6 +280,85 @@ class TestPredictThroughputGate:
         assert run_gate(gate, [str(committed)]) == 0
 
 
+class TestStormGate:
+    @pytest.fixture()
+    def gate(self):
+        return load_script("check_storm_gate")
+
+    def test_healthy_report_passes(self, gate, tmp_path):
+        report = write_json(tmp_path / "ok.json", healthy_pr7())
+        assert run_gate(gate, [report]) == 0
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d["scheduler"].update(mismatches=1),
+            lambda d: d["scheduler"].update(n_nodes=200),
+            lambda d: d["scheduler"].update(speedup=1.1),
+            lambda d: d["scheduler"]["incremental"].update(p95_ms=500.0),
+            lambda d: d["des_storm"]["large"].update(unfinished_jobs=3),
+            lambda d: d["des_storm"]["small"].update(jobs_started=1999),
+            lambda d: d["des_storm"]["large"].update(compactions=0),
+            lambda d: d["des_storm"].update(throughput_ratio=0.3),
+            lambda d: d["serving_storm"].update(clients=5000),
+            lambda d: d["serving_storm"].update(shed_responses_seen=1),
+            lambda d: d["serving_storm"].update(unanswered=2),
+            lambda d: d["serving_storm"].update(error_responses_seen=1),
+            lambda d: d["serving_storm"].update(mismatches=1),
+            lambda d: d["serving_storm"]["fleet"].update(healthy_count=3),
+            lambda d: d["serving_storm"]["fleet"]["per_shard_requests"].update(
+                shard2=0
+            ),
+            lambda d: d["serving_storm"]["latency_s"].update(p95=2.0),
+            lambda d: d["sweep"].update(workers=1),
+            lambda d: d["sweep"].update(identical_results=False),
+            lambda d: d["sweep"]["kernel_cache"].update(problem_shared=False),
+        ],
+        ids=[
+            "placement-mismatch",
+            "undersized-fleet",
+            "speedup-regressed",
+            "pass-over-budget",
+            "stranded-jobs",
+            "jobs-not-started",
+            "no-compactions",
+            "superlinear-cost",
+            "too-few-clients",
+            "shed",
+            "unanswered",
+            "error-responses",
+            "oracle-mismatch",
+            "dead-shard",
+            "idle-shard",
+            "p95-over-budget",
+            "serial-sweep",
+            "sweep-divergence",
+            "cache-not-shared",
+        ],
+    )
+    def test_broken_report_fails(self, gate, tmp_path, mutate):
+        doc = healthy_pr7()
+        mutate(doc)
+        report = write_json(tmp_path / "bad.json", doc)
+        assert run_gate(gate, [report]) != 0
+
+    def test_wrong_schema_fails(self, gate, tmp_path):
+        doc = healthy_pr7()
+        doc["schema"] = "chronus-bench-pr6/1"
+        report = write_json(tmp_path / "schema.json", doc)
+        assert run_gate(gate, [report]) != 0
+
+    def test_threshold_flags_raise_the_bar(self, gate, tmp_path):
+        report = write_json(tmp_path / "ok.json", healthy_pr7())
+        assert run_gate(gate, [report, "--min-sched-speedup", "10.0"]) != 0
+        assert run_gate(gate, [report, "--min-throughput-ratio", "0.95"]) != 0
+        assert run_gate(gate, [report, "--max-predict-p95-s", "0.01"]) != 0
+
+    def test_committed_baseline_satisfies_the_gate(self, gate):
+        committed = SCRIPTS.parent / "BENCH_PR7.json"
+        assert run_gate(gate, [str(committed)]) == 0
+
+
 class TestBenchRegressionGate:
     @pytest.fixture()
     def gate(self):
@@ -248,6 +403,19 @@ class TestBenchRegressionGate:
 
 class TestCommittedArtifacts:
     """The baselines CI gates against must stay loadable and well-formed."""
+
+    def test_bench_pr7_schema(self):
+        doc = json.loads((SCRIPTS.parent / "BENCH_PR7.json").read_text())
+        assert doc["schema"] == "chronus-bench-pr7/1"
+        assert doc["smoke"] is False
+        sched = doc["scheduler"]
+        assert sched["n_nodes"] >= 1000 and sched["mismatches"] == 0
+        assert sched["speedup"] > 1.0
+        assert doc["des_storm"]["large"]["n_jobs"] >= 100_000
+        assert doc["des_storm"]["large"]["unfinished_jobs"] == 0
+        assert doc["serving_storm"]["clients"] >= 10_000
+        assert doc["serving_storm"]["shed_responses_seen"] == 0
+        assert doc["sweep"]["identical_results"] is True
 
     def test_bench_pr6_schema(self):
         doc = json.loads((SCRIPTS.parent / "BENCH_PR6.json").read_text())

@@ -1,0 +1,227 @@
+"""ShardRouter: rendezvous key stability, failover, fleet aggregation."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.core.domain.errors import ProtocolError
+from repro.serving.protocol import (
+    ErrorResponse,
+    PredictRequest,
+    PredictResponse,
+)
+from repro.serving.router import ShardRouter, shard_score
+
+
+class StubTransport:
+    """In-memory worker double: answers with its own name, or fails."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fail = False
+        self.calls = 0
+
+    def predict(self, request: PredictRequest):
+        self.calls += 1
+        if self.fail:
+            raise ProtocolError(f"{self.name} is down")
+        return PredictResponse(
+            cores=32, threads_per_core=1, frequency=2_500_000,
+            model_type=self.name,
+        )
+
+
+def make_router(n: int, probe_failures: int = 1):
+    router = ShardRouter(probe_failures=probe_failures)
+    stubs = {}
+    for i in range(n):
+        stub = StubTransport(f"shard{i}")
+        stubs[stub.name] = stub
+        router.add_shard(stub.name, stub)
+    return router, stubs
+
+
+def keyspace(count: int = 200):
+    return [(f"sys{i % 7}", f"bin{i}") for i in range(count)]
+
+
+class TestRendezvousRouting:
+    def test_deterministic(self):
+        router, _ = make_router(4)
+        for system, binary in keyspace(50):
+            assert router.route(system, binary) == router.route(system, binary)
+
+    def test_matches_score_function(self):
+        router, _ = make_router(4)
+        for system, binary in keyspace(50):
+            want = max(
+                (shard_score(system, binary, f"shard{i}"), f"shard{i}")
+                for i in range(4)
+            )[1]
+            assert router.route(system, binary) == want
+
+    def test_spreads_load(self):
+        router, _ = make_router(4)
+        owners = {router.route(s, b) for s, b in keyspace(200)}
+        assert len(owners) == 4  # every shard owns part of the keyspace
+
+    def test_join_moves_only_won_keys(self):
+        router, _ = make_router(4)
+        keys = keyspace(300)
+        before = {k: router.route(*k) for k in keys}
+        router.add_shard("shard4", StubTransport("shard4"))
+        after = {k: router.route(*k) for k in keys}
+        moved = {k for k in keys if before[k] != after[k]}
+        # rendezvous: a key moves ONLY to the joining shard, never between
+        # incumbents, and roughly 1/5 of the keyspace moves
+        assert all(after[k] == "shard4" for k in moved)
+        assert 0 < len(moved) < len(keys) / 2
+
+    def test_leave_moves_only_lost_keys(self):
+        router, _ = make_router(4)
+        keys = keyspace(300)
+        before = {k: router.route(*k) for k in keys}
+        router.remove_shard("shard2")
+        after = {k: router.route(*k) for k in keys}
+        for k in keys:
+            if before[k] == "shard2":
+                assert after[k] != "shard2"  # remapped to its runner-up
+            else:
+                assert after[k] == before[k]  # unaffected keys stay put
+
+    def test_add_duplicate_and_remove_unknown(self):
+        router, _ = make_router(2)
+        with pytest.raises(ValueError):
+            router.add_shard("shard0", StubTransport("shard0"))
+        with pytest.raises(KeyError):
+            router.remove_shard("nope")
+
+
+class TestFailover:
+    def test_failover_to_runner_up(self):
+        router, stubs = make_router(3, probe_failures=1)
+        request = PredictRequest(system_id="sysA", binary_hash="binA")
+        owner = router.route("sysA", "binA")
+        stubs[owner].fail = True
+        answer = router.predict(request)
+        assert isinstance(answer, PredictResponse)
+        assert answer.model_type != owner
+        # the owner is now marked dead; the runner-up serves future keys
+        assert owner not in router.healthy_shards()
+
+    def test_dead_shard_revives_on_probe(self):
+        router, stubs = make_router(2, probe_failures=1)
+        request = PredictRequest(system_id="sysA", binary_hash="binA")
+        owner = router.route("sysA", "binA")
+        stubs[owner].fail = True
+        router.predict(request)
+        assert owner not in router.healthy_shards()
+        stubs[owner].fail = False
+        health = router.probe_once()
+        assert health[owner] is True
+        assert router.route("sysA", "binA") == owner  # keys move back
+
+    def test_probe_failures_threshold(self):
+        router, stubs = make_router(2, probe_failures=3)
+        request = PredictRequest(system_id="sysA", binary_hash="binA")
+        owner = router.route("sysA", "binA")
+        stubs[owner].fail = True
+        router.predict(request)
+        router.predict(request)
+        assert owner in router.healthy_shards()  # 2 < threshold
+        router.predict(request)
+        assert owner not in router.healthy_shards()
+
+    def test_all_dead_answers_retryable_internal(self):
+        router, stubs = make_router(2, probe_failures=1)
+        for stub in stubs.values():
+            stub.fail = True
+        answer = router.predict(
+            PredictRequest(system_id="sysA", binary_hash="binA")
+        )
+        assert isinstance(answer, ErrorResponse)
+        assert answer.code == "INTERNAL"
+        assert answer.retryable is True
+
+    def test_no_shards_at_all(self):
+        router = ShardRouter()
+        answer = router.predict(
+            PredictRequest(system_id="sysA", binary_hash="binA")
+        )
+        assert isinstance(answer, ErrorResponse)
+        assert answer.retryable is True
+
+    def test_live_traffic_revives_marked_dead_shard(self):
+        router, stubs = make_router(1, probe_failures=1)
+        stub = stubs["shard0"]
+        stub.fail = True
+        request = PredictRequest(system_id="sysA", binary_hash="binA")
+        router.predict(request)
+        assert router.healthy_shards() == []
+        stub.fail = False  # worker restarted; no probe has run yet
+        answer = router.predict(request)
+        assert isinstance(answer, PredictResponse)
+        assert router.healthy_shards() == ["shard0"]
+
+
+class TestFleetWire:
+    def test_predict_over_wire(self):
+        router, _ = make_router(3)
+        answer = json.loads(
+            router.handle_wire(
+                PredictRequest(system_id="sysA", binary_hash="binA").to_json()
+            )
+        )
+        assert answer["proto"] == "chronus/2"
+        assert answer["cores"] == 32
+
+    def test_fleet_op_aggregates(self):
+        router, stubs = make_router(3)
+        for i in range(10):
+            router.predict(PredictRequest(system_id=f"s{i}", binary_hash=i))
+        stats = json.loads(router.handle_wire('{"op": "fleet"}'))
+        assert stats["ok"] is True
+        assert stats["shard_count"] == 3
+        assert stats["healthy_count"] == 3
+        assert stats["requests_total"] == 10
+        assert sum(s["requests"] for s in stats["shards"].values()) == 10
+
+    def test_ping_answers_at_router(self):
+        router, _ = make_router(2)
+        answer = json.loads(router.handle_wire('{"op": "ping"}'))
+        assert answer["role"] == "router"
+        assert answer["shards"] == 2
+
+    def test_shutdown_sets_event(self):
+        router, _ = make_router(1)
+        json.loads(router.handle_wire('{"op": "shutdown"}'))
+        assert router.shutdown_requested.is_set()
+
+    def test_invalid_json_is_explicit_error(self):
+        router, _ = make_router(1)
+        answer = json.loads(router.handle_wire("{nope"))
+        assert answer["error"] == "INVALID"
+
+    def test_unknown_op(self):
+        router, _ = make_router(1)
+        answer = json.loads(router.handle_wire('{"op": "dance"}'))
+        assert answer["error"] == "INVALID"
+
+    def test_telemetry_counters(self):
+        telemetry.set_registry(telemetry.MetricsRegistry())
+        try:
+            router, stubs = make_router(2, probe_failures=1)
+            owner = router.route("sysA", "binA")
+            stubs[owner].fail = True
+            router.predict(PredictRequest(system_id="sysA", binary_hash="binA"))
+            snap = telemetry.snapshot()
+
+            def counter(name):
+                entry = telemetry.find_metric(snap, "counters", name)
+                return entry["value"] if entry else 0.0
+
+            assert counter("router_requests_total") == 1
+            assert counter("router_failover_total") == 1
+        finally:
+            telemetry.set_registry(telemetry.MetricsRegistry())

@@ -167,3 +167,133 @@ class TestSimulator:
         assert sim.peek_next_time() is None
         sim.call_at(7.0, lambda: None)
         assert sim.peek_next_time() == 7.0
+
+
+class TestLiveCountAndCompaction:
+    def test_len_counts_only_live(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(10)]
+        assert len(q) == 10
+        for ev in events[:4]:
+            ev.cancel()
+        assert len(q) == 6
+        assert q.cancelled_pending == 4
+
+    def test_double_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_does_not_corrupt(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        popped = q.pop()
+        assert popped is ev
+        ev.cancel()  # late cancel of an already-fired event: no effect
+        assert len(q) == 1
+        assert q.pop() is not None
+        assert q.pop() is None
+
+    def test_compaction_triggers_past_half_cancelled(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(100)]
+        for ev in events[:60]:
+            ev.cancel()
+        # >50% of a >=64-entry heap is tombstones: one compaction happened
+        # (at the 51st cancel); the few cancels after it stay lazily
+        # tombstoned because the compacted heap is below the 64-entry floor
+        assert q.compactions >= 1
+        assert q.cancelled_pending < 60
+        assert len(q) == 40
+
+    def test_small_heaps_never_compact(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(10)]
+        for ev in events:
+            ev.cancel()
+        assert q.compactions == 0
+
+    def test_compaction_preserves_order_and_survivors(self):
+        q = EventQueue()
+        order = []
+        events = []
+        for i in range(128):
+            events.append(q.push(float(i), lambda i=i: order.append(i)))
+        for ev in events[::2]:  # cancel every even event...
+            ev.cancel()
+        events[1].cancel()  # ...plus one more, so tombstones exceed live
+        assert q.compactions >= 1
+        sim = Simulator()
+        sim.events = q
+        sim.run()
+        assert order == list(range(3, 128, 2))
+
+    def test_explicit_compact_noop_when_clean(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.compact()
+        assert q.compactions == 0
+
+
+class TestBatchScheduling:
+    def test_push_many_matches_loop_semantics(self):
+        order_a, order_b = [], []
+        sim_a = Simulator()
+        for i in range(50):
+            t = float(i % 7)
+            sim_a.call_at(t, lambda i=i: order_a.append(i))
+        sim_b = Simulator()
+        sim_b.call_at_many(
+            [(float(i % 7), lambda i=i: order_b.append(i)) for i in range(50)]
+        )
+        sim_a.run()
+        sim_b.run()
+        # identical order: batch submission keeps per-entry seq assignment,
+        # so ties fire in submission order either way
+        assert order_a == order_b
+
+    def test_call_at_many_rejects_past(self):
+        sim = Simulator()
+        sim.call_at(5.0, sim.stop)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at_many([(1.0, lambda: None)])
+
+    def test_push_many_rejects_non_finite(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push_many([(float("nan"), lambda: None)])
+
+    def test_push_many_with_names_and_empty(self):
+        q = EventQueue()
+        assert q.push_many([]) == []
+        events = q.push_many([(1.0, lambda: None, "batch-ev")])
+        assert events[0].name == "batch-ev"
+        assert len(q) == 1
+
+    def test_large_batch_onto_small_heap(self):
+        q = EventQueue()
+        q.push(100.0, lambda: None)
+        q.push_many([(float(i), lambda: None) for i in range(1000)])
+        assert len(q) == 1001
+        times = []
+        while True:
+            ev = q.pop()
+            if ev is None:
+                break
+            times.append(ev.time)
+        assert times == sorted(times)
+
+    def test_small_batch_onto_large_heap(self):
+        q = EventQueue()
+        for i in range(1000):
+            q.push(float(i), lambda: None)
+        q.push_many([(0.5, lambda: None), (999.5, lambda: None)])
+        assert len(q) == 1002
+        first = q.pop()
+        second = q.pop()
+        assert (first.time, second.time) == (0.0, 0.5)
