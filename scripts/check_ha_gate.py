@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Gate on the HA smoke outcome (see run_ha_smoke.py).
+
+Asserted invariants, per README "High availability & crash recovery":
+
+* every drill variant finished with no internal failures;
+* **zero jobs lost, zero duplicated** — every submission reached a
+  terminal state exactly once on the final leader;
+* the leader kill actually produced a takeover (a gate that passes
+  because the leader never died proves nothing), and the takeover
+  replayed journal records;
+* controller accounting and the journal-fed slurmdbd agree row-for-row
+  and on the energy total (duplicates dropped, not double-counted);
+* recovery stayed under the RTO budget: wall-clock replay time below
+  ``--rto-budget-ms`` and the simulated outage below the lease TTL
+  plus one heartbeat.
+
+Usage::
+
+    python scripts/check_ha_gate.py ha-smoke.json
+    python scripts/check_ha_gate.py ha-smoke.json --baseline BENCH_PR8.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = "chronus-bench-pr8/1"
+
+
+def fail(msg: str) -> None:
+    print(f"HA GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_report(r: dict, *, rto_budget_ms: float) -> None:
+    label = f"ha[{r['variant']}]"
+    if r.get("failures"):
+        fail(f"{label}: {'; '.join(r['failures'])}")
+    if r["submitted"] != r["jobs_total"]:
+        fail(f"{label}: only {r['submitted']}/{r['jobs_total']} submissions landed")
+    if r["lost"] != 0:
+        fail(f"{label}: {r['lost']} job(s) lost")
+    if r["duplicated"] != 0:
+        fail(f"{label}: {r['duplicated']} job(s) duplicated")
+    if r["takeovers"] < 1:
+        fail(f"{label}: leader was killed but no takeover happened")
+    if r["replayed_records"] <= 0:
+        fail(f"{label}: takeover replayed no journal records; gate is vacuous")
+    if r["accounting_rows"] != r["jobs_total"]:
+        fail(
+            f"{label}: accounting rows {r['accounting_rows']} != "
+            f"jobs {r['jobs_total']}"
+        )
+    if r["dbd_rows"] != r["accounting_rows"]:
+        fail(
+            f"{label}: slurmdbd rows {r['dbd_rows']} != "
+            f"controller rows {r['accounting_rows']}"
+        )
+    rto_ms = r["recovery_wall_s"] * 1e3
+    if rto_ms > rto_budget_ms:
+        fail(
+            f"{label}: recovery took {rto_ms:.1f} ms wall "
+            f"(budget {rto_budget_ms:g} ms)"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument(
+        "--baseline",
+        help="committed BENCH_PR8.json; the fresh run may not lose jobs the "
+        "baseline kept, and its schema must match",
+    )
+    parser.add_argument(
+        "--rto-budget-ms",
+        type=float,
+        default=2000.0,
+        help="wall-clock ceiling for one takeover's restore/replay "
+        "[default: 2000]",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != EXPECTED_SCHEMA:
+        fail(
+            f"report schema {payload.get('schema')!r} != {EXPECTED_SCHEMA!r}"
+        )
+    results = payload.get("results", [])
+    variants = {r.get("variant") for r in results}
+    for wanted in ("kill", "kill+faults", "snapshots"):
+        if wanted not in variants:
+            fail(f"report is missing the {wanted!r} drill variant")
+    for r in results:
+        check_report(r, rto_budget_ms=args.rto_budget_ms)
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = json.load(fh)
+        if base.get("schema") != EXPECTED_SCHEMA:
+            fail(
+                f"baseline schema {base.get('schema')!r} != {EXPECTED_SCHEMA!r}"
+            )
+        base_by = {r["variant"]: r for r in base.get("results", [])}
+        for r in results:
+            b = base_by.get(r["variant"])
+            if b is None:
+                continue
+            if r["lost"] > b["lost"] or r["duplicated"] > b["duplicated"]:
+                fail(
+                    f"ha[{r['variant']}]: regression vs baseline — "
+                    f"lost {r['lost']} (was {b['lost']}), "
+                    f"duplicated {r['duplicated']} (was {b['duplicated']})"
+                )
+
+    headline = next(r for r in results if r["variant"] == "kill")
+    print(
+        "HA GATE OK: "
+        f"{headline['completed']}/{headline['jobs_total']} jobs survived a "
+        f"mid-storm leader kill ({headline['takeovers']} takeover, "
+        f"{headline['replayed_records']} records replayed, "
+        f"{headline['recovery_wall_s'] * 1e3:.1f} ms recovery, "
+        f"{headline['outage_sim_s']:.1f} s simulated outage); "
+        f"dbd consistent across all {len(results)} variants "
+        f"({sum(r['dbd_duplicates_dropped'] for r in results)} duplicate "
+        "deliveries dropped)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

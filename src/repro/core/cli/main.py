@@ -180,15 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     f_run.add_argument(
         "--scenario",
-        choices=["sweep", "storm"],
+        choices=["sweep", "storm", "failover"],
         default="sweep",
-        help="sweep: mini benchmark sweep; storm: eco-plugin submit burst",
+        help="sweep: mini benchmark sweep; storm: eco-plugin submit burst; "
+        "failover: SIGKILL-the-leader HA drill (journaled slurmctld pair)",
     )
     f_run.add_argument(
         "--points", type=int, default=8, help="sweep points [default: 8]"
     )
     f_run.add_argument(
-        "--jobs", type=int, default=50, help="storm submissions [default: 50]"
+        "--jobs", type=int, default=50,
+        help="storm/failover submissions [default: 50]",
     )
 
     p_serve = sub.add_parser(
@@ -541,7 +543,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro import faults
-    from repro.faults.scenarios import run_storm_scenario, run_sweep_scenario
+    from repro.faults.scenarios import (
+        run_failover_scenario,
+        run_storm_scenario,
+        run_sweep_scenario,
+    )
 
     if args.faults_command == "list":
         print("Fault sites:")
@@ -554,6 +560,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         return 0
     if args.scenario == "storm":
         result = run_storm_scenario(args.profile, jobs=args.jobs, seed=args.seed)
+    elif args.scenario == "failover":
+        result = run_failover_scenario(args.profile, jobs=args.jobs, seed=args.seed)
     else:
         result = run_sweep_scenario(args.profile, points=args.points, seed=args.seed)
     print(result.render())

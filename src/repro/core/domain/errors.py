@@ -27,6 +27,10 @@ __all__ = [
     "ConfigValidationError",
     "FaultSpecError",
     "StageTransitionError",
+    "JournalCorruptError",
+    "StaleEpochError",
+    "ControllerCrashError",
+    "NoLeaderError",
 ]
 
 
@@ -105,3 +109,23 @@ class FaultSpecError(ChronusError):
 class StageTransitionError(ChronusError):
     """A model-lifecycle transition the registry refuses (e.g. promoting
     an archived model over a live shadow, re-promoting the active one)."""
+
+
+class JournalCorruptError(ChronusError):
+    """A state-save journal record failed its CRC or framing check in a
+    position that cannot be explained by a torn tail write."""
+
+
+class StaleEpochError(ChronusError):
+    """A fenced write: the writer's epoch is older than the state-save
+    location's current epoch, so a newer controller has taken over.  The
+    writer must demote itself; clients should re-resolve the leader."""
+
+
+class ControllerCrashError(ChronusError):
+    """The controller died (simulated SIGKILL) — raised by the crash and
+    torn-write fault sites, and by a halted controller's entry points."""
+
+
+class NoLeaderError(TransientError):
+    """No slurmctld peer currently holds the lease; retry after takeover."""

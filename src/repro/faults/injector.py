@@ -53,6 +53,9 @@ SITES: Mapping[str, str] = {
     "serve.slow": "prediction server stalls one batch past the plugin budget",
     "sqlite.busy": "repository write raises sqlite3.OperationalError (locked)",
     "sweep.crash": "sweep worker raises mid-point (simulated crash)",
+    "ctld.crash": "slurmctld dies right after a durable journal append (ack lost)",
+    "journal.torn_write": "slurmctld dies mid-append, tearing the journal tail",
+    "peer.partition": "an HA peer misses one heartbeat (cut off from state-save)",
 }
 
 

@@ -23,6 +23,9 @@ PROFILES = {
     "worker-crash": "sweep.crash=0.3",
     # serving daemon under pressure: sheds some requests, stalls some batches
     "serve-pressure": "serve.shed=0.2,serve.slow=0.1",
+    # HA drill: the leader crashes at one journal append (once post-append,
+    # once tearing the write) and peers occasionally miss a heartbeat
+    "ctld-failover": "ctld.crash=0.02:1,journal.torn_write=0.02:1,peer.partition=0.05",
 }
 
 PROFILE_DESCRIPTIONS = {
@@ -33,4 +36,5 @@ PROFILE_DESCRIPTIONS = {
     "sqlite-busy": "first two repository writes hit a locked database",
     "worker-crash": "30% of sweep points crash their worker",
     "serve-pressure": "20% of predicts shed + 10% of batches stalled",
+    "ctld-failover": "leader crash + torn journal write + flaky peer heartbeats",
 }

@@ -26,7 +26,13 @@ from typing import Optional
 
 from repro import faults, telemetry
 
-__all__ = ["ScenarioResult", "metric_total", "run_sweep_scenario", "run_storm_scenario"]
+__all__ = [
+    "ScenarioResult",
+    "metric_total",
+    "run_sweep_scenario",
+    "run_storm_scenario",
+    "run_failover_scenario",
+]
 
 
 def metric_total(snapshot: dict, name: str) -> float:
@@ -91,6 +97,17 @@ _SWEEP_METRICS = (
     "sweep_points_quarantined_total",
     "sqlite_write_retries_total",
     "retry_attempts_total",
+    "faults_injected_total",
+)
+
+_FAILOVER_METRICS = (
+    "journal_appends_total",
+    "journal_replayed_records_total",
+    "journal_torn_tail_total",
+    "ha_takeovers_total",
+    "ha_fenced_writes_total",
+    "ha_heartbeats_missed_total",
+    "dbd_duplicates_dropped_total",
     "faults_injected_total",
 )
 
@@ -169,6 +186,57 @@ def run_sweep_scenario(
         result.faults_fired = faults.active().fired_counts()
         result.metrics = _collect(_SWEEP_METRICS, baseline)
         faults.reset()
+    return result
+
+
+def run_failover_scenario(
+    profile: str,
+    *,
+    jobs: int = 60,
+    seed: int = 0,
+    kill: bool = True,
+) -> ScenarioResult:
+    """SIGKILL-the-leader drill under a fault profile (the HA side).
+
+    Runs :func:`repro.slurm.ha.run_failover_drill`: a two-peer slurmctld
+    control plane serving a submit storm, the leader killed mid-storm
+    (and crash/torn-write faults from *profile* firing at journal
+    appends).  Gates: every submission lands, **zero jobs lost, zero
+    duplicated**, and the journal-fed accounting daemon ends bit-consistent
+    with the controller's accounting.
+    """
+    import tempfile
+
+    import repro.core  # noqa: F401  (resolves the repro.slurm import cycle)
+    from repro.slurm.ha import run_failover_drill
+
+    baseline = _collect(_FAILOVER_METRICS)
+    result = ScenarioResult(
+        scenario="failover", profile=profile, total=jobs, completed=0
+    )
+    with tempfile.TemporaryDirectory(prefix="chronus-statesave-") as path:
+        try:
+            report = run_failover_drill(
+                jobs=jobs,
+                statesave_path=path,
+                seed=seed,
+                kill_at_fraction=0.5 if kill else None,
+                fault_profile=profile or None,
+                snapshot_interval=max(10, jobs // 3),
+            )
+            result.completed = report.completed
+            if report.failures:
+                result.unhandled_error = "; ".join(report.failures)
+            result.metrics["takeovers"] = float(report.takeovers)
+            result.metrics["retries"] = float(report.retries)
+            result.metrics["replayed_records"] = float(report.replayed_records)
+            result.metrics["recovery_ms"] = report.recovery_wall_s * 1e3
+            result.metrics["outage_sim_s"] = report.outage_sim_s
+        except Exception as exc:  # the gate: the drill must never raise
+            result.unhandled_error = f"{type(exc).__name__}: {exc}"
+        finally:
+            result.metrics.update(_collect(_FAILOVER_METRICS, baseline))
+            faults.reset()
     return result
 
 

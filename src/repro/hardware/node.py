@@ -206,6 +206,11 @@ class SimulatedNode:
     def running_workloads(self) -> list[RunningWorkload]:
         return list(self._running.values())
 
+    def running_handles(self) -> list[int]:
+        """Live workload handles — crash recovery reconciles these against
+        the journaled controller state and stops any orphans."""
+        return sorted(self._running)
+
     # ------------------------------------------------------------------
     # power and thermal state
     # ------------------------------------------------------------------

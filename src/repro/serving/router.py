@@ -87,16 +87,18 @@ def shard_score(system_id: "int | str", binary_hash: "int | str", shard: str) ->
 class _Shard:
     __slots__ = (
         "name", "transport", "healthy", "consecutive_failures",
-        "requests", "failures",
+        "requests", "failures", "epoch",
     )
 
-    def __init__(self, name: str, transport) -> None:
+    def __init__(self, name: str, transport, epoch: int = 0) -> None:
         self.name = name
         self.transport = transport  # anything with .predict(PredictRequest)
         self.healthy = True
         self.consecutive_failures = 0
         self.requests = 0
         self.failures = 0
+        #: control-plane epoch this shard was registered under (HA fencing)
+        self.epoch = epoch
 
 
 class ShardRouter:
@@ -114,20 +116,72 @@ class ShardRouter:
         self._log = log or (lambda msg: None)
         self._shards: dict[str, _Shard] = {}
         self._lock = threading.Lock()
+        #: control-plane epoch; shards registered under an older epoch are
+        #: fenced (never routed to, never revived) after a failover
+        self._fleet_epoch = 0
         #: UnixSocketServer duck-type contract (same as ChronusServer)
         self.shutdown_requested = threading.Event()
 
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
-    def add_shard(self, name: str, transport) -> None:
-        """Join a worker; ~1/N of the keyspace immediately routes to it."""
+    def add_shard(self, name: str, transport, *, epoch: int = 0) -> None:
+        """Join a worker; ~1/N of the keyspace immediately routes to it.
+
+        ``epoch`` is the control-plane epoch registering the worker.  A
+        name already held by an *older* epoch is replaced (the new leader
+        re-registering the fleet after takeover); re-registering at the
+        same epoch is an error, and a stale epoch is rejected outright.
+        """
         with self._lock:
-            if name in self._shards:
+            if epoch < self._fleet_epoch:
+                telemetry.counter("router_stale_epoch_rejected_total").inc()
+                raise ValueError(
+                    f"shard {name!r} registration at epoch {epoch} rejected: "
+                    f"fleet epoch is {self._fleet_epoch}"
+                )
+            existing = self._shards.get(name)
+            if existing is not None and existing.epoch >= epoch:
                 raise ValueError(f"shard {name!r} already registered")
-            self._shards[name] = _Shard(name, transport)
-        self._log(f"router: shard {name} joined")
+            self._shards[name] = _Shard(name, transport, epoch=epoch)
+        self._log(f"router: shard {name} joined (epoch {epoch})")
         self._update_health_gauge()
+
+    def set_fleet_epoch(self, epoch: int) -> int:
+        """Advance the fleet epoch (called by a taking-over leader).
+
+        Every shard registered under an older epoch is immediately marked
+        unhealthy and stays fenced: live traffic and probes will not
+        revive it until it re-registers at the current epoch.  Lowering
+        the epoch is an error.  Returns the number of shards fenced.
+        """
+        fenced = 0
+        with self._lock:
+            if epoch < self._fleet_epoch:
+                raise ValueError(
+                    f"fleet epoch cannot move backwards "
+                    f"({self._fleet_epoch} -> {epoch})"
+                )
+            self._fleet_epoch = epoch
+            for shard in self._shards.values():
+                if shard.epoch < epoch and shard.healthy:
+                    shard.healthy = False
+                    fenced += 1
+        if fenced:
+            self._log(
+                f"router: epoch {epoch} fenced {fenced} stale shard(s)"
+            )
+        self._update_health_gauge()
+        return fenced
+
+    @property
+    def fleet_epoch(self) -> int:
+        with self._lock:
+            return self._fleet_epoch
+
+    def _stale(self, shard: _Shard) -> bool:
+        with self._lock:
+            return shard.epoch < self._fleet_epoch
 
     def remove_shard(self, name: str) -> None:
         """Leave a worker; only its keys remap (to their runner-up shard)."""
@@ -185,10 +239,15 @@ class ShardRouter:
                 continue
             self._note_success(shard)
             return answer
-        # last resort: a "dead" shard may have recovered since its probe
+        # last resort: a "dead" shard may have recovered since its probe —
+        # but never a fenced one: a stale-epoch worker answering again is
+        # the zombie side of a leader failover, not a recovery
         if attempted_dead:
             for shard in ranked:
                 if shard.healthy:
+                    continue
+                if self._stale(shard):
+                    telemetry.counter("router_stale_epoch_rejected_total").inc()
                     continue
                 try:
                     answer = shard.transport.predict(request)
@@ -208,7 +267,8 @@ class ShardRouter:
         with self._lock:
             shard.requests += 1
             shard.consecutive_failures = 0
-            if not shard.healthy:
+            # a fenced shard stays dead no matter what it answers
+            if not shard.healthy and shard.epoch >= self._fleet_epoch:
                 shard.healthy = True
         self._update_health_gauge()
 
@@ -257,6 +317,10 @@ class ShardRouter:
                     ok = server is None or bool(getattr(server, "running", True))
             except (OSError, ProtocolError, ValueError):
                 ok = False
+            if ok and self._stale(shard):
+                # the worker answers, but it belongs to a fenced leader
+                telemetry.counter("router_stale_epoch_rejected_total").inc()
+                ok = False
             if ok:
                 with self._lock:
                     shard.consecutive_failures = 0
@@ -281,6 +345,7 @@ class ShardRouter:
                 "healthy": shard.healthy,
                 "requests": shard.requests,
                 "failures": shard.failures,
+                "epoch": shard.epoch,
             }
             ping = getattr(shard.transport, "ping", None)
             server = getattr(shard.transport, "server", None)
@@ -296,6 +361,7 @@ class ShardRouter:
             per_shard[shard.name] = info
         return {
             "shards": per_shard,
+            "fleet_epoch": self.fleet_epoch,
             "shard_count": len(shards),
             "healthy_count": sum(1 for s in shards if s.healthy),
             "requests_total": sum(s.requests for s in shards),

@@ -21,7 +21,14 @@ from typing import Callable, Optional
 
 from repro import telemetry
 
-__all__ = ["SimClock", "Event", "EventQueue", "Simulator", "SimulationError"]
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "RepeatingEvent",
+    "Simulator",
+    "SimulationError",
+]
 
 
 class SimulationError(RuntimeError):
@@ -71,6 +78,11 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: daemon events (heartbeats, lease monitors) keep firing while real
+    #: work exists but never keep the simulation alive on their own — like
+    #: daemon threads, ``run()`` with no horizon stops once only daemons
+    #: remain, so an HA pair's heartbeat loop cannot wedge run_until_idle
+    daemon: bool = field(default=False, compare=False)
     #: owning queue while the event is still heaped; lets ``cancel`` keep
     #: the queue's live/cancelled counts exact without a heap scan
     queue: "Optional[EventQueue]" = field(default=None, compare=False, repr=False)
@@ -81,7 +93,7 @@ class Event:
             return
         self.cancelled = True
         if self.queue is not None:
-            self.queue._note_cancel()
+            self.queue._note_cancel(self)
 
 
 #: below this heap size compaction is never worth the rebuild
@@ -102,6 +114,7 @@ class EventQueue:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0  # non-cancelled events still heaped
+        self._live_daemon = 0  # non-cancelled daemon events still heaped
         self._cancelled = 0  # cancelled tombstones still heaped
         self.compactions = 0
 
@@ -109,12 +122,19 @@ class EventQueue:
         return self._live
 
     @property
+    def live_foreground(self) -> int:
+        """Live non-daemon events — the count that keeps ``run()`` going."""
+        return self._live - self._live_daemon
+
+    @property
     def cancelled_pending(self) -> int:
         """Cancelled tombstones still occupying heap slots (diagnostics)."""
         return self._cancelled
 
-    def _note_cancel(self) -> None:
+    def _note_cancel(self, ev: "Event") -> None:
         self._live -= 1
+        if ev.daemon:
+            self._live_daemon -= 1
         self._cancelled += 1
         if (
             self._cancelled > self._live
@@ -135,15 +155,23 @@ class EventQueue:
         self.compactions += 1
         telemetry.counter("sim_event_compactions_total").inc()
 
-    def push(self, time: float, callback: Callable[[], None], name: str = "") -> Event:
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        name: str = "",
+        daemon: bool = False,
+    ) -> Event:
         if not math.isfinite(time):
             raise SimulationError(f"event time must be finite, got {time!r}")
         ev = Event(
             time=time, seq=next(self._counter), callback=callback, name=name,
-            queue=self,
+            daemon=daemon, queue=self,
         )
         heapq.heappush(self._heap, ev)
         self._live += 1
+        if daemon:
+            self._live_daemon += 1
         return ev
 
     def push_many(
@@ -190,6 +218,8 @@ class EventQueue:
             ev.queue = None
             if not ev.cancelled:
                 self._live -= 1
+                if ev.daemon:
+                    self._live_daemon -= 1
                 return ev
             self._cancelled -= 1
         return None
@@ -199,6 +229,58 @@ class EventQueue:
             heapq.heappop(self._heap).queue = None
             self._cancelled -= 1
         return self._heap[0].time if self._heap else None
+
+
+class RepeatingEvent:
+    """A self-rescheduling periodic callback (see :meth:`Simulator.call_every`).
+
+    Each firing schedules the next occurrence ``interval`` seconds later
+    until :meth:`cancel` is called.  By default occurrences are daemon
+    events, so a heartbeat loop never keeps an otherwise-idle simulation
+    alive.
+    """
+
+    __slots__ = ("_sim", "interval", "callback", "name", "daemon", "_event", "fired")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        callback: Callable[[], None],
+        name: str = "",
+        daemon: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"repeat interval must be positive: {interval}")
+        self._sim = sim
+        self.interval = float(interval)
+        self.callback = callback
+        self.name = name
+        self.daemon = daemon
+        self.fired = 0
+        self._event: Optional[Event] = sim.events.push(
+            sim.now + self.interval, self._fire, name, daemon=daemon
+        )
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event is None
+
+    def _fire(self) -> None:
+        if self._event is None:
+            return
+        # reschedule first: the callback may cancel() us or raise
+        self._event = self._sim.events.push(
+            self._sim.now + self.interval, self._fire, self.name, daemon=self.daemon
+        )
+        self.fired += 1
+        self.callback()
+
+    def cancel(self) -> None:
+        """Stop the cycle; the pending occurrence is tombstoned."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
 
 
 class Simulator:
@@ -250,6 +332,22 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         return self.events.push(self.now + delay, callback, name)
 
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        name: str = "",
+        daemon: bool = True,
+    ) -> RepeatingEvent:
+        """Schedule ``callback`` every ``interval`` seconds, starting one
+        interval from now.
+
+        Daemon by default: periodic housekeeping (HA heartbeats, lease
+        monitors) runs while foreground work exists but does not keep
+        ``run()`` spinning forever once the real event queue drains.
+        """
+        return RepeatingEvent(self, interval, callback, name, daemon=daemon)
+
     def call_at_many(
         self, items: "list[tuple[float, Callable[[], None], str]]"
     ) -> list[Event]:
@@ -295,6 +393,11 @@ class Simulator:
         try:
             while not self._stopped:
                 if max_events is not None and executed >= max_events:
+                    break
+                if until is None and self.events.live_foreground == 0:
+                    # only daemon events (heartbeats etc.) remain: an
+                    # unbounded run is done, like a process whose last
+                    # non-daemon thread exited
                     break
                 t = self.events.peek_time()
                 if t is None:

@@ -8,12 +8,38 @@ burn", which the energy-market extension and Table-2 benches consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional
 
+from repro import telemetry
 from repro.slurm.job import Job, JobState
 
-__all__ = ["JobRecord", "AccountingDatabase"]
+__all__ = ["JobRecord", "AccountingDatabase", "record_from_job"]
+
+#: job states that must never be regressed by a stale re-delivery
+_TERMINAL_STATES = frozenset(
+    s.value for s in JobState if s.is_terminal
+)
+
+
+def record_from_job(job: Job) -> JobRecord:
+    """Build the accounting row for a job's current state."""
+    return JobRecord(
+        job_id=job.job_id,
+        name=job.descriptor.name,
+        state=job.state.value,
+        submit_time=job.submit_time,
+        start_time=job.start_time,
+        end_time=job.end_time,
+        node=job.node,
+        num_tasks=job.descriptor.num_tasks,
+        threads_per_core=job.descriptor.threads_per_core,
+        cpu_freq_min=job.descriptor.cpu_freq_min,
+        cpu_freq_max=job.descriptor.cpu_freq_max,
+        energy_j=job.consumed_energy_j,
+        exit_code=job.exit_code,
+        uid=job.descriptor.uid,
+    )
 
 
 @dataclass(frozen=True)
@@ -49,30 +75,66 @@ class JobRecord:
 
 
 class AccountingDatabase:
-    """In-memory slurmdbd."""
+    """In-memory slurmdbd.
+
+    Writes go through :meth:`apply`, which is **idempotent** under the
+    at-least-once delivery the journaled control plane produces: a
+    re-delivered ``(job_id, epoch, seq)`` event is dropped, and a stale
+    non-terminal update can never regress a terminal record (a replayed
+    RUNNING upsert after COMPLETED would otherwise reset the job's
+    energy total to its partial value and double-count on the re-finish).
+    """
 
     def __init__(self) -> None:
         self._records: dict[int, JobRecord] = {}
+        #: (job_id, epoch, seq) of every event already applied
+        self._applied: set[tuple[int, int, int]] = set()
+        self.duplicates_dropped = 0
+
+    def apply(
+        self, rec: JobRecord, *, epoch: int = 0, seq: Optional[int] = None
+    ) -> bool:
+        """Upsert one accounting row; returns False for dropped duplicates.
+
+        ``seq``-tagged events (the journal stream) dedup exactly on
+        ``(job_id, epoch, seq)``.  Untagged writes (the legacy in-process
+        path) still get the terminal guard, which is what makes a
+        re-delivered finish after replay a no-op for energy totals.
+        """
+        if seq is not None:
+            key = (rec.job_id, epoch, seq)
+            if key in self._applied:
+                self.duplicates_dropped += 1
+                telemetry.counter("dbd_duplicates_dropped_total").inc()
+                return False
+            self._applied.add(key)
+        current = self._records.get(rec.job_id)
+        if current is not None and current.state in _TERMINAL_STATES:
+            if rec.state not in _TERMINAL_STATES or rec == current:
+                # stale RUNNING re-delivery, or the finish replayed verbatim
+                self.duplicates_dropped += 1
+                telemetry.counter("dbd_duplicates_dropped_total").inc()
+                return False
+        self._records[rec.job_id] = rec
+        return True
 
     def upsert(self, job: Job) -> JobRecord:
-        rec = JobRecord(
-            job_id=job.job_id,
-            name=job.descriptor.name,
-            state=job.state.value,
-            submit_time=job.submit_time,
-            start_time=job.start_time,
-            end_time=job.end_time,
-            node=job.node,
-            num_tasks=job.descriptor.num_tasks,
-            threads_per_core=job.descriptor.threads_per_core,
-            cpu_freq_min=job.descriptor.cpu_freq_min,
-            cpu_freq_max=job.descriptor.cpu_freq_max,
-            energy_j=job.consumed_energy_j,
-            exit_code=job.exit_code,
-            uid=job.descriptor.uid,
-        )
-        self._records[job.job_id] = rec
-        return rec
+        rec = record_from_job(job)
+        self.apply(rec)
+        return self._records[job.job_id]
+
+    # ------------------------------------------------------------------
+    # snapshot capture/restore (crash recovery)
+    # ------------------------------------------------------------------
+    def capture(self) -> list[dict]:
+        """JSON-serializable rows, in job-id order."""
+        return [asdict(r) for r in self.all()]
+
+    def load_capture(self, rows: list[dict]) -> None:
+        """Replace contents with snapshot rows (bootstrap after compaction)."""
+        self._records = {
+            int(row["job_id"]): JobRecord(**row) for row in rows
+        }
 
     def get(self, job_id: int) -> JobRecord:
         if job_id not in self._records:

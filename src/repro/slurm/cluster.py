@@ -50,6 +50,9 @@ class SimCluster:
         hpcg_duration_s: if set, HPCG jobs run time-bounded for this many
             seconds (the paper's 20-minute sweep mode); if None they run
             to completion of the fixed 104^3 workload.
+        statesave: optional StateSaveLocation; when given the controller
+            journals every mutation there and can be crash-restored (see
+            repro.slurm.statesave).
     """
 
     def __init__(
@@ -61,6 +64,7 @@ class SimCluster:
         hpcg_duration_s: Optional[float] = None,
         performance_model: Optional[HpcgPerformanceModel] = None,
         n_nodes: int = 1,
+        statesave=None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -88,7 +92,10 @@ class SimCluster:
         self.slurmds = [Slurmd(n, self.registry) for n in self.nodes]
         self.slurmd = self.slurmds[0]
         self.accounting = AccountingDatabase()
-        self.ctld = Slurmctld(self.sim, self.config, self.slurmds, self.accounting)
+        self.ctld = Slurmctld(
+            self.sim, self.config, self.slurmds, self.accounting,
+            statesave=statesave,
+        )
         self.commands = SlurmCommands(self.ctld)
 
     # ------------------------------------------------------------------

@@ -4,15 +4,29 @@ The controller is a discrete-event process: job completions are events on
 the shared simulator, and every submission or completion triggers a
 scheduling pass.  Job-submit plugins run synchronously inside
 :meth:`Slurmctld.submit`, exactly where the paper's plugin executes.
+
+When constructed with a :class:`~repro.slurm.statesave.StateSave`, the
+controller journals every state mutation (submit with the
+post-plugin-chain descriptor — so eco plugin decisions are replayed, not
+re-decided — start, finish, cancel, drain/resume, scheduling-pass reason
+updates) *after* applying it in memory, which gives the replay invariant
+crash recovery rests on: the in-memory state at the moment journal record
+``k`` is appended equals the state produced by replaying records
+``1..k`` into a fresh controller (``tests/test_statesave.py`` property-
+tests this byte-for-byte over random event streams).  Journal appends are
+epoch-fenced: when a peer has taken over (bumped the statesave epoch),
+this controller's next write raises ``StaleEpochError`` and the
+controller halts instead of corrupting the new leader's journal.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import replace
+from dataclasses import asdict, replace
 from typing import Optional
 
 from repro import telemetry
+from repro.core.domain.errors import ControllerCrashError, StaleEpochError
 from repro.simkernel.engine import Simulator
 from repro.slurm.accounting import AccountingDatabase
 from repro.slurm.config import SlurmConfig
@@ -22,12 +36,70 @@ from repro.slurm.plugins.base import SLURM_SUCCESS, JobSubmitPlugin, PluginChain
 from repro.slurm.priority import PriorityWeights, order_by_priority
 from repro.slurm.sched_index import ClusterState
 from repro.slurm.scheduler import NodeView, backfill_schedule, fifo_schedule
+from repro.slurm.statesave import StateSave, state_sha256
 
-__all__ = ["SubmitError", "Slurmctld"]
+__all__ = ["SubmitError", "Slurmctld", "descriptor_to_dict", "descriptor_from_dict"]
 
 
 class SubmitError(RuntimeError):
     """Submission rejected (validation failure or plugin veto)."""
+
+
+def descriptor_to_dict(desc: JobDescriptor) -> dict:
+    return asdict(desc)
+
+
+def descriptor_from_dict(data: dict) -> JobDescriptor:
+    fields = dict(data)
+    fields["srun_args"] = tuple(fields.get("srun_args", ()))
+    fields["array"] = tuple(fields.get("array", ()))
+    return JobDescriptor(**fields)
+
+
+def _job_to_dict(job: Job) -> dict:
+    return {
+        "job_id": job.job_id,
+        "descriptor": descriptor_to_dict(job.descriptor),
+        "submit_time": job.submit_time,
+        "state": job.state.value,
+        "start_time": job.start_time,
+        "end_time": job.end_time,
+        "node": job.node,
+        "node_list": list(job.node_list),
+        "allocated_cores": list(job.allocated_cores),
+        "workload_handle": job.workload_handle,
+        "workload_handles": dict(job.workload_handles),
+        "exit_code": job.exit_code,
+        "stdout": job.stdout,
+        "energy_start_j": job.energy_start_j,
+        "energy_end_j": job.energy_end_j,
+        "pending_reason": job.pending_reason,
+        "array_job_id": job.array_job_id,
+        "array_task_id": job.array_task_id,
+    }
+
+
+def _job_from_dict(data: dict) -> Job:
+    return Job(
+        job_id=int(data["job_id"]),
+        descriptor=descriptor_from_dict(data["descriptor"]),
+        submit_time=data["submit_time"],
+        state=JobState(data["state"]),
+        start_time=data["start_time"],
+        end_time=data["end_time"],
+        node=data["node"],
+        node_list=tuple(data["node_list"]),
+        allocated_cores=tuple(data["allocated_cores"]),
+        workload_handle=data["workload_handle"],
+        workload_handles={k: v for k, v in data["workload_handles"].items()},
+        exit_code=data["exit_code"],
+        stdout=data["stdout"],
+        energy_start_j=data["energy_start_j"],
+        energy_end_j=data["energy_end_j"],
+        pending_reason=data["pending_reason"],
+        array_job_id=data["array_job_id"],
+        array_task_id=data["array_task_id"],
+    )
 
 
 class Slurmctld:
@@ -39,12 +111,17 @@ class Slurmctld:
         config: SlurmConfig,
         nodes: list[Slurmd],
         accounting: Optional[AccountingDatabase] = None,
+        *,
+        statesave: Optional[StateSave] = None,
+        epoch: Optional[int] = None,
+        name: str = "slurmctld",
     ) -> None:
         if not nodes:
             raise ValueError("a cluster needs at least one node")
         self.sim = sim
         self.config = config
         self.nodes = nodes
+        self.name = name
         # explicit None check: an empty AccountingDatabase is falsy (__len__)
         self.accounting = accounting if accounting is not None else AccountingDatabase()
         self.plugin_chain = PluginChain(time_budget_s=config.plugin_time_budget_s)
@@ -54,6 +131,11 @@ class Slurmctld:
         self._next_job_id = 1
         self.log: list[str] = []
         self._completion_events: dict[int, object] = {}
+        #: journaled completion schedule: job_id -> (completion_time,
+        #: timed_out).  Unlike the live Event objects this survives capture
+        #: and replay, so a restored controller can re-arm every running
+        #: job's completion at the exact pre-crash time.
+        self._completion_at: dict[int, tuple[float, bool]] = {}
         #: incremental scheduler state, maintained across passes on job
         #: start/finish/cancel and drain/resume (see repro.slurm.sched_index)
         self.cluster_state = ClusterState(
@@ -62,6 +144,30 @@ class Slurmctld:
         self._drained: set[str] = set()
         #: pending deferred-pass event (SchedulerParameters=defer coalescing)
         self._sched_event: "object | None" = None
+        #: crash-recovery state (see module docstring)
+        self.statesave = statesave
+        self.epoch = (
+            epoch if epoch is not None
+            else (statesave.epoch if statesave is not None else 0)
+        )
+        self._halted = False
+        self._replaying = False
+        #: journal records replayed by the most recent restore()
+        self.last_restore_replayed = 0
+        if (
+            statesave is not None
+            and statesave.last_seq == 0
+            and statesave.load_latest_snapshot() is None
+        ):
+            self._journal(
+                "genesis",
+                {
+                    "nodes": [
+                        [n.hostname, n.node.total_cores] for n in nodes
+                    ],
+                    "cluster_name": config.cluster_name,
+                },
+            )
 
     # ------------------------------------------------------------------
     # plugins
@@ -76,10 +182,340 @@ class Slurmctld:
         self.plugin_chain.register(plugin)
 
     # ------------------------------------------------------------------
+    # crash safety: journaling, fencing, halt
+    # ------------------------------------------------------------------
+    def _journal(self, rtype: str, data: dict) -> None:
+        """Durably record one already-applied mutation.
+
+        Called *after* the in-memory mutation (the replay invariant).  A
+        crash fault or a fence rejection halts this controller: either
+        the process "died" mid-write or a newer epoch owns the state.
+        """
+        if self.statesave is None or self._replaying:
+            return
+        try:
+            self.statesave.append(rtype, data, epoch=self.epoch, time=self.sim.now)
+        except (ControllerCrashError, StaleEpochError):
+            self.halt()
+            raise
+        if self.statesave.should_snapshot():
+            self.statesave.write_snapshot(
+                self.capture_state(), epoch=self.epoch, time=self.sim.now
+            )
+
+    def _fence_check(self) -> None:
+        """Reject work on a dead or fenced (zombie) controller."""
+        if self._halted:
+            raise ControllerCrashError(f"{self.name} is halted")
+        if self.statesave is not None and self.epoch < self.statesave.epoch:
+            self.halt()
+            telemetry.counter("ha_fenced_writes_total").inc()
+            raise StaleEpochError(
+                f"{self.name} (epoch {self.epoch}) fenced by epoch "
+                f"{self.statesave.epoch}; a peer has taken over"
+            )
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def halt(self) -> None:
+        """Simulated SIGKILL: stop processing without any cleanup.
+
+        Pending completion and scheduling events are torn off the shared
+        simulator (the dead process fires no callbacks); workloads keep
+        running on the nodes exactly like real orphaned job steps, until
+        a restored controller reconciles them.
+        """
+        if self._halted:
+            return
+        self._halted = True
+        for ev in self._completion_events.values():
+            ev.cancel()  # type: ignore[attr-defined]
+        self._completion_events.clear()
+        if self._sched_event is not None:
+            self._sched_event.cancel()  # type: ignore[attr-defined]
+            self._sched_event = None
+        telemetry.log_event("ctld.halted", name=self.name, sim_time=self.sim.now)
+
+    # ------------------------------------------------------------------
+    # crash safety: capture, replay, restore
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """JSON-serializable snapshot of all journaled controller state."""
+        return {
+            "next_job_id": self._next_job_id,
+            "pending": list(self._pending),
+            "running": list(self._running),
+            "drained": sorted(self._drained),
+            "jobs": {str(jid): _job_to_dict(j) for jid, j in self.jobs.items()},
+            "completion": {
+                str(jid): [t, timed_out]
+                for jid, (t, timed_out) in self._completion_at.items()
+            },
+            "cluster": self.cluster_state.capture(),
+            "accounting": self.accounting.capture(),
+        }
+
+    def state_digest(self) -> str:
+        """SHA-256 over the captured state, minus workload handles.
+
+        Handles are per-node sequence numbers: a cold restart re-launches
+        the surviving steps and gets fresh ones, so they are excluded
+        from the equality the replay property test asserts.
+        """
+        state = self.capture_state()
+        for job in state["jobs"].values():
+            job.pop("workload_handle", None)
+            job.pop("workload_handles", None)
+        return state_sha256(state)
+
+    def _load_state(self, state: dict) -> None:
+        self._next_job_id = int(state["next_job_id"])
+        self._pending = [int(j) for j in state["pending"]]
+        self._running = [int(j) for j in state["running"]]
+        self._drained = set(state["drained"])
+        self.jobs = {int(k): _job_from_dict(v) for k, v in state["jobs"].items()}
+        self._completion_at = {
+            int(k): (float(v[0]), bool(v[1]))
+            for k, v in state["completion"].items()
+        }
+        self.cluster_state = ClusterState.from_capture(state["cluster"])
+        self.accounting.load_capture(state["accounting"])
+
+    def _apply_record(self, rec) -> None:
+        """Replay one journal record: pure bookkeeping, no side effects.
+
+        No workloads are started or stopped and no scheduler pass runs —
+        the journal already contains every decision's outcome.
+        """
+        data = rec.data
+        rtype = rec.type
+        if rtype == "genesis":
+            topo = [[n.hostname, n.node.total_cores] for n in self.nodes]
+            if data["nodes"] != topo:
+                raise ValueError(
+                    "journal genesis topology does not match this cluster: "
+                    f"{data['nodes']!r} != {topo!r}"
+                )
+        elif rtype == "submit":
+            job = Job(
+                job_id=int(data["job_id"]),
+                descriptor=descriptor_from_dict(data["descriptor"]),
+                submit_time=data["submit_time"],
+            )
+            self.jobs[job.job_id] = job
+            self._pending.append(job.job_id)
+            self._next_job_id = max(self._next_job_id, job.job_id + 1)
+        elif rtype == "submit_array":
+            master_id = int(data["master_id"])
+            desc = descriptor_from_dict(data["descriptor"])
+            self._next_job_id = max(self._next_job_id, master_id)
+            for index in data["indices"]:
+                job = Job(
+                    job_id=self._next_job_id,
+                    descriptor=replace(desc, array=()),
+                    submit_time=data["submit_time"],
+                    array_job_id=master_id,
+                    array_task_id=int(index),
+                )
+                self.jobs[job.job_id] = job
+                self._pending.append(job.job_id)
+                self._next_job_id += 1
+        elif rtype == "pass":
+            for jid, reason in data["reasons"].items():
+                self.jobs[int(jid)].pending_reason = reason
+        elif rtype == "start":
+            job = self.jobs[int(data["job_id"])]
+            job.state = JobState.RUNNING
+            job.start_time = data["start_time"]
+            job.node_list = tuple(data["node_list"])
+            job.node = job.node_list[0]
+            job.workload_handles = dict(data["handles"])
+            job.workload_handle = data["handles"][job.node]
+            job.energy_start_j = data["energy_start_j"]
+            self._pending.remove(job.job_id)
+            self._running.append(job.job_id)
+            self.cluster_state.on_job_start(
+                job.node_list,
+                job.descriptor.tasks_per_node,
+                job.start_time + job.descriptor.time_limit_s,
+            )
+            self._completion_at[job.job_id] = (
+                float(data["completion_time"]),
+                bool(data["timed_out"]),
+            )
+        elif rtype == "start_failed":
+            job = self.jobs[int(data["job_id"])]
+            self._pending.remove(job.job_id)
+            job.state = JobState.FAILED
+            job.exit_code = int(data["exit_code"])
+            job.end_time = data["end_time"]
+            job.stdout = data["stdout"]
+            self.accounting.upsert(job)
+        elif rtype == "finish":
+            job = self.jobs[int(data["job_id"])]
+            job.end_time = data["end_time"]
+            job.energy_end_j = data["energy_end_j"]
+            self._running.remove(job.job_id)
+            assert job.start_time is not None
+            self.cluster_state.on_job_finish(
+                job.node_list,
+                job.descriptor.tasks_per_node,
+                job.start_time + job.descriptor.time_limit_s,
+            )
+            self._completion_at.pop(job.job_id, None)
+            job.state = JobState(data["state"])
+            job.exit_code = int(data["exit_code"])
+            job.stdout = data["stdout"]
+            self.accounting.upsert(job)
+        elif rtype == "cancel":
+            job = self.jobs[int(data["job_id"])]
+            if data["was_running"]:
+                job.energy_end_j = data["energy_end_j"]
+                self._running.remove(job.job_id)
+                assert job.start_time is not None
+                self.cluster_state.on_job_finish(
+                    job.node_list,
+                    job.descriptor.tasks_per_node,
+                    job.start_time + job.descriptor.time_limit_s,
+                )
+                self._completion_at.pop(job.job_id, None)
+            else:
+                self._pending.remove(job.job_id)
+            job.state = JobState.CANCELLED
+            job.end_time = data["end_time"]
+            self.accounting.upsert(job)
+        elif rtype == "drain":
+            self._drained.add(data["hostname"])
+            self.cluster_state.drain(data["hostname"])
+        elif rtype == "resume":
+            self._drained.discard(data["hostname"])
+            self.cluster_state.resume(data["hostname"])
+        else:
+            raise ValueError(f"unknown journal record type {rtype!r}")
+
+    @classmethod
+    def restore(
+        cls,
+        sim: Simulator,
+        config: SlurmConfig,
+        nodes: list[Slurmd],
+        statesave: StateSave,
+        *,
+        accounting: Optional[AccountingDatabase] = None,
+        epoch: Optional[int] = None,
+        attach: bool = False,
+        name: str = "slurmctld",
+    ) -> "Slurmctld":
+        """Rebuild the exact pre-crash controller from a StateSave.
+
+        Loads the newest digest-valid snapshot, replays the journal suffix,
+        then re-arms every running job's completion event at its journaled
+        time.  ``attach=True`` means the nodes survived (peer takeover on
+        shared hardware): journaled workload handles are still live and
+        orphan steps no restored job owns are stopped.  ``attach=False``
+        is a cold restart: nodes came back empty and every surviving
+        RUNNING job's steps are re-launched.
+
+        The caller re-registers plugins afterwards, like slurmctld
+        re-reading slurm.conf on restart.
+        """
+        ctld = cls(
+            sim, config, nodes, accounting,
+            statesave=statesave, epoch=epoch, name=name,
+        )
+        ctld._replaying = True
+        try:
+            # replay re-derives occupancy from the journal; start from an
+            # empty cluster view even when the physical nodes still hold
+            # live steps (attach takeover), or starts would double-count
+            ctld.cluster_state = ClusterState(
+                (n.hostname, n.node.total_cores, n.node.total_cores)
+                for n in nodes
+            )
+            snap = statesave.load_latest_snapshot()
+            after = 0
+            if snap is not None:
+                ctld._load_state(snap["state"])
+                after = int(snap["seq"])
+            replayed = 0
+            for rec in statesave.replay(after):
+                ctld._apply_record(rec)
+                replayed += 1
+        finally:
+            ctld._replaying = False
+        ctld.last_restore_replayed = replayed
+        ctld._rearm(attach)
+        telemetry.log_event(
+            "ctld.restored", name=name, replayed=replayed,
+            snapshot_seq=after, attach=attach, sim_time=sim.now,
+        )
+        return ctld
+
+    def _rearm(self, attach: bool) -> None:
+        """Re-arm completions, reconcile node workloads, reschedule."""
+        live: dict[str, set[int]] = {
+            s.hostname: set(s.node.running_handles()) for s in self.nodes
+        }
+        if attach:
+            # Stop orphaned steps: a workload whose start record was torn
+            # off the journal tail belongs to no restored job (the client
+            # will resubmit), and a dead job's step the old leader never
+            # recorded stopping is just burning cores.
+            owned: dict[str, set[int]] = {}
+            for jid in self._running:
+                for host, handle in self.jobs[jid].workload_handles.items():
+                    owned.setdefault(host, set()).add(handle)
+            for slurmd in self.nodes:
+                for handle in slurmd.node.running_handles():
+                    if handle not in owned.get(slurmd.hostname, set()):
+                        slurmd.node.stop_workload(handle)
+                        live[slurmd.hostname].discard(handle)
+        for jid in list(self._running):
+            job = self.jobs[jid]
+            comp_t, timed_out = self._completion_at[jid]
+            attached = attach and all(
+                handle in live.get(host, ())
+                for host, handle in job.workload_handles.items()
+            )
+            if not attached:
+                # cold restart, or the step already stopped but its finish
+                # record was lost in the crash: re-launch, and let the
+                # re-armed completion (possibly already due) finish it
+                slurmds = [self._slurmd(h) for h in job.node_list]
+                steps = [(s, s.start_job(job)) for s in slurmds]
+                job.workload_handles = {
+                    s.hostname: st.handle for s, st in steps
+                }
+                job.workload_handle = steps[0][1].handle
+            ev = self.sim.call_at(
+                max(self.sim.now, comp_t),
+                lambda j=jid, to=timed_out: self._complete_job(j, to),
+                name=f"job{jid}-done",
+            )
+            self._completion_events[jid] = ev
+        if self._pending:
+            # always deferred (even without SchedulerParameters=defer): the
+            # restored state must stay byte-identical to the pre-crash
+            # capture until the simulation moves again — the replay
+            # property test digests right here
+            if self._sched_event is None:
+
+                def fire() -> None:
+                    self._sched_event = None
+                    self._schedule_pass()
+
+                self._sched_event = self.sim.call_at(
+                    self.sim.now, fire, name="sched-pass-restore"
+                )
+
+    # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
     def submit(self, descriptor: JobDescriptor, submit_uid: int = 1000) -> int:
         """Submit a job: plugin chain, validation, enqueue, schedule."""
+        self._fence_check()
         rc, msg = self.plugin_chain.run(descriptor, submit_uid)
         if rc != SLURM_SUCCESS:
             raise SubmitError(msg)
@@ -101,6 +537,15 @@ class Slurmctld:
         self.jobs[job.job_id] = job
         self._pending.append(job.job_id)
         self.log.append(f"[{self.sim.now:.1f}] submitted job {job.job_id} ({descriptor.name})")
+        # journaled post-plugin-chain, so replay reproduces eco decisions
+        self._journal(
+            "submit",
+            {
+                "job_id": job.job_id,
+                "descriptor": descriptor_to_dict(descriptor),
+                "submit_time": job.submit_time,
+            },
+        )
         self._request_schedule()
         return job.job_id
 
@@ -128,6 +573,15 @@ class Slurmctld:
         self.log.append(
             f"[{self.sim.now:.1f}] submitted array job {master_id} "
             f"({descriptor.name}, {len(descriptor.array)} tasks)"
+        )
+        self._journal(
+            "submit_array",
+            {
+                "master_id": master_id,
+                "indices": list(descriptor.array),
+                "descriptor": descriptor_to_dict(descriptor),
+                "submit_time": self.sim.now,
+            },
         )
         self._request_schedule()
         return master_id
@@ -186,6 +640,14 @@ class Slurmctld:
         self._sched_event = self.sim.call_at(self.sim.now, fire, name="sched-pass")
 
     def _schedule_pass(self) -> None:
+        if self._halted:
+            return
+        try:
+            self._fence_check()
+        except StaleEpochError:
+            # a deferred pass firing on a fenced zombie: die quietly, the
+            # new leader owns the queue now
+            return
         telemetry.gauge("sched_queue_depth").set(len(self._pending))
         if not self._pending:
             return
@@ -207,6 +669,7 @@ class Slurmctld:
         depth = self.config.sched_queue_depth
         if depth:
             pending_jobs = pending_jobs[:depth]
+        reasons_before = {j.job_id: j.pending_reason for j in pending_jobs}
         backfill = self.config.scheduler_type == "sched/backfill"
         if self.config.sched_incremental:
             if backfill:
@@ -228,6 +691,15 @@ class Slurmctld:
                 )
             else:
                 placements = fifo_schedule(pending_jobs, views)
+        # pending_reason mutations happen while computing the pass; journal
+        # them before the start records so replay applies them in order
+        reason_diff = {
+            str(j.job_id): j.pending_reason
+            for j in pending_jobs
+            if j.pending_reason != reasons_before[j.job_id]
+        }
+        if reason_diff:
+            self._journal("pass", {"reasons": reason_diff})
         for placement in placements:
             self._start_job(placement.job, placement.node_names)
         telemetry.histogram("sched_cycle_seconds").observe(
@@ -258,6 +730,15 @@ class Slurmctld:
             self.accounting.upsert(job)
             telemetry.counter("sched_jobs_failed_total").inc()
             self.log.append(f"[{self.sim.now:.1f}] job {job.job_id} failed: {exc}")
+            self._journal(
+                "start_failed",
+                {
+                    "job_id": job.job_id,
+                    "exit_code": job.exit_code,
+                    "end_time": job.end_time,
+                    "stdout": job.stdout,
+                },
+            )
             return
         job.state = JobState.RUNNING
         job.start_time = self.sim.now
@@ -286,6 +767,7 @@ class Slurmctld:
             name=f"job{job.job_id}-done",
         )
         self._completion_events[job.job_id] = ev
+        self._completion_at[job.job_id] = (self.sim.now + runtime, timed_out)
         telemetry.counter("sched_jobs_started_total").inc()
         telemetry.log_event(
             "job.started", job_id=job.job_id, nodes=",".join(node_names),
@@ -297,8 +779,22 @@ class Slurmctld:
             f"tpc={job.descriptor.threads_per_core}, "
             f"freq={job.descriptor.cpu_freq_min or 'default'})"
         )
+        self._journal(
+            "start",
+            {
+                "job_id": job.job_id,
+                "node_list": list(node_names),
+                "start_time": job.start_time,
+                "completion_time": self.sim.now + runtime,
+                "timed_out": timed_out,
+                "energy_start_j": job.energy_start_j,
+                "handles": dict(job.workload_handles),
+            },
+        )
 
     def _complete_job(self, job_id: int, timed_out: bool) -> None:
+        if self._halted:
+            return
         job = self.jobs[job_id]
         if job.state is not JobState.RUNNING:
             return
@@ -320,6 +816,7 @@ class Slurmctld:
             job.start_time + job.descriptor.time_limit_s,
         )
         self._completion_events.pop(job_id, None)
+        self._completion_at.pop(job_id, None)
         if timed_out:
             job.state = JobState.TIMEOUT
             job.exit_code = 1
@@ -335,6 +832,18 @@ class Slurmctld:
         self.log.append(
             f"[{self.sim.now:.1f}] job {job_id} {'timed out' if timed_out else 'completed'}"
         )
+        self._journal(
+            "finish",
+            {
+                "job_id": job_id,
+                "end_time": job.end_time,
+                "timed_out": timed_out,
+                "energy_end_j": job.energy_end_j,
+                "state": job.state.value,
+                "exit_code": job.exit_code,
+                "stdout": job.stdout,
+            },
+        )
         self._request_schedule()
 
     # ------------------------------------------------------------------
@@ -342,30 +851,36 @@ class Slurmctld:
     # ------------------------------------------------------------------
     def drain_node(self, hostname: str) -> None:
         """Take a node out of scheduling (running jobs keep their cores)."""
+        self._fence_check()
         self._slurmd(hostname)  # KeyError on unknown node
         if hostname in self._drained:
             return
         self._drained.add(hostname)
         self.cluster_state.drain(hostname)
         self.log.append(f"[{self.sim.now:.1f}] node {hostname} drained")
+        self._journal("drain", {"hostname": hostname})
 
     def resume_node(self, hostname: str) -> None:
         """Return a drained node to service and re-run the scheduler."""
+        self._fence_check()
         self._slurmd(hostname)  # KeyError on unknown node
         if hostname not in self._drained:
             return
         self._drained.discard(hostname)
         self.cluster_state.resume(hostname)
         self.log.append(f"[{self.sim.now:.1f}] node {hostname} resumed")
+        self._journal("resume", {"hostname": hostname})
         self._request_schedule()
 
     def cancel(self, job_id: int) -> None:
         """scancel: cancel a pending or running job."""
+        self._fence_check()
         job = self.jobs.get(job_id)
         if job is None:
             raise KeyError(f"unknown job {job_id}")
         if job.state.is_terminal:
             return
+        was_running = job.state is JobState.RUNNING
         if job.state is JobState.PENDING:
             self._pending.remove(job_id)
         elif job.state is JobState.RUNNING:
@@ -385,10 +900,20 @@ class Slurmctld:
             ev = self._completion_events.pop(job_id, None)
             if ev is not None:
                 ev.cancel()  # type: ignore[attr-defined]
+            self._completion_at.pop(job_id, None)
         job.state = JobState.CANCELLED
         job.end_time = self.sim.now
         self.accounting.upsert(job)
         self.log.append(f"[{self.sim.now:.1f}] job {job_id} cancelled")
+        self._journal(
+            "cancel",
+            {
+                "job_id": job_id,
+                "end_time": job.end_time,
+                "was_running": was_running,
+                "energy_end_j": job.energy_end_j,
+            },
+        )
         self._request_schedule()
 
     def get_job(self, job_id: int) -> Job:

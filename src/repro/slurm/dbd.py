@@ -1,0 +1,157 @@
+"""``slurmdbd`` split out of the controller: journal-fed accounting.
+
+The controller's in-process :class:`AccountingDatabase` dies with it.
+:class:`SlurmDbd` is the decomposition ROADMAP calls for: a separate
+daemon that *tails the state-save journal* and materializes accounting
+rows independently, so ``sacct`` history survives controller crashes and
+failovers without talking to the (possibly dead) leader.
+
+Delivery is **at-least-once**: the daemon keeps a cursor of the last
+journal sequence it applied, but crashes or re-reads can re-deliver
+records, and after a failover the new leader re-ships the suffix.  The
+underlying :meth:`AccountingDatabase.apply` dedups by
+``(job_id, epoch, seq)`` and refuses to regress terminal rows, which is
+what makes the pump idempotent (``dbd_duplicates_dropped_total`` counts
+the drops).
+
+When the leader compacts the journal past the daemon's cursor, the
+daemon bootstraps from the latest snapshot (which carries both the
+accounting rows and the job table) and resumes tailing from the
+snapshot's sequence number.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import telemetry
+from repro.slurm.accounting import AccountingDatabase, record_from_job
+from repro.slurm.controller import _job_from_dict, descriptor_from_dict
+from repro.slurm.job import Job, JobState
+from repro.slurm.statesave import JournalRecord, StateSave
+
+__all__ = ["SlurmDbd"]
+
+
+class SlurmDbd:
+    """Accounting daemon fed by the state-save journal."""
+
+    def __init__(
+        self, statesave: StateSave, db: Optional[AccountingDatabase] = None
+    ) -> None:
+        self.statesave = statesave
+        self.db = db if db is not None else AccountingDatabase()
+        #: last journal seq applied (exclusive lower bound for the tail)
+        self.cursor = 0
+        #: shadow job table rebuilt from the event stream
+        self._jobs: dict[int, Job] = {}
+        self.bootstraps = 0
+        self.events_applied = 0
+
+    # ------------------------------------------------------------------
+    def pump(self) -> int:
+        """Apply every journal record newer than the cursor.
+
+        Returns the number of records consumed.  Safe to call at any
+        cadence (the drill runs it as a heartbeat) and safe to re-run —
+        duplicates are dropped at the accounting layer.
+        """
+        min_seq = self.statesave.min_journal_seq()
+        if min_seq and self.cursor < min_seq - 1:
+            # the journal was compacted past our cursor; re-bootstrap
+            self._bootstrap()
+        applied = 0
+        for rec in self.statesave.read_records(self.cursor):
+            self.apply_event(rec)
+            self.cursor = rec.seq
+            applied += 1
+        return applied
+
+    def _bootstrap(self) -> None:
+        snap = self.statesave.load_latest_snapshot()
+        if snap is None:
+            return
+        state = snap["state"]
+        self.db.load_capture(state["accounting"])
+        self._jobs = {
+            int(k): _job_from_dict(v) for k, v in state["jobs"].items()
+        }
+        self.cursor = int(snap["seq"])
+        self.bootstraps += 1
+        telemetry.counter("dbd_bootstraps_total").inc()
+
+    # ------------------------------------------------------------------
+    def apply_event(self, rec: JournalRecord) -> None:
+        """Fold one journal record into the shadow state + accounting."""
+        data = rec.data
+        rtype = rec.type
+        self.events_applied += 1
+        telemetry.counter("dbd_events_total").inc()
+        if rtype == "submit":
+            job_id = int(data["job_id"])
+            self._jobs[job_id] = Job(
+                job_id=job_id,
+                descriptor=descriptor_from_dict(data["descriptor"]),
+                submit_time=data["submit_time"],
+            )
+        elif rtype == "submit_array":
+            master_id = int(data["master_id"])
+            desc = descriptor_from_dict(data["descriptor"])
+            for offset, index in enumerate(data["indices"]):
+                job_id = master_id + offset
+                self._jobs[job_id] = Job(
+                    job_id=job_id,
+                    descriptor=desc,
+                    submit_time=data["submit_time"],
+                    array_job_id=master_id,
+                    array_task_id=int(index),
+                )
+        elif rtype == "start":
+            job = self._jobs.get(int(data["job_id"]))
+            if job is None:
+                return
+            job.state = JobState.RUNNING
+            job.start_time = data["start_time"]
+            job.node_list = tuple(data["node_list"])
+            job.node = job.node_list[0]
+            job.energy_start_j = data["energy_start_j"]
+        elif rtype == "start_failed":
+            job = self._jobs.get(int(data["job_id"]))
+            if job is None:
+                return
+            job.state = JobState.FAILED
+            job.exit_code = int(data["exit_code"])
+            job.end_time = data["end_time"]
+            job.stdout = data["stdout"]
+            self._upsert(job, rec)
+        elif rtype == "finish":
+            job = self._jobs.get(int(data["job_id"]))
+            if job is None:
+                return
+            job.end_time = data["end_time"]
+            job.energy_end_j = data["energy_end_j"]
+            job.state = JobState(data["state"])
+            job.exit_code = int(data["exit_code"])
+            job.stdout = data["stdout"]
+            self._upsert(job, rec)
+        elif rtype == "cancel":
+            job = self._jobs.get(int(data["job_id"]))
+            if job is None:
+                return
+            if data["was_running"]:
+                job.energy_end_j = data["energy_end_j"]
+            job.state = JobState.CANCELLED
+            job.end_time = data["end_time"]
+            self._upsert(job, rec)
+        # genesis / pass / drain / resume carry no accounting content
+
+    def _upsert(self, job: Job, rec: JournalRecord) -> None:
+        self.db.apply(record_from_job(job), epoch=rec.epoch, seq=rec.seq)
+
+    # ------------------------------------------------------------------
+    @property
+    def duplicates_dropped(self) -> int:
+        return self.db.duplicates_dropped
+
+    def __len__(self) -> int:
+        return len(self.db)

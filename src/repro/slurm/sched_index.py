@@ -201,6 +201,41 @@ class ClusterState:
         return self._nodes[self._pos[name]].drained
 
     # ------------------------------------------------------------------
+    # state-save capture/restore (crash recovery)
+    # ------------------------------------------------------------------
+    def capture(self) -> list[dict]:
+        """JSON-serializable snapshot of per-node occupancy.
+
+        Part of the controller's journaled state: `running` carries the
+        expected-end shadow times the backfill pass depends on, so a
+        replayed controller schedules identically to the pre-crash one.
+        """
+        return [
+            {
+                "name": n.name,
+                "total": n.total,
+                "free": n.free,
+                "running": [[end, cores] for end, cores in n.running],
+                "drained": n.drained,
+            }
+            for n in self._nodes
+        ]
+
+    @classmethod
+    def from_capture(cls, captured: list[dict]) -> "ClusterState":
+        """Rebuild the exact pre-crash occupancy from :meth:`capture`."""
+        state = cls((c["name"], c["total"], c["free"]) for c in captured)
+        for i, c in enumerate(captured):
+            node = state._nodes[i]
+            node.running = sorted(
+                (float(end), int(cores)) for end, cores in c["running"]
+            )
+            if c["drained"]:
+                node.drained = True
+                state._index.set(i, 0)
+        return state
+
+    # ------------------------------------------------------------------
     # introspection (tests, verification)
     # ------------------------------------------------------------------
     def node_views(self) -> list[NodeView]:

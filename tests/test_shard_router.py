@@ -225,3 +225,84 @@ class TestFleetWire:
             assert counter("router_failover_total") == 1
         finally:
             telemetry.set_registry(telemetry.MetricsRegistry())
+
+
+class TestEpochFencing:
+    """HA leader failover: stale-epoch shards must never serve again."""
+
+    def test_set_fleet_epoch_fences_stale_shards(self):
+        router, _ = make_router(3)
+        assert router.fleet_epoch == 0
+        assert router.set_fleet_epoch(2) == 3  # all three fenced
+        assert router.fleet_epoch == 2
+        assert router.healthy_shards() == []
+
+    def test_epoch_cannot_move_backwards(self):
+        router, _ = make_router(1)
+        router.set_fleet_epoch(3)
+        with pytest.raises(ValueError):
+            router.set_fleet_epoch(2)
+
+    def test_stale_registration_rejected(self):
+        router, _ = make_router(1)
+        router.set_fleet_epoch(3)
+        with pytest.raises(ValueError):
+            router.add_shard("late", StubTransport("late"), epoch=2)
+
+    def test_reregistration_at_newer_epoch_replaces(self):
+        router, stubs = make_router(2)
+        router.set_fleet_epoch(1)
+        assert router.healthy_shards() == []
+        router.add_shard("shard0", stubs["shard0"], epoch=1)
+        assert router.healthy_shards() == ["shard0"]
+        # same-epoch duplicate registration is still an error
+        with pytest.raises(ValueError):
+            router.add_shard("shard0", stubs["shard0"], epoch=1)
+
+    def test_probe_does_not_revive_fenced_shard(self):
+        router, _ = make_router(2, probe_failures=1)
+        router.set_fleet_epoch(1)
+        # the workers answer pings fine — but they belong to a dead leader
+        health = router.probe_once()
+        assert health == {"shard0": False, "shard1": False}
+        assert router.healthy_shards() == []
+
+    def test_revival_racing_takeover_is_rejected(self):
+        # the failure mode from the HA drill: a shard goes dark, the
+        # control plane fails over (epoch bump + re-register survivors),
+        # then the dark shard comes back answering under the old epoch —
+        # live-traffic revival must NOT let it serve
+        router, stubs = make_router(2, probe_failures=1)
+        request = PredictRequest(system_id="sysA", binary_hash="binA")
+        owner = router.route("sysA", "binA")
+        other = "shard1" if owner == "shard0" else "shard0"
+        stubs[owner].fail = True
+        router.predict(request)  # owner marked dead
+        assert owner not in router.healthy_shards()
+        # leader failover: new epoch, only the surviving shard re-registers
+        router.set_fleet_epoch(1)
+        router.add_shard(other, stubs[other], epoch=1)
+        stubs[owner].fail = False  # zombie back online, answering
+        stubs[owner].calls = 0
+        answer = router.predict(request)
+        assert isinstance(answer, PredictResponse)
+        assert answer.model_type == other  # served by the survivor
+        assert stubs[owner].calls == 0  # zombie never asked
+        assert owner not in router.healthy_shards()
+
+    def test_note_success_never_revives_stale_shard(self):
+        router, stubs = make_router(1, probe_failures=1)
+        shard = router._shards["shard0"]
+        router.set_fleet_epoch(5)
+        assert shard.healthy is False
+        router._note_success(shard)
+        assert shard.healthy is False
+
+    def test_fleet_stats_reports_epochs(self):
+        router, stubs = make_router(1)
+        router.set_fleet_epoch(2)
+        router.add_shard("shard9", StubTransport("shard9"), epoch=2)
+        stats = router.fleet_stats()
+        assert stats["fleet_epoch"] == 2
+        assert stats["shards"]["shard0"]["epoch"] == 0
+        assert stats["shards"]["shard9"]["epoch"] == 2

@@ -297,3 +297,59 @@ class TestBatchScheduling:
         first = q.pop()
         second = q.pop()
         assert (first.time, second.time) == (0.0, 0.5)
+
+
+class TestDaemonEvents:
+    """call_every tickers are daemons: they never keep a run alive."""
+
+    def test_call_every_fires_on_interval(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.call_at(3.5, lambda: None)  # foreground work defines the horizon
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_unbounded_run_stops_when_only_daemons_remain(self):
+        sim = Simulator()
+        sim.call_every(1.0, lambda: None)
+        sim.run()  # must terminate: no foreground events at all
+        assert sim.now == 0.0
+
+    def test_daemons_fire_during_bounded_run(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(2.0, lambda: ticks.append(sim.now))
+        sim.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+        assert sim.now == 7.0
+
+    def test_repeating_event_cancel(self):
+        sim = Simulator()
+        ticks = []
+        ticker = sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.call_at(1.5, ticker.cancel)
+        sim.call_at(5.0, lambda: None)
+        sim.run()
+        assert ticks == [1.0]
+        assert ticker.fired == 1
+
+    def test_live_foreground_excludes_daemons(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, daemon=True)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        assert q.live_foreground == 1
+
+    def test_daemon_keeps_ticking_between_sparse_foreground(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.call_at(10.5, lambda: None)
+        sim.run()
+        assert len(ticks) == 10
+
+    def test_nonpositive_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_every(0.0, lambda: None)
