@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Gate on the REST smoke outcome (see run_restd_smoke.py).
+
+Asserted invariants, per README "REST API":
+
+* the session finished with no internal failures;
+* every submission landed and **zero jobs were lost, zero duplicated**
+  across the mid-session leader SIGKILL — retries with dedup-by-name
+  may answer an existing job, never create a second one;
+* the leader kill actually happened and produced at least one takeover,
+  and the client actually observed the outage (at least one 503 answer
+  during it — a gate that never saw the failure proves nothing);
+* **every 503 carried a Retry-After header** (clients must be told when
+  to come back, not left to guess);
+* the cancel round-trip worked and the paginated walk agreed with the
+  unpaginated table;
+* request latency stayed under budget: p95 below ``--p95-budget-ms``.
+
+Usage::
+
+    python scripts/check_restd_gate.py restd-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = "chronus-restd-smoke/1"
+
+
+def fail(msg: str) -> None:
+    print(f"RESTD GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument(
+        "--p95-budget-ms",
+        type=float,
+        default=250.0,
+        help="p95 ceiling for one HTTP round-trip [default: 250]",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        r = json.load(fh)
+    if r.get("schema") != EXPECTED_SCHEMA:
+        fail(f"report schema {r.get('schema')!r} != {EXPECTED_SCHEMA!r}")
+    if r.get("failures"):
+        fail("; ".join(r["failures"]))
+    if r["submitted"] != r["jobs_total"]:
+        fail(f"only {r['submitted']}/{r['jobs_total']} submissions landed")
+    if r["lost"] != 0:
+        fail(f"{r['lost']} job(s) lost")
+    if r["duplicated"] != 0:
+        fail(f"{r['duplicated']} job(s) duplicated")
+    if not r["leader_killed"]:
+        fail("the leader was never killed; the drill is vacuous")
+    if r["takeovers"] < 1:
+        fail("leader was killed but no takeover happened")
+    if r["outage_503_observed"] < 1:
+        fail("client never observed a 503 during the outage; gate is vacuous")
+    if r["retry_after_missing"] != 0:
+        fail(f"{r['retry_after_missing']} 503 answer(s) lacked Retry-After")
+    if not r["cancel_ok"]:
+        fail("the cancel round-trip did not land")
+    # submitted jobs + the cancelled one must all be visible to the dbd
+    if r["dbd_rows"] != r["jobs_total"] + 1:
+        fail(
+            f"slurmdbd shadow table has {r['dbd_rows']} rows, "
+            f"expected {r['jobs_total'] + 1}"
+        )
+    if r["p95_ms"] > args.p95_budget_ms:
+        fail(
+            f"p95 {r['p95_ms']:.1f} ms over budget {args.p95_budget_ms:g} ms "
+            f"({r['requests_total']} requests)"
+        )
+
+    print(
+        "RESTD GATE OK: "
+        f"{r['submitted']}/{r['jobs_total']} jobs submitted over HTTP across a "
+        f"mid-session leader kill ({r['takeovers']} takeover, "
+        f"{r['outage_503_observed']} 503s observed, all with Retry-After, "
+        f"{r['retries_503']} submit retries, 0 lost / 0 duplicated); "
+        f"p95 {r['p95_ms']:.1f} ms over {r['requests_total']} requests, "
+        f"{r['pagination_pages']}-page cursor walk consistent"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

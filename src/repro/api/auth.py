@@ -1,0 +1,143 @@
+"""HMAC-signed bearer tokens — the slurmrestd auth/jwt analogue.
+
+A token is ``v1.<payload>.<signature>``: the payload is base64url JSON
+(``{"principal", "scope", "exp"}``), the signature is HMAC-SHA256 over
+the payload bytes under the authority's shared secret.  Dependency-free
+by design (``hmac`` + ``hashlib``), like everything else in the repro.
+
+Scopes are ordered — ``read < submit < admin`` — so one token carries
+one scope and ``allows()`` is a comparison, exactly how the associations
+in ``slurmdbd`` degrade privileges.  Verification failures are typed:
+
+* :class:`~repro.core.domain.errors.UnauthenticatedError` (HTTP 401) —
+  missing, malformed, tampered or expired credential;
+* :class:`~repro.core.domain.errors.ForbiddenError` (HTTP 403) — a
+  valid credential whose scope does not cover the operation.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.domain.errors import ForbiddenError, UnauthenticatedError
+
+__all__ = ["SCOPES", "Token", "TokenAuthority", "scope_allows"]
+
+TOKEN_VERSION = "v1"
+
+#: ordered: each scope implies everything to its left
+SCOPES = ("read", "submit", "admin")
+_SCOPE_RANK = {scope: rank for rank, scope in enumerate(SCOPES)}
+
+
+def scope_allows(held: str, required: str) -> bool:
+    """Whether a token holding ``held`` may perform a ``required`` op."""
+    return _SCOPE_RANK.get(held, -1) >= _SCOPE_RANK.get(required, len(SCOPES))
+
+
+def _b64url(data: bytes) -> str:
+    return base64.urlsafe_b64encode(data).rstrip(b"=").decode("ascii")
+
+
+def _unb64url(text: str) -> bytes:
+    padding = "=" * (-len(text) % 4)
+    return base64.urlsafe_b64decode(text + padding)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A verified credential."""
+
+    principal: str
+    scope: str
+    expires_at: float
+
+    def allows(self, required: str) -> bool:
+        return scope_allows(self.scope, required)
+
+
+class TokenAuthority:
+    """Issues and verifies tokens under one shared secret."""
+
+    def __init__(
+        self,
+        secret: "str | bytes",
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if not secret:
+            raise ValueError("token authority needs a non-empty secret")
+        self._secret = secret.encode("utf-8") if isinstance(secret, str) else secret
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    def _sign(self, payload: bytes) -> str:
+        return _b64url(hmac.new(self._secret, payload, hashlib.sha256).digest())
+
+    def issue(
+        self, principal: str, scope: str = "submit", *, ttl_s: float = 3600.0
+    ) -> str:
+        """Mint a token for ``principal`` with one scope and a deadline."""
+        if scope not in _SCOPE_RANK:
+            raise ValueError(f"unknown scope {scope!r}; known: {SCOPES}")
+        payload = json.dumps(
+            {
+                "principal": principal,
+                "scope": scope,
+                "exp": self._clock() + ttl_s,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        encoded = _b64url(payload)
+        return f"{TOKEN_VERSION}.{encoded}.{self._sign(payload)}"
+
+    # ------------------------------------------------------------------
+    def verify(self, token: str) -> Token:
+        """Validate format, signature and deadline; returns the claims."""
+        if not token:
+            raise UnauthenticatedError("no bearer token presented")
+        parts = token.split(".")
+        if len(parts) != 3 or parts[0] != TOKEN_VERSION:
+            raise UnauthenticatedError(
+                f"malformed token (expected {TOKEN_VERSION}.payload.signature)"
+            )
+        try:
+            payload = _unb64url(parts[1])
+        except (ValueError, TypeError) as exc:
+            raise UnauthenticatedError(f"token payload is not base64url: {exc}") from exc
+        if not hmac.compare_digest(self._sign(payload), parts[2]):
+            raise UnauthenticatedError("token signature does not verify")
+        try:
+            claims = json.loads(payload)
+        except ValueError as exc:
+            raise UnauthenticatedError(f"token payload is not JSON: {exc}") from exc
+        principal = claims.get("principal")
+        scope = claims.get("scope")
+        exp = claims.get("exp")
+        if (
+            not isinstance(principal, str)
+            or scope not in _SCOPE_RANK
+            or not isinstance(exp, (int, float))
+            or isinstance(exp, bool)
+        ):
+            raise UnauthenticatedError("token claims are malformed")
+        if self._clock() >= exp:
+            raise UnauthenticatedError(f"token for {principal!r} has expired")
+        return Token(principal=principal, scope=scope, expires_at=float(exp))
+
+    def require(self, token: str, scope: str) -> Token:
+        """Verify + scope-check in one call (the gateway's entry point)."""
+        claims = self.verify(token)
+        if not claims.allows(scope):
+            raise ForbiddenError(
+                f"{claims.principal!r} holds scope {claims.scope!r} but this "
+                f"operation requires {scope!r}"
+            )
+        return claims

@@ -1,0 +1,165 @@
+"""The single error contract: domain exception -> code, status, kind.
+
+Every class in :mod:`repro.core.domain.errors` has exactly one row here
+(``tests/test_api.py`` asserts the table is total), so the Unix-socket
+server, the REST gateway and the CLI all answer the same machine-readable
+code for the same failure:
+
+* the wire/HTTP body is always the :class:`ErrorEnvelope` shape —
+  ``{"error": CODE, "message": ..., "retryable": ...}`` — which is
+  byte-compatible with the chronus/2 ``ErrorResponse`` keys;
+* the HTTP status comes from the table (transient failures are 5xx/429
+  with ``Retry-After``, caller mistakes are 4xx);
+* the CLI exit code distinguishes *user error* (exit 2: fix the
+  invocation) from *internal/transient fault* (exit 1: retry or file a
+  bug), the convention ``grep`` and friends established.
+
+Resolution walks the exception's MRO, so a new subclass of
+:class:`~repro.core.domain.errors.TransientError` is transient/503 by
+inheritance until it earns its own row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.domain import errors as domain
+
+__all__ = [
+    "KIND_USER",
+    "KIND_INTERNAL",
+    "KIND_TRANSIENT",
+    "ErrorSpec",
+    "ERROR_TABLE",
+    "EXTRA_BY_NAME",
+    "ErrorEnvelope",
+    "envelope_for",
+    "exit_code_for",
+    "http_status_for",
+]
+
+#: the caller's fault: bad arguments, missing prerequisites, no credential
+KIND_USER = "user"
+#: our fault: a bug or broken invariant a retry will not fix
+KIND_INTERNAL = "internal"
+#: nobody's fault yet: expected to clear on its own — retry
+KIND_TRANSIENT = "transient"
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """One error class's stable public identity."""
+
+    code: str
+    http_status: int
+    kind: str
+
+
+#: exception class -> spec; every ``domain.__all__`` class has a row.
+#: Codes are append-only API surface: renaming one breaks clients.
+ERROR_TABLE: "dict[type, ErrorSpec]" = {
+    domain.ChronusError: ErrorSpec("INTERNAL", 500, KIND_INTERNAL),
+    domain.SystemNotFoundError: ErrorSpec("SYSTEM_NOT_FOUND", 404, KIND_USER),
+    # MODEL_NOT_FOUND / SHED / INVALID keep the chronus/2 wire codes so a
+    # v2 socket client and a REST client read the same strings
+    domain.ModelNotFoundError: ErrorSpec("MODEL_NOT_FOUND", 404, KIND_USER),
+    domain.NoBenchmarksError: ErrorSpec("NO_BENCHMARKS", 409, KIND_USER),
+    domain.OptimizerError: ErrorSpec("OPTIMIZER", 500, KIND_INTERNAL),
+    domain.SettingsError: ErrorSpec("SETTINGS", 500, KIND_INTERNAL),
+    domain.TransientError: ErrorSpec("TRANSIENT", 503, KIND_TRANSIENT),
+    domain.DeadlineExceededError: ErrorSpec("DEADLINE", 504, KIND_TRANSIENT),
+    domain.CircuitOpenError: ErrorSpec("CIRCUIT_OPEN", 503, KIND_TRANSIENT),
+    domain.PredictTimeoutError: ErrorSpec("PREDICT_TIMEOUT", 504, KIND_TRANSIENT),
+    domain.ServeShedError: ErrorSpec("SHED", 429, KIND_TRANSIENT),
+    domain.ProtocolError: ErrorSpec("INVALID", 400, KIND_USER),
+    domain.SamplingError: ErrorSpec("SAMPLING", 500, KIND_INTERNAL),
+    domain.TransientSamplingError: ErrorSpec(
+        "SAMPLING_TRANSIENT", 503, KIND_TRANSIENT
+    ),
+    domain.PermanentSamplingError: ErrorSpec(
+        "SAMPLING_PERMANENT", 500, KIND_INTERNAL
+    ),
+    domain.ConfigValidationError: ErrorSpec("CONFIG_INVALID", 400, KIND_USER),
+    domain.FaultSpecError: ErrorSpec("FAULT_SPEC", 400, KIND_USER),
+    domain.StageTransitionError: ErrorSpec("STAGE_TRANSITION", 409, KIND_USER),
+    domain.JournalCorruptError: ErrorSpec("JOURNAL_CORRUPT", 500, KIND_INTERNAL),
+    domain.StaleEpochError: ErrorSpec("STALE_EPOCH", 503, KIND_TRANSIENT),
+    domain.ControllerCrashError: ErrorSpec("CTLD_DOWN", 503, KIND_TRANSIENT),
+    domain.NoLeaderError: ErrorSpec("NO_LEADER", 503, KIND_TRANSIENT),
+    domain.UnauthenticatedError: ErrorSpec("UNAUTHORIZED", 401, KIND_USER),
+    domain.ForbiddenError: ErrorSpec("FORBIDDEN", 403, KIND_USER),
+}
+
+#: non-Chronus exceptions that still have a public identity, matched by
+#: class name so this module never imports the layers above it
+#: (``SubmitError`` lives in ``repro.slurm.controller``)
+EXTRA_BY_NAME: "dict[str, ErrorSpec]" = {
+    "SubmitError": ErrorSpec("SUBMIT_REJECTED", 400, KIND_USER),
+}
+
+_FALLBACK = ErrorSpec("INTERNAL", 500, KIND_INTERNAL)
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope:
+    """The one error shape every surface answers with."""
+
+    code: str
+    message: str
+    http_status: int
+    kind: str
+
+    @property
+    def retryable(self) -> bool:
+        return self.kind == KIND_TRANSIENT
+
+    def to_dict(self) -> dict:
+        """The wire body (chronus/2 ``ErrorResponse``-compatible keys)."""
+        return {
+            "error": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+
+    @property
+    def exit_code(self) -> int:
+        """CLI convention: 2 = fix your invocation, 1 = not your fault."""
+        return 2 if self.kind == KIND_USER else 1
+
+
+def spec_for(exc: BaseException) -> ErrorSpec:
+    """The most specific table row for ``exc`` (MRO walk)."""
+    for klass in type(exc).__mro__:
+        spec = ERROR_TABLE.get(klass)
+        if spec is not None:
+            return spec
+        spec = EXTRA_BY_NAME.get(klass.__name__)
+        if spec is not None:
+            return spec
+    return _FALLBACK
+
+
+def envelope_for(exc: BaseException) -> ErrorEnvelope:
+    """Resolve any exception into its public envelope."""
+    spec = spec_for(exc)
+    return ErrorEnvelope(
+        code=spec.code,
+        message=str(exc) or type(exc).__name__,
+        http_status=spec.http_status,
+        kind=spec.kind,
+    )
+
+
+def exit_code_for(exc: BaseException) -> int:
+    return envelope_for(exc).exit_code
+
+
+def http_status_for(code: str) -> int:
+    """HTTP status for a bare wire code (serving a relayed ErrorResponse)."""
+    for spec in ERROR_TABLE.values():
+        if spec.code == code:
+            return spec.http_status
+    for spec in EXTRA_BY_NAME.values():
+        if spec.code == code:
+            return spec.http_status
+    return 500

@@ -1,0 +1,167 @@
+"""OpenAPI 3.0 generation from the :mod:`repro.api.types` dataclasses.
+
+``docs/openapi.json`` is checked in and round-trip tested: the committed
+spec must equal :func:`generate_openapi` byte-for-byte (after JSON
+normalization), so the spec can never drift from the dataclasses or the
+gateway's route table.  Regenerate with ``python scripts/gen_openapi.py``.
+
+Schema mapping is deliberately small: int/float/str/bool, ``Optional``
+(nullable), ``tuple[T, ...]`` (array), unions (oneOf) and nested
+dataclasses ($ref) — exactly the shapes :func:`repro.api.types.parse_dataclass`
+accepts, nothing more.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from typing import Any, Union
+
+from repro.api.types import API_TYPES
+
+__all__ = ["generate_openapi", "schema_for"]
+
+API_VERSION = "1"
+
+
+def _ref(cls: type) -> dict:
+    return {"$ref": f"#/components/schemas/{cls.__name__}"}
+
+
+def _schema_for_hint(hint: Any) -> dict:
+    origin = typing.get_origin(hint)
+    if origin is Union:
+        args = typing.get_args(hint)
+        nullable = type(None) in args
+        args = tuple(a for a in args if a is not type(None))
+        if len(args) == 1:
+            schema = dict(_schema_for_hint(args[0]))
+        else:
+            schema = {"oneOf": [_schema_for_hint(a) for a in args]}
+        if nullable:
+            schema["nullable"] = True
+        return schema
+    if origin is tuple:
+        (item_hint, _ellipsis) = typing.get_args(hint)
+        return {"type": "array", "items": _schema_for_hint(item_hint)}
+    if dataclasses.is_dataclass(hint):
+        return _ref(hint)
+    if hint is bool:
+        return {"type": "boolean"}
+    if hint is int:
+        return {"type": "integer"}
+    if hint is float:
+        return {"type": "number"}
+    if hint is str:
+        return {"type": "string"}
+    raise TypeError(f"no OpenAPI mapping for type hint {hint!r}")
+
+
+def schema_for(cls: type) -> dict:
+    """The object schema of one API dataclass."""
+    hints = typing.get_type_hints(cls)
+    properties = {}
+    required = []
+    for f in dataclasses.fields(cls):
+        properties[f.name] = _schema_for_hint(hints[f.name])
+        if (
+            f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        ):
+            required.append(f.name)
+    schema: dict = {"type": "object", "properties": properties}
+    if required:
+        schema["required"] = required
+    return schema
+
+
+def _error_schema() -> dict:
+    """The one error envelope every endpoint answers (see repro.api.errors)."""
+    return {
+        "type": "object",
+        "properties": {
+            "error": {"type": "string"},
+            "message": {"type": "string"},
+            "retryable": {"type": "boolean"},
+        },
+        "required": ["error", "message", "retryable"],
+    }
+
+
+def generate_openapi() -> dict:
+    """The full spec: schemas from the dataclasses, paths from the routes."""
+    # lazy: the route table lives in the gateway (repro.restd depends on
+    # repro.api, never the reverse at module level)
+    from repro.restd.gateway import ROUTES
+
+    paths: dict[str, dict] = {}
+    for route in ROUTES:
+        spec_path = route.openapi_path()
+        entry = paths.setdefault(spec_path, {})
+        operation: dict = {
+            "summary": route.summary,
+            "security": [{"bearerAuth": []}],
+            "x-required-scope": route.scope,
+            "responses": {
+                str(route.success_status): {
+                    "description": route.summary,
+                },
+                "default": {
+                    "description": "error envelope",
+                    "content": {
+                        "application/json": {
+                            "schema": {"$ref": "#/components/schemas/Error"}
+                        }
+                    },
+                },
+            },
+        }
+        if route.response_model is not None:
+            operation["responses"][str(route.success_status)]["content"] = {
+                "application/json": {"schema": _ref(route.response_model)}
+            }
+        if route.request_model is not None:
+            operation["requestBody"] = {
+                "required": True,
+                "content": {
+                    "application/json": {"schema": _ref(route.request_model)}
+                },
+            }
+        params = [
+            {
+                "name": name,
+                "in": "path",
+                "required": True,
+                "schema": {"type": "string"},
+            }
+            for name in route.path_params()
+        ]
+        if params:
+            operation["parameters"] = params
+        entry[route.method.lower()] = operation
+
+    schemas = {cls.__name__: schema_for(cls) for cls in API_TYPES}
+    schemas["Error"] = _error_schema()
+    return {
+        "openapi": "3.0.3",
+        "info": {
+            "title": "chronus REST API",
+            "version": API_VERSION,
+            "description": (
+                "Versioned REST gateway over the simulated slurmctld "
+                "control plane, the prediction fleet and the model "
+                "registry (repro.restd)."
+            ),
+        },
+        "paths": paths,
+        "components": {
+            "schemas": schemas,
+            "securitySchemes": {
+                "bearerAuth": {
+                    "type": "http",
+                    "scheme": "bearer",
+                    "bearerFormat": "HMAC-v1",
+                }
+            },
+        },
+    }

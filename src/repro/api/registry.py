@@ -1,0 +1,80 @@
+"""``OpRegistry`` — one dispatch table for ``{"op": ...}`` control messages.
+
+Both wire daemons (the prediction server and the shard router) used to
+carry their own inline if/else chain in ``_handle_op``; the REST gateway
+would have been a third.  The registry is the single mechanism: handlers
+register per op name, dispatch wraps their dict result in the standard
+``{"proto": "chronus/2", "ok": true, "op": ...}`` envelope, and every
+failure — unknown op, a :class:`ChronusError`, an unexpected exception —
+resolves through :func:`repro.api.errors.envelope_for` into the one
+:class:`~repro.serving.protocol.ErrorResponse` error shape.
+
+A handler may also return a raw ``str`` to answer verbatim (the router's
+``predict`` op relays an already-encoded response).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Mapping
+
+from repro.api.errors import envelope_for
+from repro.core.domain.errors import ChronusError
+
+__all__ = ["OpRegistry"]
+
+#: a handler takes (target, probe) and answers a payload dict or raw str
+OpHandler = Callable[[Any, Mapping[str, Any]], "dict | str"]
+
+PROTO_V2 = "chronus/2"
+
+
+class OpRegistry:
+    """Named-op dispatch shared by the socket daemons and the gateway."""
+
+    def __init__(self, role: str) -> None:
+        self.role = role
+        self._ops: dict[str, OpHandler] = {}
+
+    def register(self, name: str) -> Callable[[OpHandler], OpHandler]:
+        """Decorator: ``@OPS.register("ping")``."""
+
+        def _decorate(handler: OpHandler) -> OpHandler:
+            if name in self._ops:
+                raise ValueError(f"op {name!r} already registered on {self.role!r}")
+            self._ops[name] = handler
+            return handler
+
+        return _decorate
+
+    def ops(self) -> list[str]:
+        return sorted(self._ops)
+
+    # ------------------------------------------------------------------
+    def dispatch(self, target: Any, probe: Mapping[str, Any]) -> str:
+        """Answer one ``{"op": ...}`` message; always returns a JSON line."""
+        from repro.serving.protocol import ErrorResponse
+
+        op = probe.get("op")
+        handler = self._ops.get(op)
+        if handler is None:
+            return ErrorResponse(
+                code="INVALID",
+                message=f"unknown op {op!r}; this {self.role} serves {self.ops()}",
+            ).to_json()
+        try:
+            result = handler(target, probe)
+        except ChronusError as exc:
+            envelope = envelope_for(exc)
+            return ErrorResponse(
+                code=envelope.code,
+                message=envelope.message,
+                retryable=envelope.retryable,
+            ).to_json()
+        except Exception as exc:  # a handler bug must still answer the wire
+            return ErrorResponse(
+                code="INTERNAL", message=f"{type(exc).__name__}: {exc}"
+            ).to_json()
+        if isinstance(result, str):
+            return result
+        return json.dumps({"proto": PROTO_V2, "ok": True, "op": op, **result})

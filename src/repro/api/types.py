@@ -1,0 +1,325 @@
+"""Typed request/response shapes for the public API surface.
+
+Frozen dataclasses with a strict, shared ``from_dict``: a field with the
+wrong JSON type raises :class:`~repro.core.domain.errors.ProtocolError`
+naming the field, at the edge — the same fail-fast posture the chronus/2
+wire protocol takes.  ``to_dict`` is the exact inverse, which is what
+lets ``docs/openapi.json`` be generated from these classes and
+round-trip-tested against them.
+
+These shapes are shared by the REST gateway, the op registry and any
+future typed client; they deliberately mirror (not import) the slurm
+domain objects so the API surface can stay stable while internals move.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+__all__ = [
+    "ApiType",
+    "API_TYPES",
+    "JobSubmitRequest",
+    "JobSubmitResult",
+    "JobInfo",
+    "JobList",
+    "NodeInfo",
+    "NodeList",
+    "DiagInfo",
+    "ModelInfo",
+    "ModelList",
+    "parse_dataclass",
+    "dump_dataclass",
+]
+
+
+def _protocol_error(message: str) -> Exception:
+    # lazy: keep this module importable without triggering repro.core's
+    # package init from contexts that only need the shapes
+    from repro.core.domain.errors import ProtocolError
+
+    return ProtocolError(message)
+
+
+# ---------------------------------------------------------------------------
+# generic strict (de)serialization over the dataclass type hints
+# ---------------------------------------------------------------------------
+def _check(value: Any, hint: Any, where: str) -> Any:
+    """Validate + normalize one JSON value against one type hint."""
+    origin = typing.get_origin(hint)
+    if origin is Union:
+        args = typing.get_args(hint)
+        if type(None) in args:
+            if value is None:
+                return None
+            args = tuple(a for a in args if a is not type(None))
+        last_exc: "Exception | None" = None
+        for arg in args:
+            try:
+                return _check(value, arg, where)
+            except Exception as exc:  # try the next union arm
+                last_exc = exc
+        raise _protocol_error(
+            f"field {where!r} matches no allowed type: {last_exc}"
+        )
+    if origin is tuple:
+        if not isinstance(value, (list, tuple)):
+            raise _protocol_error(
+                f"field {where!r} must be an array, got {value!r}"
+            )
+        (item_hint, _ellipsis) = typing.get_args(hint)
+        return tuple(
+            _check(v, item_hint, f"{where}[{i}]") for i, v in enumerate(value)
+        )
+    if dataclasses.is_dataclass(hint):
+        return parse_dataclass(hint, value, where=where)
+    if hint is bool:
+        if not isinstance(value, bool):
+            raise _protocol_error(
+                f"field {where!r} must be a boolean, got {value!r}"
+            )
+        return value
+    if hint is int:
+        # bool is an int subclass; "num_tasks": true must not pass as 1
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise _protocol_error(
+                f"field {where!r} must be an integer, got {value!r}"
+            )
+        return value
+    if hint is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _protocol_error(
+                f"field {where!r} must be a number, got {value!r}"
+            )
+        return float(value)
+    if hint is str:
+        if not isinstance(value, str):
+            raise _protocol_error(
+                f"field {where!r} must be a string, got {value!r}"
+            )
+        return value
+    raise _protocol_error(f"field {where!r} has unsupported schema type {hint!r}")
+
+
+def parse_dataclass(cls: type, data: Any, *, where: str = "") -> Any:
+    """Build ``cls`` from a JSON object, validating every known field.
+
+    Unknown fields are tolerated (a newer client may send more than we
+    know about), exactly like the wire protocol's ``from_dict``.
+    """
+    label = where or cls.__name__
+    if not isinstance(data, Mapping):
+        raise _protocol_error(
+            f"{label} must be a JSON object, got {type(data).__name__}"
+        )
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        prefix = f"{where}." if where else ""
+        if f.name in data:
+            kwargs[f.name] = _check(data[f.name], hints[f.name], prefix + f.name)
+        elif (
+            f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        ):
+            raise _protocol_error(f"{label} is missing required field {f.name!r}")
+    return cls(**kwargs)
+
+
+def dump_dataclass(obj: Any) -> Any:
+    """``to_dict`` shared by every API type (tuples become JSON arrays)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: dump_dataclass(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, tuple):
+        return [dump_dataclass(v) for v in obj]
+    return obj
+
+
+class ApiType:
+    """Mixin giving every API dataclass the shared (de)serialization."""
+
+    def to_dict(self) -> dict:
+        return dump_dataclass(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ApiType":
+        return parse_dataclass(cls, data)
+
+
+# ---------------------------------------------------------------------------
+# jobs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSubmitRequest(ApiType):
+    """POST /slurm/v1/jobs — the sbatch analogue."""
+
+    name: str
+    binary: str
+    num_tasks: int = 1
+    threads_per_core: int = 1
+    nodes: int = 1
+    cpu_freq_min: int = 0
+    cpu_freq_max: int = 0
+    comment: str = ""
+    time_limit_s: int = 0
+    uid: int = 1000
+    array: tuple[int, ...] = ()
+    #: when true (the default) a submission whose ``name`` already exists
+    #: on the leader answers the existing job instead of creating a second
+    #: one — what makes client retries across a failover idempotent
+    dedup: bool = True
+
+    def to_descriptor(self):
+        from repro.slurm.job import JobDescriptor
+
+        return JobDescriptor(
+            name=self.name,
+            num_tasks=self.num_tasks,
+            threads_per_core=self.threads_per_core,
+            nodes=self.nodes,
+            cpu_freq_min=self.cpu_freq_min,
+            cpu_freq_max=self.cpu_freq_max,
+            comment=self.comment,
+            binary=self.binary,
+            time_limit_s=self.time_limit_s,
+            uid=self.uid,
+            array=self.array,
+        )
+
+
+@dataclass(frozen=True)
+class JobSubmitResult(ApiType):
+    job_id: int
+    name: str
+    #: true when ``dedup`` matched an existing submission by name
+    deduplicated: bool = False
+    #: array-task job ids when the submission was an array
+    task_ids: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class JobInfo(ApiType):
+    """One squeue/sacct row."""
+
+    job_id: int
+    name: str
+    state: str
+    submit_time: float
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    node_list: tuple[str, ...] = ()
+    exit_code: int = 0
+    energy_j: float = 0.0
+    array_job_id: Optional[int] = None
+    array_task_id: Optional[int] = None
+
+    @classmethod
+    def from_job(cls, job) -> "JobInfo":
+        """Project a :class:`repro.slurm.job.Job` (duck-typed)."""
+        return cls(
+            job_id=job.job_id,
+            name=job.descriptor.name,
+            state=job.state.value,
+            submit_time=job.submit_time,
+            start_time=job.start_time,
+            end_time=job.end_time,
+            node_list=tuple(job.node_list),
+            exit_code=job.exit_code,
+            energy_j=job.consumed_energy_j,
+            array_job_id=job.array_job_id,
+            array_task_id=job.array_task_id,
+        )
+
+
+@dataclass(frozen=True)
+class JobList(ApiType):
+    jobs: tuple[JobInfo, ...] = ()
+    #: opaque cursor for the next page; absent on the last page
+    next_cursor: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# nodes / diag
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeInfo(ApiType):
+    hostname: str
+    total_cores: int
+    free_cores: int
+    #: sinfo-style state: idle | allocated | drained
+    state: str
+
+
+@dataclass(frozen=True)
+class NodeList(ApiType):
+    nodes: tuple[NodeInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class DiagInfo(ApiType):
+    """GET /slurm/v1/diag — the sdiag analogue."""
+
+    leader: str
+    epoch: int
+    sim_time: float
+    jobs_total: int
+    jobs_pending: int
+    jobs_running: int
+
+
+# ---------------------------------------------------------------------------
+# models (registry lifecycle)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelInfo(ApiType):
+    model_id: int
+    model_type: str
+    system_id: int
+    application: str
+    stage: str
+    version: int
+    created_at: float
+    training_points: int
+    parent_id: Optional[int] = None
+    digest: str = ""
+
+    @classmethod
+    def from_record(cls, record) -> "ModelInfo":
+        """Project a :class:`repro.core.domain.model.ModelRecord`."""
+        return cls(
+            model_id=record.model_id,
+            model_type=record.model_type,
+            system_id=record.system_id,
+            application=record.application,
+            stage=record.stage,
+            version=record.version,
+            created_at=record.created_at,
+            training_points=record.training_points,
+            parent_id=record.parent_id,
+            digest=record.digest,
+        )
+
+
+@dataclass(frozen=True)
+class ModelList(ApiType):
+    models: tuple[ModelInfo, ...] = ()
+
+
+#: every public API shape, in the order the OpenAPI spec lists them
+API_TYPES: tuple[type, ...] = (
+    JobSubmitRequest,
+    JobSubmitResult,
+    JobInfo,
+    JobList,
+    NodeInfo,
+    NodeList,
+    DiagInfo,
+    ModelInfo,
+    ModelList,
+)

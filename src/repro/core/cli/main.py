@@ -12,6 +12,7 @@ The paper's section 3.3 surface plus one reporting addition::
     chronus metrics [--format json|prometheus|summary]  (ours: telemetry)
     chronus faults {list,run ..}             (ours: chaos drills)
     chronus serve [--socket PATH] [--preload MODEL_ID]  (ours: prediction daemon)
+    chronus restd [--port PORT]              (ours: REST gateway, slurmrestd analogue)
     chronus shutdown [--socket PATH]         (ours: stop the daemon)
 
 Every command leaves a telemetry snapshot at ``<workspace>/telemetry.json``
@@ -180,10 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     f_run.add_argument(
         "--scenario",
-        choices=["sweep", "storm", "failover"],
+        choices=["sweep", "storm", "failover", "restd"],
         default="sweep",
         help="sweep: mini benchmark sweep; storm: eco-plugin submit burst; "
-        "failover: SIGKILL-the-leader HA drill (journaled slurmctld pair)",
+        "failover: SIGKILL-the-leader HA drill (journaled slurmctld pair); "
+        "restd: REST gateway under stalled reads / auth outages",
     )
     f_run.add_argument(
         "--points", type=int, default=8, help="sweep points [default: 8]"
@@ -224,6 +226,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="models held in memory (LRU; pinned models never evict)",
     )
     p_serve.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after serving N requests (smoke tests)",
+    )
+
+    p_restd = sub.add_parser(
+        "restd",
+        help="run the REST gateway (slurmrestd analogue) over a simulated "
+        "HA control plane",
+    )
+    p_restd.add_argument(
+        "--host", default="127.0.0.1", help="bind address [default: 127.0.0.1]"
+    )
+    p_restd.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 picks a free one and prints it [default: 0]",
+    )
+    p_restd.add_argument(
+        "--secret",
+        help="HMAC token secret [default: $CHRONUS_RESTD_SECRET or generated]",
+    )
+    p_restd.add_argument(
+        "--nodes", type=int, default=4,
+        help="compute nodes in the simulated cluster [default: 4]",
+    )
+    p_restd.add_argument(
+        "--sim-step", type=float, default=1.0,
+        help="simulated seconds advanced per pump tick [default: 1.0]",
+    )
+    p_restd.add_argument(
         "--max-requests", type=int, default=None,
         help="exit after serving N requests (smoke tests)",
     )
@@ -446,6 +477,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_restd(args: argparse.Namespace) -> int:
+    """Serve REST over a live simulated HA pair until interrupted.
+
+    A self-contained deployment: a two-peer journaled slurmctld control
+    plane on the drill workload, the journal-tailing accounting daemon
+    for list endpoints, the workspace model registry for
+    ``/chronus/v1/models``, and a :class:`SimPump` advancing simulated
+    time so submitted jobs actually run while clients poll.
+    """
+    import secrets
+
+    from repro.api.auth import TokenAuthority
+    from repro.restd.gateway import RestGateway
+    from repro.restd.server import RestdServer, SimPump
+    from repro.slurm.ha import build_drill_plane
+
+    secret = args.secret or os.environ.get("CHRONUS_RESTD_SECRET")
+    generated = secret is None
+    if generated:
+        secret = secrets.token_hex(16)
+    statesave_path = os.path.join(args.workspace, "restd-statesave")
+    os.makedirs(statesave_path, exist_ok=True)
+    drill = build_drill_plane(statesave_path, n_nodes=args.nodes)
+    authority = TokenAuthority(secret)
+    app = _make_app(args)
+    gateway = RestGateway(
+        authority=authority,
+        leader=drill.plane.leader,
+        dbd=drill.dbd,
+        registry=app.model_registry_service,
+        log=_Tee(os.path.join(args.workspace, "chronus.log")),
+    )
+    daemon = RestdServer(
+        gateway,
+        host=args.host,
+        port=args.port,
+        log=_Tee(os.path.join(args.workspace, "chronus.log")),
+        max_requests=args.max_requests,
+    ).start()
+    pump = SimPump(drill.sim, gateway.lock, step_s=args.sim_step).start()
+    print(f"chronus restd: listening on {daemon.url} (slurm/v1 + chronus/v1)")
+    if generated:
+        # no durable secret was configured: hand the operator a ready
+        # admin token so the daemon is immediately usable
+        token = authority.issue("operator", "admin", ttl_s=24 * 3600.0)
+        print(f"chronus restd: admin token (24h): {token}")
+    try:
+        if daemon._accept_thread is not None:
+            while daemon._accept_thread.is_alive():
+                daemon._accept_thread.join(timeout=0.5)
+    except KeyboardInterrupt:
+        print("chronus restd: interrupted, shutting down")
+    finally:
+        pump.stop()
+        daemon.stop()
+    print(f"chronus restd: exiting after {daemon.requests_served} requests")
+    return 0
+
+
 def _cmd_shutdown(args: argparse.Namespace) -> int:
     from repro.core.domain.errors import ProtocolError
     from repro.serving.transport import UnixSocketTransport
@@ -545,6 +635,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from repro import faults
     from repro.faults.scenarios import (
         run_failover_scenario,
+        run_restd_scenario,
         run_storm_scenario,
         run_sweep_scenario,
     )
@@ -562,6 +653,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         result = run_storm_scenario(args.profile, jobs=args.jobs, seed=args.seed)
     elif args.scenario == "failover":
         result = run_failover_scenario(args.profile, jobs=args.jobs, seed=args.seed)
+    elif args.scenario == "restd":
+        result = run_restd_scenario(args.profile, requests=args.jobs, seed=args.seed)
     else:
         result = run_sweep_scenario(args.profile, points=args.points, seed=args.seed)
     print(result.render())
@@ -597,6 +690,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "faults": _cmd_faults,
     "serve": _cmd_serve,
+    "restd": _cmd_restd,
     "shutdown": _cmd_shutdown,
 }
 
@@ -606,8 +700,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ChronusError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        # the same envelope the REST gateway and the socket daemons
+        # answer with: stable code, then exit 2 for user errors, 1 for
+        # internal/transient ones
+        from repro.api.errors import envelope_for
+
+        envelope = envelope_for(exc)
+        print(f"error[{envelope.code}]: {exc}", file=sys.stderr)
+        return envelope.exit_code
     finally:
         _persist_snapshot(args)
 

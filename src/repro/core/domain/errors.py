@@ -31,6 +31,8 @@ __all__ = [
     "StaleEpochError",
     "ControllerCrashError",
     "NoLeaderError",
+    "UnauthenticatedError",
+    "ForbiddenError",
 ]
 
 
@@ -129,3 +131,13 @@ class ControllerCrashError(ChronusError):
 
 class NoLeaderError(TransientError):
     """No slurmctld peer currently holds the lease; retry after takeover."""
+
+
+class UnauthenticatedError(ChronusError):
+    """The caller presented no credential, or one that failed verification
+    (bad signature, expired, malformed) — HTTP 401 territory."""
+
+
+class ForbiddenError(ChronusError):
+    """The caller is authenticated but its scope does not allow the
+    operation (a read token submitting, a submit token draining a node)."""

@@ -26,6 +26,8 @@ PROFILES = {
     # HA drill: the leader crashes at one journal append (once post-append,
     # once tearing the write) and peers occasionally miss a heartbeat
     "ctld-failover": "ctld.crash=0.02:1,journal.torn_write=0.02:1,peer.partition=0.05",
+    # REST gateway under hostile clients: stalled reads + an auth outage
+    "restd-pressure": "restd.slowloris=0.15,restd.bad_auth=0.15",
 }
 
 PROFILE_DESCRIPTIONS = {
@@ -37,4 +39,5 @@ PROFILE_DESCRIPTIONS = {
     "worker-crash": "30% of sweep points crash their worker",
     "serve-pressure": "20% of predicts shed + 10% of batches stalled",
     "ctld-failover": "leader crash + torn journal write + flaky peer heartbeats",
+    "restd-pressure": "15% of restd reads stall (408) + 15% auth verifications fail",
 }

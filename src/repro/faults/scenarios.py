@@ -32,6 +32,7 @@ __all__ = [
     "run_sweep_scenario",
     "run_storm_scenario",
     "run_failover_scenario",
+    "run_restd_scenario",
 ]
 
 
@@ -237,6 +238,114 @@ def run_failover_scenario(
         finally:
             result.metrics.update(_collect(_FAILOVER_METRICS, baseline))
             faults.reset()
+    return result
+
+
+_RESTD_METRICS = (
+    "restd_requests_total",
+    "restd_connections_total",
+    "restd_slowloris_total",
+    "restd_bad_auth_total",
+    "restd_unauthorized_total",
+    "restd_dedup_hits_total",
+    "faults_injected_total",
+)
+
+
+def run_restd_scenario(
+    profile: str, *, requests: int = 40, seed: int = 0
+) -> ScenarioResult:
+    """REST gateway under hostile clients (the ``restd-pressure`` drills).
+
+    Drives ``requests`` real HTTP calls — job submits, diag reads,
+    paginated lists — against a live :class:`~repro.restd.server.RestdServer`
+    backed by an HA drill control plane, with the *profile*'s
+    ``restd.slowloris`` / ``restd.bad_auth`` faults firing in the daemon.
+    Gates: **every request receives a well-formed answer** — success
+    completed, an injected stall/auth outage answered with the standard
+    error envelope (408 / 401, quarantined here), nothing left hanging
+    and no unhandled exception in the daemon or the drill.
+    """
+    import http.client
+    import json
+    import tempfile
+
+    import repro.core  # noqa: F401  (resolves the repro.slurm import cycle)
+    from repro.api.auth import TokenAuthority
+    from repro.restd.gateway import RestGateway
+    from repro.restd.server import RestdServer
+    from repro.slurm.ha import DRILL_BINARY, build_drill_plane
+
+    result = ScenarioResult(
+        scenario="restd", profile=profile, total=requests, completed=0
+    )
+    baseline = _collect(_RESTD_METRICS)
+    with tempfile.TemporaryDirectory(prefix="chronus-restd-chaos-") as path:
+        drill = build_drill_plane(path)
+        authority = TokenAuthority("chaos-drill-secret")
+        token = authority.issue("chaos", "admin")
+        gateway = RestGateway(
+            authority=authority, leader=drill.plane.leader, dbd=drill.dbd
+        )
+        server = RestdServer(gateway).start()
+        faults.configure(profile, seed=seed)
+        try:
+            for i in range(requests):
+                if i % 3 == 0:
+                    method, target, body = (
+                        "POST",
+                        "/slurm/v1/jobs",
+                        json.dumps(
+                            {
+                                "name": f"restd-chaos-{i:04d}",
+                                "binary": DRILL_BINARY,
+                                "time_limit_s": 120,
+                            }
+                        ),
+                    )
+                elif i % 3 == 1:
+                    method, target, body = "GET", "/slurm/v1/diag", None
+                else:
+                    method, target, body = "GET", "/slurm/v1/jobs?limit=5", None
+                conn = http.client.HTTPConnection(*server.address, timeout=10.0)
+                try:
+                    conn.request(
+                        method,
+                        target,
+                        body=body,
+                        headers={"Authorization": f"Bearer {token}"},
+                    )
+                    answer = conn.getresponse()
+                    payload = json.loads(answer.read())
+                except (OSError, http.client.HTTPException):
+                    # the injected stall made the daemon answer 408 and
+                    # hang up while we were still writing the request —
+                    # the abort races our send, exactly like a real
+                    # mid-upload timeout
+                    result.quarantined += 1
+                    continue
+                finally:
+                    conn.close()
+                if 200 <= answer.status < 300:
+                    result.completed += 1
+                elif answer.status in (401, 408) and "error" in payload:
+                    # an injected fault, answered with the envelope
+                    result.quarantined += 1
+                else:
+                    result.unhandled_error = (
+                        f"request {i} ({method} {target}) answered "
+                        f"{answer.status}: {payload}"
+                    )
+                    break
+                with gateway.lock:
+                    drill.sim.run(until=drill.sim.now + 0.5)
+        except Exception as exc:  # the gate: the drill must never raise
+            result.unhandled_error = f"{type(exc).__name__}: {exc}"
+        finally:
+            result.faults_fired = faults.active().fired_counts()
+            faults.reset()
+            server.stop()
+            result.metrics = _collect(_RESTD_METRICS, baseline)
     return result
 
 

@@ -1,0 +1,36 @@
+"""``repro.restd`` — the slurmrestd analogue.
+
+A dependency-free HTTP/1.1 daemon over the shared
+:class:`~repro.serving.transport.SocketDaemon` accept loop, exposing the
+simulated control plane, the prediction fleet and the model registry as
+versioned REST resources (``/slurm/v1/...``, ``/chronus/v1/...``).
+
+Layers, outermost first:
+
+* :mod:`repro.restd.server` — :class:`RestdServer` (TCP accept loop,
+  keep-alive, fault hooks) and :class:`SimPump` (advances the simulated
+  clock under the gateway lock so jobs progress while real clients wait);
+* :mod:`repro.restd.gateway` — :class:`RestGateway` and the
+  :data:`ROUTES` table: transport-free request -> response mapping;
+* :mod:`repro.restd.http` — strict HTTP/1.1 parsing with typed failures.
+
+Everything public (auth, typed payloads, the error envelope) lives in
+:mod:`repro.api`; this package only binds it to HTTP.
+"""
+
+from repro.restd.gateway import ROUTES, RestGateway, RestResponse, Route
+from repro.restd.http import HttpConnection, HttpError, HttpRequest, render_response
+from repro.restd.server import RestdServer, SimPump
+
+__all__ = [
+    "ROUTES",
+    "RestGateway",
+    "RestResponse",
+    "Route",
+    "HttpConnection",
+    "HttpError",
+    "HttpRequest",
+    "render_response",
+    "RestdServer",
+    "SimPump",
+]

@@ -1,0 +1,266 @@
+"""Minimal HTTP/1.1 parsing and rendering for the REST daemon.
+
+Dependency-free by design (no ``http.server``): the daemon needs exactly
+one request shape, strict limits, and explicit failures — the same
+posture as the chronus/2 wire protocol.  Every parse failure is a typed
+:class:`HttpError` carrying the status and machine-readable code the
+gateway renders as the standard error envelope:
+
+* request line / header syntax errors -> 400 ``INVALID``
+* header block over :data:`MAX_HEADER_BYTES` -> 431 ``HEADERS_TOO_LARGE``
+* body over :data:`MAX_BODY_BYTES` (declared or chunked) -> 413 ``BODY_TOO_LARGE``
+* malformed chunked framing -> 400 ``INVALID``
+* a read stalling past the socket timeout (slowloris) -> 408 ``TIMEOUT``
+
+Both ``Content-Length`` and ``Transfer-Encoding: chunked`` bodies are
+accepted; responses always carry ``Content-Length`` (no chunked
+answers), which keeps the client side trivially ``http.client``-compatible.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
+    "HttpError",
+    "HttpRequest",
+    "HttpConnection",
+    "render_response",
+    "REASONS",
+]
+
+#: cap on the request line + header block
+MAX_HEADER_BYTES = 16 * 1024
+#: cap on a request body, declared or chunked
+MAX_BODY_BYTES = 1 << 20
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served, with its public identity."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str  # decoded, query stripped
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)  # lower-cased names
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+class HttpConnection:
+    """Incremental request reader over one socket.
+
+    One buffer per connection, requests sliced out in order — the same
+    shape as the chronus transport's ``_ConnReader``, specialized to
+    HTTP framing (header block, then a length-delimited body).
+    """
+
+    def __init__(self, conn: socket.socket, *, recv_size: int = 16 * 1024) -> None:
+        self._conn = conn
+        self._buf = bytearray()
+        self._recv_size = recv_size
+        self._eof = False
+
+    # ------------------------------------------------------------------
+    def _fill(self) -> bool:
+        """Pull more bytes; ``False`` on EOF.  Timeouts become 408."""
+        if self._eof:
+            return False
+        try:
+            chunk = self._conn.recv(self._recv_size)
+        except socket.timeout:
+            raise HttpError(
+                408, "TIMEOUT", "client stalled mid-request (read timeout)"
+            ) from None
+        if not chunk:
+            self._eof = True
+            return False
+        self._buf.extend(chunk)
+        return True
+
+    def _read_until(self, marker: bytes, limit: int, what: str) -> bytes:
+        """Consume up to and including ``marker``; enforce ``limit``."""
+        while True:
+            idx = self._buf.find(marker)
+            if idx >= 0:
+                if idx + len(marker) > limit:
+                    raise HttpError(
+                        431 if what == "headers" else 400,
+                        "HEADERS_TOO_LARGE" if what == "headers" else "INVALID",
+                        f"{what} exceed {limit} bytes",
+                    )
+                taken = bytes(self._buf[: idx + len(marker)])
+                del self._buf[: idx + len(marker)]
+                return taken
+            if len(self._buf) > limit:
+                raise HttpError(
+                    431 if what == "headers" else 400,
+                    "HEADERS_TOO_LARGE" if what == "headers" else "INVALID",
+                    f"{what} exceed {limit} bytes",
+                )
+            if not self._fill():
+                raise HttpError(
+                    400, "INVALID", f"connection closed mid-{what}"
+                )
+
+    def _read_exact(self, n: int, what: str) -> bytes:
+        while len(self._buf) < n:
+            if not self._fill():
+                raise HttpError(400, "INVALID", f"connection closed mid-{what}")
+        taken = bytes(self._buf[:n])
+        del self._buf[:n]
+        return taken
+
+    # ------------------------------------------------------------------
+    def read_request(self) -> "HttpRequest | None":
+        """Parse one request; ``None`` on clean EOF between requests."""
+        # a clean close between keep-alive requests is not an error
+        while not self._buf:
+            if not self._fill():
+                return None
+        header_block = self._read_until(b"\r\n\r\n", MAX_HEADER_BYTES, "headers")
+        lines = header_block.decode("latin-1").split("\r\n")
+        request_line = lines[0]
+        parts = request_line.split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise HttpError(
+                400, "INVALID", f"malformed request line {request_line!r}"
+            )
+        method, target, _version = parts
+        split = urlsplit(target)
+        path = unquote(split.path)
+        query = dict(parse_qsl(split.query, keep_blank_values=True))
+        headers: dict = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep or not name.strip():
+                raise HttpError(400, "INVALID", f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        body = self._read_body(headers)
+        return HttpRequest(
+            method=method.upper(),
+            path=path,
+            query=query,
+            headers=headers,
+            body=body,
+        )
+
+    def _read_body(self, headers: dict) -> bytes:
+        encoding = headers.get("transfer-encoding", "").lower()
+        if encoding:
+            if encoding != "chunked":
+                raise HttpError(
+                    400, "INVALID", f"unsupported transfer-encoding {encoding!r}"
+                )
+            return self._read_chunked()
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            return b""
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpError(
+                400, "INVALID", f"content-length {raw_length!r} is not an integer"
+            ) from None
+        if length < 0:
+            raise HttpError(400, "INVALID", "content-length must be >= 0")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413,
+                "BODY_TOO_LARGE",
+                f"declared body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte cap",
+            )
+        return self._read_exact(length, "body")
+
+    def _read_chunked(self) -> bytes:
+        body = bytearray()
+        while True:
+            size_line = self._read_until(b"\r\n", MAX_HEADER_BYTES, "chunk size")
+            size_text = size_line[:-2].split(b";", 1)[0].strip()
+            try:
+                size = int(size_text, 16)
+            except ValueError:
+                raise HttpError(
+                    400, "INVALID", f"malformed chunk size {size_text!r}"
+                ) from None
+            if size < 0:
+                raise HttpError(400, "INVALID", "negative chunk size")
+            if size == 0:
+                # trailer section: lines until the blank terminator
+                while True:
+                    trailer = self._read_until(b"\r\n", MAX_HEADER_BYTES, "trailer")
+                    if trailer == b"\r\n":
+                        return bytes(body)
+            if len(body) + size > MAX_BODY_BYTES:
+                raise HttpError(
+                    413,
+                    "BODY_TOO_LARGE",
+                    f"chunked body exceeds the {MAX_BODY_BYTES}-byte cap",
+                )
+            body.extend(self._read_exact(size, "chunk"))
+            terminator = self._read_exact(2, "chunk terminator")
+            if terminator != b"\r\n":
+                raise HttpError(
+                    400, "INVALID", "chunk data is not CRLF-terminated"
+                )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: "dict | None" = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """One full HTTP/1.1 response with an explicit Content-Length."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -25,6 +25,7 @@ deep inside an optimizer.
 from __future__ import annotations
 
 import json
+import os
 import warnings
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional
@@ -32,6 +33,8 @@ from typing import Any, Mapping, Optional
 __all__ = [
     "PROTO_V1",
     "PROTO_V2",
+    "V1_COMPAT_ENV",
+    "v1_compat_enabled",
     "SHED",
     "ERROR_CODES",
     "PredictRequest",
@@ -64,6 +67,19 @@ def _validation_error(message: str) -> Exception:
 PROTO_V1 = "chronus/1"
 #: the current protocol generation
 PROTO_V2 = "chronus/2"
+
+#: kill switch for chronus/1 plain-dict compatibility.  Defaults ON (any
+#: unset/other value keeps legacy clients working); operators set
+#: ``CHRONUS_PROTO_V1=0`` to refuse them ahead of the planned removal in
+#: the next major release.
+V1_COMPAT_ENV = "CHRONUS_PROTO_V1"
+
+
+def v1_compat_enabled() -> bool:
+    """Whether plain-dict chronus/1 requests are still accepted."""
+    return os.environ.get(V1_COMPAT_ENV, "1").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
 
 #: admission control rejected the request (queue full / shed fault);
 #: retryable by contract — the plugin's breaker/fallback handles it
@@ -374,9 +390,17 @@ def decode_request_dict(data: Any) -> "tuple[PredictRequest, str]":
         )
     proto = data.get("proto")
     if proto is None:
+        if not v1_compat_enabled():
+            raise _protocol_error(
+                "plain-dict chronus/1 requests are disabled on this server "
+                f"(CHRONUS_PROTO_V1=0); send {{'proto': '{PROTO_V2}', ...}}. "
+                "chronus/1 compatibility will be removed in the next major "
+                "release."
+            )
         warnings.warn(
-            "plain-dict chronus/1 predict requests are deprecated; "
-            "send {'proto': 'chronus/2', ...} (see repro.serving.protocol)",
+            "plain-dict chronus/1 predict requests are deprecated and will "
+            "be removed in the next major release; send "
+            "{'proto': 'chronus/2', ...} (see repro.serving.protocol)",
             DeprecationWarning,
             stacklevel=2,
         )

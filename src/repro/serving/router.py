@@ -36,6 +36,7 @@ import threading
 from typing import Callable, Optional, Union
 
 from repro import telemetry
+from repro.api.registry import OpRegistry
 from repro.core.domain.errors import ProtocolError
 from repro.serving.protocol import (
     ErrorResponse,
@@ -46,7 +47,7 @@ from repro.serving.protocol import (
 )
 from repro.slurm.plugins.chash import simple_hash
 
-__all__ = ["ShardRouter", "shard_score"]
+__all__ = ["ShardRouter", "ROUTER_OPS", "shard_score"]
 
 Answer = Union[PredictResponse, ErrorResponse]
 
@@ -387,7 +388,7 @@ class ShardRouter:
                 code="INVALID", message=f"request is not valid JSON: {exc}"
             ).to_json()
         if isinstance(data, dict) and "op" in data:
-            return self._handle_op(data)
+            return ROUTER_OPS.dispatch(self, data)
         try:
             request, client_proto = decode_request_dict(data)
         except ProtocolError as exc:
@@ -395,25 +396,29 @@ class ShardRouter:
             return ErrorResponse(code="INVALID", message=str(exc)).to_json()
         return encode_response(self.predict(request), client_proto)
 
-    def _handle_op(self, probe: dict) -> str:
-        op = probe.get("op")
-        if op == "fleet":
-            return json.dumps(
-                {"proto": "chronus/2", "ok": True, "op": "fleet",
-                 **self.fleet_stats()}
-            )
-        if op == "ping":
-            with self._lock:
-                shard_count = len(self._shards)
-                healthy = sum(1 for s in self._shards.values() if s.healthy)
-            return json.dumps(
-                {"proto": "chronus/2", "ok": True, "op": "ping",
-                 "role": "router", "shards": shard_count, "healthy": healthy}
-            )
-        if op == "shutdown":
-            self.shutdown_requested.set()
-            self._log("router: shutdown requested over the wire")
-            return json.dumps({"proto": "chronus/2", "ok": True, "op": "shutdown"})
-        return ErrorResponse(
-            code="INVALID", message=f"unknown op {op!r}"
-        ).to_json()
+
+# ----------------------------------------------------------------------
+# control ops — the same OpRegistry machinery as the prediction server
+# and the REST gateway; a fleet ping must not depend on any one worker
+# ----------------------------------------------------------------------
+ROUTER_OPS = OpRegistry("shard router")
+
+
+@ROUTER_OPS.register("fleet")
+def _op_fleet(router: "ShardRouter", probe: dict) -> dict:
+    return dict(router.fleet_stats())
+
+
+@ROUTER_OPS.register("ping")
+def _op_ping(router: "ShardRouter", probe: dict) -> dict:
+    with router._lock:
+        shard_count = len(router._shards)
+        healthy = sum(1 for s in router._shards.values() if s.healthy)
+    return {"role": "router", "shards": shard_count, "healthy": healthy}
+
+
+@ROUTER_OPS.register("shutdown")
+def _op_shutdown(router: "ShardRouter", probe: dict) -> dict:
+    router.shutdown_requested.set()
+    router._log("router: shutdown requested over the wire")
+    return {}

@@ -32,6 +32,7 @@ import time
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro import faults, telemetry
+from repro.api.registry import OpRegistry
 from repro.core.application.load_model_service import LoadModelService
 from repro.core.application.slurm_config_service import SlurmConfigService
 from repro.core.domain.errors import ProtocolError
@@ -46,7 +47,7 @@ from repro.serving.protocol import (
     encode_response,
 )
 
-__all__ = ["ChronusServer"]
+__all__ = ["ChronusServer", "SERVER_OPS"]
 
 Answer = Union[PredictResponse, ErrorResponse]
 
@@ -177,7 +178,7 @@ class ChronusServer:
                 code="INVALID", message=f"request is not valid JSON: {exc}"
             ).to_json()
         if isinstance(data, dict) and "op" in data:
-            return self._handle_op(data)
+            return SERVER_OPS.dispatch(self, data)
         try:
             # the probe above is the only parse: control dispatch and
             # request decode share it (no bytes -> str -> dict round-trip)
@@ -187,34 +188,36 @@ class ChronusServer:
             return ErrorResponse(code="INVALID", message=str(exc)).to_json()
         return encode_response(self.predict(request), client_proto)
 
-    def _handle_op(self, probe: dict) -> str:
-        op = probe.get("op")
-        if op == "shutdown":
-            self.shutdown_requested.set()
-            self._log("serve: shutdown requested over the wire")
-            return json.dumps({"proto": "chronus/2", "ok": True, "op": "shutdown"})
-        if op == "ping":
-            return json.dumps(
-                {
-                    "proto": "chronus/2",
-                    "ok": True,
-                    "op": "ping",
-                    "models_cached": len(self.model_cache),
-                    "batching": self.running,
-                }
-            )
-        if op == "reload":
-            # promotion already takes effect lazily through identity-tag
-            # invalidation; reload is the operator's big hammer — drop
-            # every cached optimizer (pins survive and re-attach on the
-            # next request) so the registry state is re-read immediately
-            dropped = len(self.model_cache)
-            self.model_cache.clear()
-            self._log(f"serve: reload requested; dropped {dropped} cached models")
-            return json.dumps(
-                {"proto": "chronus/2", "ok": True, "op": "reload",
-                 "dropped": dropped}
-            )
-        return ErrorResponse(
-            code="INVALID", message=f"unknown op {op!r}"
-        ).to_json()
+
+# ----------------------------------------------------------------------
+# control ops — one registry, shared dispatch/envelope machinery with the
+# router and the REST gateway (repro.api.registry)
+# ----------------------------------------------------------------------
+SERVER_OPS = OpRegistry("prediction server")
+
+
+@SERVER_OPS.register("shutdown")
+def _op_shutdown(server: "ChronusServer", probe: dict) -> dict:
+    server.shutdown_requested.set()
+    server._log("serve: shutdown requested over the wire")
+    return {}
+
+
+@SERVER_OPS.register("ping")
+def _op_ping(server: "ChronusServer", probe: dict) -> dict:
+    return {
+        "models_cached": len(server.model_cache),
+        "batching": server.running,
+    }
+
+
+@SERVER_OPS.register("reload")
+def _op_reload(server: "ChronusServer", probe: dict) -> dict:
+    # promotion already takes effect lazily through identity-tag
+    # invalidation; reload is the operator's big hammer — drop every
+    # cached optimizer (pins survive and re-attach on the next request)
+    # so the registry state is re-read immediately
+    dropped = len(server.model_cache)
+    server.model_cache.clear()
+    server._log(f"serve: reload requested; dropped {dropped} cached models")
+    return {"dropped": dropped}

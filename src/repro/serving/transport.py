@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "LocalTransport",
+    "SocketDaemon",
     "UnixSocketServer",
     "UnixSocketTransport",
     "MAX_FRAME_BYTES",
@@ -178,24 +179,30 @@ class LocalTransport:
         return self.server.predict(request)
 
 
-class UnixSocketServer:
-    """JSON-lines daemon over a Unix domain socket.
+class SocketDaemon:
+    """The accept-loop skeleton shared by every socket daemon.
 
-    One thread per connection, one request per line.  The accept loop
-    runs until :meth:`stop` or until a client sends ``{"op": "shutdown"}``
-    (which trips the server's ``shutdown_requested`` event).
+    Subclasses supply :meth:`_bind` (the listening socket) and
+    :meth:`_serve_connection` (one connection, already on its own
+    thread); the base owns the lifecycle — eager bind on :meth:`start`
+    so the bound address is readable immediately, a 0.2 s accept
+    timeout so the loop notices :meth:`stop` (or a subclass's
+    :meth:`_extra_stop` signal, e.g. a wire-initiated shutdown), an
+    optional ``max_requests`` hard stop for smoke tests, and teardown
+    via :meth:`_on_close`.
+
+    Both the chronus/2 Unix-socket daemons and the REST gateway's TCP
+    daemon (:class:`repro.restd.server.RestdServer`) run on this base.
     """
+
+    thread_name = "chronus-daemon-accept"
 
     def __init__(
         self,
-        server: "ChronusServer",
-        socket_path: str,
         *,
         log: Optional[Callable[[str], None]] = None,
         max_requests: Optional[int] = None,
     ) -> None:
-        self.server = server
-        self.socket_path = socket_path
         self._log = log or (lambda msg: None)
         #: optional hard stop after N served requests (smoke tests)
         self.max_requests = max_requests
@@ -204,23 +211,29 @@ class UnixSocketServer:
         self._accept_thread: "threading.Thread | None" = None
         self._stopping = threading.Event()
 
-    # ------------------------------------------------------------------
+    # hooks ------------------------------------------------------------
     def _bind(self) -> socket.socket:
-        # a stale socket file from a crashed daemon must not block restart
-        try:
-            os.unlink(self.socket_path)
-        except FileNotFoundError:
-            pass
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.bind(self.socket_path)
-        sock.listen(64)
-        sock.settimeout(0.2)  # so the accept loop can notice stop/shutdown
-        return sock
+        raise NotImplementedError
 
+    def _serve_connection(self, conn: socket.socket) -> None:
+        raise NotImplementedError
+
+    def _listening_message(self) -> str:
+        return f"{type(self).__name__}: listening"
+
+    def _extra_stop(self) -> bool:
+        """Subclass stop signal beyond :meth:`stop` / ``max_requests``."""
+        return False
+
+    def _on_close(self) -> None:
+        """Post-close teardown (e.g. unlinking a Unix socket path)."""
+
+    # lifecycle --------------------------------------------------------
     def serve_forever(self) -> int:
         """Blocking accept loop; returns the number of requests served."""
-        self._sock = self._bind()
-        self._log(f"serve: listening on {self.socket_path}")
+        if self._sock is None:
+            self._sock = self._bind()
+        self._log(self._listening_message())
         try:
             while not self._should_stop():
                 try:
@@ -237,10 +250,13 @@ class UnixSocketServer:
             self._close()
         return self.requests_served
 
-    def start(self) -> "UnixSocketServer":
-        """Run :meth:`serve_forever` on a background thread (tests)."""
+    def start(self):
+        """Bind now, then run :meth:`serve_forever` on a background
+        thread — the caller can read the bound address on return."""
+        if self._sock is None:
+            self._sock = self._bind()
         self._accept_thread = threading.Thread(
-            target=self.serve_forever, name="chronus-uds-accept", daemon=True
+            target=self.serve_forever, name=self.thread_name, daemon=True
         )
         self._accept_thread.start()
         return self
@@ -254,7 +270,7 @@ class UnixSocketServer:
     def _should_stop(self) -> bool:
         return (
             self._stopping.is_set()
-            or self.server.shutdown_requested.is_set()
+            or self._extra_stop()
             or (
                 self.max_requests is not None
                 and self.requests_served >= self.max_requests
@@ -267,6 +283,51 @@ class UnixSocketServer:
                 self._sock.close()
             finally:
                 self._sock = None
+        self._on_close()
+
+
+class UnixSocketServer(SocketDaemon):
+    """JSON-lines daemon over a Unix domain socket.
+
+    One thread per connection, one request per line.  The accept loop
+    runs until :meth:`stop` or until a client sends ``{"op": "shutdown"}``
+    (which trips the server's ``shutdown_requested`` event).
+    """
+
+    thread_name = "chronus-uds-accept"
+
+    def __init__(
+        self,
+        server: "ChronusServer",
+        socket_path: str,
+        *,
+        log: Optional[Callable[[str], None]] = None,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        super().__init__(log=log, max_requests=max_requests)
+        self.server = server
+        self.socket_path = socket_path
+
+    # ------------------------------------------------------------------
+    def _bind(self) -> socket.socket:
+        # a stale socket file from a crashed daemon must not block restart
+        try:
+            os.unlink(self.socket_path)
+        except FileNotFoundError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(self.socket_path)
+        sock.listen(64)
+        sock.settimeout(0.2)  # so the accept loop can notice stop/shutdown
+        return sock
+
+    def _listening_message(self) -> str:
+        return f"serve: listening on {self.socket_path}"
+
+    def _extra_stop(self) -> bool:
+        return self.server.shutdown_requested.is_set()
+
+    def _on_close(self) -> None:
         try:
             os.unlink(self.socket_path)
         except OSError:

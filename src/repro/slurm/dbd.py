@@ -57,7 +57,11 @@ class SlurmDbd:
         duplicates are dropped at the accounting layer.
         """
         min_seq = self.statesave.min_journal_seq()
-        if min_seq and self.cursor < min_seq - 1:
+        if not min_seq:
+            # empty journal: everything may be behind the latest snapshot
+            # (compaction right after a snapshot leaves no tail at all)
+            min_seq = self.statesave.latest_snapshot_seq() + 1
+        if min_seq > 1 and self.cursor < min_seq - 1:
             # the journal was compacted past our cursor; re-bootstrap
             self._bootstrap()
         applied = 0
@@ -79,6 +83,18 @@ class SlurmDbd:
         self.cursor = int(snap["seq"])
         self.bootstraps += 1
         telemetry.counter("dbd_bootstraps_total").inc()
+
+    def jobs(self) -> "dict[int, Job]":
+        """The shadow job table, keyed by job id.
+
+        This is what the REST gateway's paginated list endpoints read:
+        job ids are totally ordered and the table survives both journal
+        compaction (re-bootstrap from the snapshot) and leader failover
+        (the journal is shared), so a cursor keyed by the last job id
+        served stays stable across either event.  Callers should
+        :meth:`pump` first for a fresh view.
+        """
+        return self._jobs
 
     # ------------------------------------------------------------------
     def apply_event(self, rec: JournalRecord) -> None:

@@ -50,6 +50,8 @@ __all__ = [
     "SlurmctldPeer",
     "HaControlPlane",
     "FailoverReport",
+    "DrillPlane",
+    "build_drill_plane",
     "run_failover_drill",
     "DRILL_BINARY",
 ]
@@ -305,30 +307,52 @@ class FailoverReport:
         return "\n".join(lines)
 
 
-def run_failover_drill(
-    *,
-    jobs: int = 100,
-    n_nodes: int = 4,
+@dataclass
+class DrillPlane:
+    """A ready-to-drive two-peer control plane on the drill workload.
+
+    Built by :func:`build_drill_plane`; shared by the failover drill, the
+    restd chaos scenario and the REST smoke script so they all exercise
+    the same HA wiring (one state-save, fenced takeover, journal-tailing
+    accounting) instead of three hand-rolled variants.
+    """
+
+    sim: Simulator
+    statesave: StateSave
+    peers: "list[SlurmctldPeer]"
+    plane: HaControlPlane
+    dbd: SlurmDbd
+    slurmds: "list[Slurmd]"
+    heartbeat_s: float
+    lease_s: float
+
+    def leader_peer(self) -> SlurmctldPeer:
+        for peer in self.peers:
+            if peer.role == "primary":
+                return peer
+        raise NoLeaderError("no peer is primary")
+
+    def restart_dead_peers(self) -> None:
+        """systemd-style supervision: dead/fenced daemons rejoin as backup."""
+        for peer in self.peers:
+            if peer.role in ("dead", "fenced"):
+                peer.start(as_leader=False)
+
+
+def build_drill_plane(
     statesave_path: str,
-    seed: int = 0,
-    kill_at_fraction: Optional[float] = 0.5,
-    fault_profile: Optional[str] = None,
+    *,
+    n_nodes: int = 4,
     heartbeat_s: float = 1.0,
     lease_s: float = 3.0,
     snapshot_interval: int = 0,
     fsync: bool = False,
-    submit_interval_s: float = 0.5,
-) -> FailoverReport:
-    """SIGKILL the leader mid-storm; assert zero lost/duplicated jobs.
+) -> DrillPlane:
+    """Wire up a primary/backup slurmctld pair over one state-save.
 
-    A two-peer control plane serves a ``jobs``-job submit storm.  At
-    ``kill_at_fraction`` of the storm the leader is killed (and/or crash
-    faults from ``fault_profile`` fire at journal appends); clients
-    retry against the re-resolved leader with a by-name dedup recheck.
-    An independent :class:`SlurmDbd` tails the shared journal throughout.
+    The drill binary (:data:`DRILL_BINARY`) is pre-registered, the dbd
+    pumps the journal every other heartbeat, and peer A starts as leader.
     """
-    if fault_profile:
-        faults.configure(fault_profile, seed=seed)
     sim = Simulator()
     registry = ApplicationRegistry()
     registry.register(DRILL_BINARY, _drill_factory)
@@ -354,8 +378,54 @@ def run_failover_drill(
     peer_a.start(as_leader=True)
     peer_b.start(as_leader=False)
     sim.call_every(heartbeat_s * 2, dbd.pump, name="dbd-pump")
+    return DrillPlane(
+        sim=sim,
+        statesave=statesave,
+        peers=[peer_a, peer_b],
+        plane=plane,
+        dbd=dbd,
+        slurmds=slurmds,
+        heartbeat_s=heartbeat_s,
+        lease_s=lease_s,
+    )
 
-    max_cores = min(n.total_cores for n in nodes)
+
+def run_failover_drill(
+    *,
+    jobs: int = 100,
+    n_nodes: int = 4,
+    statesave_path: str,
+    seed: int = 0,
+    kill_at_fraction: Optional[float] = 0.5,
+    fault_profile: Optional[str] = None,
+    heartbeat_s: float = 1.0,
+    lease_s: float = 3.0,
+    snapshot_interval: int = 0,
+    fsync: bool = False,
+    submit_interval_s: float = 0.5,
+) -> FailoverReport:
+    """SIGKILL the leader mid-storm; assert zero lost/duplicated jobs.
+
+    A two-peer control plane serves a ``jobs``-job submit storm.  At
+    ``kill_at_fraction`` of the storm the leader is killed (and/or crash
+    faults from ``fault_profile`` fire at journal appends); clients
+    retry against the re-resolved leader with a by-name dedup recheck.
+    An independent :class:`SlurmDbd` tails the shared journal throughout.
+    """
+    if fault_profile:
+        faults.configure(fault_profile, seed=seed)
+    drill = build_drill_plane(
+        statesave_path,
+        n_nodes=n_nodes,
+        heartbeat_s=heartbeat_s,
+        lease_s=lease_s,
+        snapshot_interval=snapshot_interval,
+        fsync=fsync,
+    )
+    sim, statesave, plane, dbd = drill.sim, drill.statesave, drill.plane, drill.dbd
+    peer_a, peer_b = drill.peers
+
+    max_cores = min(s.node.total_cores for s in drill.slurmds)
     job_ids: dict[int, int] = {}  # storm index -> job id on the final leader
     stats = {"retries": 0, "crashes": 0, "crash_sim_t": None}
 

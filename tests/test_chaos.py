@@ -157,8 +157,9 @@ class TestCliFaults:
         from repro.core.cli.main import main
 
         rc = main(["--workspace", str(tmp_path), "faults", "run", "warp.core=1"])
-        assert rc == 1
-        assert "error:" in capsys.readouterr().err
+        # a bad spec is a user error: exit 2 with the envelope code
+        assert rc == 2
+        assert "error[FAULT_SPEC]:" in capsys.readouterr().err
 
 
 class TestChaosScripts:

@@ -98,8 +98,9 @@ class TestInitModelCommand:
 
     def test_error_without_benchmarks(self, capsys, workspace):
         rc, out = run_cli(capsys, workspace, "init-model", "--system", "1")
-        assert rc == 1
-        assert "error:" in out
+        # a user error: exit 2, with the stable envelope code in the message
+        assert rc == 2
+        assert "error[SYSTEM_NOT_FOUND]:" in out
 
 
 class TestLoadModelAndSlurmConfig:
@@ -120,7 +121,8 @@ class TestLoadModelAndSlurmConfig:
 
     def test_slurm_config_without_model_errors(self, capsys, workspace):
         rc, out = run_cli(capsys, workspace, "slurm-config", "1")
-        assert rc == 1
+        assert rc == 2
+        assert "error[MODEL_NOT_FOUND]:" in out
         assert "load-model" in out
 
 
