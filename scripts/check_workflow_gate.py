@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Gate on the workflow DAG storm outcome (see run_workflow_smoke.py).
+
+Asserted invariants, per README "Workflows & dependencies":
+
+* every diamond landed and **zero jobs are stuck** — each of the 1000
+  submissions reached a terminal state exactly once on the final leader,
+  even though the leader was SIGKILL'd mid-storm (held dependencies and
+  pending requeues were re-armed from the journal by the backup);
+* the kill actually produced a takeover that replayed journal records;
+* mid-DAG failures really happened (timeouts, retries and
+  ``DependencyNeverSatisfied`` cancellations are all non-zero — a storm
+  where no DAG ever failed proves nothing about drain behaviour);
+* **every reschedule re-ran the prediction through the live provider**:
+  each reschedule attempt carries a model identity, and more than one
+  model version appears (the provider was promoted mid-storm);
+* per-workflow joules in the journal-fed slurmdbd equal the
+  controller's rollup workflow-for-workflow — no double counting, also
+  across snapshot+journal compaction (the ``compaction`` variant).
+
+Usage::
+
+    python scripts/check_workflow_gate.py workflow-smoke.json
+    python scripts/check_workflow_gate.py workflow-smoke.json --baseline BENCH_PR10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = "chronus-bench-pr10/1"
+VARIANTS = ("kill", "kill+chaos", "compaction")
+
+
+def fail(msg: str) -> None:
+    print(f"WORKFLOW GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_record(r: dict) -> None:
+    label = f"workflow[{r['variant']}]"
+    if r["submitted"] != r["jobs_total"]:
+        fail(f"{label}: only {r['submitted']}/{r['jobs_total']} submissions landed")
+    if r["stuck"] != 0:
+        fail(f"{label}: {r['stuck']} job(s) stuck (non-terminal)")
+    if r["duplicated"] != 0:
+        fail(f"{label}: {r['duplicated']} duplicated job(s)")
+    if r["takeovers"] < 1:
+        fail(f"{label}: leader was killed but no takeover happened")
+    # snapshot variants may legitimately replay an empty suffix (the
+    # snapshot just compacted everything), so only the snapshot-free
+    # headline storm must prove a real journal replay
+    if r["variant"] == "kill" and r["replayed_records"] <= 0:
+        fail(f"{label}: takeover replayed no journal records; gate is vacuous")
+    if r["timeouts"] == 0:
+        fail(f"{label}: no mid-DAG failures happened; storm is vacuous")
+    if r["reschedule_attempts"] == 0:
+        fail(f"{label}: the retry policy never fired")
+    if r["reschedules_with_model"] != r["reschedule_attempts"]:
+        fail(
+            f"{label}: {r['reschedule_attempts'] - r['reschedules_with_model']} "
+            "reschedule(s) did not re-predict through the live provider"
+        )
+    if len(r["model_versions_served"]) < 2:
+        fail(
+            f"{label}: only model versions {r['model_versions_served']} "
+            "served; the mid-storm promotion was not picked up"
+        )
+    if r["cancelled_never"] == 0:
+        fail(f"{label}: no DependencyNeverSatisfied propagation observed")
+    if r["dep_releases"] == 0:
+        fail(f"{label}: no dependency releases observed")
+    if r["workflows"] != r["diamonds"]:
+        fail(
+            f"{label}: controller sees {r['workflows']} workflows, "
+            f"expected {r['diamonds']}"
+        )
+    if r["dbd_workflows"] != r["workflows"]:
+        fail(
+            f"{label}: slurmdbd sees {r['dbd_workflows']} workflows, "
+            f"controller {r['workflows']}"
+        )
+    if r["workflow_mismatches"] != 0:
+        fail(
+            f"{label}: {r['workflow_mismatches']} workflow(s) disagree "
+            "between slurmdbd and the controller rollup"
+        )
+    if r["energy_diff_j"] > 1e-6:
+        fail(
+            f"{label}: per-workflow joules double-counted — dbd total "
+            f"{r['energy_dbd_j']:.3f} J vs controller {r['energy_ctld_j']:.3f} J"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument(
+        "--baseline",
+        help="committed BENCH_PR10.json; the fresh run may not strand or "
+        "duplicate jobs the baseline kept clean, and its schema must match",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != EXPECTED_SCHEMA:
+        fail(f"report schema {payload.get('schema')!r} != {EXPECTED_SCHEMA!r}")
+    results = payload.get("results", [])
+    variants = {r.get("variant") for r in results}
+    for wanted in VARIANTS:
+        if wanted not in variants:
+            fail(f"report is missing the {wanted!r} storm variant")
+    for r in results:
+        check_record(r)
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = json.load(fh)
+        if base.get("schema") != EXPECTED_SCHEMA:
+            fail(f"baseline schema {base.get('schema')!r} != {EXPECTED_SCHEMA!r}")
+        base_by = {r["variant"]: r for r in base.get("results", [])}
+        for r in results:
+            b = base_by.get(r["variant"])
+            if b is None:
+                continue
+            if r["stuck"] > b["stuck"] or r["duplicated"] > b["duplicated"]:
+                fail(
+                    f"workflow[{r['variant']}]: regression vs baseline — "
+                    f"stuck {r['stuck']} (was {b['stuck']}), "
+                    f"duplicated {r['duplicated']} (was {b['duplicated']})"
+                )
+
+    headline = next(r for r in results if r["variant"] == "kill")
+    print(
+        "WORKFLOW GATE OK: "
+        f"{headline['terminal']}/{headline['jobs_total']} DAG jobs drained "
+        f"through a mid-storm leader kill ({headline['takeovers']} takeover, "
+        f"{headline['replayed_records']} records replayed); "
+        f"{headline['reschedule_attempts']} reschedules all re-predicted "
+        f"(model versions {headline['model_versions_served']}); "
+        f"slurmdbd joules match the controller across all {len(results)} "
+        "variants (diff "
+        f"{max(r['energy_diff_j'] for r in results):.1e} J)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,8 @@ ERROR_TABLE: "dict[type, ErrorSpec]" = {
     domain.NoLeaderError: ErrorSpec("NO_LEADER", 503, KIND_TRANSIENT),
     domain.UnauthenticatedError: ErrorSpec("UNAUTHORIZED", 401, KIND_USER),
     domain.ForbiddenError: ErrorSpec("FORBIDDEN", 403, KIND_USER),
+    domain.DependencyError: ErrorSpec("DEPENDENCY", 400, KIND_USER),
+    domain.DependencyCycleError: ErrorSpec("DEPENDENCY_CYCLE", 409, KIND_USER),
 }
 
 #: non-Chronus exceptions that still have a public identity, matched by

@@ -31,6 +31,8 @@ __all__ = [
     "DiagInfo",
     "ModelInfo",
     "ModelList",
+    "WorkflowInfo",
+    "WorkflowList",
     "parse_dataclass",
     "dump_dataclass",
 ]
@@ -170,6 +172,11 @@ class JobSubmitRequest(ApiType):
     time_limit_s: int = 0
     uid: int = 1000
     array: tuple[int, ...] = ()
+    #: sbatch ``--dependency`` spec string (``afterok:3:5,afterany:7``);
+    #: parsed server-side so a malformed spec is a typed DEPENDENCY error
+    dependency: str = ""
+    #: sbatch ``--workflow`` grouping for per-workflow accounting
+    workflow_id: str = ""
     #: when true (the default) a submission whose ``name`` already exists
     #: on the leader answers the existing job instead of creating a second
     #: one — what makes client retries across a failover idempotent
@@ -177,6 +184,7 @@ class JobSubmitRequest(ApiType):
 
     def to_descriptor(self):
         from repro.slurm.job import JobDescriptor
+        from repro.slurm.workflow import parse_dependency_spec
 
         return JobDescriptor(
             name=self.name,
@@ -190,6 +198,8 @@ class JobSubmitRequest(ApiType):
             time_limit_s=self.time_limit_s,
             uid=self.uid,
             array=self.array,
+            dependency=parse_dependency_spec(self.dependency),
+            workflow=self.workflow_id,
         )
 
 
@@ -218,10 +228,17 @@ class JobInfo(ApiType):
     energy_j: float = 0.0
     array_job_id: Optional[int] = None
     array_task_id: Optional[int] = None
+    #: canonical ``--dependency`` spec still/originally attached to the job
+    dependency: str = ""
+    workflow_id: str = ""
+    #: number of scheduling attempts (submit / dep_release / reschedule)
+    attempts: int = 0
 
     @classmethod
     def from_job(cls, job) -> "JobInfo":
         """Project a :class:`repro.slurm.job.Job` (duck-typed)."""
+        from repro.slurm.workflow import format_dependency_spec
+
         return cls(
             job_id=job.job_id,
             name=job.descriptor.name,
@@ -234,6 +251,9 @@ class JobInfo(ApiType):
             energy_j=job.consumed_energy_j,
             array_job_id=job.array_job_id,
             array_task_id=job.array_task_id,
+            dependency=format_dependency_spec(job.descriptor.dependency),
+            workflow_id=job.descriptor.workflow,
+            attempts=len(job.attempts),
         )
 
 
@@ -311,6 +331,52 @@ class ModelList(ApiType):
     models: tuple[ModelInfo, ...] = ()
 
 
+# ---------------------------------------------------------------------------
+# workflows (per-workflow provenance accounting)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkflowInfo(ApiType):
+    """GET /slurm/v1/workflows/{workflow_id} — one rollup row.
+
+    Mirrors :func:`repro.slurm.workflow.workflow_rollup`: member job ids,
+    per-state counts, total joules over terminal members, attempt totals
+    and the ordered model lineage (``"id:vN"``) behind every attempt.
+    """
+
+    workflow_id: str
+    job_ids: tuple[int, ...] = ()
+    jobs: int = 0
+    pending: int = 0
+    running: int = 0
+    completed: int = 0
+    failed: int = 0
+    total_energy_j: float = 0.0
+    attempts: int = 0
+    models: tuple[str, ...] = ()
+
+    @classmethod
+    def from_rollup(cls, roll: Mapping) -> "WorkflowInfo":
+        """Project one :func:`workflow_rollup` value."""
+        return cls(
+            workflow_id=roll["workflow_id"],
+            job_ids=tuple(roll["job_ids"]),
+            jobs=roll["jobs"],
+            pending=roll["pending"],
+            running=roll["running"],
+            completed=roll["completed"],
+            failed=roll["failed"],
+            total_energy_j=roll["total_energy_j"],
+            attempts=roll["attempts"],
+            models=tuple(roll["models"]),
+        )
+
+
+@dataclass(frozen=True)
+class WorkflowList(ApiType):
+    workflows: tuple[WorkflowInfo, ...] = ()
+    next_cursor: Optional[str] = None
+
+
 #: every public API shape, in the order the OpenAPI spec lists them
 API_TYPES: tuple[type, ...] = (
     JobSubmitRequest,
@@ -322,4 +388,6 @@ API_TYPES: tuple[type, ...] = (
     DiagInfo,
     ModelInfo,
     ModelList,
+    WorkflowInfo,
+    WorkflowList,
 )

@@ -11,6 +11,7 @@ The paper's section 3.3 surface plus one reporting addition::
     chronus report --system [SYSTEM_ID]      (ours: projected savings)
     chronus metrics [--format json|prometheus|summary]  (ours: telemetry)
     chronus faults {list,run ..}             (ours: chaos drills)
+    chronus workflow {list,show,reschedule}  (ours: per-workflow accounting)
     chronus serve [--socket PATH] [--preload MODEL_ID]  (ours: prediction daemon)
     chronus restd [--port PORT]              (ours: REST gateway, slurmrestd analogue)
     chronus shutdown [--socket PATH]         (ours: stop the daemon)
@@ -194,6 +195,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=50,
         help="storm/failover submissions [default: 50]",
     )
+
+    p_wf = sub.add_parser(
+        "workflow",
+        help="per-workflow provenance: rollups from a state-save journal, "
+        "plus offline requeue of a failed member",
+    )
+    wf_sub = p_wf.add_subparsers(dest="workflow_command", required=True)
+    w_list = wf_sub.add_parser(
+        "list", help="every workflow's rollup (jobs, joules, attempts, models)"
+    )
+    w_list.add_argument(
+        "--statesave", required=True,
+        help="state-save directory (journal + snapshots) to read",
+    )
+    w_show = wf_sub.add_parser(
+        "show", help="one workflow's rollup plus its member jobs"
+    )
+    w_show.add_argument("workflow_id")
+    w_show.add_argument("--statesave", required=True,
+                        help="state-save directory to read")
+    w_resched = wf_sub.add_parser(
+        "reschedule",
+        help="requeue a terminally-failed job; the release re-runs the "
+        "energy-optimal prediction and records the attempt's model lineage",
+    )
+    w_resched.add_argument("job_id", type=int)
+    w_resched.add_argument("--statesave", required=True,
+                           help="state-save directory to restore and journal into")
 
     p_serve = sub.add_parser(
         "serve",
@@ -661,6 +690,111 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _render_rollup_row(roll: dict) -> str:
+    models = ",".join(roll["models"]) or "-"
+    return (
+        f"  {roll['workflow_id']:<16} jobs={roll['jobs']:<4} "
+        f"done={roll['completed']:<4} failed={roll['failed']:<4} "
+        f"pending={roll['pending']:<4} running={roll['running']:<4} "
+        f"attempts={roll['attempts']:<4} "
+        f"energy={roll['total_energy_j']:.1f}J models={models}"
+    )
+
+
+def _journal_topology(statesave) -> list:
+    """The ``[[hostname, total_cores], ...]`` the journal was written on.
+
+    The genesis record pins it; after compaction (which may drop genesis)
+    the newest snapshot's cluster capture carries the same facts.
+    """
+    for rec in statesave.read_records():
+        if rec.type == "genesis":
+            return [list(entry) for entry in rec.data["nodes"]]
+        break  # genesis is always the first surviving record
+    snap = statesave.load_latest_snapshot()
+    if snap is not None:
+        return [[n["name"], n["total"]] for n in snap["state"]["cluster"]]
+    raise ChronusError(
+        f"state-save at {statesave.path!r} has no genesis record or "
+        "snapshot; cannot determine the cluster topology to restore"
+    )
+
+
+def _cmd_workflow(args: argparse.Namespace) -> int:
+    from repro.core.domain.errors import ProtocolError
+    from repro.slurm.dbd import SlurmDbd
+    from repro.slurm.statesave import StateSave
+
+    if not os.path.isdir(args.statesave):
+        raise ChronusError(f"no state-save directory at {args.statesave!r}")
+    statesave = StateSave(args.statesave, fsync=False)
+    if args.workflow_command == "reschedule":
+        # restore a controller over the journal and requeue through it, so
+        # the reschedule record lands in the same durable stream the live
+        # control plane (and slurmdbd) replays
+        from repro.slurm.cluster import SimCluster
+        from repro.slurm.controller import Slurmctld, SubmitError
+
+        topology = _journal_topology(statesave)
+        fresh = SimCluster(seed=args.seed, n_nodes=len(topology))
+        rebuilt = [[n.hostname, n.node.total_cores] for n in fresh.ctld.nodes]
+        if rebuilt != topology:
+            raise ChronusError(
+                f"journal topology {topology!r} cannot be rebuilt with the "
+                "default node spec; reschedule through the live control "
+                "plane instead"
+            )
+        try:
+            ctld = Slurmctld.restore(
+                fresh.sim, fresh.ctld.config, fresh.ctld.nodes, statesave,
+                attach=False,
+            )
+        except ValueError as exc:
+            raise ChronusError(f"cannot restore state-save: {exc}") from exc
+        try:
+            attempt = ctld.reschedule(args.job_id)
+        except KeyError:
+            raise ProtocolError(f"unknown job {args.job_id}") from None
+        except SubmitError as exc:
+            raise ProtocolError(str(exc)) from None
+        job = ctld.jobs[args.job_id]
+        last = job.attempts[-1]
+        print(
+            f"job {args.job_id} requeued (attempt {attempt}, "
+            f"model {last['model_id']}:v{last['model_version']})"
+        )
+        return 0
+    dbd = SlurmDbd(statesave)
+    dbd.pump()
+    rollups = dbd.workflows()
+    if args.workflow_command == "list":
+        if not rollups:
+            print("no workflows recorded")
+            return 0
+        print(f"Workflows ({len(rollups)}):")
+        for name in sorted(rollups):
+            print(_render_rollup_row(rollups[name]))
+        return 0
+    roll = rollups.get(args.workflow_id)
+    if roll is None:
+        raise ProtocolError(
+            f"unknown workflow {args.workflow_id!r}; "
+            f"known: {sorted(rollups) or '(none)'}"
+        )
+    print(_render_rollup_row(roll))
+    jobs = dbd.jobs()
+    print("  members:")
+    for job_id in roll["job_ids"]:
+        job = jobs[job_id]
+        print(
+            f"    job {job_id:<6} {job.state.value:<10} "
+            f"attempts={len(job.attempts)} "
+            f"energy={job.consumed_energy_j:.1f}J "
+            f"reason={job.pending_reason}"
+        )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import SavingsReport
 
@@ -689,6 +823,7 @@ _COMMANDS = {
     "set": _cmd_set,
     "metrics": _cmd_metrics,
     "faults": _cmd_faults,
+    "workflow": _cmd_workflow,
     "serve": _cmd_serve,
     "restd": _cmd_restd,
     "shutdown": _cmd_shutdown,

@@ -33,6 +33,8 @@ __all__ = [
     "NoLeaderError",
     "UnauthenticatedError",
     "ForbiddenError",
+    "DependencyError",
+    "DependencyCycleError",
 ]
 
 
@@ -141,3 +143,14 @@ class UnauthenticatedError(ChronusError):
 class ForbiddenError(ChronusError):
     """The caller is authenticated but its scope does not allow the
     operation (a read token submitting, a submit token draining a node)."""
+
+
+class DependencyError(ChronusError):
+    """A ``--dependency`` spec the controller cannot honor: malformed
+    syntax, an unknown dependency kind, or a predecessor job id that was
+    never submitted."""
+
+
+class DependencyCycleError(DependencyError):
+    """The submission would close a dependency cycle — every job in the
+    loop would wait on the others forever, so it is rejected at submit."""

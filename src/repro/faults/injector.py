@@ -56,6 +56,8 @@ SITES: Mapping[str, str] = {
     "ctld.crash": "slurmctld dies right after a durable journal append (ack lost)",
     "journal.torn_write": "slurmctld dies mid-append, tearing the journal tail",
     "peer.partition": "an HA peer misses one heartbeat (cut off from state-save)",
+    "dep.release_crash": "slurmctld dies right after journaling a dependency release",
+    "reschedule.storm": "slurmctld dies mid-requeue, right after the reschedule record",
     "restd.slowloris": "a restd client stalls mid-request (read timed out, 408)",
     "restd.bad_auth": "restd token verification fails closed (401 on a valid token)",
 }

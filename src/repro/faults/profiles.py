@@ -28,6 +28,11 @@ PROFILES = {
     "ctld-failover": "ctld.crash=0.02:1,journal.torn_write=0.02:1,peer.partition=0.05",
     # REST gateway under hostile clients: stalled reads + an auth outage
     "restd-pressure": "restd.slowloris=0.15,restd.bad_auth=0.15",
+    # workflow drill: the controller dies at a dependency release and at a
+    # requeue (both post-durable), and peers occasionally miss heartbeats
+    "workflow-chaos": (
+        "dep.release_crash=0.05:1,reschedule.storm=0.3:1,peer.partition=0.05"
+    ),
 }
 
 PROFILE_DESCRIPTIONS = {
@@ -40,4 +45,7 @@ PROFILE_DESCRIPTIONS = {
     "serve-pressure": "20% of predicts shed + 10% of batches stalled",
     "ctld-failover": "leader crash + torn journal write + flaky peer heartbeats",
     "restd-pressure": "15% of restd reads stall (408) + 15% auth verifications fail",
+    "workflow-chaos": (
+        "controller crash at a dep release + at a requeue + flaky heartbeats"
+    ),
 }

@@ -14,6 +14,8 @@ GET    /slurm/v1/nodes                                    read
 POST   /slurm/v1/nodes/{hostname}/drain                   admin
 POST   /slurm/v1/nodes/{hostname}/resume                  admin
 GET    /slurm/v1/diag                                     read
+GET    /slurm/v1/workflows                                read
+GET    /slurm/v1/workflows/{workflow_id}                  read
 POST   /chronus/v1/predict                                read
 GET    /chronus/v1/models                                 read
 POST   /chronus/v1/models/{model_id}/promote              admin
@@ -70,6 +72,8 @@ from repro.api.types import (
     ModelList,
     NodeInfo,
     NodeList,
+    WorkflowInfo,
+    WorkflowList,
 )
 from repro.core.domain.errors import (
     ChronusError,
@@ -78,6 +82,7 @@ from repro.core.domain.errors import (
 )
 from repro.restd.http import HttpError, HttpRequest
 from repro.serving.protocol import ErrorResponse, decode_request_dict
+from repro.slurm.workflow import workflow_rollup
 
 __all__ = ["Route", "ROUTES", "RestResponse", "RestGateway", "DEFAULT_PAGE_LIMIT"]
 
@@ -146,6 +151,12 @@ ROUTES: tuple[Route, ...] = (
           "resume a drained node", response_model=NodeInfo),
     Route("GET", "/slurm/v1/diag", "diag", "read",
           "controller diagnostics (sdiag)", response_model=DiagInfo),
+    Route("GET", "/slurm/v1/workflows", "list_workflows", "read",
+          "per-workflow provenance rollups (paginated)",
+          response_model=WorkflowList),
+    Route("GET", "/slurm/v1/workflows/{workflow_id}", "get_workflow", "read",
+          "one workflow's rollup (joules, attempts, model lineage)",
+          response_model=WorkflowInfo),
     Route("POST", "/chronus/v1/predict", "predict", "read",
           "energy-efficient configuration prediction (via the shard router)"),
     Route("GET", "/chronus/v1/models", "list_models", "read",
@@ -179,19 +190,20 @@ class RestResponse:
         return json.dumps(self.body).encode("utf-8")
 
 
-def _encode_cursor(after_job_id: int) -> str:
-    raw = json.dumps({"v": 1, "after": after_job_id}).encode("utf-8")
+def _encode_cursor(after: "int | str") -> str:
+    """Opaque cursor keyed by the last row served (job id or workflow id)."""
+    raw = json.dumps({"v": 1, "after": after}).encode("utf-8")
     return base64.urlsafe_b64encode(raw).decode("ascii")
 
 
-def _decode_cursor(cursor: str) -> int:
+def _decode_cursor(cursor: str, expect: type = int) -> "int | str":
     try:
         data = json.loads(base64.urlsafe_b64decode(cursor.encode("ascii")))
         if data.get("v") != 1:
             raise ValueError(f"unknown cursor version {data.get('v')!r}")
         after = data["after"]
-        if isinstance(after, bool) or not isinstance(after, int):
-            raise ValueError("cursor 'after' must be an integer")
+        if isinstance(after, bool) or not isinstance(after, expect):
+            raise ValueError(f"cursor 'after' must be {expect.__name__}")
         return after
     except (ValueError, KeyError, binascii.Error, UnicodeDecodeError) as exc:
         raise ProtocolError(f"malformed pagination cursor: {exc}") from exc
@@ -334,10 +346,15 @@ class RestGateway:
             return self.dbd.jobs()
         return self._leader().jobs
 
-    # ------------------------------------------------------------------
-    # /slurm/v1 handlers
-    # ------------------------------------------------------------------
-    def _list_jobs(self, request: HttpRequest, params: dict) -> RestResponse:
+    def _workflow_table(self) -> "dict[str, dict]":
+        """Per-workflow rollups, preferring the leader-surviving dbd."""
+        if self.dbd is not None:
+            self.dbd.pump()
+            return self.dbd.workflows()
+        return workflow_rollup(self._leader().jobs.values())
+
+    @staticmethod
+    def _page_limit(request: HttpRequest) -> int:
         try:
             limit = int(request.query.get("limit", DEFAULT_PAGE_LIMIT))
         except ValueError:
@@ -346,6 +363,13 @@ class RestGateway:
             raise ProtocolError(
                 f"query parameter 'limit' must be in [1, {MAX_PAGE_LIMIT}]"
             )
+        return limit
+
+    # ------------------------------------------------------------------
+    # /slurm/v1 handlers
+    # ------------------------------------------------------------------
+    def _list_jobs(self, request: HttpRequest, params: dict) -> RestResponse:
+        limit = self._page_limit(request)
         after = 0
         cursor = request.query.get("cursor")
         if cursor:
@@ -456,6 +480,31 @@ class RestGateway:
                 jobs_running=len(ctld.running_jobs()),
             ).to_dict()
         )
+
+    def _list_workflows(self, request: HttpRequest, params: dict) -> RestResponse:
+        limit = self._page_limit(request)
+        after = ""
+        cursor = request.query.get("cursor")
+        if cursor:
+            after = _decode_cursor(cursor, expect=str)
+        table = self._workflow_table()
+        names = sorted(n for n in table if n > after)
+        page, rest = names[:limit], names[limit:]
+        workflows = tuple(WorkflowInfo.from_rollup(table[n]) for n in page)
+        next_cursor = _encode_cursor(page[-1]) if rest else None
+        return RestResponse(
+            body=WorkflowList(
+                workflows=workflows, next_cursor=next_cursor
+            ).to_dict()
+        )
+
+    def _get_workflow(self, request: HttpRequest, params: dict) -> RestResponse:
+        roll = self._workflow_table().get(params["workflow_id"])
+        if roll is None:
+            raise HttpError(
+                404, "NOT_FOUND", f"unknown workflow {params['workflow_id']!r}"
+            )
+        return RestResponse(body=WorkflowInfo.from_rollup(roll).to_dict())
 
     # ------------------------------------------------------------------
     # /chronus/v1 handlers

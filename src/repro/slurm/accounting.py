@@ -39,7 +39,27 @@ def record_from_job(job: Job) -> JobRecord:
         energy_j=job.consumed_energy_j,
         exit_code=job.exit_code,
         uid=job.descriptor.uid,
+        workflow=job.descriptor.workflow,
+        attempts=len(job.attempts),
+        models=_model_lineage(job.attempts),
     )
+
+
+def _model_lineage(attempts: "list[dict]") -> "tuple[str, ...]":
+    """Ordered unique ``"id:vN"`` labels across a job's attempts.
+
+    ``model_id == 0`` means no prediction was served for that attempt
+    (provider down, plugin deactivated, legacy provider) and is omitted.
+    """
+    labels: list[str] = []
+    for attempt in attempts:
+        model_id = attempt.get("model_id", 0)
+        if not model_id:
+            continue
+        label = f"{model_id}:v{attempt.get('model_version', 0)}"
+        if label not in labels:
+            labels.append(label)
+    return tuple(labels)
 
 
 @dataclass(frozen=True)
@@ -60,6 +80,12 @@ class JobRecord:
     energy_j: float
     exit_code: int
     uid: int = 1000
+    #: workflow membership + provenance (PR10); attempts counts every
+    #: scheduling attempt (submit / dep_release / reschedule) so a
+    #: re-delivered row from an earlier lifecycle is detectably stale
+    workflow: str = ""
+    attempts: int = 0
+    models: tuple[str, ...] = ()
 
     @property
     def elapsed_s(self) -> Optional[float]:
@@ -110,8 +136,13 @@ class AccountingDatabase:
             self._applied.add(key)
         current = self._records.get(rec.job_id)
         if current is not None and current.state in _TERMINAL_STATES:
-            if rec.state not in _TERMINAL_STATES or rec == current:
-                # stale RUNNING re-delivery, or the finish replayed verbatim
+            if rec.attempts < current.attempts or (
+                rec.attempts == current.attempts
+                and (rec.state not in _TERMINAL_STATES or rec == current)
+            ):
+                # a row from an earlier lifecycle of a rescheduled job,
+                # a stale RUNNING re-delivery, or the finish replayed
+                # verbatim — none may clobber the newer terminal row
                 self.duplicates_dropped += 1
                 telemetry.counter("dbd_duplicates_dropped_total").inc()
                 return False
@@ -132,9 +163,11 @@ class AccountingDatabase:
 
     def load_capture(self, rows: list[dict]) -> None:
         """Replace contents with snapshot rows (bootstrap after compaction)."""
-        self._records = {
-            int(row["job_id"]): JobRecord(**row) for row in rows
-        }
+        self._records = {}
+        for row in rows:
+            row = dict(row)
+            row["models"] = tuple(row.get("models", ()))
+            self._records[int(row["job_id"])] = JobRecord(**row)
 
     def get(self, job_id: int) -> JobRecord:
         if job_id not in self._records:

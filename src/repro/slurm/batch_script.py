@@ -20,9 +20,18 @@ from __future__ import annotations
 import re
 import shlex
 
+from repro.core.domain.errors import DependencyError
 from repro.slurm.job import JobDescriptor
+from repro.slurm.workflow import parse_dependency_spec
 
-__all__ = ["BatchScriptError", "parse_batch_script", "parse_time_limit", "build_script"]
+__all__ = [
+    "BatchScriptError",
+    "parse_batch_script",
+    "parse_time_limit",
+    "parse_array_spec",
+    "parse_array_limit",
+    "build_script",
+]
 
 
 class BatchScriptError(ValueError):
@@ -69,6 +78,7 @@ _OPT_ALIASES = {
     "-J": "--job-name",
     "-t": "--time",
     "-p": "--partition",
+    "-d": "--dependency",
 }
 
 
@@ -133,6 +143,19 @@ def parse_batch_script(script: str) -> JobDescriptor:
         desc.partition = options["--partition"]
     if "--array" in options:
         desc.array = parse_array_spec(options["--array"])
+        desc.array_limit = parse_array_limit(options["--array"])
+    if "--dependency" in options:
+        try:
+            desc.dependency = parse_dependency_spec(options["--dependency"])
+        except DependencyError as exc:
+            raise BatchScriptError(str(exc)) from exc
+        if not desc.dependency:
+            raise BatchScriptError("--dependency given with an empty spec")
+    if "--workflow" in options:
+        workflow = options["--workflow"].strip()
+        if not workflow:
+            raise BatchScriptError("--workflow given with an empty name")
+        desc.workflow = workflow
 
     # the job step: first non-comment command line mentioning srun, or the
     # bare command line itself
@@ -168,8 +191,9 @@ def parse_batch_script(script: str) -> JobDescriptor:
 def parse_array_spec(value: str) -> tuple[int, ...]:
     """Parse ``--array`` specs: ``0-9``, ``1,3,7``, ``0-9:2``, ``0-9%4``.
 
-    The ``%limit`` concurrency throttle is accepted and ignored (the
-    simulator's scheduler already bounds concurrency by cores).
+    Returns the task indices only; the ``%limit`` concurrency throttle is
+    parsed by :func:`parse_array_limit` and enforced by the scheduler
+    (at most ``limit`` elements of one array running concurrently).
     """
     spec = value.strip()
     if "%" in spec:
@@ -202,6 +226,17 @@ def parse_array_spec(value: str) -> tuple[int, ...]:
     return tuple(sorted(set(indices)))
 
 
+def parse_array_limit(value: str) -> int:
+    """Parse the ``%limit`` suffix of an ``--array`` spec; 0 = unlimited."""
+    spec = value.strip()
+    if "%" not in spec:
+        return 0
+    limit_text = spec.split("%", 1)[1]
+    if not limit_text.isdigit() or int(limit_text) < 1:
+        raise BatchScriptError(f"bad --array %limit in {value!r}")
+    return int(limit_text)
+
+
 def _parse_int(value: str, opt: str) -> int:
     try:
         return int(value)
@@ -229,11 +264,14 @@ def build_script(
     time_limit: str = "",
     job_name: str = "",
     nodes: int = 1,
+    dependency: str = "",
+    workflow: str = "",
 ) -> str:
     """Generate a batch script in the paper's Listing-6 shape.
 
     ``cores`` is the total task count (``--ntasks``); pass ``nodes`` for a
-    spanning job (multi-node extension).
+    spanning job (multi-node extension), ``dependency``/``workflow`` for
+    DAG membership (``afterok:3,afterany:5`` syntax).
     """
     lines = ["#!/bin/bash", f"#SBATCH --nodes={nodes}", f"#SBATCH --ntasks={cores}",
              f"#SBATCH --cpu-freq={frequency_khz}"]
@@ -243,6 +281,10 @@ def build_script(
         lines.append(f"#SBATCH --time={time_limit}")
     if job_name:
         lines.append(f"#SBATCH --job-name={job_name}")
+    if dependency:
+        lines.append(f"#SBATCH --dependency={dependency}")
+    if workflow:
+        lines.append(f"#SBATCH --workflow={workflow}")
     lines.append("")
     lines.append(
         f"srun --mpi=pmix_v4 --ntasks-per-core={threads_per_core} {binary}"

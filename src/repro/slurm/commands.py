@@ -14,6 +14,7 @@ import re
 from repro.slurm.batch_script import parse_batch_script
 from repro.slurm.controller import Slurmctld
 from repro.slurm.job import JobState
+from repro.slurm.workflow import format_dependency_spec
 
 __all__ = ["SlurmCommands", "parse_sbatch_output"]
 
@@ -99,6 +100,9 @@ class SlurmCommands:
             f"CpuFreqMin={d.cpu_freq_min or 'Default'}",
             f"CpuFreqMax={d.cpu_freq_max or 'Default'}",
             f"Comment={d.comment or '(null)'}",
+            f"Dependency={format_dependency_spec(d.dependency) or '(null)'}",
+            f"Workflow={d.workflow or '(null)'}",
+            f"Restarts={sum(1 for a in job.attempts if a.get('reason') == 'reschedule')}",
             f"Command={d.binary}",
             f"SubmitTime={job.submit_time:.1f}",
             f"StartTime={'' if job.start_time is None else f'{job.start_time:.1f}'}",

@@ -46,6 +46,10 @@ class SlurmConfig:
     #: reference schedulers instead of the incremental index (benchmarks,
     #: parity checks)
     sched_incremental: bool = True
+    #: ``RescheduleRetries=N`` — automatic retry-on-failure budget for
+    #: workflow members (0 = disabled); each retry re-runs the
+    #: energy-optimal prediction at release time through the live provider
+    reschedule_retries: int = 0
     extra: dict[str, str] = field(default_factory=dict)
 
     @classmethod
@@ -104,6 +108,18 @@ class SlurmConfig:
                     raise ConfigError(
                         f"line {lineno}: DefaultTime expects minutes, got {value!r}"
                     ) from None
+            elif lower == "rescheduleretries":
+                try:
+                    cfg.reschedule_retries = int(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"line {lineno}: RescheduleRetries expects an integer, "
+                        f"got {value!r}"
+                    ) from None
+                if cfg.reschedule_retries < 0:
+                    raise ConfigError(
+                        f"line {lineno}: RescheduleRetries must be >= 0"
+                    )
             elif lower == "schedulerparameters":
                 for param in (p.strip() for p in value.split(",") if p.strip()):
                     if param == "defer":
@@ -143,6 +159,8 @@ class SlurmConfig:
         ]
         if self.job_submit_plugins:
             lines.append("JobSubmitPlugins=" + ",".join(self.job_submit_plugins))
+        if self.reschedule_retries:
+            lines.append(f"RescheduleRetries={self.reschedule_retries}")
         params = []
         if self.sched_defer:
             params.append("defer")

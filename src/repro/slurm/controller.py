@@ -9,7 +9,9 @@ When constructed with a :class:`~repro.slurm.statesave.StateSave`, the
 controller journals every state mutation (submit with the
 post-plugin-chain descriptor — so eco plugin decisions are replayed, not
 re-decided — start, finish, cancel, drain/resume, scheduling-pass reason
-updates) *after* applying it in memory, which gives the replay invariant
+updates, and the workflow records ``submit_dep``/``dep_release``/
+``reschedule`` whose descriptors likewise carry the already-decided
+release-time predictions) *after* applying it in memory, which gives the replay invariant
 crash recovery rests on: the in-memory state at the moment journal record
 ``k`` is appended equals the state produced by replaying records
 ``1..k`` into a fresh controller (``tests/test_statesave.py`` property-
@@ -25,8 +27,12 @@ import time
 from dataclasses import asdict, replace
 from typing import Optional
 
-from repro import telemetry
-from repro.core.domain.errors import ControllerCrashError, StaleEpochError
+from repro import faults, telemetry
+from repro.core.domain.errors import (
+    ControllerCrashError,
+    DependencyError,
+    StaleEpochError,
+)
 from repro.simkernel.engine import Simulator
 from repro.slurm.accounting import AccountingDatabase
 from repro.slurm.config import SlurmConfig
@@ -37,6 +43,7 @@ from repro.slurm.priority import PriorityWeights, order_by_priority
 from repro.slurm.sched_index import ClusterState
 from repro.slurm.scheduler import NodeView, backfill_schedule, fifo_schedule
 from repro.slurm.statesave import StateSave, state_sha256
+from repro.slurm.workflow import DependencyGraph, dependency_status
 
 __all__ = ["SubmitError", "Slurmctld", "descriptor_to_dict", "descriptor_from_dict"]
 
@@ -53,6 +60,9 @@ def descriptor_from_dict(data: dict) -> JobDescriptor:
     fields = dict(data)
     fields["srun_args"] = tuple(fields.get("srun_args", ()))
     fields["array"] = tuple(fields.get("array", ()))
+    fields["dependency"] = tuple(
+        (kind, int(pred)) for kind, pred in fields.get("dependency", ())
+    )
     return JobDescriptor(**fields)
 
 
@@ -76,6 +86,7 @@ def _job_to_dict(job: Job) -> dict:
         "pending_reason": job.pending_reason,
         "array_job_id": job.array_job_id,
         "array_task_id": job.array_task_id,
+        "attempts": [dict(a) for a in job.attempts],
     }
 
 
@@ -99,6 +110,7 @@ def _job_from_dict(data: dict) -> Job:
         pending_reason=data["pending_reason"],
         array_job_id=data["array_job_id"],
         array_task_id=data["array_task_id"],
+        attempts=[dict(a) for a in data.get("attempts", ())],
     )
 
 
@@ -142,8 +154,14 @@ class Slurmctld:
             (n.hostname, n.node.total_cores, n.node.free_cores()) for n in nodes
         )
         self._drained: set[str] = set()
+        #: unsatisfied dependency edges; jobs in here sit in
+        #: PENDING(Dependency) and are invisible to the scheduler passes
+        self.depgraph = DependencyGraph()
         #: pending deferred-pass event (SchedulerParameters=defer coalescing)
         self._sched_event: "object | None" = None
+        #: re-entrancy guard for _schedule_pass (see its docstring)
+        self._in_pass = False
+        self._repass_needed = False
         #: crash-recovery state (see module docstring)
         self.statesave = statesave
         self.epoch = (
@@ -255,6 +273,7 @@ class Slurmctld:
             },
             "cluster": self.cluster_state.capture(),
             "accounting": self.accounting.capture(),
+            "depgraph": self.depgraph.capture(),
         }
 
     def state_digest(self) -> str:
@@ -282,6 +301,7 @@ class Slurmctld:
         }
         self.cluster_state = ClusterState.from_capture(state["cluster"])
         self.accounting.load_capture(state["accounting"])
+        self.depgraph = DependencyGraph.from_capture(state.get("depgraph", {}))
 
     def _apply_record(self, rec) -> None:
         """Replay one journal record: pure bookkeeping, no side effects.
@@ -322,6 +342,34 @@ class Slurmctld:
                 self.jobs[job.job_id] = job
                 self._pending.append(job.job_id)
                 self._next_job_id += 1
+        elif rtype == "submit_dep":
+            job = Job(
+                job_id=int(data["job_id"]),
+                descriptor=descriptor_from_dict(data["descriptor"]),
+                submit_time=data["submit_time"],
+            )
+            if data["attempt"] is not None:
+                job.attempts.append(dict(data["attempt"]))
+            deps = [(kind, int(pred)) for kind, pred in data["deps"]]
+            if deps:
+                job.pending_reason = "Dependency"
+                self.depgraph.add(job.job_id, deps)
+            self.jobs[job.job_id] = job
+            self._pending.append(job.job_id)
+            self._next_job_id = max(self._next_job_id, job.job_id + 1)
+        elif rtype == "dep_release":
+            job = self.jobs[int(data["job_id"])]
+            job.descriptor = descriptor_from_dict(data["descriptor"])
+            if data["attempt"] is not None:
+                job.attempts.append(dict(data["attempt"]))
+            job.pending_reason = "None"
+            self.depgraph.remove(job.job_id)
+        elif rtype == "reschedule":
+            job = self.jobs[int(data["job_id"])]
+            job.descriptor = descriptor_from_dict(data["descriptor"])
+            job.attempts.append(dict(data["attempt"]))
+            self._reset_for_requeue(job)
+            self._pending.append(job.job_id)
         elif rtype == "pass":
             for jid, reason in data["reasons"].items():
                 self.jobs[int(jid)].pending_reason = reason
@@ -385,6 +433,9 @@ class Slurmctld:
                 self._pending.remove(job.job_id)
             job.state = JobState.CANCELLED
             job.end_time = data["end_time"]
+            if "reason" in data:
+                job.pending_reason = data["reason"]
+            self.depgraph.remove(job.job_id)
             self.accounting.upsert(job)
         elif rtype == "drain":
             self._drained.add(data["hostname"])
@@ -417,6 +468,14 @@ class Slurmctld:
         orphan steps no restored job owns are stopped.  ``attach=False``
         is a cold restart: nodes came back empty and every surviving
         RUNNING job's steps are re-launched.
+
+        Dependency-held jobs are re-armed too: the graph is rebuilt from
+        the replayed ``submit_dep`` records, and the first simulation
+        event after restore re-evaluates every held job against its
+        predecessors' states — a crash between a predecessor's ``finish``
+        record and the dependent's ``dep_release`` (or an interrupted
+        auto-reschedule) is healed there instead of leaving the job held
+        forever (see :meth:`_rearm`).
 
         The caller re-registers plugins afterwards, like slurmctld
         re-reading slurm.conf on restart.
@@ -454,7 +513,18 @@ class Slurmctld:
         return ctld
 
     def _rearm(self, attach: bool) -> None:
-        """Re-arm completions, reconcile node workloads, reschedule."""
+        """Re-arm completions, workloads, held dependents; reschedule.
+
+        Running jobs get their completion events back at the journaled
+        times and their workloads reconciled (attach) or re-launched
+        (cold restart).  Everything queue-shaped — re-resolving
+        dependency-held jobs whose release record was lost in the crash,
+        resuming interrupted automatic reschedules, and the scheduling
+        pass itself — is deferred to a zero-delay event so the restored
+        state stays byte-identical to the pre-crash capture until the
+        simulation moves again (the replay property test digests right
+        after restore returns).
+        """
         live: dict[str, set[int]] = {
             s.hostname: set(s.node.running_handles()) for s in self.nodes
         }
@@ -495,20 +565,42 @@ class Slurmctld:
                 name=f"job{jid}-done",
             )
             self._completion_events[jid] = ev
-        if self._pending:
-            # always deferred (even without SchedulerParameters=defer): the
-            # restored state must stay byte-identical to the pre-crash
-            # capture until the simulation moves again — the replay
-            # property test digests right here
+        needs_requeue = any(
+            job.state in (JobState.FAILED, JobState.TIMEOUT)
+            and self._should_auto_reschedule(job)
+            for job in self.jobs.values()
+        )
+        if self._pending or needs_requeue:
             if self._sched_event is None:
 
                 def fire() -> None:
                     self._sched_event = None
+                    self._resume_auto_reschedules()
+                    self._resolve_all_held()
                     self._schedule_pass()
 
                 self._sched_event = self.sim.call_at(
                     self.sim.now, fire, name="sched-pass-restore"
                 )
+
+    def _resume_auto_reschedules(self) -> None:
+        """Catch up reschedules a crash interrupted mid-policy.
+
+        A job that is terminal-failed with retry budget left means the
+        old leader died between journaling ``finish`` and the follow-up
+        ``reschedule`` record; re-run the policy exactly as it would have.
+        """
+        for job_id in sorted(self.jobs):
+            job = self.jobs[job_id]
+            if job.state in (JobState.FAILED, JobState.TIMEOUT):
+                if self._should_auto_reschedule(job):
+                    self.reschedule(job_id)
+
+    def _resolve_all_held(self) -> None:
+        """Re-evaluate every dependency-held job against current state."""
+        for job_id in sorted(self.depgraph.waiting):
+            if job_id in self.depgraph:  # a cascade may have removed it
+                self._resolve_job_deps(job_id, repredict=True)
 
     # ------------------------------------------------------------------
     # submission
@@ -527,7 +619,14 @@ class Slurmctld:
         if descriptor.time_limit_s == 0:
             descriptor.time_limit_s = self.config.default_time_limit_s
         if descriptor.array:
+            if descriptor.dependency:
+                raise SubmitError(
+                    "--array with --dependency is not supported; submit the "
+                    "array first and make dependents wait on its master id"
+                )
             return self._submit_array(descriptor)
+        if descriptor.dependency or descriptor.workflow:
+            return self._submit_dep(descriptor)
         job = Job(
             job_id=self._next_job_id,
             descriptor=descriptor,
@@ -548,6 +647,97 @@ class Slurmctld:
         )
         self._request_schedule()
         return job.job_id
+
+    def _submit_dep(self, descriptor: JobDescriptor) -> int:
+        """Submit a workflow member: dependency DAG + attempt provenance.
+
+        The job enters the queue in ``PENDING(Dependency)`` when it has
+        unsatisfied edges; edges against already-terminal predecessors are
+        evaluated immediately through the same resolution path every
+        ``finish``/``cancel`` uses, so an ``afterok`` on a job that
+        already failed cancels this one right away
+        (``DependencyNeverSatisfied``) instead of holding it forever.
+        """
+        deps = self._expand_deps(descriptor.dependency)
+        job_id = self._next_job_id
+        # cycle rejection happens before any state mutates: a rejected
+        # submission must leave no trace (fail fast, see DESIGN.md)
+        self.depgraph.add(job_id, deps)
+        job = Job(job_id=job_id, descriptor=descriptor, submit_time=self.sim.now)
+        attempt = self._attempt_entry(1, "submit")
+        job.attempts.append(attempt)
+        if deps:
+            job.pending_reason = "Dependency"
+        self._next_job_id += 1
+        self.jobs[job_id] = job
+        self._pending.append(job_id)
+        self.log.append(
+            f"[{self.sim.now:.1f}] submitted job {job_id} ({descriptor.name}"
+            f"{', workflow ' + descriptor.workflow if descriptor.workflow else ''}"
+            f"{', held on ' + str(len(deps)) + ' dependencies' if deps else ''})"
+        )
+        self._journal(
+            "submit_dep",
+            {
+                "job_id": job_id,
+                "descriptor": descriptor_to_dict(descriptor),
+                "submit_time": job.submit_time,
+                "deps": [[kind, pred] for kind, pred in deps],
+                "attempt": attempt,
+            },
+        )
+        if deps:
+            # predecessors may already be terminal: resolve now, but skip
+            # re-prediction — the plugin chain ran a moment ago
+            self._resolve_job_deps(job_id, repredict=False)
+        self._request_schedule()
+        return job_id
+
+    def _expand_deps(self, edges) -> "list[tuple[str, int]]":
+        """Validate edges and expand array masters to the whole array.
+
+        A dependency naming an array's master id means "after the whole
+        array": the edge fans out to every task, so ``afterok`` waits for
+        all of them and ``afternotok`` fires if any task failed.
+        """
+        expanded: list[tuple[str, int]] = []
+        for kind, pred in edges:
+            pred_job = self.jobs.get(pred)
+            if pred_job is None:
+                raise DependencyError(
+                    f"dependency on unknown job {pred} (never submitted)"
+                )
+            if pred_job.array_job_id == pred:
+                targets = [t.job_id for t in self.array_tasks(pred)]
+            else:
+                targets = [pred]
+            for target in targets:
+                if (kind, target) not in expanded:
+                    expanded.append((kind, target))
+        return expanded
+
+    def _plugin_attribution(self) -> "tuple[int, int]":
+        """Registry identity of the model behind the latest chain run.
+
+        Plugins that serve predictions expose ``last_served`` (the eco
+        plugin sets it on every ``job_submit`` call); ``(0, 0)`` means no
+        model was consulted — the plugin skipped the job or fell back.
+        """
+        for plugin in self.plugin_chain.plugins:
+            served = getattr(plugin, "last_served", None)
+            if served is not None:
+                return int(served.model_id), int(served.model_version)
+        return 0, 0
+
+    def _attempt_entry(self, n: int, reason: str) -> dict:
+        model_id, model_version = self._plugin_attribution()
+        return {
+            "n": n,
+            "time": self.sim.now,
+            "reason": reason,
+            "model_id": model_id,
+            "model_version": model_version,
+        }
 
     def _submit_array(self, descriptor: JobDescriptor) -> int:
         """Expand a ``--array`` submission into one task per index.
@@ -640,6 +830,26 @@ class Slurmctld:
         self._sched_event = self.sim.call_at(self.sim.now, fire, name="sched-pass")
 
     def _schedule_pass(self) -> None:
+        """One scheduling pass, re-entrancy-safe.
+
+        Dependency resolution inside a pass (a start failure releasing or
+        cancelling dependents) requests another pass; without ``defer``
+        that request would recurse into the pass mid-iteration, so it is
+        flagged and run after the current placements finish instead.
+        """
+        if self._in_pass:
+            self._repass_needed = True
+            return
+        self._in_pass = True
+        try:
+            self._repass_needed = True
+            while self._repass_needed:
+                self._repass_needed = False
+                self._schedule_pass_once()
+        finally:
+            self._in_pass = False
+
+    def _schedule_pass_once(self) -> None:
         if self._halted:
             return
         try:
@@ -652,7 +862,14 @@ class Slurmctld:
         if not self._pending:
             return
         cycle_started = time.perf_counter()
-        pending_jobs = [self.jobs[j] for j in self._pending]
+        all_pending = [self.jobs[j] for j in self._pending]
+        reasons_before = {j.job_id: j.pending_reason for j in all_pending}
+        # dependency-held jobs and over-limit array tasks are filtered out
+        # *before* either scheduler path, so the incremental and reference
+        # schedulers see the same queue and dependency-free workloads stay
+        # placement-identical to the executable spec
+        pending_jobs = [j for j in all_pending if j.job_id not in self.depgraph]
+        pending_jobs = self._throttle_arrays(pending_jobs)
         if self.config.priority_type == "priority/multifactor":
             weights = PriorityWeights(
                 age=self.config.priority_weight_age,
@@ -669,7 +886,6 @@ class Slurmctld:
         depth = self.config.sched_queue_depth
         if depth:
             pending_jobs = pending_jobs[:depth]
-        reasons_before = {j.job_id: j.pending_reason for j in pending_jobs}
         backfill = self.config.scheduler_type == "sched/backfill"
         if self.config.sched_incremental:
             if backfill:
@@ -691,11 +907,12 @@ class Slurmctld:
                 )
             else:
                 placements = fifo_schedule(pending_jobs, views)
-        # pending_reason mutations happen while computing the pass; journal
-        # them before the start records so replay applies them in order
+        # pending_reason mutations happen while computing the pass (and in
+        # the array throttle above); journal them before the start records
+        # so replay applies them in order
         reason_diff = {
             str(j.job_id): j.pending_reason
-            for j in pending_jobs
+            for j in all_pending
             if j.pending_reason != reasons_before[j.job_id]
         }
         if reason_diff:
@@ -706,6 +923,35 @@ class Slurmctld:
             time.perf_counter() - cycle_started
         )
         telemetry.gauge("sched_queue_depth").set(len(self._pending))
+
+    def _throttle_arrays(self, jobs: "list[Job]") -> "list[Job]":
+        """Enforce ``--array`` ``%limit``: cap concurrent tasks per array.
+
+        Each array gets a per-pass budget of ``limit - running`` slots, so
+        even if every candidate placed this pass the running count never
+        exceeds the limit.  Tasks over budget wait with the
+        ``JobArrayTaskLimit`` reason (squeue's name for it).
+        """
+        budget: dict[int, int] = {}
+        eligible: list[Job] = []
+        for job in jobs:
+            limit = job.descriptor.array_limit
+            master = job.array_job_id
+            if not limit or master is None:
+                eligible.append(job)
+                continue
+            if master not in budget:
+                running = sum(
+                    1 for jid in self._running
+                    if self.jobs[jid].array_job_id == master
+                )
+                budget[master] = limit - running
+            if budget[master] > 0:
+                budget[master] -= 1
+                eligible.append(job)
+            else:
+                job.pending_reason = "JobArrayTaskLimit"
+        return eligible
 
     def _slurmd(self, hostname: str) -> Slurmd:
         for n in self.nodes:
@@ -739,6 +985,9 @@ class Slurmctld:
                     "stdout": job.stdout,
                 },
             )
+            # exit 127 is permanent (no binary to retry), so the retry
+            # policy never applies — dependents settle immediately
+            self._resolve_dependents_of(job.job_id)
             return
         job.state = JobState.RUNNING
         job.start_time = self.sim.now
@@ -844,7 +1093,209 @@ class Slurmctld:
                 "stdout": job.stdout,
             },
         )
+        # retry-on-failure runs before dependent resolution: a job about
+        # to be requeued is not a settled outcome, so its afterok
+        # dependents keep waiting and its afternotok dependents do not
+        # fire until the final attempt fails
+        if job.state is not JobState.COMPLETED and self._should_auto_reschedule(job):
+            self.reschedule(job_id)
+        else:
+            self._resolve_dependents_of(job_id)
         self._request_schedule()
+
+    # ------------------------------------------------------------------
+    # dependencies: resolution, release, never-satisfied propagation
+    # ------------------------------------------------------------------
+    def _resolve_dependents_of(self, pred_id: int) -> None:
+        """A job settled terminally: re-evaluate everything waiting on it."""
+        for job_id in self.depgraph.dependents_of(pred_id):
+            if job_id in self.depgraph:  # a cascade may have settled it
+                self._resolve_job_deps(job_id, repredict=True)
+
+    def _resolve_job_deps(self, job_id: int, *, repredict: bool) -> None:
+        """Evaluate one held job's full edge set against predecessor state.
+
+        Edges are never dropped one at a time — the graph only mutates at
+        journaled records (release or cancel), which is what keeps the
+        crash-replay digest invariant intact.
+        """
+        job = self.jobs[job_id]
+        if job.state is not JobState.PENDING:
+            return
+        statuses = [
+            dependency_status(kind, self.jobs[pred].state)
+            for kind, pred in self.depgraph.edges_of(job_id)
+        ]
+        if any(s == "never" for s in statuses):
+            self._cancel_never_satisfied(job_id)
+        elif all(s == "ok" for s in statuses):
+            self._release_job(job_id, repredict=repredict)
+
+    def _release_job(self, job_id: int, *, repredict: bool) -> None:
+        """Every dependency satisfied: let the scheduler see the job.
+
+        When released by a predecessor finishing (``repredict=True``) the
+        energy-optimal prediction is re-run through the *live* provider —
+        models promoted and nodes drained since submit time are picked up
+        — and the attempt's ``(model_id, model_version)`` is recorded.
+        At submit-time release the chain ran a moment ago, so attempt 1
+        already covers it.
+        """
+        job = self.jobs[job_id]
+        self.depgraph.remove(job_id)
+        attempt = None
+        if repredict:
+            self._repredict(job)
+            attempt = self._attempt_entry(len(job.attempts) + 1, "dep_release")
+            job.attempts.append(attempt)
+        job.pending_reason = "None"
+        telemetry.counter("sched_dep_releases_total").inc()
+        self.log.append(f"[{self.sim.now:.1f}] job {job_id} dependencies satisfied")
+        self._journal(
+            "dep_release",
+            {
+                "job_id": job_id,
+                "descriptor": descriptor_to_dict(job.descriptor),
+                "attempt": attempt,
+            },
+        )
+        if faults.fire("dep.release_crash"):
+            self.halt()
+            raise ControllerCrashError(
+                f"{self.name} crashed after releasing job {job_id} "
+                "(injected fault dep.release_crash)"
+            )
+        self._request_schedule()
+
+    def _cancel_never_satisfied(self, job_id: int) -> None:
+        """An edge can never be satisfied: cancel and cascade.
+
+        The dependent's own dependents then see a CANCELLED predecessor
+        and settle through the same path (afterany releases, afterok
+        cancels onward), so a failed DAG drains instead of deadlocking.
+        """
+        job = self.jobs[job_id]
+        self._pending.remove(job_id)
+        self.depgraph.remove(job_id)
+        job.state = JobState.CANCELLED
+        job.end_time = self.sim.now
+        job.pending_reason = "DependencyNeverSatisfied"
+        self.accounting.upsert(job)
+        telemetry.counter("sched_dep_never_satisfied_total").inc()
+        self.log.append(
+            f"[{self.sim.now:.1f}] job {job_id} cancelled: "
+            "dependency never satisfied"
+        )
+        self._journal(
+            "cancel",
+            {
+                "job_id": job_id,
+                "end_time": job.end_time,
+                "was_running": False,
+                "energy_end_j": job.energy_end_j,
+                "reason": "DependencyNeverSatisfied",
+            },
+        )
+        self._resolve_dependents_of(job_id)
+
+    def _repredict(self, job: Job) -> None:
+        """Re-run the plugin chain on a copy of the job's descriptor.
+
+        The live chain sees current conditions (promoted models, drained
+        hardware).  A veto or an invalid rewrite keeps the old descriptor
+        — an energy optimizer must never block a release or a requeue.
+        """
+        desc = replace(job.descriptor)
+        rc, _ = self.plugin_chain.run(desc, job.descriptor.uid)
+        if rc != SLURM_SUCCESS:
+            return
+        max_cores = max(n.node.total_cores for n in self.nodes)
+        try:
+            desc.validate(max_cores, cluster_nodes=len(self.nodes))
+        except ValueError:
+            return
+        job.descriptor = desc
+
+    def _should_auto_reschedule(self, job: Job) -> bool:
+        """Retry-on-failure policy: workflow members, bounded attempts.
+
+        Only runtime failures qualify — exit 127 (the binary does not
+        exist) would fail identically forever.
+        """
+        if self.config.reschedule_retries <= 0 or not job.descriptor.workflow:
+            return False
+        if job.exit_code == 127:
+            return False
+        done = sum(1 for a in job.attempts if a.get("reason") == "reschedule")
+        return done < self.config.reschedule_retries
+
+    def reschedule(self, job_id: int) -> int:
+        """Requeue a terminally-failed job for another attempt.
+
+        The job returns to PENDING with its runtime state cleared, the
+        energy-optimal prediction re-runs through the live provider and
+        the new attempt (with its ``model_id``/``model_version``) is
+        journaled, so replay reproduces the requeue exactly.  Returns the
+        new attempt number.  Used both by ``scontrol``-style operators
+        (``chronus workflow reschedule``) and the automatic
+        retry-on-failure policy.
+        """
+        self._fence_check()
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id}")
+        if job.state in (JobState.PENDING, JobState.RUNNING):
+            raise SubmitError(
+                f"job {job_id} is {job.state.value}; only terminal jobs "
+                "can be rescheduled"
+            )
+        if job.state is JobState.COMPLETED:
+            raise SubmitError(
+                f"job {job_id} completed successfully; nothing to reschedule"
+            )
+        self._repredict(job)
+        attempt = self._attempt_entry(len(job.attempts) + 1, "reschedule")
+        job.attempts.append(attempt)
+        self._reset_for_requeue(job)
+        self._pending.append(job_id)
+        telemetry.counter("sched_reschedules_total").inc()
+        self.log.append(
+            f"[{self.sim.now:.1f}] job {job_id} rescheduled "
+            f"(attempt {attempt['n']})"
+        )
+        self._journal(
+            "reschedule",
+            {
+                "job_id": job_id,
+                "descriptor": descriptor_to_dict(job.descriptor),
+                "attempt": attempt,
+            },
+        )
+        if faults.fire("reschedule.storm"):
+            self.halt()
+            raise ControllerCrashError(
+                f"{self.name} crashed mid-reschedule of job {job_id} "
+                "(injected fault reschedule.storm)"
+            )
+        self._request_schedule()
+        return int(attempt["n"])
+
+    @staticmethod
+    def _reset_for_requeue(job: Job) -> None:
+        """Clear one lifecycle's runtime state (shared with replay)."""
+        job.state = JobState.PENDING
+        job.start_time = None
+        job.end_time = None
+        job.node = ""
+        job.node_list = ()
+        job.allocated_cores = ()
+        job.workload_handle = None
+        job.workload_handles = {}
+        job.exit_code = 0
+        job.stdout = ""
+        job.energy_start_j = 0.0
+        job.energy_end_j = 0.0
+        job.pending_reason = "None"
 
     # ------------------------------------------------------------------
     # control operations
@@ -903,6 +1354,7 @@ class Slurmctld:
             self._completion_at.pop(job_id, None)
         job.state = JobState.CANCELLED
         job.end_time = self.sim.now
+        self.depgraph.remove(job_id)
         self.accounting.upsert(job)
         self.log.append(f"[{self.sim.now:.1f}] job {job_id} cancelled")
         self._journal(
@@ -914,6 +1366,9 @@ class Slurmctld:
                 "energy_end_j": job.energy_end_j,
             },
         )
+        # anything waiting on the cancelled job settles now: afterany /
+        # afternotok dependents release, afterok dependents cascade-cancel
+        self._resolve_dependents_of(job_id)
         self._request_schedule()
 
     def get_job(self, job_id: int) -> Job:

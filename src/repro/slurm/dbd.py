@@ -26,9 +26,10 @@ from typing import Optional
 
 from repro import telemetry
 from repro.slurm.accounting import AccountingDatabase, record_from_job
-from repro.slurm.controller import _job_from_dict, descriptor_from_dict
+from repro.slurm.controller import Slurmctld, _job_from_dict, descriptor_from_dict
 from repro.slurm.job import Job, JobState
 from repro.slurm.statesave import JournalRecord, StateSave
+from repro.slurm.workflow import workflow_rollup
 
 __all__ = ["SlurmDbd"]
 
@@ -122,6 +123,31 @@ class SlurmDbd:
                     array_job_id=master_id,
                     array_task_id=int(index),
                 )
+        elif rtype == "submit_dep":
+            job_id = int(data["job_id"])
+            job = Job(
+                job_id=job_id,
+                descriptor=descriptor_from_dict(data["descriptor"]),
+                submit_time=data["submit_time"],
+            )
+            self._append_attempt(job, data["attempt"])
+            if data["deps"]:
+                job.pending_reason = "Dependency"
+            self._jobs[job_id] = job
+        elif rtype == "dep_release":
+            job = self._jobs.get(int(data["job_id"]))
+            if job is None:
+                return
+            job.descriptor = descriptor_from_dict(data["descriptor"])
+            self._append_attempt(job, data["attempt"])
+            job.pending_reason = "None"
+        elif rtype == "reschedule":
+            job = self._jobs.get(int(data["job_id"]))
+            if job is None:
+                return
+            job.descriptor = descriptor_from_dict(data["descriptor"])
+            self._append_attempt(job, data["attempt"])
+            Slurmctld._reset_for_requeue(job)
         elif rtype == "start":
             job = self._jobs.get(int(data["job_id"]))
             if job is None:
@@ -158,11 +184,39 @@ class SlurmDbd:
                 job.energy_end_j = data["energy_end_j"]
             job.state = JobState.CANCELLED
             job.end_time = data["end_time"]
+            if "reason" in data:
+                job.pending_reason = data["reason"]
             self._upsert(job, rec)
         # genesis / pass / drain / resume carry no accounting content
 
     def _upsert(self, job: Job, rec: JournalRecord) -> None:
         self.db.apply(record_from_job(job), epoch=rec.epoch, seq=rec.seq)
+
+    @staticmethod
+    def _append_attempt(job: Job, attempt: "Optional[dict]") -> None:
+        """Record one scheduling attempt, idempotent by attempt index.
+
+        The journal is at-least-once: a re-shipped suffix re-delivers
+        dep_release/reschedule records, and appending blindly would
+        inflate per-workflow attempt counts.  The attempt's ``n`` is the
+        lifecycle ordinal, so equality there means "already recorded".
+        """
+        if attempt is None:
+            return
+        if any(a.get("n") == attempt.get("n") for a in job.attempts):
+            return
+        job.attempts.append(dict(attempt))
+
+    # ------------------------------------------------------------------
+    def workflows(self) -> "dict[str, dict]":
+        """Per-workflow provenance rollups over the shadow job table.
+
+        The same :func:`repro.slurm.workflow.workflow_rollup` fold the
+        controller and CLI use — a pure function of absolute per-job
+        values, so re-delivered journal records cannot double-count
+        joules or attempts.  Callers should :meth:`pump` first.
+        """
+        return workflow_rollup(self._jobs.values())
 
     # ------------------------------------------------------------------
     @property

@@ -347,11 +347,18 @@ def build_drill_plane(
     lease_s: float = 3.0,
     snapshot_interval: int = 0,
     fsync: bool = False,
+    config: Optional[SlurmConfig] = None,
+    setup: Optional[Callable[[Slurmctld], None]] = None,
 ) -> DrillPlane:
     """Wire up a primary/backup slurmctld pair over one state-save.
 
     The drill binary (:data:`DRILL_BINARY`) is pre-registered, the dbd
     pumps the journal every other heartbeat, and peer A starts as leader.
+    ``config`` overrides the default deferred-scheduling slurm.conf (the
+    workflow smoke sets ``RescheduleRetries``); ``setup`` runs against
+    every (re)started controller — including the backup's takeover — so
+    plugin chains (e.g. eco + a live prediction provider) survive
+    failover exactly like re-reading slurm.conf does.
     """
     sim = Simulator()
     registry = ApplicationRegistry()
@@ -361,17 +368,18 @@ def build_drill_plane(
         for i in range(n_nodes)
     ]
     slurmds = [Slurmd(n, registry) for n in nodes]
-    config = SlurmConfig(sched_defer=True)
+    if config is None:
+        config = SlurmConfig(sched_defer=True)
     statesave = StateSave(
         statesave_path, fsync=fsync, snapshot_interval=snapshot_interval
     )
     peer_a = SlurmctldPeer(
         "ctld-a", sim, statesave, config, slurmds,
-        heartbeat_s=heartbeat_s, lease_s=lease_s,
+        heartbeat_s=heartbeat_s, lease_s=lease_s, setup=setup,
     )
     peer_b = SlurmctldPeer(
         "ctld-b", sim, statesave, config, slurmds,
-        heartbeat_s=heartbeat_s, lease_s=lease_s,
+        heartbeat_s=heartbeat_s, lease_s=lease_s, setup=setup,
     )
     plane = HaControlPlane([peer_a, peer_b], statesave)
     dbd = SlurmDbd(statesave)

@@ -75,6 +75,13 @@ class JobDescriptor:
     srun_args: tuple[str, ...] = ()
     #: job-array task indices (``--array``); empty for plain jobs
     array: tuple[int, ...] = ()
+    #: ``--array`` ``%limit`` concurrency throttle; 0 means unlimited
+    array_limit: int = 0
+    #: parsed ``--dependency`` edges as ``(kind, predecessor_job_id)``
+    #: pairs; every edge must be satisfied before the job may start
+    dependency: tuple[tuple[str, int], ...] = ()
+    #: ``--workflow`` identity grouping related jobs for accounting
+    workflow: str = ""
 
     @property
     def tasks_per_node(self) -> int:
@@ -110,6 +117,8 @@ class JobDescriptor:
             )
         if self.time_limit_s < 0:
             raise ValueError(f"time_limit_s must be >= 0, got {self.time_limit_s}")
+        if self.array_limit < 0:
+            raise ValueError(f"array_limit must be >= 0, got {self.array_limit}")
 
 
 @dataclass
@@ -140,6 +149,10 @@ class Job:
     #: array bookkeeping: the master job id and this task's index
     array_job_id: Optional[int] = None
     array_task_id: Optional[int] = None
+    #: one entry per scheduling attempt (submit / dep_release / reschedule),
+    #: each carrying the registry identity that predicted its configuration:
+    #: ``{"n", "time", "reason", "model_id", "model_version"}``
+    attempts: list = field(default_factory=list)
 
     @property
     def display_id(self) -> str:

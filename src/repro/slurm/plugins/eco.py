@@ -239,6 +239,10 @@ class JobSubmitEco(JobSubmitPlugin):
         #: cached system hash — /proc contents are stable for a node's
         #: lifetime, and slurmctld cannot afford re-reading them per job
         self._system_hash: Optional[int] = None
+        #: the typed response behind the *most recent* job_submit (None
+        #: when the plugin skipped, fell back, or the provider was legacy);
+        #: the controller reads this to stamp attempt provenance
+        self.last_served: Optional[PredictResponse] = None
 
     # ------------------------------------------------------------------
     def system_hash(self) -> int:
@@ -319,6 +323,7 @@ class JobSubmitEco(JobSubmitPlugin):
 
     # ------------------------------------------------------------------
     def job_submit(self, job_desc: JobDescriptor, submit_uid: int) -> int:
+        self.last_served = None
         applies, min_perf = self._applies(job_desc)
         if not applies:
             telemetry.counter("eco_skipped_total").inc()
@@ -342,6 +347,7 @@ class JobSubmitEco(JobSubmitPlugin):
             )
             return SLURM_SUCCESS
         telemetry.counter("eco_applied_total").inc()
+        self.last_served = served
         # attribute the decision to the registry identity that served it
         # (0:v0 = legacy/pre-registry provider); the labeled counter lets
         # an operator split applied decisions per model across a promotion

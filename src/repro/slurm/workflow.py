@@ -1,0 +1,257 @@
+"""Workflow primitives: dependency specs, the DAG, per-workflow rollups.
+
+Slurm expresses inter-job ordering through ``--dependency`` and leaves
+"which jobs belong together" implicit; the datalad-slurm line of work
+(schedule -> finish -> reschedule with provenance capture) shows that
+energy accounting really wants the explicit grouping, so the simulator
+adds ``--workflow=<name>`` next to the standard dependency syntax.
+
+Three pieces live here because three layers share them:
+
+* :func:`parse_dependency_spec` / :func:`format_dependency_spec` — the
+  wire syntax (``afterok:3:5,afterany:7``; comma = AND) round-trips
+  between the batch-script parser, the REST API and the journal.
+* :class:`DependencyGraph` — the controller's view of every unsatisfied
+  edge, with cycle rejection at *submit* time (see DESIGN.md: failing
+  fast beats discovering a deadlocked DAG at release time).
+* :func:`workflow_rollup` — the per-workflow aggregation (joules,
+  attempt counts, model lineage) computed from a job table.  slurmdbd,
+  the REST gateway and ``chronus workflow`` all call this one function,
+  so the three surfaces can never disagree.  It is a pure fold over
+  absolute per-job values — never an increment — which is what keeps the
+  numbers idempotent under at-least-once journal delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.domain.errors import DependencyCycleError, DependencyError
+from repro.slurm.job import Job, JobState
+
+__all__ = [
+    "DEPENDENCY_KINDS",
+    "parse_dependency_spec",
+    "format_dependency_spec",
+    "DependencyGraph",
+    "dependency_status",
+    "workflow_rollup",
+]
+
+#: supported dependency kinds, in Slurm's own vocabulary
+DEPENDENCY_KINDS = ("afterok", "afterany", "afternotok")
+
+
+def parse_dependency_spec(spec: str) -> "tuple[tuple[str, int], ...]":
+    """Parse a ``--dependency`` spec into ``(kind, job_id)`` edges.
+
+    Accepts Slurm's comma-joined AND syntax with one or more job ids per
+    clause: ``afterok:3:5,afterany:7``.  Duplicate edges collapse.
+
+    Raises:
+        DependencyError: on empty clauses, unknown kinds or non-integer
+            job ids — a malformed spec must never be silently dropped.
+    """
+    text = spec.strip()
+    if not text:
+        return ()
+    edges: list[tuple[str, int]] = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            raise DependencyError(f"empty clause in dependency spec {spec!r}")
+        parts = clause.split(":")
+        kind = parts[0].strip()
+        if kind not in DEPENDENCY_KINDS:
+            raise DependencyError(
+                f"unknown dependency kind {kind!r} in {spec!r}; "
+                f"valid kinds: {', '.join(DEPENDENCY_KINDS)}"
+            )
+        if len(parts) < 2:
+            raise DependencyError(f"dependency clause {clause!r} names no job id")
+        for raw in parts[1:]:
+            raw = raw.strip()
+            if not raw.isdigit() or int(raw) < 1:
+                raise DependencyError(
+                    f"bad job id {raw!r} in dependency spec {spec!r}"
+                )
+            edge = (kind, int(raw))
+            if edge not in edges:
+                edges.append(edge)
+    return tuple(edges)
+
+
+def format_dependency_spec(edges: Iterable[tuple[str, int]]) -> str:
+    """Render edges back into the canonical ``kind:id,kind:id`` spec.
+
+    The inverse of :func:`parse_dependency_spec` (property-tested):
+    ``parse(format(edges)) == dedup(edges)``.
+    """
+    return ",".join(f"{kind}:{job_id}" for kind, job_id in edges)
+
+
+def dependency_status(kind: str, pred_state: JobState) -> str:
+    """Evaluate one edge against its predecessor's state.
+
+    Returns ``"wait"`` (predecessor not terminal yet), ``"ok"`` (edge
+    satisfied) or ``"never"`` (edge can no longer be satisfied — the
+    dependent must be cancelled with ``DependencyNeverSatisfied``).
+    """
+    if not pred_state.is_terminal:
+        return "wait"
+    if kind == "afterany":
+        return "ok"
+    succeeded = pred_state is JobState.COMPLETED
+    if kind == "afterok":
+        return "ok" if succeeded else "never"
+    # afternotok: fires only when the predecessor failed
+    return "never" if succeeded else "ok"
+
+
+class DependencyGraph:
+    """Every unsatisfied dependency edge between submitted jobs.
+
+    ``waiting`` maps a held job to its ``(kind, pred)`` edges; ``children``
+    is the reverse index (predecessor -> dependents) the release path
+    walks when a job reaches a terminal state.  Edges are *not* dropped
+    one by one as predecessors finish: the controller re-evaluates the
+    full edge set against predecessor states and removes a job atomically
+    at release or cancel, so the graph only mutates at journaled records
+    and the crash-replay digest invariant holds.
+    """
+
+    def __init__(self) -> None:
+        self.waiting: dict[int, list[tuple[str, int]]] = {}
+        self.children: dict[int, set[int]] = {}
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self.waiting
+
+    def __len__(self) -> int:
+        return len(self.waiting)
+
+    # ------------------------------------------------------------------
+    def add(self, job_id: int, edges: Iterable[tuple[str, int]]) -> None:
+        """Register ``job_id``'s unsatisfied edges, rejecting cycles.
+
+        Raises:
+            DependencyCycleError: if any edge would make ``job_id`` reach
+                itself through the existing waiting edges.  Sequential id
+                assignment makes forward edges impossible through the
+                normal submit path, so this is defense in depth — but the
+                graph is also used directly by tests and future admins.
+        """
+        edges = [(kind, int(pred)) for kind, pred in edges]
+        for _, pred in edges:
+            if pred == job_id or self._reaches(pred, job_id):
+                cycle_via = "itself" if pred == job_id else f"job {pred}"
+                raise DependencyCycleError(
+                    f"dependency of job {job_id} on {cycle_via} closes a cycle"
+                )
+        if not edges:
+            return
+        self.waiting[job_id] = list(edges)
+        for _, pred in edges:
+            self.children.setdefault(pred, set()).add(job_id)
+
+    def _reaches(self, start: int, target: int) -> bool:
+        """DFS over waiting edges: can ``start`` reach ``target``?"""
+        stack, seen = [start], set()
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(pred for _, pred in self.waiting.get(node, ()))
+        return False
+
+    # ------------------------------------------------------------------
+    def edges_of(self, job_id: int) -> "tuple[tuple[str, int], ...]":
+        return tuple(self.waiting.get(job_id, ()))
+
+    def dependents_of(self, pred_id: int) -> "tuple[int, ...]":
+        """Jobs currently waiting on ``pred_id``, in id order."""
+        return tuple(sorted(self.children.get(pred_id, ())))
+
+    def remove(self, job_id: int) -> None:
+        """Forget every remaining edge of ``job_id`` (release or cancel)."""
+        for _, pred in self.waiting.pop(job_id, ()):
+            kids = self.children.get(pred)
+            if kids is not None:
+                kids.discard(job_id)
+                if not kids:
+                    del self.children[pred]
+
+    # ------------------------------------------------------------------
+    def capture(self) -> dict:
+        """JSON-simple snapshot (``children`` is derived, not stored)."""
+        return {
+            str(job_id): [[kind, pred] for kind, pred in edges]
+            for job_id, edges in sorted(self.waiting.items())
+        }
+
+    @classmethod
+    def from_capture(cls, data: Mapping) -> "DependencyGraph":
+        graph = cls()
+        for job_id, edges in data.items():
+            job_id = int(job_id)
+            graph.waiting[job_id] = [(kind, int(pred)) for kind, pred in edges]
+            for _, pred in graph.waiting[job_id]:
+                graph.children.setdefault(pred, set()).add(job_id)
+        return graph
+
+
+# ----------------------------------------------------------------------
+def workflow_rollup(jobs: Iterable[Job]) -> "dict[str, dict]":
+    """Aggregate a job table into per-workflow provenance accounting.
+
+    Returns ``{workflow_id: rollup}`` where each rollup carries member
+    job ids, per-state counts, total joules over terminal members (the
+    sum of each job's *current* lifecycle energy, so a rescheduled job
+    contributes its latest run exactly once — no double counting),
+    attempt totals and the ordered model lineage (``"id:vN"`` labels,
+    first use wins) across every recorded attempt.
+    """
+    rollups: dict[str, dict] = {}
+    for job in sorted(jobs, key=lambda j: j.job_id):
+        name = job.descriptor.workflow
+        if not name:
+            continue
+        roll = rollups.setdefault(
+            name,
+            {
+                "workflow_id": name,
+                "job_ids": [],
+                "jobs": 0,
+                "pending": 0,
+                "running": 0,
+                "completed": 0,
+                "failed": 0,
+                "total_energy_j": 0.0,
+                "attempts": 0,
+                "models": [],
+            },
+        )
+        roll["job_ids"].append(job.job_id)
+        roll["jobs"] += 1
+        if job.state is JobState.PENDING:
+            roll["pending"] += 1
+        elif job.state is JobState.RUNNING:
+            roll["running"] += 1
+        elif job.state is JobState.COMPLETED:
+            roll["completed"] += 1
+        else:
+            roll["failed"] += 1
+        if job.state.is_terminal:
+            roll["total_energy_j"] += job.consumed_energy_j
+        roll["attempts"] += len(job.attempts)
+        for attempt in job.attempts:
+            model_id = attempt.get("model_id", 0)
+            if not model_id:
+                continue  # 0 = no prediction served for this attempt
+            label = f"{model_id}:v{attempt.get('model_version', 0)}"
+            if label not in roll["models"]:
+                roll["models"].append(label)
+    return rollups

@@ -97,6 +97,21 @@ class TestErrorTable:
         assert http_status_for("SHED") == 429
         assert http_status_for("SOMETHING_NEW") == 500
 
+    def test_dependency_errors_have_stable_wire_codes(self):
+        """PR10 satellite: a malformed --dependency is a typed user error
+        (REST 400, CLI exit 2) and a cycle is a 409 with its own code."""
+        env = envelope_for(domain_errors.DependencyError("bad spec"))
+        assert (env.code, env.http_status, env.exit_code) == ("DEPENDENCY", 400, 2)
+        env = envelope_for(domain_errors.DependencyCycleError("loop"))
+        assert (env.code, env.http_status, env.exit_code) == (
+            "DEPENDENCY_CYCLE", 409, 2,
+        )
+        # a cycle is still a dependency error to an MRO walk, but the
+        # subclass row must win
+        assert issubclass(
+            domain_errors.DependencyCycleError, domain_errors.DependencyError
+        )
+
 
 class TestTokens:
     def test_round_trip(self):
@@ -298,6 +313,35 @@ class TestApiTypes:
     def test_non_object_rejected(self):
         with pytest.raises(ProtocolError, match="JSON object"):
             JobSubmitRequest.from_dict([1, 2, 3])
+
+    def test_dependency_spec_parsed_into_descriptor(self):
+        req = JobSubmitRequest.from_dict({
+            "name": "j", "binary": "/bin/x",
+            "dependency": "afterok:3:5,afterany:7", "workflow_id": "wf-1",
+        })
+        desc = req.to_descriptor()
+        assert desc.dependency == (
+            ("afterok", 3), ("afterok", 5), ("afterany", 7)
+        )
+        assert desc.workflow == "wf-1"
+
+    def test_malformed_dependency_is_a_typed_error(self):
+        req = JobSubmitRequest.from_dict(
+            {"name": "j", "binary": "/bin/x", "dependency": "after:nope"}
+        )
+        with pytest.raises(domain_errors.DependencyError):
+            req.to_descriptor()
+
+    def test_workflow_info_round_trip(self):
+        from repro.api.types import WorkflowInfo, WorkflowList
+
+        info = WorkflowInfo(
+            workflow_id="wf-1", job_ids=(1, 2), jobs=2, completed=1,
+            failed=1, total_energy_j=42.5, attempts=3, models=("7:v2",),
+        )
+        assert WorkflowInfo.from_dict(info.to_dict()) == info
+        wl = WorkflowList(workflows=(info,), next_cursor="abc")
+        assert WorkflowList.from_dict(wl.to_dict()) == wl
 
 
 class TestOpenApi:

@@ -23,6 +23,7 @@ from repro.core.domain.errors import (
     StaleEpochError,
 )
 from repro.slurm.cluster import HPCG_BINARY, SimCluster
+from repro.slurm.config import SlurmConfig
 from repro.slurm.controller import Slurmctld
 from repro.slurm.job import JobDescriptor
 from repro.slurm.statesave import (
@@ -217,8 +218,10 @@ class TestSnapshots:
 workload_strategy = st.lists(
     st.tuples(
         st.integers(1, 32),      # num_tasks
-        st.integers(2, 20),      # time limit (minutes)
+        st.integers(1, 20),      # time limit (minutes; 1 => TIMEOUT)
         st.booleans(),           # cancel shortly after submit?
+        st.booleans(),           # afterok-depend on the previous job?
+        st.booleans(),           # workflow member (enables auto-reschedule)?
     ),
     min_size=1,
     max_size=6,
@@ -226,9 +229,21 @@ workload_strategy = st.lists(
 
 
 def _run_journaled(tmpdir: str, jobs, horizon: float, snapshot_interval: int = 0):
-    """Drive a journaled cluster; returns (digests-by-seq, final ctld)."""
+    """Drive a journaled cluster; returns (digests-by-seq, final ctld).
+
+    Workload elements can chain ``afterok`` dependencies on the previous
+    submission and join the ``"prop"`` workflow; with a 1-minute time
+    limit against the 120 s HPCG runtime a workflow member TIMEOUTs and
+    exercises the automatic reschedule path (``RescheduleRetries=1``),
+    so the replay invariant covers submit_dep / dep_release / reschedule
+    records and never-satisfied cancel cascades, not just the legacy
+    record types.
+    """
     ss = StateSave(tmpdir, fsync=False, snapshot_interval=snapshot_interval)
-    cluster = SimCluster(n_nodes=2, statesave=ss, hpcg_duration_s=120)
+    cluster = SimCluster(
+        n_nodes=2, statesave=ss, hpcg_duration_s=120,
+        config=SlurmConfig(reschedule_retries=1),
+    )
     digests: dict[int, str] = {}
     ss.on_append = lambda rec: digests.__setitem__(
         rec.seq, cluster.ctld.state_digest()
@@ -236,18 +251,30 @@ def _run_journaled(tmpdir: str, jobs, horizon: float, snapshot_interval: int = 0
     # the genesis record was journaled during construction, before the
     # hook attached; its digest is simply the fresh controller's
     digests[ss.last_seq] = cluster.ctld.state_digest()
-    for i, (tasks, limit_min, cancel) in enumerate(jobs):
-        def submit(tasks=tasks, limit=limit_min, cancel=cancel, i=i):
+    submitted: list[int] = []
+    for i, (tasks, limit_min, cancel, dep_prev, in_wf) in enumerate(jobs):
+        def submit(tasks=tasks, limit=limit_min, cancel=cancel,
+                   dep_prev=dep_prev, in_wf=in_wf, i=i):
+            dependency = ()
+            if dep_prev and submitted:
+                dependency = (("afterok", submitted[-1]),)
             jid = cluster.ctld.submit(
                 JobDescriptor(
                     name=f"prop-{i}",
                     num_tasks=tasks,
                     binary=HPCG_BINARY,
                     time_limit_s=limit * 60,
+                    dependency=dependency,
+                    workflow="prop" if in_wf else "",
                 )
             )
+            submitted.append(jid)
             if cancel:
-                cluster.sim.call_in(5.0, lambda: cluster.ctld.cancel(jid))
+                def maybe_cancel(jid=jid):
+                    # a never-satisfied dependency may have cancelled it
+                    if not cluster.ctld.jobs[jid].state.is_terminal:
+                        cluster.ctld.cancel(jid)
+                cluster.sim.call_in(5.0, maybe_cancel)
 
         cluster.sim.call_at(i * 7.0, submit)
     cluster.sim.run(until=horizon)
@@ -282,7 +309,12 @@ class TestReplayInvariant:
             prefix.close()
 
     def test_snapshot_plus_suffix_equals_full_replay(self, tmp_path):
-        jobs = [(8, 10, False), (16, 10, False), (4, 10, True), (32, 10, False)]
+        jobs = [
+            (8, 10, False, False, True),
+            (16, 10, False, True, True),
+            (4, 10, True, False, False),
+            (32, 10, False, True, False),
+        ]
         digests, cluster, ss = _run_journaled(
             str(tmp_path), jobs, horizon=150.0, snapshot_interval=5
         )
@@ -300,7 +332,10 @@ class TestReplayInvariant:
         assert all(j.state.is_terminal for j in restored.jobs.values())
 
     def test_restored_controller_finishes_the_workload(self, tmp_path):
-        jobs = [(8, 30, False), (16, 30, False)]
+        # prop-1 afterok-depends on prop-0: the crash happens while the
+        # dependency is still held, so the restored controller must re-arm
+        # the DAG and release prop-1 when prop-0 finishes post-restore
+        jobs = [(8, 30, False, False, False), (16, 30, False, True, True)]
         digests, cluster, ss = _run_journaled(str(tmp_path), jobs, horizon=30.0)
         ss.close()
         again = StateSave(str(tmp_path), fsync=False)
